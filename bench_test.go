@@ -1,0 +1,465 @@
+package topomap_test
+
+// The benchmark harness: one benchmark per table/figure of the paper
+// (regenerating it at Tiny scale through the exp package), plus
+// per-algorithm microbenchmarks and the ablation benches DESIGN.md
+// calls out. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full-size outputs with cmd/experiments.
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/dragonfly"
+	"repro/internal/exp"
+	"repro/internal/fattree"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/partitioners"
+	"repro/internal/taskgraph"
+	"repro/internal/torus"
+
+	topomap "repro"
+)
+
+// --- one bench per figure/table -------------------------------------
+
+func benchFigure(b *testing.B, run func(exp.Config) (string, error)) {
+	b.Helper()
+	cfg := exp.TinyConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (partition metrics TV/TM/MSV/
+// MSM across the seven partitioners).
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, exp.Figure1) }
+
+// BenchmarkFigure2 regenerates Figure 2 (mapping metrics normalized
+// to DEF).
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, exp.Figure2) }
+
+// BenchmarkFigure3 regenerates Figure 3 (mapping algorithm times).
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, exp.Figure3) }
+
+// BenchmarkFigure4a regenerates Figure 4a (comm-only, cagelike).
+func BenchmarkFigure4a(b *testing.B) {
+	benchFigure(b, func(c exp.Config) (string, error) { return exp.Figure4(c, "a") })
+}
+
+// BenchmarkFigure4b regenerates Figure 4b (comm-only, rgg).
+func BenchmarkFigure4b(b *testing.B) {
+	benchFigure(b, func(c exp.Config) (string, error) { return exp.Figure4(c, "b") })
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (SpMV, cagelike).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, exp.Figure5) }
+
+// BenchmarkTable1 regenerates Table I (summary improvements).
+func BenchmarkTable1(b *testing.B) { benchFigure(b, exp.Table1) }
+
+// BenchmarkRegression regenerates the §IV-E NNLS regression analysis.
+func BenchmarkRegression(b *testing.B) { benchFigure(b, exp.Regression) }
+
+// --- per-algorithm microbenchmarks ----------------------------------
+
+// benchFixture builds a coarse task graph (n supertasks) and an
+// allocation of n nodes on a Hopper-like torus.
+func benchFixture(b *testing.B, n int) (*graph.Graph, *torus.Torus, *alloc.Allocation) {
+	b.Helper()
+	topo := torus.NewHopper3D(16, 12, 16)
+	a, err := alloc.Generate(topo, n, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.RandomConnected(n, 4*n, 100, 2)
+	return g, topo, a
+}
+
+// BenchmarkMapperUG measures Algorithm 1 (both NBFS settings) on a
+// 256-supertask graph.
+func BenchmarkMapperUG(b *testing.B) {
+	g, topo, a := benchFixture(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MapUG(g, topo, a.Nodes)
+	}
+}
+
+// BenchmarkMapperUWH measures greedy + Algorithm 2.
+func BenchmarkMapperUWH(b *testing.B) {
+	g, topo, a := benchFixture(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MapUWH(g, topo, a.Nodes)
+	}
+}
+
+// BenchmarkMapperUMC measures greedy + Algorithm 3 (volume).
+func BenchmarkMapperUMC(b *testing.B) {
+	g, topo, a := benchFixture(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MapUMC(g, topo, a.Nodes)
+	}
+}
+
+// BenchmarkMapperUMMC measures greedy + Algorithm 3 (messages); the
+// benchmark graph's edges are single messages, so the graph doubles
+// as its own message view.
+func BenchmarkMapperUMMC(b *testing.B) {
+	g, topo, a := benchFixture(b, 256)
+	msgG := g.Clone()
+	msgG.EW = make([]int64, g.M())
+	for i := range msgG.EW {
+		msgG.EW[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MapUMMC(g, msgG, topo, a.Nodes)
+	}
+}
+
+// BenchmarkPartitionerGraph measures the multilevel graph partitioner
+// (KaFFPa personality) on the tiny cagelike matrix.
+func BenchmarkPartitionerGraph(b *testing.B) {
+	spec, err := gen.ByName(gen.Cagelike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Generate(gen.Tiny)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partitioners.Run(partitioners.KAFFPAP, m, 64, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionerHypergraph measures the multilevel hypergraph
+// partitioner (PaToH personality) on the tiny cagelike matrix.
+func BenchmarkPartitionerHypergraph(b *testing.B) {
+	spec, err := gen.ByName(gen.Cagelike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Generate(gen.Tiny)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partitioners.Run(partitioners.PATOHP, m, 64, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaskGraphBuild measures MPI task graph construction.
+func BenchmarkTaskGraphBuild(b *testing.B) {
+	spec, err := gen.ByName(gen.Cagelike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Generate(gen.Tiny)
+	part, err := partitioners.Run(partitioners.PATOHP, m, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taskgraph.Build(m, part, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricsCompute measures the full mapping-metric evaluation
+// with static-route enumeration.
+func BenchmarkMetricsCompute(b *testing.B) {
+	g, topo, a := benchFixture(b, 256)
+	nodeOf := core.MapUG(g, topo, a.Nodes)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Compute(g, topo, pl)
+	}
+}
+
+// BenchmarkSimulatorCommOnly measures the contention-aware
+// communication simulator.
+func BenchmarkSimulatorCommOnly(b *testing.B) {
+	g, topo, a := benchFixture(b, 256)
+	nodeOf := core.MapUG(g, topo, a.Nodes)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netsim.CommOnly(g, topo, pl, 4096, netsim.Params{Seed: int64(i)})
+	}
+}
+
+// --- ablations (DESIGN.md §7) ---------------------------------------
+
+// BenchmarkAblationDelta sweeps the ∆ swap-candidate bound of
+// Algorithm 2 (the paper fixes ∆=8) and reports the resulting WH as
+// a custom metric.
+func BenchmarkAblationDelta(b *testing.B) {
+	for _, delta := range []int{2, 8, 32} {
+		b.Run(map[int]string{2: "delta2", 8: "delta8", 32: "delta32"}[delta], func(b *testing.B) {
+			g, topo, a := benchFixture(b, 256)
+			base := core.MapUG(g, topo, a.Nodes)
+			var lastWH int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodeOf := append([]int32(nil), base...)
+				core.RefineWH(g, topo, a.Nodes, nodeOf, core.RefineOptions{Delta: delta})
+				lastWH = metrics.WeightedHops(g, topo, nodeOf)
+			}
+			b.ReportMetric(float64(lastWH), "WH")
+		})
+	}
+}
+
+// BenchmarkAblationNBFS compares the two greedy seeding modes the
+// paper blends (NBFS = 0 vs 1).
+func BenchmarkAblationNBFS(b *testing.B) {
+	for _, nbfs := range []int{0, 1} {
+		name := map[int]string{0: "nbfs0", 1: "nbfs1"}[nbfs]
+		b.Run(name, func(b *testing.B) {
+			g, topo, a := benchFixture(b, 256)
+			var lastWH int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodeOf := core.Greedy(g, topo, a.Nodes, core.GreedyOptions{NBFS: nbfs})
+				lastWH = metrics.WeightedHops(g, topo, nodeOf)
+			}
+			b.ReportMetric(float64(lastWH), "WH")
+		})
+	}
+}
+
+// BenchmarkAblationEarlyExit compares GETBESTNODE's early-exit BFS
+// against exhaustively scoring every empty allocated node; the paper
+// credits the early exit for Algorithm 1's speed.
+func BenchmarkAblationEarlyExit(b *testing.B) {
+	for _, mode := range []string{"earlyExit", "exhaustive"} {
+		b.Run(mode, func(b *testing.B) {
+			g, topo, a := benchFixture(b, 256)
+			var lastWH int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodeOf := core.Greedy(g, topo, a.Nodes, core.GreedyOptions{
+					NoEarlyExit: mode == "exhaustive",
+				})
+				lastWH = metrics.WeightedHops(g, topo, nodeOf)
+			}
+			b.ReportMetric(float64(lastWH), "WH")
+		})
+	}
+}
+
+// BenchmarkAblationFineRefinement measures the §III-B fine-level WH
+// refinement the paper leaves off by default, reporting the extra WH
+// it recovers on top of UWH.
+func BenchmarkAblationFineRefinement(b *testing.B) {
+	spec, err := gen.ByName(gen.Cagelike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Generate(gen.Tiny)
+	part, err := partitioners.Run(partitioners.PATOHP, m, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, part, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := torus.NewHopper3D(8, 8, 8)
+	a, err := alloc.Generate(topo, 16, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var whGain int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := topomap.RunMapping(topomap.UWH, tg, topo, a, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		whGain, _ = topomap.RefineFineLevel(tg, topo, res)
+	}
+	b.ReportMetric(float64(whGain), "extraWH")
+}
+
+// BenchmarkAblationMultilevel compares the greedy construction (UG),
+// greedy + Algorithm 2 (UWH), and the §III-B multilevel scheme (UML)
+// on the same instance, reporting the final WH each achieves.
+func BenchmarkAblationMultilevel(b *testing.B) {
+	run := func(name string, mapFn func(*graph.Graph, torus.Topology, []int32) []int32) {
+		b.Run(name, func(b *testing.B) {
+			g, topo, a := benchFixture(b, 256)
+			var lastWH int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodeOf := mapFn(g, topo, a.Nodes)
+				lastWH = metrics.WeightedHops(g, topo, nodeOf)
+			}
+			b.ReportMetric(float64(lastWH), "WH")
+		})
+	}
+	run("UG", core.MapUG)
+	run("UWH", core.MapUWH)
+	run("UML", func(g *graph.Graph, topo torus.Topology, nodes []int32) []int32 {
+		return core.MapUML(g, topo, nodes, core.MultilevelOptions{})
+	})
+}
+
+// BenchmarkFatTreeMapping measures the WH pipeline on a k=16 fat
+// tree (1024 hosts, 512 mapped supertasks) — the topology-agnostic
+// claim of §III at scale.
+func BenchmarkFatTreeMapping(b *testing.B) {
+	ft, err := fattree.New(16, 10e9, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := fattree.SparseHosts(ft, 512, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.RandomConnected(512, 2048, 100, 2)
+	var lastWH int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodeOf := core.MapUWH(g, ft, a.Nodes)
+		lastWH = metrics.WeightedHops(g, ft, nodeOf)
+	}
+	b.ReportMetric(float64(lastWH), "WH")
+}
+
+// BenchmarkDragonflyMapping measures the WH pipeline on a canonical
+// h=3 dragonfly (19 groups x 6 routers x 3 hosts = 342 hosts, 128
+// mapped supertasks).
+func BenchmarkDragonflyMapping(b *testing.B) {
+	d, err := dragonfly.New(3, 10e9, 5e9, 4e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := dragonfly.SparseHosts(d, 128, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.RandomConnected(128, 512, 100, 2)
+	var lastWH int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodeOf := core.MapUWH(g, d, a.Nodes)
+		lastWH = metrics.WeightedHops(g, d, nodeOf)
+	}
+	b.ReportMetric(float64(lastWH), "WH")
+}
+
+// BenchmarkAblationAdaptiveRouting compares refining for static
+// congestion (UMC) against refining for the expected congestion of an
+// adaptively routed torus (UMCA, §III-C's dynamic-routing remark),
+// scoring both under the adaptive metric EMC ×1e6.
+func BenchmarkAblationAdaptiveRouting(b *testing.B) {
+	run := func(name string, mapFn func(*graph.Graph, *torus.Torus, []int32) []int32) {
+		b.Run(name, func(b *testing.B) {
+			g, topo, a := benchFixture(b, 256)
+			var lastEMC float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodeOf := mapFn(g, topo, a.Nodes)
+				pl := &metrics.Placement{NodeOf: nodeOf}
+				lastEMC = metrics.ComputeAdaptive(g, topo, pl).EMC
+			}
+			b.ReportMetric(lastEMC*1e6, "EMC_us")
+		})
+	}
+	run("UMC_static", func(g *graph.Graph, topo *torus.Torus, nodes []int32) []int32 {
+		return core.MapUMC(g, topo, nodes)
+	})
+	run("UMCA_adaptive", func(g *graph.Graph, topo *torus.Torus, nodes []int32) []int32 {
+		return core.MapUMCA(g, topo, nodes)
+	})
+}
+
+// BenchmarkAblationAdaptiveSim closes the §III-C loop in execution
+// time: on an adaptively routed torus, a mapping refined against the
+// static congestion model (UMC) races one refined against the
+// expected congestion (UMCA); both are scored by the multipath
+// communication-only simulator (microseconds reported).
+func BenchmarkAblationAdaptiveSim(b *testing.B) {
+	run := func(name string, mapFn func(*graph.Graph, *torus.Torus, []int32) []int32) {
+		b.Run(name, func(b *testing.B) {
+			g, topo, a := benchFixture(b, 256)
+			var lastT float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodeOf := mapFn(g, topo, a.Nodes)
+				pl := &metrics.Placement{NodeOf: nodeOf}
+				lastT = netsim.CommOnlyAdaptive(g, topo, pl, 4096,
+					netsim.Params{Seed: 1, NoiseSigma: 1e-9}).Seconds
+			}
+			b.ReportMetric(lastT*1e6, "simTime_us")
+		})
+	}
+	run("UMC_static_model", func(g *graph.Graph, topo *torus.Torus, nodes []int32) []int32 {
+		return core.MapUMC(g, topo, nodes)
+	})
+	run("UMCA_adaptive_model", func(g *graph.Graph, topo *torus.Torus, nodes []int32) []int32 {
+		return core.MapUMCA(g, topo, nodes)
+	})
+}
+
+// BenchmarkAblationGrouping compares SMP-style block grouping against
+// the partition-based grouping of §III-A.
+func BenchmarkAblationGrouping(b *testing.B) {
+	spec, err := gen.ByName(gen.Cagelike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Generate(gen.Tiny)
+	part, err := partitioners.Run(partitioners.PATOHP, m, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, part, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps := make([]int64, 16)
+	for i := range caps {
+		caps[i] = 16
+	}
+	b.Run("blocks", func(b *testing.B) {
+		var vol int64
+		for i := 0; i < b.N; i++ {
+			group, err := taskgraph.GroupBlocks(256, caps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vol = taskgraph.CoarseGraph(tg, group, 16).TotalEdgeWeight() / 2
+		}
+		b.ReportMetric(float64(vol), "interVol")
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		var vol int64
+		for i := 0; i < b.N; i++ {
+			group, err := taskgraph.GroupTasks(tg, caps, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vol = taskgraph.CoarseGraph(tg, group, 16).TotalEdgeWeight() / 2
+		}
+		b.ReportMetric(float64(vol), "interVol")
+	})
+}

@@ -1,0 +1,105 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (§IV). Each figure/table of the paper has a
+// corresponding flag; -all runs everything.
+//
+// Usage:
+//
+//	experiments -fig 1          # Figure 1 (partition metrics)
+//	experiments -fig 2          # Figure 2 (mapping metrics)
+//	experiments -fig 3          # Figure 3 (mapping times)
+//	experiments -fig 4a|4b      # Figure 4 (comm-only times)
+//	experiments -fig 5          # Figure 5 (SpMV times)
+//	experiments -table 1        # Table I  (summary)
+//	experiments -regress        # §IV-E regression analysis
+//	experiments -ablations      # extension ablations (UML, UMCA; DESIGN.md §7)
+//	experiments -all            # everything above
+//	experiments -all -tiny      # quick smoke run (seconds)
+//	experiments -all -paper     # paper-scale run (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1, 2, 3, 4a, 4b, 5")
+	table := flag.String("table", "", "table to regenerate: 1")
+	regress := flag.Bool("regress", false, "run the §IV-E regression analysis")
+	ablations := flag.Bool("ablations", false, "run the extension ablations (multilevel UML, adaptive UMCA)")
+	all := flag.Bool("all", false, "run every figure, table and analysis")
+	tiny := flag.Bool("tiny", false, "tiny smoke-test scale (seconds)")
+	paper := flag.Bool("paper", false, "paper scale (hours)")
+	verbose := flag.Bool("v", false, "print progress lines")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *tiny {
+		cfg = exp.TinyConfig()
+	}
+	if *paper {
+		cfg = exp.PaperConfig()
+	}
+	cfg.Out = os.Stdout
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	// One shared suite so a -all run partitions each case only once.
+	suite := exp.NewSuite(cfg)
+	type job struct {
+		name string
+		run  func() (string, error)
+	}
+	var jobs []job
+	add := func(name string, run func() (string, error)) {
+		jobs = append(jobs, job{name, run})
+	}
+	wantFig := strings.ToLower(*fig)
+	if *all || wantFig == "1" {
+		add("figure 1", suite.Figure1)
+	}
+	if *all || wantFig == "2" {
+		add("figure 2", suite.Figure2)
+	}
+	if *all || wantFig == "3" {
+		add("figure 3", suite.Figure3)
+	}
+	if *all || wantFig == "4a" || wantFig == "4" {
+		add("figure 4a", func() (string, error) { return suite.Figure4("a") })
+	}
+	if *all || wantFig == "4b" || wantFig == "4" {
+		add("figure 4b", func() (string, error) { return suite.Figure4("b") })
+	}
+	if *all || wantFig == "5" {
+		add("figure 5", suite.Figure5)
+	}
+	if *all || *table == "1" {
+		add("table I", suite.Table1)
+	}
+	if *all || *regress {
+		add("regression", suite.Regression)
+	}
+	if *all || *ablations {
+		add("ablations", func() (string, error) { return exp.Ablations(cfg) })
+	}
+	if len(jobs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, j := range jobs {
+		start := time.Now()
+		out, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n\n", j.name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,183 @@
+// Command mapper maps an MPI task graph onto a torus allocation and
+// reports the mapping metrics — the end-user tool of the library.
+//
+// The task graph is read from a file of whitespace-separated lines
+// "src dst volume" (directed edges, 0-based task ids), or generated
+// from a dataset matrix with -matrix/-partitioner.
+//
+// Example:
+//
+//	mapper -matrix cagelike -procs 256 -algo UWH -torus 8x8x8
+//	mapper -graph app.tgraph -algo UMC -torus 16x12x16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	topomap "repro"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "task graph file (src dst volume per line)")
+	matName := flag.String("matrix", "", "dataset matrix to partition instead of -graph")
+	partName := flag.String("partitioner", "PATOH", "partitioner personality for -matrix")
+	procs := flag.Int("procs", 256, "number of MPI processes (with -matrix)")
+	algo := flag.String("algo", "UWH", "mapper: DEF TMAP TMAPG SMAP UG UWH UMC UMMC UTH UML UMCA")
+	torusSpec := flag.String("torus", "8x8x8", "torus dimensions XxYxZ")
+	mesh := flag.Bool("mesh", false, "use a mesh (no wraparound) instead of a torus")
+	seed := flag.Int64("seed", 1, "random seed (allocation, partitioner)")
+	tier := flag.String("tier", "small", "dataset tier with -matrix: tiny, small, large")
+	allocFile := flag.String("allocfile", "", "read the allocation from a node-list file (node [procs] lines) instead of generating one")
+	rankFile := flag.String("rankfile", "", "write a Cray-style MPICH_RANK_ORDER file realizing the mapping")
+	viz := flag.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
+	flag.Parse()
+
+	dims, err := parseDims(*torusSpec)
+	if err != nil {
+		fail(err)
+	}
+	bw := []float64{9.38e9, 4.68e9, 9.38e9} // Hopper-like heterogeneous links
+	var topo *topomap.Torus
+	if *mesh {
+		topo = topomap.NewTorusMesh(dims[:], bw)
+	} else {
+		topo = topomap.NewTorus(dims[:], bw)
+	}
+
+	var tg *topomap.TaskGraph
+	switch {
+	case *matName != "":
+		t := topomap.Small
+		switch strings.ToLower(*tier) {
+		case "tiny":
+			t = topomap.Tiny
+		case "large":
+			t = topomap.Large
+		}
+		m, err := topomap.GenerateMatrix(*matName, t)
+		if err != nil {
+			fail(err)
+		}
+		part, err := topomap.PartitionMatrix(topomap.Partitioner(*partName), m, *procs, *seed)
+		if err != nil {
+			fail(err)
+		}
+		tg, err = topomap.BuildTaskGraph(m, part, *procs)
+		if err != nil {
+			fail(err)
+		}
+	case *graphPath != "":
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fail(err)
+		}
+		tg, err = topomap.ReadTaskGraph(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("need -graph or -matrix"))
+	}
+
+	var a *topomap.Allocation
+	if *allocFile != "" {
+		f, err := os.Open(*allocFile)
+		if err != nil {
+			fail(err)
+		}
+		a, err = topomap.ReadNodeList(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		for _, n := range a.Nodes {
+			if int(n) >= topo.Nodes() {
+				fail(fmt.Errorf("allocfile node %d outside the %s torus", n, *torusSpec))
+			}
+		}
+	} else {
+		nodes := (tg.K + 15) / 16
+		var err error
+		a, err = topomap.SparseAllocation(topo, nodes, *seed)
+		if err != nil {
+			fail(err)
+		}
+	}
+	res, err := topomap.RunMapping(topomap.Mapper(strings.ToUpper(*algo)), tg, topo, a, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *rankFile != "" {
+		f, err := os.Create(*rankFile)
+		if err != nil {
+			fail(err)
+		}
+		err = topomap.WriteRankOrder(f, res.Placement(), a)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote rank order to %s\n", *rankFile)
+	}
+	m := res.Metrics
+	fmt.Printf("tasks: %d   nodes: %d   torus: %s\n", tg.K, a.NumNodes(), *torusSpec)
+	fmt.Printf("mapper: %s\n", strings.ToUpper(*algo))
+	fmt.Printf("TH  = %d\n", m.TH)
+	fmt.Printf("WH  = %d\n", m.WH)
+	fmt.Printf("MMC = %d\n", m.MMC)
+	fmt.Printf("MC  = %.6g\n", m.MC)
+	fmt.Printf("AMC = %.4f\n", m.AMC)
+	fmt.Printf("AC  = %.6g\n", m.AC)
+	fmt.Printf("used links = %d\n", m.UsedLinks)
+	for g, n := range res.NodeOf {
+		fmt.Printf("group %d -> node %d\n", g, n)
+		if g > 20 {
+			fmt.Printf("... (%d more)\n", len(res.NodeOf)-g-1)
+			break
+		}
+	}
+	if *viz {
+		fmt.Println()
+		if err := topomap.RenderCongestionHistogram(os.Stdout, tg, topo, res.Placement(), 10); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		if err := topomap.RenderTopLinks(os.Stdout, tg, topo, res.Placement(), 10); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		for z := 0; z < dims[2]; z++ {
+			if err := topomap.RenderSliceMap(os.Stdout, topo, a, res.Coarse, res.NodeOf, z); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func parseDims(s string) ([3]int, error) {
+	var dims [3]int
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return dims, fmt.Errorf("mapper: torus spec %q must be XxYxZ", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return dims, fmt.Errorf("mapper: bad torus dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mapper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	dims, err := parseDims("8x8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims != [3]int{8, 8, 8} {
+		t.Fatalf("dims = %v", dims)
+	}
+	dims, err = parseDims("16X12x24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims != [3]int{16, 12, 24} {
+		t.Fatalf("dims = %v", dims)
+	}
+	for _, bad := range []string{"8x8", "axbxc", "8x8x0", "", "8x8x8x8"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Fatalf("parseDims(%q): expected error", bad)
+		}
+	}
+}

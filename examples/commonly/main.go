@@ -1,0 +1,62 @@
+// Commonly: the communication-only experiment (§IV-C) on the rgg
+// stand-in — scaled message sizes make the run bandwidth-bound, so
+// the congestion-minimizing UMC mapping shines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	topomap "repro"
+)
+
+func main() {
+	const (
+		procs        = 256
+		bytesPerUnit = 262144 // the paper's 256K scale factor for rgg
+	)
+	m, err := topomap.GenerateMatrix("rgg", topomap.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matrix: rgg (%d rows, %d nnz), %d processes, scale 256K\n\n",
+		m.Rows, m.NNZ(), procs)
+
+	topo := topomap.NewHopperTorus(8, 8, 8)
+	alloc, err := topomap.SparseAllocation(topo, procs/16, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare two partitioners × all mappers, as Figure 4b does.
+	for _, p := range []topomap.Partitioner{topomap.PATOH, topomap.UMPAMM} {
+		part, err := topomap.PartitionMatrix(p, m, procs, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tg, err := topomap.BuildTaskGraph(m, part, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("partitioner %s:\n", p)
+		fmt.Printf("  %-6s %10s %12s %14s\n", "mapper", "WH", "MC", "comm time (s)")
+		var defTime float64
+		for _, mapper := range topomap.Mappers() {
+			if mapper == topomap.SMAP {
+				continue // excluded from Figure 4 in the paper too
+			}
+			res, err := topomap.RunMapping(mapper, tg, topo, alloc, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := topomap.SimulateCommOnly(tg, topo, res.Placement(), bytesPerUnit,
+				topomap.SimParams{Seed: 42})
+			if mapper == topomap.DEF {
+				defTime = secs
+			}
+			fmt.Printf("  %-6s %10d %12.4g %10.5f (%.2fx)\n",
+				mapper, res.Metrics.WH, res.Metrics.MC, secs, secs/defTime)
+		}
+		fmt.Println()
+	}
+}

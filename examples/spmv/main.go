@@ -1,0 +1,54 @@
+// SpMV: the full paper pipeline on the cage15 stand-in — partition a
+// sparse matrix, build the MPI task graph, map it with every
+// algorithm, and simulate the SpMV kernel (§IV-D) to see which
+// mapping wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	topomap "repro"
+)
+
+func main() {
+	const procs = 256
+	m, err := topomap.GenerateMatrix("cagelike", topomap.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matrix: cagelike (%d rows, %d nnz), %d MPI processes\n",
+		m.Rows, m.NNZ(), procs)
+
+	part, err := topomap.PartitionMatrix(topomap.PATOH, m, procs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tg, err := topomap.BuildTaskGraph(m, part, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := tg.PartitionMetrics()
+	fmt.Printf("partition: TV=%d TM=%d MSV=%d MSM=%d\n\n", pm.TV, pm.TM, pm.MSV, pm.MSM)
+
+	topo := topomap.NewHopperTorus(8, 8, 8)
+	alloc, err := topomap.SparseAllocation(topo, procs/16, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %10s %10s %12s %14s\n", "mapper", "TH", "MMC", "MC", "SpMV time (s)")
+	var defTime float64
+	for _, mapper := range topomap.Mappers() {
+		res, err := topomap.RunMapping(mapper, tg, topo, alloc, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := topomap.SimulateSpMV(tg, topo, res.Placement(), 500, topomap.SimParams{Seed: 42})
+		if mapper == topomap.DEF {
+			defTime = secs
+		}
+		fmt.Printf("%-6s %10d %10d %12.4g %10.4f (%.2fx)\n",
+			mapper, res.Metrics.TH, res.Metrics.MMC, res.Metrics.MC, secs, secs/defTime)
+	}
+}

@@ -1,0 +1,238 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/torus"
+)
+
+func testTorus() *torus.Torus { return torus.NewHopper3D(8, 8, 8) }
+
+func TestGenerateSparse(t *testing.T) {
+	tor := testTorus()
+	a, err := Generate(tor, 64, Config{Mode: Sparse, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(tor); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != 64 {
+		t.Fatalf("NumNodes = %d, want 64", a.NumNodes())
+	}
+	if a.TotalProcs() != 64*DefaultProcsPerNode {
+		t.Fatalf("TotalProcs = %d, want %d", a.TotalProcs(), 64*DefaultProcsPerNode)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tor := testTorus()
+	a1, err := Generate(tor, 32, Config{Mode: Sparse, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(tor, 32, Config{Mode: Sparse, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Nodes {
+		if a1.Nodes[i] != a2.Nodes[i] {
+			t.Fatal("same seed produced different allocations")
+		}
+	}
+	a3, err := Generate(tor, 32, Config{Mode: Sparse, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a1.Nodes {
+		if a1.Nodes[i] != a3.Nodes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical allocations")
+	}
+}
+
+func TestContiguousAllocationIsLocal(t *testing.T) {
+	tor := testTorus()
+	cont, err := Generate(tor, 64, Config{Mode: Contiguous, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scat, err := Generate(tor, 64, Config{Mode: Scattered, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous allocations should have a smaller mean pairwise hop
+	// distance than scattered ones.
+	meanDist := func(a *Allocation) float64 {
+		var total, cnt float64
+		for i := 0; i < a.NumNodes(); i++ {
+			for j := i + 1; j < a.NumNodes(); j++ {
+				total += float64(tor.HopDist(int(a.Nodes[i]), int(a.Nodes[j])))
+				cnt++
+			}
+		}
+		return total / cnt
+	}
+	dc, dsc := meanDist(cont), meanDist(scat)
+	if dc >= dsc {
+		t.Fatalf("contiguous mean dist %f >= scattered %f", dc, dsc)
+	}
+}
+
+func TestSparseBetweenContiguousAndScattered(t *testing.T) {
+	tor := testTorus()
+	meanDist := func(a *Allocation) float64 {
+		var total, cnt float64
+		for i := 0; i < a.NumNodes(); i++ {
+			for j := i + 1; j < a.NumNodes(); j++ {
+				total += float64(tor.HopDist(int(a.Nodes[i]), int(a.Nodes[j])))
+				cnt++
+			}
+		}
+		return total / cnt
+	}
+	avg := func(mode Mode) float64 {
+		var s float64
+		for seed := int64(0); seed < 5; seed++ {
+			a, err := Generate(tor, 48, Config{Mode: mode, Seed: seed, BusyFraction: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += meanDist(a)
+		}
+		return s / 5
+	}
+	dc, dsp, dsc := avg(Contiguous), avg(Sparse), avg(Scattered)
+	if !(dc < dsp && dsp < dsc) {
+		t.Fatalf("expected contiguous < sparse < scattered, got %f, %f, %f", dc, dsp, dsc)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	tor := testTorus()
+	if _, err := Generate(tor, 0, Config{}); err == nil {
+		t.Fatal("want error for zero nodes")
+	}
+	if _, err := Generate(tor, tor.Nodes()+1, Config{}); err == nil {
+		t.Fatal("want error for oversubscription")
+	}
+	if _, err := Generate(tor, 4, Config{BusyFraction: 1.5}); err == nil {
+		t.Fatal("want error for bad busy fraction")
+	}
+}
+
+func TestGenerateWholeMachine(t *testing.T) {
+	tor := torus.NewHopper3D(4, 4, 4)
+	// Requesting every node must succeed even in sparse mode: the
+	// generator caps the busy set to keep the request satisfiable.
+	a, err := Generate(tor, tor.Nodes(), Config{Mode: Sparse, Seed: 2, BusyFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != tor.Nodes() {
+		t.Fatalf("NumNodes = %d, want %d", a.NumNodes(), tor.Nodes())
+	}
+	if err := a.Validate(tor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineOrderCoversMachine(t *testing.T) {
+	for _, dims := range [][]int{{8, 8, 8}, {5, 3, 7}, {4, 4}, {9}, {3, 3, 3, 2}} {
+		bw := make([]float64, len(dims))
+		for i := range bw {
+			bw[i] = 1
+		}
+		tor := torus.New(dims, bw)
+		order := MachineOrder(tor)
+		if len(order) != tor.Nodes() {
+			t.Fatalf("dims %v: order has %d entries, want %d", dims, len(order), tor.Nodes())
+		}
+		seen := make([]bool, tor.Nodes())
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("dims %v: duplicate node %d in order", dims, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestValidateCatchesBadAllocations(t *testing.T) {
+	tor := testTorus()
+	bad := &Allocation{Nodes: []int32{1, 1}, ProcsPerNode: []int{16, 16}}
+	if bad.Validate(tor) == nil {
+		t.Fatal("Validate missed duplicate node")
+	}
+	bad2 := &Allocation{Nodes: []int32{99999}, ProcsPerNode: []int{16}}
+	if bad2.Validate(tor) == nil {
+		t.Fatal("Validate missed out-of-range node")
+	}
+	bad3 := &Allocation{Nodes: []int32{1}, ProcsPerNode: []int{0}}
+	if bad3.Validate(tor) == nil {
+		t.Fatal("Validate missed zero capacity")
+	}
+	bad4 := &Allocation{Nodes: []int32{1, 2}, ProcsPerNode: []int{16}}
+	if bad4.Validate(tor) == nil {
+		t.Fatal("Validate missed length mismatch")
+	}
+}
+
+func TestSparseIDsProperties(t *testing.T) {
+	ids, err := SparseIDs(100, 30, 7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 30 {
+		t.Fatalf("%d ids", len(ids))
+	}
+	seen := map[int32]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= 100 || seen[id] {
+			t.Fatalf("bad id %d", id)
+		}
+		seen[id] = true
+	}
+	// Deterministic per seed.
+	again, err := SparseIDs(100, 30, 7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestSparseIDsContiguousWhenNotBusy(t *testing.T) {
+	ids, err := SparseIDs(50, 10, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != (ids[i-1]+1)%50 {
+			t.Fatalf("busyFraction=0 not contiguous: %v", ids)
+		}
+	}
+}
+
+func TestSparseIDsErrors(t *testing.T) {
+	if _, err := SparseIDs(10, 0, 1, 0.5); err == nil {
+		t.Error("want=0 accepted")
+	}
+	if _, err := SparseIDs(10, 11, 1, 0.5); err == nil {
+		t.Error("want>total accepted")
+	}
+	if _, err := SparseIDs(10, 5, 1, 1.0); err == nil {
+		t.Error("busyFraction=1 accepted")
+	}
+	if _, err := SparseIDs(10, 10, 1, 0.9); err != nil {
+		t.Errorf("full-machine request rejected: %v", err)
+	}
+}

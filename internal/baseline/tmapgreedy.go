@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/torus"
+)
+
+// TMAPGreedy mirrors LibTopoMap's greedy construction strategy (the
+// library ships six algorithms, §IV-B; recursive bipartitioning — our
+// TMAP — was the best in the paper's runs, greedy is the common
+// alternative): starting from the heaviest task, repeatedly place the
+// unmapped task with the maximum connectivity to the mapped set onto
+// the free allocated node minimizing the weighted hop increase,
+// scanning every free node (no BFS early exit — that is the paper's
+// contribution). Like TMAP it returns DEF when it fails to improve
+// MC.
+func TMAPGreedy(g *graph.Graph, topo *torus.Torus, a *alloc.Allocation, seed int64) []int32 {
+	n := g.N()
+	nodeOf := make([]int32, n)
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	free := make(map[int32]bool, n)
+	for _, m := range a.Nodes[:n] {
+		free[m] = true
+	}
+	mapped := make([]bool, n)
+	conn := make([]int64, n)
+
+	place := func(t, node int32) {
+		nodeOf[t] = node
+		mapped[t] = true
+		delete(free, node)
+		nb := g.Neighbors(int(t))
+		wt := g.Weights(int(t))
+		for i, u := range nb {
+			if !mapped[u] {
+				conn[u] += wt[i]
+			}
+		}
+	}
+
+	// Heaviest task first, on the first allocated node.
+	var t0 int32
+	var best int64 = -1
+	for v := 0; v < n; v++ {
+		var vol int64
+		for _, w := range g.Weights(v) {
+			vol += w
+		}
+		if vol > best {
+			best, t0 = vol, int32(v)
+		}
+	}
+	place(t0, a.Nodes[0])
+
+	for placed := 1; placed < n; placed++ {
+		// Max-connectivity unmapped task (linear scan, LibTopoMap
+		// style).
+		var tbest int32 = -1
+		var cbest int64 = -1
+		for v := 0; v < n; v++ {
+			if !mapped[v] && conn[v] > cbest {
+				cbest, tbest = conn[v], int32(v)
+			}
+		}
+		// Best free node by exhaustive WH scan.
+		var mbest int32 = -1
+		var costBest int64
+		nb := g.Neighbors(int(tbest))
+		wt := g.Weights(int(tbest))
+		for node := range free {
+			var cost int64
+			for i, u := range nb {
+				if mapped[u] {
+					cost += wt[i] * int64(topo.HopDist(int(node), int(nodeOf[u])))
+				}
+			}
+			if mbest < 0 || cost < costBest || (cost == costBest && node < mbest) {
+				mbest, costBest = node, cost
+			}
+		}
+		place(tbest, mbest)
+	}
+
+	def := DEF(n, a)
+	mG := metrics.Compute(g, topo, &metrics.Placement{NodeOf: nodeOf})
+	mD := metrics.Compute(g, topo, &metrics.Placement{NodeOf: def})
+	if mG.MC >= mD.MC {
+		return def
+	}
+	return nodeOf
+}

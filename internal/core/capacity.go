@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// RepairCapacities makes a one-to-one group→node mapping
+// capacity-feasible for heterogeneous nodes (§III-A: group weights
+// follow the per-node processor counts, so a group may only land on a
+// node with enough processors). The mapping algorithms optimize
+// locality without tracking capacities; this pass fixes any
+// violations afterwards with weight-aware swaps chosen to damage WH
+// the least.
+//
+// weight[v] is the task count of group v and capacity[m] the
+// processor count of node m (indexed by node id; unallocated nodes
+// hold 0). When the multiset of group weights is dominated by the
+// multiset of capacities — which the grouping step guarantees — a
+// feasible assignment exists and the pass always terminates: each
+// swap moves the most-oversubscribed group onto a node that fits it
+// and strictly decreases the total oversubscription. Returns the
+// number of swaps performed.
+func RepairCapacities(g *graph.Graph, topo torus.Topology, nodeOf []int32, weight []int64, capacity []int64) int {
+	n := g.N()
+	taskAt := make([]int32, topo.Nodes())
+	for i := range taskAt {
+		taskAt[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		taskAt[nodeOf[v]] = int32(v)
+	}
+	excess := func(v int32) int64 {
+		return weight[v] - capacity[nodeOf[v]]
+	}
+	// deltaWH of swapping groups a and b (doubled-edge accounting of
+	// the symmetric graph; only relative order matters here).
+	deltaWH := func(a, b int32) int64 {
+		ma, mb := nodeOf[a], nodeOf[b]
+		var d int64
+		scan := func(t int32, from, to int32) {
+			for i := g.Xadj[t]; i < g.Xadj[t+1]; i++ {
+				u := g.Adj[i]
+				if u == a || u == b {
+					continue // pair-internal: unchanged under swap
+				}
+				mu := int(nodeOf[u])
+				d += g.EdgeWeight(int(i)) *
+					int64(topo.HopDist(int(to), mu)-topo.HopDist(int(from), mu))
+			}
+		}
+		scan(a, ma, mb)
+		scan(b, mb, ma)
+		return d
+	}
+
+	swaps := 0
+	for {
+		// Most oversubscribed group.
+		var worst int32 = -1
+		var worstExcess int64
+		for v := int32(0); v < int32(n); v++ {
+			if e := excess(v); e > worstExcess {
+				worst, worstExcess = v, e
+			}
+		}
+		if worst < 0 {
+			return swaps
+		}
+		// Swap partner: a group on a node that fits worst, itself
+		// lighter than worst (so total oversubscription strictly
+		// drops). Among partners, least WH damage wins.
+		var best int32 = -1
+		var bestDelta int64
+		for v := int32(0); v < int32(n); v++ {
+			if v == worst || weight[v] >= weight[worst] {
+				continue
+			}
+			if capacity[nodeOf[v]] < weight[worst] {
+				continue
+			}
+			d := deltaWH(worst, v)
+			if best < 0 || d < bestDelta || (d == bestDelta && v < best) {
+				best, bestDelta = v, d
+			}
+		}
+		if best < 0 {
+			// No partner: capacities cannot host the weights (the
+			// grouping step violated its contract). Leave the mapping
+			// as is rather than loop forever.
+			return swaps
+		}
+		ma, mb := nodeOf[worst], nodeOf[best]
+		nodeOf[worst], nodeOf[best] = mb, ma
+		taskAt[ma], taskAt[mb] = best, worst
+		swaps++
+	}
+}

@@ -1,0 +1,442 @@
+// Package core implements the paper's contribution: the three fast,
+// high-quality topology-aware task mapping algorithms of §III.
+//
+//   - Greedy mapping (Algorithm 1) grows a mapping from the task with
+//     the maximum send+receive volume, placing each task on the best
+//     allocated node found by an early-exit BFS over the topology.
+//   - WH refinement (Algorithm 2) is a Kernighan–Lin style swap
+//     refinement of the weighted-hop metric.
+//   - Congestion refinement (Algorithm 3) lowers the maximum link
+//     congestion (volume-based MC or message-based MMC) with minimal
+//     WH damage, exploiting static routing.
+//
+// All three operate on a symmetric coarse task graph whose vertices
+// are supertasks (one per allocated node, produced by the grouping
+// step in package taskgraph) and on a torus.Topology.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// Objective selects the hop metric the greedy mapper and the WH
+// refinement minimize: volume-weighted hops (WH) or plain hops (TH).
+// The paper presents WH; "their adaptation for TH ... is trivial"
+// (§III) and provided here.
+type Objective int
+
+// Objectives.
+const (
+	// WeightedHops minimizes WH = sum dilation*volume.
+	WeightedHops Objective = iota
+	// TotalHops minimizes TH = sum dilation.
+	TotalHops
+)
+
+// GreedyOptions configures Algorithm 1.
+type GreedyOptions struct {
+	// NBFS is the number of BFS-seeded far-task selections performed
+	// after the initial MSRV seed (§III-A; the implementation counts
+	// selections after t0 so NBFS=0 and NBFS=1 give the two distinct
+	// mappings the paper generates).
+	NBFS int
+	// Objective selects WH (default) or TH.
+	Objective Objective
+	// HeterogeneousFirst maps tasks whose vertex weight is unique in
+	// the graph before all others, in decreasing weight order — the
+	// paper's rule for non-uniform processor counts per node ("we map
+	// the groups of tasks with different weights at the beginning of
+	// the greedy mapping since their nodes are almost decided due
+	// their uniqueness", §III-A).
+	HeterogeneousFirst bool
+	// NoEarlyExit disables GETBESTNODE's early-exit mechanism and
+	// evaluates every empty allocated node instead of only the first
+	// BFS level containing one. The paper credits the early exit for
+	// the algorithm's speed ("in practice it runs faster thanks to
+	// the early exits", §III-A); this switch exists for the ablation
+	// benchmark.
+	NoEarlyExit bool
+}
+
+// Greedy runs Algorithm 1: it maps each vertex of the symmetric task
+// graph g onto a distinct node of allocNodes and returns the
+// task→node mapping. len(allocNodes) must be >= g.N().
+func Greedy(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt GreedyOptions) []int32 {
+	n := g.N()
+	if len(allocNodes) < n {
+		panic("core: fewer allocated nodes than tasks")
+	}
+	st := newMapState(g, topo, allocNodes)
+
+	conn := ds.NewIndexedMaxHeap(n)
+	mapped := make([]bool, n)
+	nMapped := 0
+	bfsSeeded := 0
+
+	// Total send+receive volume per task: the MSRV start and the BFS
+	// tie-break both use it.
+	volume := make([]int64, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Weights(v) {
+			volume[v] += w
+		}
+	}
+
+	mapTask := func(t int32, node int32) {
+		st.place(t, node)
+		mapped[t] = true
+		nMapped++
+		conn.Remove(int(t))
+		nb := g.Neighbors(int(t))
+		wt := g.Weights(int(t))
+		for i, u := range nb {
+			if !mapped[u] {
+				conn.Add(int(u), wt[i]) // conn.update(tn, c(t, tn))
+			}
+		}
+	}
+
+	// Map t_MSRV to an arbitrary (first allocated) node.
+	t0 := int32(0)
+	var best int64 = -1
+	for v := 0; v < n; v++ {
+		if volume[v] > best {
+			best, t0 = volume[v], int32(v)
+		}
+	}
+	mapTask(t0, allocNodes[0])
+
+	// Heterogeneous capacities: queue the unique-weight tasks to be
+	// mapped first, heaviest first.
+	var hetero []int32
+	if opt.HeterogeneousFirst {
+		freq := map[int64]int{}
+		for v := 0; v < n; v++ {
+			freq[g.VertexWeight(v)]++
+		}
+		for v := 0; v < n; v++ {
+			if !mapped[v] && freq[g.VertexWeight(v)] == 1 {
+				hetero = append(hetero, int32(v))
+			}
+		}
+		sortByWeightDesc(g, hetero)
+	}
+
+	mappedSeeds := make([]int32, 0, n)
+	for nMapped < n {
+		var tbest int32 = -1
+		if len(hetero) > 0 {
+			tbest = hetero[0]
+			hetero = hetero[1:]
+			if mapped[tbest] {
+				continue
+			}
+		} else if bfsSeeded < opt.NBFS {
+			// Farthest unmapped task from the mapped set, ties in
+			// favour of higher communication volume.
+			mappedSeeds = mappedSeeds[:0]
+			for v := 0; v < n; v++ {
+				if mapped[v] {
+					mappedSeeds = append(mappedSeeds, int32(v))
+				}
+			}
+			far, _, ok := graph.FarthestVertex(g, mappedSeeds,
+				func(v int32) bool { return !mapped[v] }, volume)
+			if ok {
+				tbest = far
+			} else {
+				tbest = maxVolumeUnmapped(mapped, volume)
+			}
+			bfsSeeded++
+		} else if conn.Len() > 0 {
+			t, _ := conn.Pop()
+			tbest = int32(t)
+		} else {
+			// Disconnected component: take its max-volume task.
+			tbest = maxVolumeUnmapped(mapped, volume)
+		}
+		var node int32
+		if opt.NoEarlyExit {
+			node = st.bestNodeExhaustive(tbest, opt.Objective)
+		} else {
+			node = st.bestNode(tbest, opt.Objective)
+		}
+		mapTask(tbest, node)
+	}
+	return st.nodeOf
+}
+
+// GreedyBest runs Algorithm 1 with NBFS=0 and NBFS=1 and returns the
+// mapping with the lower objective value, as the paper's
+// implementation does (§III-A).
+func GreedyBest(g *graph.Graph, topo torus.Topology, allocNodes []int32, objective Objective) []int32 {
+	m0 := Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 0, Objective: objective})
+	m1 := Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 1, Objective: objective})
+	if objectiveValue(g, topo, m1, objective) < objectiveValue(g, topo, m0, objective) {
+		return m1
+	}
+	return m0
+}
+
+// sortByWeightDesc orders tasks by decreasing vertex weight (stable
+// by id for determinism).
+func sortByWeightDesc(g *graph.Graph, tasks []int32) {
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return g.VertexWeight(int(tasks[i])) > g.VertexWeight(int(tasks[j]))
+	})
+}
+
+func maxVolumeUnmapped(mapped []bool, volume []int64) int32 {
+	var t int32 = -1
+	var best int64 = -1
+	for v := range mapped {
+		if !mapped[v] && volume[v] > best {
+			best, t = volume[v], int32(v)
+		}
+	}
+	return t
+}
+
+// objectiveValue evaluates WH or TH of a complete mapping over the
+// symmetric coarse graph (each undirected edge counted twice,
+// consistently for comparisons).
+func objectiveValue(g *graph.Graph, topo torus.Topology, nodeOf []int32, obj Objective) int64 {
+	var total int64
+	for v := 0; v < g.N(); v++ {
+		a := int(nodeOf[v])
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			h := int64(topo.HopDist(a, int(nodeOf[g.Adj[i]])))
+			if obj == WeightedHops {
+				total += h * g.EdgeWeight(int(i))
+			} else {
+				total += h
+			}
+		}
+	}
+	return total
+}
+
+// mapState holds the placement bookkeeping shared by Algorithm 1's
+// GETBESTNODE and the refinement algorithms' BFS candidate searches.
+type mapState struct {
+	g          *graph.Graph
+	topo       torus.Topology
+	allocNodes []int32
+	nodeOf     []int32 // task -> node (-1 while unmapped)
+	taskAt     []int32 // node -> task (-1 when empty), len topo.Nodes()
+	allocated  []bool  // node -> allocated?
+
+	// BFS scratch with generation stamps so repeated traversals do
+	// not pay O(nodes) resets.
+	visitGen  int32
+	visitMark []int32
+	level     []int32
+	queue     *ds.Queue
+	nbBuf     []int32
+}
+
+func newMapState(g *graph.Graph, topo torus.Topology, allocNodes []int32) *mapState {
+	st := &mapState{
+		g:          g,
+		topo:       topo,
+		allocNodes: allocNodes,
+		nodeOf:     make([]int32, g.N()),
+		taskAt:     make([]int32, topo.Nodes()),
+		allocated:  make([]bool, topo.Nodes()),
+		visitMark:  make([]int32, topo.Nodes()),
+		level:      make([]int32, topo.Nodes()),
+		queue:      ds.NewQueue(256),
+	}
+	for i := range st.nodeOf {
+		st.nodeOf[i] = -1
+	}
+	for i := range st.taskAt {
+		st.taskAt[i] = -1
+	}
+	for _, m := range allocNodes {
+		st.allocated[m] = true
+	}
+	return st
+}
+
+func (st *mapState) place(t, node int32) {
+	st.nodeOf[t] = node
+	st.taskAt[node] = t
+}
+
+// bestNode implements GETBESTNODE (§III-A): a BFS over the topology
+// graph from the nodes hosting t's mapped neighbours, stopping at the
+// first level that contains empty allocated nodes and returning the
+// one that adds the least WH (or TH). Tasks with no mapped neighbour
+// get one of the farthest allocated empty nodes from the non-empty
+// nodes instead.
+func (st *mapState) bestNode(t int32, obj Objective) int32 {
+	type seedNB struct {
+		node int32
+		cost int64
+	}
+	var seeds []int32
+	var nbPlaced []seedNB
+	nb := st.g.Neighbors(int(t))
+	wt := st.g.Weights(int(t))
+	for i, u := range nb {
+		if m := st.nodeOf[u]; m >= 0 {
+			c := wt[i]
+			if obj == TotalHops {
+				c = 1
+			}
+			nbPlaced = append(nbPlaced, seedNB{m, c})
+			seeds = append(seeds, m)
+		}
+	}
+	if len(seeds) == 0 {
+		return st.farthestEmptyNode()
+	}
+	// Cost of placing t at m.
+	costAt := func(m int32) int64 {
+		var c int64
+		for _, s := range nbPlaced {
+			c += s.cost * int64(st.topo.HopDist(int(m), int(s.node)))
+		}
+		return c
+	}
+	var best int32 = -1
+	var bestCost int64
+	stopLevel := int32(-1)
+	st.bfs(seeds, func(node, lv int32) bool {
+		if stopLevel >= 0 && lv > stopLevel {
+			return false // early exit: a deeper level started
+		}
+		if st.allocated[node] && st.taskAt[node] < 0 {
+			stopLevel = lv
+			c := costAt(node)
+			if best < 0 || c < bestCost || (c == bestCost && node < best) {
+				best, bestCost = node, c
+			}
+		}
+		return true
+	})
+	if best < 0 {
+		// Every allocated node reachable is full (should not happen
+		// with |alloc| >= |tasks|), fall back to any empty one.
+		for _, m := range st.allocNodes {
+			if st.taskAt[m] < 0 {
+				return m
+			}
+		}
+		panic("core: no empty allocated node")
+	}
+	return best
+}
+
+// bestNodeExhaustive is the no-early-exit variant of bestNode: it
+// scores every empty allocated node (ablation baseline).
+func (st *mapState) bestNodeExhaustive(t int32, obj Objective) int32 {
+	nb := st.g.Neighbors(int(t))
+	wt := st.g.Weights(int(t))
+	type seedNB struct {
+		node int32
+		cost int64
+	}
+	var nbPlaced []seedNB
+	for i, u := range nb {
+		if m := st.nodeOf[u]; m >= 0 {
+			c := wt[i]
+			if obj == TotalHops {
+				c = 1
+			}
+			nbPlaced = append(nbPlaced, seedNB{m, c})
+		}
+	}
+	if len(nbPlaced) == 0 {
+		return st.farthestEmptyNode()
+	}
+	var best int32 = -1
+	var bestCost int64
+	for _, m := range st.allocNodes {
+		if st.taskAt[m] >= 0 {
+			continue
+		}
+		var c int64
+		for _, s := range nbPlaced {
+			c += s.cost * int64(st.topo.HopDist(int(m), int(s.node)))
+		}
+		if best < 0 || c < bestCost || (c == bestCost && m < best) {
+			best, bestCost = m, c
+		}
+	}
+	if best < 0 {
+		panic("core: no empty allocated node")
+	}
+	return best
+}
+
+// farthestEmptyNode returns an empty allocated node at maximum BFS
+// distance from the set of non-empty nodes (used for tasks with no
+// mapped neighbours, e.g. new components or BFS seeds).
+func (st *mapState) farthestEmptyNode() int32 {
+	var seeds []int32
+	for _, m := range st.allocNodes {
+		if st.taskAt[m] >= 0 {
+			seeds = append(seeds, m)
+		}
+	}
+	if len(seeds) == 0 {
+		return st.allocNodes[0]
+	}
+	var best int32 = -1
+	bestLevel := int32(-1)
+	st.bfs(seeds, func(node, lv int32) bool {
+		if st.allocated[node] && st.taskAt[node] < 0 && lv >= bestLevel {
+			if lv > bestLevel || node < best {
+				best = node
+			}
+			bestLevel = lv
+		}
+		return true
+	})
+	if best < 0 {
+		for _, m := range st.allocNodes {
+			if st.taskAt[m] < 0 {
+				return m
+			}
+		}
+		panic("core: no empty allocated node")
+	}
+	return best
+}
+
+// bfs runs a breadth-first traversal of the topology graph from the
+// seed nodes (level 0), invoking visit in BFS order until it returns
+// false. Seeds are visited too.
+func (st *mapState) bfs(seeds []int32, visit func(node, level int32) bool) {
+	st.visitGen++
+	gen := st.visitGen
+	st.queue.Clear()
+	for _, s := range seeds {
+		if st.visitMark[s] == gen {
+			continue
+		}
+		st.visitMark[s] = gen
+		st.level[s] = 0
+		st.queue.Push(int(s))
+	}
+	for st.queue.Len() > 0 {
+		v := int32(st.queue.Pop())
+		if !visit(v, st.level[v]) {
+			return
+		}
+		st.nbBuf = st.topo.NeighborNodes(int(v), st.nbBuf[:0])
+		for _, u := range st.nbBuf {
+			if st.visitMark[u] != gen {
+				st.visitMark[u] = gen
+				st.level[u] = st.level[v] + 1
+				st.queue.Push(int(u))
+			}
+		}
+	}
+}

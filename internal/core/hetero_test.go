@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHeterogeneousFirstMapsUniqueWeightsEarly(t *testing.T) {
+	topo, a := fixture(t, 12, 41)
+	g := graph.RandomConnected(12, 30, 10, 42)
+	// Weights: task 7 uniquely heavy, task 3 uniquely light, the rest
+	// share weight 5.
+	g.VW = make([]int64, 12)
+	for i := range g.VW {
+		g.VW[i] = 5
+	}
+	g.VW[7] = 100
+	g.VW[3] = 1
+	nodeOf := Greedy(g, topo, a.Nodes, GreedyOptions{HeterogeneousFirst: true})
+	checkValidMapping(t, g, a, nodeOf)
+	// The mapping must still be complete and deterministic.
+	nodeOf2 := Greedy(g, topo, a.Nodes, GreedyOptions{HeterogeneousFirst: true})
+	for i := range nodeOf {
+		if nodeOf[i] != nodeOf2[i] {
+			t.Fatal("heterogeneous greedy not deterministic")
+		}
+	}
+}
+
+func TestHeterogeneousFirstNoopOnUniformWeights(t *testing.T) {
+	topo, a := fixture(t, 10, 43)
+	g := graph.RandomConnected(10, 25, 8, 44)
+	plain := Greedy(g, topo, a.Nodes, GreedyOptions{})
+	hetero := Greedy(g, topo, a.Nodes, GreedyOptions{HeterogeneousFirst: true})
+	// Uniform (nil) vertex weights: no weight is unique, so the
+	// option must not change the result.
+	for i := range plain {
+		if plain[i] != hetero[i] {
+			t.Fatal("HeterogeneousFirst changed a uniform-weight mapping")
+		}
+	}
+}
+
+func TestSortByWeightDesc(t *testing.T) {
+	g := graph.Ring(4)
+	g.VW = []int64{3, 9, 1, 9}
+	tasks := []int32{0, 1, 2, 3}
+	sortByWeightDesc(g, tasks)
+	want := []int32{1, 3, 0, 2} // stable: 1 before 3 at weight 9
+	for i := range want {
+		if tasks[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", tasks, want)
+		}
+	}
+}
+
+func TestNoEarlyExitValidMapping(t *testing.T) {
+	topo, a := fixture(t, 20, 45)
+	g := graph.RandomConnected(20, 50, 12, 46)
+	nodeOf := Greedy(g, topo, a.Nodes, GreedyOptions{NoEarlyExit: true})
+	checkValidMapping(t, g, a, nodeOf)
+	// Exhaustive search considers a superset of the early-exit
+	// candidates at each step, and both must produce valid mappings;
+	// quality may differ either way, but not validity.
+	nodeOf2 := Greedy(g, topo, a.Nodes, GreedyOptions{})
+	checkValidMapping(t, g, a, nodeOf2)
+}

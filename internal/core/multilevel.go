@@ -1,0 +1,576 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// This file implements the multilevel variant of the paper's WH
+// refinement that §III-B sketches: "With slight modifications, it can
+// perform the refinement on the finer level task vertices or in a
+// multilevel fashion from coarser to finer levels."
+//
+// MapUML coarsens the (supertask) graph with heavy-edge matching,
+// places the coarsest clusters onto node regions grown by BFS over
+// the topology, and then refines from the coarsest level to the
+// finest: at every level a Kernighan–Lin pass swaps the node sets of
+// two equal-cardinality clusters when that lowers WH, and the finest
+// level runs Algorithm 2 verbatim.
+
+// MultilevelOptions configures MapUML.
+type MultilevelOptions struct {
+	// CoarsenTo stops coarsening once the cluster graph has at most
+	// this many vertices (default 16).
+	CoarsenTo int
+	// Refine configures the per-level swap refinement and the final
+	// Algorithm 2 run.
+	Refine RefineOptions
+}
+
+func (o MultilevelOptions) withDefaults() MultilevelOptions {
+	if o.CoarsenTo == 0 {
+		o.CoarsenTo = 16
+	}
+	return o
+}
+
+// mlLevel is one rung of the multilevel hierarchy. cmap maps this
+// level's vertices to the clusters of the next (coarser) level and is
+// nil on the coarsest rung.
+type mlLevel struct {
+	g    *graph.Graph
+	cmap []int32
+}
+
+// heavyEdgeMatch computes a deterministic heavy-edge matching: the
+// vertices are visited in decreasing order of total incident weight
+// (ties by id) and matched with their heaviest unmatched neighbour.
+// It returns the fine→coarse map and the coarse vertex count.
+func heavyEdgeMatch(g *graph.Graph) ([]int32, int) {
+	n := g.N()
+	order := make([]int32, n)
+	incident := make([]int64, n)
+	for v := 0; v < n; v++ {
+		order[v] = int32(v)
+		for _, w := range g.Weights(v) {
+			incident[v] += w
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return incident[order[i]] > incident[order[j]]
+	})
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int64 = -1
+		nb := g.Neighbors(int(v))
+		wt := g.Weights(int(v))
+		for i, u := range nb {
+			if u == v || match[u] >= 0 {
+				continue
+			}
+			if wt[i] > bestW || (wt[i] == bestW && u < best) {
+				bestW, best = wt[i], u
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+		} else {
+			match[v] = v
+		}
+	}
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	nc := int32(0)
+	for v := 0; v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = nc
+		if m := match[v]; int(m) != v {
+			cmap[m] = nc
+		}
+		nc++
+	}
+	return cmap, int(nc)
+}
+
+// contractClusters builds the coarse cluster graph: parallel edges are
+// merged by graph.FromEdges, intra-cluster edges dropped, vertex
+// weights summed.
+func contractClusters(g *graph.Graph, cmap []int32, nc int) *graph.Graph {
+	vw := make([]int64, nc)
+	for v := 0; v < g.N(); v++ {
+		vw[cmap[v]] += g.VertexWeight(v)
+	}
+	var us, vs []int32
+	var ws []int64
+	for u := 0; u < g.N(); u++ {
+		cu := cmap[u]
+		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
+			if cv := cmap[g.Adj[i]]; cu != cv {
+				us = append(us, cu)
+				vs = append(vs, cv)
+				ws = append(ws, g.EdgeWeight(int(i)))
+			}
+		}
+	}
+	return graph.FromEdges(nc, us, vs, ws, vw)
+}
+
+// mlHierarchy builds the matching hierarchy from the fine graph down
+// to at most coarsenTo clusters, stopping early when matching stalls.
+func mlHierarchy(g *graph.Graph, coarsenTo int) []mlLevel {
+	levels := []mlLevel{{g: g}}
+	cur := g
+	for cur.N() > coarsenTo {
+		cmap, nc := heavyEdgeMatch(cur)
+		if float64(nc) > 0.95*float64(cur.N()) {
+			break // star-like graph: matching no longer shrinks it
+		}
+		next := contractClusters(cur, cmap, nc)
+		levels[len(levels)-1].cmap = cmap
+		levels = append(levels, mlLevel{g: next})
+		cur = next
+	}
+	return levels
+}
+
+// clusterSets returns, for hierarchy level l, the level-0 membership:
+// cl0 maps each fine vertex to its level-l cluster and members lists
+// the fine vertices of each cluster in increasing id order.
+func clusterSets(levels []mlLevel, l int) (cl0 []int32, members [][]int32) {
+	n0 := levels[0].g.N()
+	cl0 = make([]int32, n0)
+	for v := range cl0 {
+		cl0[v] = int32(v)
+	}
+	for i := 0; i < l; i++ {
+		cmap := levels[i].cmap
+		for v := range cl0 {
+			cl0[v] = cmap[cl0[v]]
+		}
+	}
+	members = make([][]int32, levels[l].g.N())
+	for v := 0; v < n0; v++ {
+		c := cl0[v]
+		members[c] = append(members[c], int32(v))
+	}
+	return cl0, members
+}
+
+// placeCoarsest assigns every coarsest-level cluster a region of
+// |members| empty allocated nodes grown by BFS over the topology, in
+// the greedy order of Algorithm 1 (max-volume cluster first, then by
+// connectivity to the already placed clusters). It fills nodeOf for
+// all fine vertices.
+func placeCoarsest(gl *graph.Graph, members [][]int32, topo torus.Topology, allocNodes []int32, nodeOf []int32) {
+	nc := gl.N()
+	st := newMapState(gl, topo, allocNodes) // reused for its BFS scratch and allocated[]
+	occupied := make([]bool, topo.Nodes())
+	rep := make([]int32, nc) // first node of each placed cluster's region
+	for i := range rep {
+		rep[i] = -1
+	}
+
+	volume := make([]int64, nc)
+	for v := 0; v < nc; v++ {
+		for _, w := range gl.Weights(v) {
+			volume[v] += w
+		}
+	}
+
+	conn := ds.NewIndexedMaxHeap(nc)
+	placed := make([]bool, nc)
+	nPlaced := 0
+
+	// anyEmpty reports whether an allocated node is still free.
+	anyEmpty := func() int32 {
+		for _, m := range allocNodes {
+			if !occupied[m] {
+				return m
+			}
+		}
+		panic("core: multilevel placement ran out of allocated nodes")
+	}
+
+	// growRegion collects want empty allocated nodes nearest to seed
+	// (BFS order, seed first) and assigns the cluster's members to
+	// them in that order.
+	growRegion := func(c int32, seed int32) {
+		want := len(members[c])
+		got := 0
+		st.bfs([]int32{seed}, func(node, lv int32) bool {
+			if st.allocated[node] && !occupied[node] {
+				occupied[node] = true
+				nodeOf[members[c][got]] = node
+				if got == 0 {
+					rep[c] = node
+				}
+				got++
+			}
+			return got < want
+		})
+		for got < want {
+			// Disconnected allocation remnants: take any free node.
+			m := anyEmpty()
+			occupied[m] = true
+			nodeOf[members[c][got]] = m
+			if got == 0 {
+				rep[c] = m
+			}
+			got++
+		}
+	}
+
+	// bestSeed finds the empty allocated node minimizing the weighted
+	// hop cost to the representatives of c's placed neighbours, with
+	// the early-exit BFS of GETBESTNODE.
+	bestSeed := func(c int32) int32 {
+		type nbRep struct {
+			node int32
+			cost int64
+		}
+		var seeds []int32
+		var nbs []nbRep
+		nb := gl.Neighbors(int(c))
+		wt := gl.Weights(int(c))
+		for i, u := range nb {
+			if placed[u] {
+				nbs = append(nbs, nbRep{rep[u], wt[i]})
+				seeds = append(seeds, rep[u])
+			}
+		}
+		if len(seeds) == 0 {
+			// Farthest empty allocated node from the occupied ones.
+			var occ []int32
+			for _, m := range allocNodes {
+				if occupied[m] {
+					occ = append(occ, m)
+				}
+			}
+			if len(occ) == 0 {
+				return allocNodes[0]
+			}
+			var best int32 = -1
+			bestLv := int32(-1)
+			st.bfs(occ, func(node, lv int32) bool {
+				if st.allocated[node] && !occupied[node] && lv >= bestLv {
+					if lv > bestLv || node < best {
+						best = node
+					}
+					bestLv = lv
+				}
+				return true
+			})
+			if best < 0 {
+				return anyEmpty()
+			}
+			return best
+		}
+		var best int32 = -1
+		var bestCost int64
+		stopLevel := int32(-1)
+		st.bfs(seeds, func(node, lv int32) bool {
+			if stopLevel >= 0 && lv > stopLevel {
+				return false
+			}
+			if st.allocated[node] && !occupied[node] {
+				stopLevel = lv
+				var cost int64
+				for _, r := range nbs {
+					cost += r.cost * int64(topo.HopDist(int(node), int(r.node)))
+				}
+				if best < 0 || cost < bestCost || (cost == bestCost && node < best) {
+					best, bestCost = node, cost
+				}
+			}
+			return true
+		})
+		if best < 0 {
+			return anyEmpty()
+		}
+		return best
+	}
+
+	place := func(c int32, seed int32) {
+		growRegion(c, seed)
+		placed[c] = true
+		nPlaced++
+		conn.Remove(int(c))
+		nb := gl.Neighbors(int(c))
+		wt := gl.Weights(int(c))
+		for i, u := range nb {
+			if !placed[u] {
+				conn.Add(int(u), wt[i])
+			}
+		}
+	}
+
+	// Start from the max-volume cluster on the first allocated node.
+	c0 := int32(0)
+	var bestVol int64 = -1
+	for c := 0; c < nc; c++ {
+		if volume[c] > bestVol {
+			bestVol, c0 = volume[c], int32(c)
+		}
+	}
+	place(c0, allocNodes[0])
+	for nPlaced < nc {
+		var c int32
+		if conn.Len() > 0 {
+			ci, _ := conn.Pop()
+			c = int32(ci)
+		} else {
+			// Disconnected component: max-volume unplaced cluster.
+			c = -1
+			var bv int64 = -1
+			for v := 0; v < nc; v++ {
+				if !placed[v] && volume[v] > bv {
+					bv, c = volume[v], int32(v)
+				}
+			}
+		}
+		place(c, bestSeed(c))
+	}
+}
+
+// clusterRefineState carries the per-level swap refinement context.
+type clusterRefineState struct {
+	g0      *graph.Graph // fine (level-0) graph
+	topo    torus.Topology
+	nodeOf  []int32   // fine vertex -> node (mutated)
+	taskAt  []int32   // node -> fine vertex
+	cl0     []int32   // fine vertex -> cluster at the current level
+	members [][]int32 // cluster -> fine vertices (sorted by id)
+
+	inPair    []int32 // generation marks: fine vertex in the swap pair?
+	pairPos   []int32 // index of the vertex within its cluster's members
+	pairGen   int32
+	triedMark []int32 // generation marks: cluster already tried?
+	triedGen  int32
+}
+
+// clusterWH returns the WH incurred by a cluster: the weighted hops
+// of every directed fine edge whose tail lies in the cluster.
+func (cr *clusterRefineState) clusterWH(c int32, obj Objective) int64 {
+	var wh int64
+	g := cr.g0
+	for _, t := range cr.members[c] {
+		a := int(cr.nodeOf[t])
+		for i := g.Xadj[t]; i < g.Xadj[t+1]; i++ {
+			w := int64(1)
+			if obj == WeightedHops {
+				w = g.EdgeWeight(int(i))
+			}
+			wh += w * int64(cr.topo.HopDist(a, int(cr.nodeOf[g.Adj[i]])))
+		}
+	}
+	return wh
+}
+
+// swapDelta computes the exact total WH change (doubled-edge
+// accounting) of exchanging the node sets of clusters a and b:
+// member i of a moves to the node of member i of b and vice versa.
+// Internal a∪b edges are counted once per direction; edges leaving
+// the pair are counted twice (their reverse direction changes by the
+// same amount on the symmetric graph).
+func (cr *clusterRefineState) swapDelta(a, b int32, obj Objective) int64 {
+	g := cr.g0
+	ma, mb := cr.members[a], cr.members[b]
+	cr.pairGen++
+	gen := cr.pairGen
+	for i, t := range ma {
+		cr.inPair[t] = gen
+		cr.pairPos[t] = int32(i)
+	}
+	for i, t := range mb {
+		cr.inPair[t] = gen
+		cr.pairPos[t] = int32(i)
+	}
+	// newNode(t): position after the hypothetical swap.
+	newNode := func(t int32) int32 {
+		if cr.inPair[t] != gen {
+			return cr.nodeOf[t]
+		}
+		if cr.cl0[t] == a {
+			return cr.nodeOf[mb[cr.pairPos[t]]]
+		}
+		return cr.nodeOf[ma[cr.pairPos[t]]]
+	}
+	var d int64
+	scan := func(mem []int32) {
+		for _, t := range mem {
+			nt, ot := int(newNode(t)), int(cr.nodeOf[t])
+			for i := g.Xadj[t]; i < g.Xadj[t+1]; i++ {
+				u := g.Adj[i]
+				w := int64(1)
+				if obj == WeightedHops {
+					w = g.EdgeWeight(int(i))
+				}
+				if cr.inPair[u] == gen {
+					// Internal edge: the loop visits both directions.
+					d += w * int64(cr.topo.HopDist(nt, int(newNode(u)))-cr.topo.HopDist(ot, int(cr.nodeOf[u])))
+				} else {
+					// External edge: reverse direction changes equally.
+					d += 2 * w * int64(cr.topo.HopDist(nt, int(cr.nodeOf[u]))-cr.topo.HopDist(ot, int(cr.nodeOf[u])))
+				}
+			}
+		}
+	}
+	scan(ma)
+	scan(mb)
+	return d
+}
+
+// applySwap exchanges the node sets of equal-cardinality clusters a
+// and b member-wise.
+func (cr *clusterRefineState) applySwap(a, b int32) {
+	ma, mb := cr.members[a], cr.members[b]
+	for i := range ma {
+		na, nb := cr.nodeOf[ma[i]], cr.nodeOf[mb[i]]
+		cr.nodeOf[ma[i]], cr.nodeOf[mb[i]] = nb, na
+		cr.taskAt[na], cr.taskAt[nb] = mb[i], ma[i]
+	}
+}
+
+// refineClusterLevel runs one multilevel refinement stage: KL-style
+// swaps of equal-cardinality level-l clusters, candidate clusters
+// discovered by BFS over the topology from the nodes of the popped
+// cluster's neighbours (the level-l analogue of Algorithm 2). It
+// mutates nodeOf and returns the total WH gain achieved (positive =
+// improvement, doubled-edge accounting).
+func refineClusterLevel(g0, gl *graph.Graph, cl0 []int32, members [][]int32, topo torus.Topology, allocNodes []int32, nodeOf []int32, opt RefineOptions) int64 {
+	opt = opt.withDefaults()
+	nc := gl.N()
+	st := newMapState(gl, topo, allocNodes) // BFS scratch + allocated[]
+	cr := &clusterRefineState{
+		g0:        g0,
+		topo:      topo,
+		nodeOf:    nodeOf,
+		taskAt:    make([]int32, topo.Nodes()),
+		cl0:       cl0,
+		members:   members,
+		inPair:    make([]int32, g0.N()),
+		pairPos:   make([]int32, g0.N()),
+		triedMark: make([]int32, nc),
+	}
+	for i := range cr.taskAt {
+		cr.taskAt[i] = -1
+	}
+	for t := 0; t < g0.N(); t++ {
+		cr.taskAt[nodeOf[t]] = int32(t)
+	}
+
+	var totalWH int64
+	for c := 0; c < nc; c++ {
+		totalWH += cr.clusterWH(int32(c), opt.Objective)
+	}
+	var totalGain int64
+	heap := ds.NewIndexedMaxHeap(nc)
+	var seeds []int32
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		passStart := totalWH
+		heap.Clear()
+		for c := 0; c < nc; c++ {
+			heap.Push(c, cr.clusterWH(int32(c), opt.Objective))
+		}
+		for heap.Len() > 0 {
+			ci, _ := heap.Pop()
+			cwh := int32(ci)
+			seeds = seeds[:0]
+			for _, u := range gl.Neighbors(int(cwh)) {
+				for _, t := range members[u] {
+					seeds = append(seeds, nodeOf[t])
+				}
+			}
+			if len(seeds) == 0 {
+				continue
+			}
+			tried := 0
+			cr.triedGen++
+			st.bfs(seeds, func(node, lv int32) bool {
+				t := cr.taskAt[node]
+				if t < 0 {
+					return true
+				}
+				b := cl0[t]
+				if b == cwh || cr.triedMark[b] == cr.triedGen {
+					return true
+				}
+				cr.triedMark[b] = cr.triedGen
+				if len(members[b]) != len(members[cwh]) {
+					return true // only equal-cardinality clusters swap 1:1
+				}
+				tried++
+				if d := cr.swapDelta(cwh, b, opt.Objective); d < 0 {
+					cr.applySwap(cwh, b)
+					totalWH += d
+					totalGain -= d
+					for _, u := range gl.Neighbors(int(cwh)) {
+						if heap.Contains(int(u)) {
+							heap.Update(int(u), cr.clusterWH(u, opt.Objective))
+						}
+					}
+					for _, u := range gl.Neighbors(int(b)) {
+						if heap.Contains(int(u)) {
+							heap.Update(int(u), cr.clusterWH(u, opt.Objective))
+						}
+					}
+					if heap.Contains(int(b)) {
+						heap.Update(int(b), cr.clusterWH(b, opt.Objective))
+					}
+					return false
+				}
+				return tried < opt.Delta
+			})
+		}
+		passGain := passStart - totalWH
+		if passStart == 0 || float64(passGain) < opt.MinPassGain*float64(passStart) {
+			break
+		}
+	}
+	return totalGain
+}
+
+// MapUML maps the symmetric task graph g one-to-one onto allocNodes
+// with the multilevel scheme: heavy-edge-matching hierarchy, BFS
+// region placement of the coarsest clusters, cluster-swap WH
+// refinement from the coarsest level to the finest, and Algorithm 2
+// on the finest level. It returns the task→node mapping.
+func MapUML(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt MultilevelOptions) []int32 {
+	opt = opt.withDefaults()
+	n := g.N()
+	if len(allocNodes) < n {
+		panic("core: fewer allocated nodes than tasks")
+	}
+	levels := mlHierarchy(g, opt.CoarsenTo)
+	L := len(levels) - 1
+	nodeOf := make([]int32, n)
+	if L == 0 {
+		// Graph already at/below the coarsest size: plain UG + WH.
+		copy(nodeOf, GreedyBest(g, topo, allocNodes, opt.Refine.Objective))
+		RefineWH(g, topo, allocNodes, nodeOf, opt.Refine)
+		return nodeOf
+	}
+	cl0, members := clusterSets(levels, L)
+	placeCoarsest(levels[L].g, members, topo, allocNodes, nodeOf)
+	for l := L; l >= 1; l-- {
+		cl0, members = clusterSets(levels, l)
+		refineClusterLevel(g, levels[l].g, cl0, members, topo, allocNodes, nodeOf, opt.Refine)
+	}
+	RefineWH(g, topo, allocNodes, nodeOf, opt.Refine)
+	return nodeOf
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// CongestionKind selects which congestion Algorithm 3 minimizes.
+type CongestionKind int
+
+// Congestion kinds.
+const (
+	// VolumeCongestion refines MC: per-link volume divided by link
+	// bandwidth (the paper's primary variant). Edge weights are
+	// communication volumes.
+	VolumeCongestion CongestionKind = iota
+	// MessageCongestion refines MMC: messages per link, ignoring
+	// bandwidth ("adapting this algorithm to refine MMC is trivial",
+	// §III-C). Edge weights are message multiplicities — pass a
+	// message-count-weighted graph (taskgraph.CoarseMessageGraph) for
+	// coarse supertask graphs, or a unit-weight graph when every edge
+	// is one message.
+	MessageCongestion
+)
+
+// congState carries the link-load bookkeeping of Algorithm 3: exact
+// per-link loads under static routing, a max-heap of scaled
+// congestion keys, and the commTasks structure mapping each link to
+// the directed task-graph edges routed through it.
+type congState struct {
+	g    *graph.Graph
+	topo torus.Topology
+	st   *mapState
+	kind CongestionKind
+
+	// multipath enables the §III-C dynamic-routing approximation:
+	// when non-nil, loads are expectations over all minimal
+	// dimension-ordered routes (fixed point in units of 1/RouteScale)
+	// instead of exact loads on the single static route.
+	multipath torus.MultipathTopology
+
+	scale     []int64 // per link: congestion = load*scale (fixed point 1/bw)
+	load      []int64 // per link: volume (or message count)
+	congHeap  *ds.IndexedMaxHeap
+	linkEdges []ds.IntSet // per link: directed edge ids crossing it
+	edgeOwner []int32     // directed edge id -> source task
+	sumKeys   int64       // sum of keys over used links
+	usedLinks int
+
+	routeBuf []int32
+	deltaL   []int64 // scratch: per-link load delta
+	touched  []int32 // links touched by the current delta collection
+	linkSeen []int32 // per-link generation stamp (dedupes touched)
+	linkGen  int32
+	edgeSeen []int32 // per-edge generation stamp
+	edgeGen  int32
+	revEdge  []int32 // directed edge id -> id of the reverse edge
+}
+
+func newCongState(g *graph.Graph, topo torus.Topology, st *mapState, kind CongestionKind, multipath torus.MultipathTopology) *congState {
+	cs := &congState{
+		g:         g,
+		topo:      topo,
+		st:        st,
+		kind:      kind,
+		multipath: multipath,
+		scale:     make([]int64, topo.Links()),
+		load:      make([]int64, topo.Links()),
+		congHeap:  ds.NewIndexedMaxHeap(topo.Links()),
+		linkEdges: make([]ds.IntSet, topo.Links()),
+		edgeOwner: make([]int32, g.M()),
+		deltaL:    make([]int64, topo.Links()),
+		linkSeen:  make([]int32, topo.Links()),
+		edgeSeen:  make([]int32, g.M()),
+	}
+	// Fixed-point congestion scale: proportional to 1/bw, normalized
+	// so the fastest link gets 1024. Message congestion ignores
+	// bandwidth (unit links).
+	maxBW := 0.0
+	for l := 0; l < topo.Links(); l++ {
+		if bw := topo.LinkBW(l); bw > maxBW {
+			maxBW = bw
+		}
+	}
+	for l := 0; l < topo.Links(); l++ {
+		if kind == MessageCongestion {
+			cs.scale[l] = 1
+		} else {
+			cs.scale[l] = int64(1024 * maxBW / topo.LinkBW(l))
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			cs.edgeOwner[i] = int32(v)
+		}
+	}
+	// Reverse-edge ids: the symmetric graph stores (u,v) and (v,u);
+	// adjacency lists are sorted, so the reverse is found by binary
+	// search.
+	cs.revEdge = make([]int32, g.M())
+	for u := 0; u < g.N(); u++ {
+		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
+			v := g.Adj[i]
+			lo, hi := g.Xadj[v], g.Xadj[v+1]
+			cs.revEdge[i] = -1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if g.Adj[mid] < int32(u) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < g.Xadj[v+1] && g.Adj[lo] == int32(u) {
+				cs.revEdge[i] = lo
+			}
+		}
+	}
+	// Route every directed edge and accumulate loads.
+	for v := 0; v < g.N(); v++ {
+		a := int(st.nodeOf[v])
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			b := int(st.nodeOf[g.Adj[i]])
+			if a == b {
+				continue
+			}
+			w := cs.edgeLoad(int(i))
+			cs.forEachRouteLink(a, b, func(l int32, mult int64) {
+				cs.load[l] += w * mult
+				cs.linkEdges[l].Add(int(i))
+			})
+		}
+	}
+	for l := 0; l < topo.Links(); l++ {
+		key := cs.load[l] * cs.scale[l]
+		cs.congHeap.Push(l, key)
+		if cs.load[l] > 0 {
+			cs.usedLinks++
+			cs.sumKeys += key
+		}
+	}
+	return cs
+}
+
+// edgeLoad is the routed load of directed edge i: its weight, read as
+// a volume for MC and as a message multiplicity for MMC.
+func (cs *congState) edgeLoad(i int) int64 {
+	return cs.g.EdgeWeight(i)
+}
+
+// forEachRouteLink invokes fn(link, mult) for every (route, link)
+// pair of a message a→b. Static routing yields the single static
+// route with mult 1; the dynamic-routing approximation yields every
+// minimal dimension-ordered route with mult RouteScale/P, so a link's
+// accumulated load is RouteScale times its expected load. The two
+// modes differ by a constant factor per mode, which comparisons never
+// see. a != b must hold.
+func (cs *congState) forEachRouteLink(a, b int, fn func(l int32, mult int64)) {
+	if cs.multipath == nil {
+		cs.routeBuf = cs.topo.Route(a, b, cs.routeBuf[:0])
+		for _, l := range cs.routeBuf {
+			fn(l, 1)
+		}
+		return
+	}
+	p := int64(cs.multipath.NumMinimalRoutes(a, b))
+	scale := cs.multipath.RouteScale()
+	if p <= 0 || scale%p != 0 {
+		panic("core: topology RouteScale not divisible by its route count")
+	}
+	mult := scale / p
+	cs.multipath.ForEachMinimalRoute(a, b, func(route []int32) {
+		for _, l := range route {
+			fn(l, mult)
+		}
+	})
+}
+
+// acNum and acDen expose AC = sumKeys/usedLinks as an exact fraction.
+func (cs *congState) ac() (num, den int64) {
+	if cs.usedLinks == 0 {
+		return 0, 1
+	}
+	return cs.sumKeys, int64(cs.usedLinks)
+}
+
+// collectSwapDeltas fills cs.deltaL (per-link load deltas) for
+// swapping tasks a and b, without applying anything.
+func (cs *congState) collectSwapDeltas(a, b int32) {
+	for _, l := range cs.touched {
+		cs.deltaL[l] = 0
+	}
+	cs.touched = cs.touched[:0]
+	cs.linkGen++
+	cs.edgeGen++
+	ma, mb := cs.st.nodeOf[a], cs.st.nodeOf[b]
+	newNode := func(t int32) int32 {
+		switch t {
+		case a:
+			return mb
+		case b:
+			return ma
+		default:
+			return cs.st.nodeOf[t]
+		}
+	}
+	addDelta := func(l int32, d int64) {
+		if cs.linkSeen[l] != cs.linkGen {
+			cs.linkSeen[l] = cs.linkGen
+			cs.touched = append(cs.touched, l)
+		}
+		cs.deltaL[l] += d
+	}
+	// handleEdge reroutes directed edge i = (src, dst).
+	handleEdge := func(i int32, src, dst int32) {
+		if cs.edgeSeen[i] == cs.edgeGen {
+			return
+		}
+		cs.edgeSeen[i] = cs.edgeGen
+		w := cs.edgeLoad(int(i))
+		oldA, oldB := cs.st.nodeOf[src], cs.st.nodeOf[dst]
+		if oldA != oldB {
+			cs.forEachRouteLink(int(oldA), int(oldB), func(l int32, mult int64) {
+				addDelta(l, -w*mult)
+			})
+		}
+		nA, nB := newNode(src), newNode(dst)
+		if nA != nB {
+			cs.forEachRouteLink(int(nA), int(nB), func(l int32, mult int64) {
+				addDelta(l, w*mult)
+			})
+		}
+	}
+	for _, t := range []int32{a, b} {
+		for i := cs.g.Xadj[t]; i < cs.g.Xadj[t+1]; i++ {
+			u := cs.g.Adj[i]
+			handleEdge(int32(i), t, u)
+			if j := cs.revEdge[i]; j >= 0 {
+				handleEdge(j, u, t)
+			}
+		}
+	}
+}
+
+// applyDeltas pushes the collected deltas into the heap and load
+// table; revert by calling again after negating (the caller uses
+// apply/inspect/revert, the paper's "temporarily updating congHeap").
+func (cs *congState) applyDeltas(sign int64) {
+	for _, l := range cs.touched {
+		dl := cs.deltaL[l]
+		if dl == 0 {
+			continue
+		}
+		oldLoad := cs.load[l]
+		cs.load[l] = oldLoad + sign*dl
+		key := cs.load[l] * cs.scale[l]
+		cs.congHeap.Update(int(l), key)
+		if oldLoad > 0 && cs.load[l] == 0 {
+			cs.usedLinks--
+			cs.sumKeys -= oldLoad * cs.scale[l]
+		} else if oldLoad == 0 && cs.load[l] > 0 {
+			cs.usedLinks++
+			cs.sumKeys += key
+		} else if oldLoad > 0 {
+			cs.sumKeys += key - oldLoad*cs.scale[l]
+		}
+	}
+}
+
+// commitSwap finalizes an accepted swap: updates the commTasks edge
+// sets for all edges of a and b (the loads and heap already hold the
+// new state from applyDeltas).
+func (cs *congState) commitSwap(a, b int32) {
+	ma, mb := cs.st.nodeOf[a], cs.st.nodeOf[b]
+	// Remove memberships for old routes of all incident edges (both
+	// directions), then re-add for new routes.
+	cs.updateEdgeSets(a, b, ma, mb)
+	cs.st.place(a, mb)
+	cs.st.place(b, ma)
+}
+
+func (cs *congState) updateEdgeSets(a, b, ma, mb int32) {
+	newNode := func(t int32) int32 {
+		switch t {
+		case a:
+			return mb
+		case b:
+			return ma
+		default:
+			return cs.st.nodeOf[t]
+		}
+	}
+	cs.edgeGen++
+	handle := func(i int32, src, dst int32) {
+		if cs.edgeSeen[i] == cs.edgeGen {
+			return
+		}
+		cs.edgeSeen[i] = cs.edgeGen
+		oldA, oldB := cs.st.nodeOf[src], cs.st.nodeOf[dst]
+		if oldA != oldB {
+			cs.forEachRouteLink(int(oldA), int(oldB), func(l int32, _ int64) {
+				cs.linkEdges[l].Delete(int(i))
+			})
+		}
+		nA, nB := newNode(src), newNode(dst)
+		if nA != nB {
+			cs.forEachRouteLink(int(nA), int(nB), func(l int32, _ int64) {
+				cs.linkEdges[l].Add(int(i))
+			})
+		}
+	}
+	for _, t := range []int32{a, b} {
+		for i := cs.g.Xadj[t]; i < cs.g.Xadj[t+1]; i++ {
+			u := cs.g.Adj[i]
+			handle(int32(i), t, u)
+			if j := cs.revEdge[i]; j >= 0 {
+				handle(j, u, t)
+			}
+		}
+	}
+}
+
+// RefineCongestion runs Algorithm 3 on a complete mapping, mutating
+// nodeOf in place. It repeatedly examines the most congested link and
+// accepts task swaps that lower MC (lexicographically: lower MC, or
+// equal MC with lower AC); it stops when the most congested link
+// cannot be improved. Returns the number of swaps applied.
+func RefineCongestion(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []int32, kind CongestionKind, opt RefineOptions) int {
+	return refineCongestion(g, topo, nil, allocNodes, nodeOf, kind, opt)
+}
+
+// RefineCongestionAdaptive runs the §III-C dynamic-routing adaptation
+// of Algorithm 3: per-link loads are expectations over every minimal
+// dimension-ordered route of each message (the Blue Gene style
+// approximate refinement the paper sketches for networks without
+// static routing). The acceptance rule and search structure are those
+// of Algorithm 3, applied to the expected congestion. Returns the
+// number of swaps applied.
+func RefineCongestionAdaptive(g *graph.Graph, topo torus.MultipathTopology, allocNodes []int32, nodeOf []int32, kind CongestionKind, opt RefineOptions) int {
+	return refineCongestion(g, topo, topo, allocNodes, nodeOf, kind, opt)
+}
+
+func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.MultipathTopology, allocNodes []int32, nodeOf []int32, kind CongestionKind, opt RefineOptions) int {
+	opt = opt.withDefaults()
+	st := newMapState(g, topo, allocNodes)
+	for t := 0; t < g.N(); t++ {
+		st.place(int32(t), nodeOf[t])
+	}
+	defer copy(nodeOf, st.nodeOf)
+	cs := newCongState(g, topo, st, kind, multipath)
+
+	swaps := 0
+	maxIters := 4 * topo.Links()
+	seeds := make([]int32, 0, 16)
+	var tasksBuf []int32
+	for iter := 0; iter < maxIters; iter++ {
+		emc, curMax := cs.congHeap.Peek()
+		if curMax == 0 {
+			break // nothing routed at all
+		}
+		curACnum, curACden := cs.ac()
+		improvedLink := false
+		// Distinct tasks whose messages cross emc.
+		tasksBuf = tasksBuf[:0]
+		for _, ei := range cs.linkEdges[emc].Items() {
+			src := cs.edgeOwner[ei]
+			dst := cs.g.Adj[ei]
+			tasksBuf = appendUnique(tasksBuf, src)
+			tasksBuf = appendUnique(tasksBuf, dst)
+		}
+	taskLoop:
+		for _, tmc := range tasksBuf {
+			seeds = seeds[:0]
+			for _, u := range cs.g.Neighbors(int(tmc)) {
+				seeds = append(seeds, cs.st.nodeOf[u])
+			}
+			if len(seeds) == 0 {
+				continue
+			}
+			tried := 0
+			var accepted bool
+			cs.st.bfs(seeds, func(node, lv int32) bool {
+				if !cs.st.allocated[node] || node == cs.st.nodeOf[tmc] {
+					return true
+				}
+				t := cs.st.taskAt[node]
+				if t < 0 || t == tmc {
+					return true
+				}
+				tried++
+				cs.collectSwapDeltas(tmc, t)
+				cs.applyDeltas(1)
+				_, newMax := cs.congHeap.Peek()
+				newACnum, newACden := cs.ac()
+				better := newMax < curMax ||
+					(newMax == curMax && newACnum*curACden < curACnum*newACden)
+				if better {
+					cs.commitSwap(tmc, t)
+					swaps++
+					accepted = true
+					return false
+				}
+				cs.applyDeltas(-1) // revert
+				return tried < opt.Delta
+			})
+			if accepted {
+				improvedLink = true
+				break taskLoop
+			}
+		}
+		if !improvedLink {
+			break // the most congested link cannot be improved
+		}
+	}
+	return swaps
+}
+
+func appendUnique(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

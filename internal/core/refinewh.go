@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/ds"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// RefineOptions configures Algorithms 2 and 3.
+type RefineOptions struct {
+	// Delta bounds the swap candidates examined per task (∆=8 in the
+	// paper's experiments).
+	Delta int
+	// MinPassGain is the minimum relative WH improvement a pass must
+	// achieve for another pass to run (0.5% in the paper).
+	MinPassGain float64
+	// Objective selects WH or TH for Algorithm 2.
+	Objective Objective
+	// MaxPasses is a safety bound on refinement passes (default 32).
+	MaxPasses int
+}
+
+func (o RefineOptions) withDefaults() RefineOptions {
+	if o.Delta == 0 {
+		o.Delta = 8
+	}
+	if o.MinPassGain == 0 {
+		o.MinPassGain = 0.005
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 32
+	}
+	return o
+}
+
+// RefineWH runs Algorithm 2 on a complete task→node mapping nodeOf of
+// the symmetric coarse graph g, mutating it in place. It returns the
+// total WH (or TH) improvement achieved, in the doubled edge
+// accounting of the symmetric graph.
+func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []int32, opt RefineOptions) int64 {
+	opt = opt.withDefaults()
+	n := g.N()
+	st := newMapState(g, topo, allocNodes)
+	for t := 0; t < n; t++ {
+		st.place(int32(t), nodeOf[t])
+	}
+	// st.nodeOf aliases its own slice; copy back at the end.
+	defer copy(nodeOf, st.nodeOf)
+
+	cost := func(i int) int64 {
+		if opt.Objective == TotalHops {
+			return 1
+		}
+		return g.EdgeWeight(i)
+	}
+	// taskWHops: the WH a task is individually responsible for.
+	taskWH := func(t int32) int64 {
+		var wh int64
+		a := int(st.nodeOf[t])
+		for i := g.Xadj[t]; i < g.Xadj[t+1]; i++ {
+			wh += cost(int(i)) * int64(topo.HopDist(a, int(st.nodeOf[g.Adj[i]])))
+		}
+		return wh
+	}
+	// deltaSwap computes the total WH change of swapping tasks a and b
+	// (negative is an improvement). The a-b edge itself contributes no
+	// change because hop distance is symmetric.
+	deltaSwap := func(a, b int32) int64 {
+		ma, mb := st.nodeOf[a], st.nodeOf[b]
+		var d int64
+		for i := g.Xadj[a]; i < g.Xadj[a+1]; i++ {
+			u := g.Adj[i]
+			if u == b {
+				continue
+			}
+			mu := int(st.nodeOf[u])
+			d += cost(int(i)) * int64(topo.HopDist(int(mb), mu)-topo.HopDist(int(ma), mu))
+		}
+		for i := g.Xadj[b]; i < g.Xadj[b+1]; i++ {
+			u := g.Adj[i]
+			if u == a {
+				continue
+			}
+			mu := int(st.nodeOf[u])
+			d += cost(int(i)) * int64(topo.HopDist(int(ma), mu)-topo.HopDist(int(mb), mu))
+		}
+		return 2 * d // symmetric graph stores each edge twice
+	}
+
+	var totalWH int64
+	for t := 0; t < n; t++ {
+		totalWH += taskWH(int32(t))
+	}
+	var totalGain int64
+	whHeap := ds.NewIndexedMaxHeap(n)
+	seeds := make([]int32, 0, 16)
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		passStartWH := totalWH
+		// Load the heap with each task's incurred WH.
+		whHeap.Clear()
+		for t := 0; t < n; t++ {
+			whHeap.Push(t, taskWH(int32(t)))
+		}
+		for whHeap.Len() > 0 {
+			twhInt, _ := whHeap.Pop()
+			twh := int32(twhInt)
+			// BFS from the nodes of twh's neighbours.
+			seeds = seeds[:0]
+			for _, u := range g.Neighbors(int(twh)) {
+				seeds = append(seeds, st.nodeOf[u])
+			}
+			if len(seeds) == 0 {
+				continue
+			}
+			tried := 0
+			st.bfs(seeds, func(node, lv int32) bool {
+				if !st.allocated[node] || node == st.nodeOf[twh] {
+					return true
+				}
+				t := st.taskAt[node]
+				if t < 0 {
+					return true // empty allocated nodes can't swap here
+				}
+				tried++
+				if d := deltaSwap(twh, t); d < 0 {
+					// Perform the swap.
+					ma, mb := st.nodeOf[twh], st.nodeOf[t]
+					st.place(twh, mb)
+					st.place(t, ma)
+					totalWH += d
+					totalGain -= d
+					// Update whHeap for the neighbours of both tasks.
+					for _, u := range g.Neighbors(int(twh)) {
+						if whHeap.Contains(int(u)) {
+							whHeap.Update(int(u), taskWH(u))
+						}
+					}
+					for _, u := range g.Neighbors(int(t)) {
+						if whHeap.Contains(int(u)) {
+							whHeap.Update(int(u), taskWH(u))
+						}
+					}
+					if whHeap.Contains(int(t)) {
+						whHeap.Update(int(t), taskWH(t))
+					}
+					return false // break: next heap vertex
+				}
+				return tried < opt.Delta
+			})
+		}
+		passGain := passStartWH - totalWH
+		if passStartWH == 0 || float64(passGain) < opt.MinPassGain*float64(passStartWH) {
+			break
+		}
+	}
+	return totalGain
+}

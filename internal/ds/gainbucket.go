@@ -1,0 +1,139 @@
+package ds
+
+// GainBucket is the classic Fiduccia–Mattheyses gain bucket structure:
+// a doubly linked list per integer gain value plus a moving max-gain
+// pointer. All operations are O(1) except MaxItem's pointer decay,
+// which is amortized O(1) over a refinement pass.
+//
+// Gains must lie in [-maxGain, +maxGain]; the structure is sized for
+// items 0..n-1.
+type GainBucket struct {
+	maxGain int
+	first   []int32 // per bucket (gain+maxGain) -> first item or -1
+	next    []int32 // per item
+	prev    []int32 // per item
+	gain    []int32 // per item
+	in      []bool  // per item: membership
+	top     int     // current highest possibly-nonempty bucket index
+	n       int     // number of items currently stored
+}
+
+// NewGainBucket returns an empty bucket list for items 0..n-1 with
+// gains clamped to [-maxGain, maxGain].
+func NewGainBucket(n, maxGain int) *GainBucket {
+	if maxGain < 1 {
+		maxGain = 1
+	}
+	b := &GainBucket{
+		maxGain: maxGain,
+		first:   make([]int32, 2*maxGain+1),
+		next:    make([]int32, n),
+		prev:    make([]int32, n),
+		gain:    make([]int32, n),
+		in:      make([]bool, n),
+		top:     -1,
+	}
+	for i := range b.first {
+		b.first[i] = -1
+	}
+	return b
+}
+
+// Len reports the number of items currently stored.
+func (b *GainBucket) Len() int { return b.n }
+
+// Contains reports whether item is stored.
+func (b *GainBucket) Contains(item int) bool { return b.in[item] }
+
+// Gain returns the clamped gain of a stored item.
+func (b *GainBucket) Gain(item int) int { return int(b.gain[item]) }
+
+func (b *GainBucket) clamp(g int) int {
+	if g > b.maxGain {
+		return b.maxGain
+	}
+	if g < -b.maxGain {
+		return -b.maxGain
+	}
+	return g
+}
+
+// Insert adds item with the given gain (clamped to the allowed range).
+func (b *GainBucket) Insert(item, gain int) {
+	if b.in[item] {
+		panic("ds: GainBucket.Insert of stored item")
+	}
+	g := b.clamp(gain)
+	idx := g + b.maxGain
+	b.gain[item] = int32(g)
+	b.next[item] = b.first[idx]
+	b.prev[item] = -1
+	if b.first[idx] >= 0 {
+		b.prev[b.first[idx]] = int32(item)
+	}
+	b.first[idx] = int32(item)
+	b.in[item] = true
+	b.n++
+	if idx > b.top {
+		b.top = idx
+	}
+}
+
+// Remove deletes item if stored.
+func (b *GainBucket) Remove(item int) {
+	if !b.in[item] {
+		return
+	}
+	idx := int(b.gain[item]) + b.maxGain
+	if b.prev[item] >= 0 {
+		b.next[b.prev[item]] = b.next[item]
+	} else {
+		b.first[idx] = b.next[item]
+	}
+	if b.next[item] >= 0 {
+		b.prev[b.next[item]] = b.prev[item]
+	}
+	b.in[item] = false
+	b.n--
+}
+
+// UpdateGain moves item to a new gain bucket.
+func (b *GainBucket) UpdateGain(item, gain int) {
+	if !b.in[item] {
+		panic("ds: GainBucket.UpdateGain of absent item")
+	}
+	if int(b.gain[item]) == b.clamp(gain) {
+		return
+	}
+	b.Remove(item)
+	b.Insert(item, gain)
+}
+
+// MaxItem returns the stored item with the highest gain (ties broken by
+// most-recently inserted) and that gain. ok is false when empty.
+func (b *GainBucket) MaxItem() (item, gain int, ok bool) {
+	if b.n == 0 {
+		b.top = -1
+		return 0, 0, false
+	}
+	for b.top >= 0 && b.first[b.top] < 0 {
+		b.top--
+	}
+	if b.top < 0 {
+		return 0, 0, false
+	}
+	it := b.first[b.top]
+	return int(it), b.top - b.maxGain, true
+}
+
+// Clear removes all items in O(stored) time.
+func (b *GainBucket) Clear() {
+	for i := range b.first {
+		b.first[i] = -1
+	}
+	for i := range b.in {
+		b.in[i] = false
+	}
+	b.n = 0
+	b.top = -1
+}

@@ -1,0 +1,327 @@
+// Package gen generates the synthetic workload matrices that stand in
+// for the paper's 25 University of Florida collection matrices. The
+// paper draws from 9 matrix classes; each generator below reproduces
+// the structural character of one class, deterministically from a
+// seed, so the whole evaluation is self-contained and offline.
+//
+// The two matrices the paper singles out get faithful structural
+// analogues: cage15 (DNA electrophoresis; cage matrices are de Bruijn
+// graph based) maps to the de Bruijn generator, and rgg_n_2_23_s0
+// maps to the random geometric graph generator.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// DeBruijn returns the adjacency pattern of a de Bruijn-like chain
+// over an alphabet of size alpha with word length k (n = alpha^k
+// rows): each state connects to its left- and right-shift successors
+// plus the diagonal, mimicking the cage DNA-electrophoresis matrices.
+func DeBruijn(alpha, k int) *matrix.CSR {
+	n := 1
+	for i := 0; i < k; i++ {
+		n *= alpha
+	}
+	high := n / alpha
+	var ri, ci []int32
+	for u := 0; u < n; u++ {
+		ri = append(ri, int32(u))
+		ci = append(ci, int32(u))
+		base := (u * alpha) % n
+		for s := 0; s < alpha; s++ {
+			ri = append(ri, int32(u))
+			ci = append(ci, int32(base+s))
+		}
+		rbase := u / alpha
+		for s := 0; s < alpha; s++ {
+			ri = append(ri, int32(u))
+			ci = append(ci, int32(rbase+s*high))
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// RGG returns a random geometric graph on n points in the unit
+// square: points closer than radius are connected. radiusFactor
+// scales the connectivity threshold sqrt(ln n / (pi n)); 2.0 gives an
+// almost surely connected graph with mean degree ~4 ln n. The pattern
+// is symmetric with a full diagonal.
+func RGG(n int, radiusFactor float64, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	r := radiusFactor * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
+	// Grid bucketing with cell size r: neighbours lie in the 3x3
+	// surrounding cells.
+	cells := int(1 / r)
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]int32)
+	cellOf := func(i int) [2]int {
+		cx, cy := int(xs[i]*float64(cells)), int(ys[i]*float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		bucket[c] = append(bucket[c], int32(i))
+	}
+	r2 := r * r
+	var ri, ci []int32
+	for i := 0; i < n; i++ {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(i))
+		c := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{c[0] + dx, c[1] + dy}] {
+					if int(j) <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						ri = append(ri, int32(i), j)
+						ci = append(ci, j, int32(i))
+					}
+				}
+			}
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// Mesh2D returns the 5-point (stencil=5) or 9-point (stencil=9)
+// Laplacian pattern of an nx×ny structured grid.
+func Mesh2D(nx, ny, stencil int) *matrix.CSR {
+	n := nx * ny
+	id := func(x, y int) int32 { return int32(y*nx + x) }
+	var ri, ci []int32
+	add := func(a, b int32) { ri = append(ri, a); ci = append(ci, b) }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := id(x, y)
+			add(v, v)
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				xx, yy := x+d[0], y+d[1]
+				if xx >= 0 && xx < nx && yy >= 0 && yy < ny {
+					add(v, id(xx, yy))
+				}
+			}
+			if stencil == 9 {
+				for _, d := range [][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+					xx, yy := x+d[0], y+d[1]
+					if xx >= 0 && xx < nx && yy >= 0 && yy < ny {
+						add(v, id(xx, yy))
+					}
+				}
+			}
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// Mesh3D returns the 7-point Laplacian pattern of an nx×ny×nz grid.
+func Mesh3D(nx, ny, nz int) *matrix.CSR {
+	n := nx * ny * nz
+	id := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	var ri, ci []int32
+	add := func(a, b int32) { ri = append(ri, a); ci = append(ci, b) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := id(x, y, z)
+				add(v, v)
+				for _, d := range [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+					xx, yy, zz := x+d[0], y+d[1], z+d[2]
+					if xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz {
+						add(v, id(xx, yy, zz))
+					}
+				}
+			}
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// RMAT returns a symmetrized R-MAT (Kronecker) graph pattern with 2^scale
+// vertices and roughly edgeFactor·2^scale undirected edges, using the
+// classic (0.57, 0.19, 0.19, 0.05) parameters of social-network-like
+// graphs.
+func RMAT(scale, edgeFactor int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << uint(scale)
+	m := edgeFactor * n
+	const a, b, c = 0.57, 0.19, 0.19
+	var ri, ci []int32
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			p := rng.Float64()
+			switch {
+			case p < a: // top-left
+			case p < a+b:
+				v += bit
+			case p < a+b+c:
+				u += bit
+			default:
+				u += bit
+				v += bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		ri = append(ri, int32(u), int32(v))
+		ci = append(ci, int32(v), int32(u))
+	}
+	for i := 0; i < n; i++ {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(i))
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// Banded returns a structural-mechanics-like banded pattern: full
+// diagonal plus fill drawn within the given half bandwidth at the
+// given per-row density, symmetrized.
+func Banded(n, band int, perRow int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var ri, ci []int32
+	for i := 0; i < n; i++ {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(i))
+		for k := 0; k < perRow; k++ {
+			off := 1 + rng.Intn(band)
+			j := i + off
+			if j < n {
+				ri = append(ri, int32(i), int32(j))
+				ci = append(ci, int32(j), int32(i))
+			}
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// Circuit returns a circuit-simulation-like pattern: a sparse
+// near-banded core plus a few high-degree hub rows/columns (supply
+// rails), symmetric.
+func Circuit(n, hubs int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var ri, ci []int32
+	add := func(a, b int32) {
+		ri = append(ri, a, b)
+		ci = append(ci, b, a)
+	}
+	for i := 0; i < n; i++ {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(i))
+		deg := 1 + rng.Intn(3)
+		for k := 0; k < deg; k++ {
+			j := i + 1 + rng.Intn(16)
+			if j < n {
+				add(int32(i), int32(j))
+			}
+		}
+	}
+	for h := 0; h < hubs; h++ {
+		hub := rng.Intn(n)
+		fan := n / (hubs * 4)
+		for k := 0; k < fan; k++ {
+			add(int32(hub), int32(rng.Intn(n)))
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// Web returns a directed preferential-attachment pattern with the
+// given out-degree, modelling web/link matrices (asymmetric).
+func Web(n, outDeg int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var ri, ci []int32
+	targets := make([]int32, 0, n*outDeg)
+	for i := 0; i < n; i++ {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(i))
+		for k := 0; k < outDeg; k++ {
+			var t int32
+			if i > 0 && len(targets) > 0 && rng.Float64() < 0.7 {
+				t = targets[rng.Intn(len(targets))] // preferential
+			} else if i > 0 {
+				t = int32(rng.Intn(i))
+			} else {
+				continue
+			}
+			ri = append(ri, int32(i))
+			ci = append(ci, t)
+			targets = append(targets, t, int32(i))
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// KKT returns an optimization-style saddle-point pattern
+// [[A, B^T], [B, 0]] where A is a 2D mesh Laplacian with meshN total
+// vertices and B has consRows constraint rows touching a few mesh
+// variables each.
+func KKT(meshN, consRows int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Sqrt(float64(meshN)))
+	if side < 2 {
+		side = 2
+	}
+	a := Mesh2D(side, side, 5)
+	na := a.Rows
+	n := na + consRows
+	var ri, ci []int32
+	for r := 0; r < na; r++ {
+		for _, c := range a.Row(r) {
+			ri = append(ri, int32(r))
+			ci = append(ci, c)
+		}
+	}
+	for r := 0; r < consRows; r++ {
+		row := int32(na + r)
+		ri = append(ri, row)
+		ci = append(ci, row)
+		k := 2 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			v := int32(rng.Intn(na))
+			ri = append(ri, row, v)
+			ci = append(ci, v, row)
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}
+
+// Uniform returns a uniformly random symmetric pattern with about
+// perRow off-diagonals per row, a "generic sparse" class.
+func Uniform(n, perRow int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var ri, ci []int32
+	for i := 0; i < n; i++ {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(i))
+		for k := 0; k < perRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			ri = append(ri, int32(i), int32(j))
+			ci = append(ci, int32(j), int32(i))
+		}
+	}
+	return matrix.FromCOO(n, n, ri, ci)
+}

@@ -1,0 +1,79 @@
+package graph
+
+import "math/rand"
+
+// Grid2D returns the rows×cols 4-neighbour grid graph with unit
+// weights. It is used throughout the tests as a graph whose optimal
+// partitions and distances are known analytically.
+func Grid2D(rows, cols int) *Graph {
+	n := rows * cols
+	var us, vs []int32
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				us = append(us, id(r, c), id(r, c+1))
+				vs = append(vs, id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				us = append(us, id(r, c), id(r+1, c))
+				vs = append(vs, id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return FromEdges(n, us, vs, nil, nil)
+}
+
+// Ring returns the n-cycle with unit weights.
+func Ring(n int) *Graph {
+	var us, vs []int32
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		us = append(us, int32(i), int32(j))
+		vs = append(vs, int32(j), int32(i))
+	}
+	return FromEdges(n, us, vs, nil, nil)
+}
+
+// RandomConnected returns a connected undirected graph with n vertices
+// and roughly extra additional random edges beyond a random spanning
+// tree, with edge weights in [1,maxW]. Deterministic for a given seed.
+func RandomConnected(n, extra int, maxW int64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var us, vs []int32
+	var ws []int64
+	addBoth := func(a, b int32, w int64) {
+		us = append(us, a, b)
+		vs = append(vs, b, a)
+		ws = append(ws, w, w)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := int32(perm[i])
+		b := int32(perm[rng.Intn(i)])
+		addBoth(a, b, 1+rng.Int63n(maxW))
+	}
+	for e := 0; e < extra; e++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		addBoth(a, b, 1+rng.Int63n(maxW))
+	}
+	return FromEdges(n, us, vs, ws, nil)
+}
+
+// Star returns a star graph with the hub at vertex 0 and the given
+// leaf edge weights.
+func Star(leafWeights []int64) *Graph {
+	n := len(leafWeights) + 1
+	var us, vs []int32
+	var ws []int64
+	for i, w := range leafWeights {
+		leaf := int32(i + 1)
+		us = append(us, 0, leaf)
+		vs = append(vs, leaf, 0)
+		ws = append(ws, w, w)
+	}
+	return FromEdges(n, us, vs, ws, nil)
+}

@@ -1,0 +1,274 @@
+// Package graph provides the compressed sparse row (CSR) graph type
+// shared by the partitioners, the task-graph builder and the mapping
+// algorithms, together with the traversals they rely on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted graph in CSR form. Vertices are 0..N()-1; the
+// neighbours of v are Adj[Xadj[v]:Xadj[v+1]] with matching edge weights
+// in EW. VW holds vertex weights (computation loads).
+//
+// A Graph may represent a directed or an undirected (symmetric) graph;
+// the partitioning and mapping algorithms require symmetric inputs and
+// the builders below provide symmetrization.
+type Graph struct {
+	Xadj []int32 // length N()+1
+	Adj  []int32 // length M() (directed edge count)
+	EW   []int64 // edge weights, same length as Adj (nil means unit)
+	VW   []int64 // vertex weights, length N() (nil means unit)
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Xadj) - 1 }
+
+// M returns the number of stored (directed) edges.
+func (g *Graph) M() int { return len(g.Adj) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors returns the adjacency slice of v; the caller must not
+// mutate it.
+func (g *Graph) Neighbors(v int) []int32 { return g.Adj[g.Xadj[v]:g.Xadj[v+1]] }
+
+// Weights returns the edge-weight slice aligned with Neighbors(v).
+func (g *Graph) Weights(v int) []int64 { return g.EW[g.Xadj[v]:g.Xadj[v+1]] }
+
+// VertexWeight returns VW[v], defaulting to 1 when VW is nil.
+func (g *Graph) VertexWeight(v int) int64 {
+	if g.VW == nil {
+		return 1
+	}
+	return g.VW[v]
+}
+
+// EdgeWeight returns the weight of the i-th stored edge, defaulting to
+// 1 when EW is nil.
+func (g *Graph) EdgeWeight(i int) int64 {
+	if g.EW == nil {
+		return 1
+	}
+	return g.EW[i]
+}
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int64 {
+	if g.VW == nil {
+		return int64(g.N())
+	}
+	var s int64
+	for _, w := range g.VW {
+		s += w
+	}
+	return s
+}
+
+// Validate checks structural invariants and returns a descriptive
+// error when one fails. It is used by tests and the file loaders.
+func (g *Graph) Validate() error {
+	if len(g.Xadj) == 0 {
+		return fmt.Errorf("graph: empty Xadj")
+	}
+	if g.Xadj[0] != 0 {
+		return fmt.Errorf("graph: Xadj[0] = %d, want 0", g.Xadj[0])
+	}
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if g.Xadj[v+1] < g.Xadj[v] {
+			return fmt.Errorf("graph: Xadj not monotone at %d", v)
+		}
+	}
+	if int(g.Xadj[n]) != len(g.Adj) {
+		return fmt.Errorf("graph: Xadj[n]=%d, len(Adj)=%d", g.Xadj[n], len(g.Adj))
+	}
+	if g.EW != nil && len(g.EW) != len(g.Adj) {
+		return fmt.Errorf("graph: len(EW)=%d, len(Adj)=%d", len(g.EW), len(g.Adj))
+	}
+	if g.VW != nil && len(g.VW) != n {
+		return fmt.Errorf("graph: len(VW)=%d, n=%d", len(g.VW), n)
+	}
+	for i, u := range g.Adj {
+		if u < 0 || int(u) >= n {
+			return fmt.Errorf("graph: Adj[%d]=%d out of range [0,%d)", i, u, n)
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether for every edge (u,v,w) the edge (v,u,w)
+// is also present.
+func (g *Graph) IsSymmetric() bool {
+	type key struct{ u, v int32 }
+	seen := make(map[key]int64, g.M())
+	for u := 0; u < g.N(); u++ {
+		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
+			seen[key{int32(u), g.Adj[i]}] += g.EdgeWeight(int(i))
+		}
+	}
+	for k, w := range seen {
+		if seen[key{k.v, k.u}] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// HasEdge reports whether the directed edge (u,v) is stored, using a
+// linear scan of u's adjacency.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.Neighbors(u) {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeTriple is a scratch type for the builders.
+type edgeTriple struct {
+	u, v int32
+	w    int64
+}
+
+// FromEdges builds a CSR graph with n vertices from a directed edge
+// list. Parallel edges are merged by summing weights; self loops are
+// dropped. vw may be nil for unit vertex weights.
+func FromEdges(n int, us, vs []int32, ws []int64, vw []int64) *Graph {
+	if len(us) != len(vs) || (ws != nil && len(ws) != len(us)) {
+		panic("graph: FromEdges length mismatch")
+	}
+	triples := make([]edgeTriple, 0, len(us))
+	for i := range us {
+		if us[i] == vs[i] {
+			continue
+		}
+		w := int64(1)
+		if ws != nil {
+			w = ws[i]
+		}
+		triples = append(triples, edgeTriple{us[i], vs[i], w})
+	}
+	return fromTriples(n, triples, vw)
+}
+
+func fromTriples(n int, triples []edgeTriple, vw []int64) *Graph {
+	sort.Slice(triples, func(i, j int) bool {
+		if triples[i].u != triples[j].u {
+			return triples[i].u < triples[j].u
+		}
+		return triples[i].v < triples[j].v
+	})
+	// Merge duplicates.
+	out := triples[:0]
+	for _, t := range triples {
+		if len(out) > 0 && out[len(out)-1].u == t.u && out[len(out)-1].v == t.v {
+			out[len(out)-1].w += t.w
+			continue
+		}
+		out = append(out, t)
+	}
+	g := &Graph{
+		Xadj: make([]int32, n+1),
+		Adj:  make([]int32, len(out)),
+		EW:   make([]int64, len(out)),
+		VW:   vw,
+	}
+	for _, t := range out {
+		g.Xadj[t.u+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.Xadj[v+1] += g.Xadj[v]
+	}
+	for i, t := range out {
+		g.Adj[i] = t.v
+		g.EW[i] = t.w
+	}
+	return g
+}
+
+// Symmetrize returns the undirected version of g: for every directed
+// edge (u,v,w) the result has both (u,v) and (v,u) with weight equal to
+// w(u,v)+w(v,u). Vertex weights are preserved. Self loops are dropped.
+// This implements the symmetric-cost view c(t1,t2) the paper's mapping
+// algorithms assume (WH is an undirected metric).
+func (g *Graph) Symmetrize() *Graph {
+	triples := make([]edgeTriple, 0, 2*g.M())
+	for u := 0; u < g.N(); u++ {
+		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
+			v := g.Adj[i]
+			if int32(u) == v {
+				continue
+			}
+			w := g.EdgeWeight(int(i))
+			triples = append(triples, edgeTriple{int32(u), v, w}, edgeTriple{v, int32(u), w})
+		}
+	}
+	var vw []int64
+	if g.VW != nil {
+		vw = append([]int64(nil), g.VW...)
+	}
+	return fromTriples(g.N(), triples, vw)
+}
+
+// InducedSubgraph returns the subgraph on the given vertices (in the
+// given order) plus the mapping from old ids to new ids (-1 when
+// excluded). Edges with an excluded endpoint are dropped.
+func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32) {
+	remap := make([]int32, g.N())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range vertices {
+		remap[v] = int32(i)
+	}
+	var triples []edgeTriple
+	for _, v := range vertices {
+		nv := remap[v]
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := remap[g.Adj[i]]
+			if u >= 0 {
+				triples = append(triples, edgeTriple{nv, u, g.EdgeWeight(int(i))})
+			}
+		}
+	}
+	var vw []int64
+	if g.VW != nil {
+		vw = make([]int64, len(vertices))
+		for i, v := range vertices {
+			vw[i] = g.VW[v]
+		}
+	}
+	return fromTriples(len(vertices), triples, vw), remap
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Xadj: append([]int32(nil), g.Xadj...),
+		Adj:  append([]int32(nil), g.Adj...),
+	}
+	if g.EW != nil {
+		c.EW = append([]int64(nil), g.EW...)
+	}
+	if g.VW != nil {
+		c.VW = append([]int64(nil), g.VW...)
+	}
+	return c
+}
+
+// TotalEdgeWeight returns the sum of stored edge weights (each
+// undirected edge counted twice in a symmetric graph).
+func (g *Graph) TotalEdgeWeight() int64 {
+	if g.EW == nil {
+		return int64(g.M())
+	}
+	var s int64
+	for _, w := range g.EW {
+		s += w
+	}
+	return s
+}

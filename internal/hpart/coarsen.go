@@ -1,0 +1,129 @@
+package hpart
+
+import (
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// matchHCM computes a heavy-connectivity matching: each vertex pairs
+// with the unmatched vertex sharing the largest total net-cost
+// weighted by 1/(netsize-1), the classic PaToH scoring. Nets larger
+// than opt.MaxNetSize are ignored for matching. Returns the coarse
+// map and coarse vertex count.
+func matchHCM(h *hypergraph.H, opt Options, rng *rand.Rand) ([]int32, int) {
+	n := h.NV
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Scratch: score per candidate vertex, with a touched list.
+	score := make([]float64, n)
+	touched := make([]int32, 0, 64)
+	order := rng.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		touched = touched[:0]
+		for _, nn := range h.VertexNets(int(v)) {
+			size := h.NetSize(int(nn))
+			if size < 2 || size > opt.MaxNetSize {
+				continue
+			}
+			w := float64(h.Cost(int(nn))) / float64(size-1)
+			for _, u := range h.Pin(int(nn)) {
+				if u == v || match[u] >= 0 {
+					continue
+				}
+				if score[u] == 0 {
+					touched = append(touched, u)
+				}
+				score[u] += w
+			}
+		}
+		var best int32 = -1
+		bestScore := 0.0
+		for _, u := range touched {
+			if score[u] > bestScore {
+				best, bestScore = u, score[u]
+			}
+			score[u] = 0
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	nc := int32(0)
+	for v := 0; v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = nc
+		if m := match[v]; m >= 0 && int(m) != v {
+			cmap[m] = nc
+		}
+		nc++
+	}
+	return cmap, int(nc)
+}
+
+// contract builds the coarse hypergraph: vertex weights are summed,
+// pins remapped and deduplicated, single-pin nets dropped.
+func contract(h *hypergraph.H, cmap []int32, nc int) *hypergraph.H {
+	vw := make([]int64, nc)
+	for v := 0; v < h.NV; v++ {
+		vw[cmap[v]] += h.VW[v]
+	}
+	var nets [][]int32
+	var costs []int64
+	seen := make([]int32, nc)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for n := 0; n < h.NN; n++ {
+		var pins []int32
+		for _, v := range h.Pin(n) {
+			cv := cmap[v]
+			if seen[cv] != int32(n) {
+				seen[cv] = int32(n)
+				pins = append(pins, cv)
+			}
+		}
+		if len(pins) >= 2 {
+			nets = append(nets, pins)
+			costs = append(costs, h.Cost(n))
+		}
+	}
+	return hypergraph.Build(nc, nets, vw, costs)
+}
+
+type level struct {
+	h    *hypergraph.H
+	cmap []int32
+}
+
+// coarsen builds the multilevel hierarchy.
+func coarsen(h *hypergraph.H, opt Options, rng *rand.Rand) []level {
+	levels := []level{{h: h}}
+	cur := h
+	for cur.NV > opt.CoarsenTo {
+		cmap, nc := matchHCM(cur, opt, rng)
+		if float64(nc) > 0.95*float64(cur.NV) {
+			break
+		}
+		next := contract(cur, cmap, nc)
+		levels[len(levels)-1].cmap = cmap
+		levels = append(levels, level{h: next})
+		cur = next
+	}
+	return levels
+}

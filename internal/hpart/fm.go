@@ -1,0 +1,263 @@
+package hpart
+
+import (
+	"math/rand"
+
+	"repro/internal/ds"
+	"repro/internal/hypergraph"
+)
+
+// bisect runs the multilevel 2-way pipeline on h with target weights
+// tw and returns the side per vertex.
+func bisect(h *hypergraph.H, tw [2]int64, opt Options, rng *rand.Rand) []int8 {
+	if h.NV == 0 {
+		return nil
+	}
+	levels := coarsen(h, opt, rng)
+	coarsest := levels[len(levels)-1].h
+	side := initialBisection(coarsest, tw, opt, rng)
+	refine(coarsest, side, tw, opt)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		fineSide := make([]int8, fine.h.NV)
+		for v := 0; v < fine.h.NV; v++ {
+			fineSide[v] = side[fine.cmap[v]]
+		}
+		side = fineSide
+		refine(fine.h, side, tw, opt)
+	}
+	return side
+}
+
+// initialBisection tries several net-aware greedy growings and keeps
+// the best feasible/lowest-cut result.
+func initialBisection(h *hypergraph.H, tw [2]int64, opt Options, rng *rand.Rand) []int8 {
+	var best []int8
+	var bestCut int64
+	bestFeasible := false
+	for run := 0; run < opt.InitRuns; run++ {
+		side := growBisection(h, tw, rng)
+		w := weightsOf(h, side)
+		feasible := w[0] <= maxAllowed(tw[0], opt.Imbalance) && w[1] <= maxAllowed(tw[1], opt.Imbalance)
+		cut := Cut(h, side)
+		better := best == nil || (feasible && !bestFeasible) ||
+			(feasible == bestFeasible && cut < bestCut)
+		if better {
+			best, bestCut, bestFeasible = side, cut, feasible
+		}
+	}
+	return best
+}
+
+// growBisection grows part 0 from a random seed, preferring vertices
+// that share nets with the growing part (a BFS over the net
+// structure), until the target weight share is reached.
+func growBisection(h *hypergraph.H, tw [2]int64, rng *rand.Rand) []int8 {
+	n := h.NV
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	total := h.TotalVertexWeight()
+	want := int64(float64(total) * float64(tw[0]) / float64(tw[0]+tw[1]))
+	if want <= 0 {
+		return side
+	}
+	var w0 int64
+	q := ds.NewQueue(64)
+	inPart := make([]bool, n)
+	queued := make([]bool, n)
+	add := func(v int32) {
+		inPart[v] = true
+		side[v] = 0
+		w0 += h.VW[v]
+		for _, nn := range h.VertexNets(int(v)) {
+			for _, u := range h.Pin(int(nn)) {
+				if !inPart[u] && !queued[u] {
+					queued[u] = true
+					q.Push(int(u))
+				}
+			}
+		}
+	}
+	for w0 < want {
+		if q.Len() == 0 {
+			seed := -1
+			start := rng.Intn(n)
+			for off := 0; off < n; off++ {
+				v := (start + off) % n
+				if !inPart[v] {
+					seed = v
+					break
+				}
+			}
+			if seed < 0 {
+				break
+			}
+			add(int32(seed))
+			continue
+		}
+		v := q.Pop()
+		if inPart[v] {
+			continue
+		}
+		add(int32(v))
+	}
+	return side
+}
+
+// refine runs FM passes until no pass helps.
+func refine(h *hypergraph.H, side []int8, tw [2]int64, opt Options) {
+	for pass := 0; pass < opt.FMPasses; pass++ {
+		if !fmPass(h, side, tw, opt) {
+			return
+		}
+	}
+}
+
+// fmPass is one 2-way hypergraph FM pass with best-prefix rollback.
+// pins[s][n] counts the pins of net n on side s.
+func fmPass(h *hypergraph.H, side []int8, tw [2]int64, opt Options) bool {
+	n := h.NV
+	maxW := [2]int64{maxAllowed(tw[0], opt.Imbalance), maxAllowed(tw[1], opt.Imbalance)}
+	w := weightsOf(h, side)
+
+	pins := [2][]int32{make([]int32, h.NN), make([]int32, h.NN)}
+	for nn := 0; nn < h.NN; nn++ {
+		for _, v := range h.Pin(nn) {
+			pins[side[v]][nn]++
+		}
+	}
+	gainOf := func(v int) int64 {
+		var g int64
+		s := side[v]
+		for _, nn := range h.VertexNets(v) {
+			c := h.Cost(int(nn))
+			if pins[s][nn] == 1 && pins[1-s][nn] > 0 {
+				g += c // move uncuts the net
+			} else if pins[s][nn] > 1 && pins[1-s][nn] == 0 {
+				g -= c // move cuts the net
+			}
+		}
+		return g
+	}
+
+	heaps := [2]*ds.IndexedMaxHeap{ds.NewIndexedMaxHeap(n), ds.NewIndexedMaxHeap(n)}
+	locked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		heaps[side[v]].Push(v, gainOf(v))
+	}
+
+	type move struct {
+		v    int32
+		from int8
+	}
+	var history []move
+	var gainSum, bestSum int64
+	bestPrefix := 0
+	negStreak := 0
+	imbalanced := w[0] > maxW[0] || w[1] > maxW[1]
+	stamp := make([]int32, n) // dedupe gain recomputation per move
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	moveID := int32(0)
+
+moves:
+	for heaps[0].Len()+heaps[1].Len() > 0 {
+		var from int
+		switch {
+		case w[0] > maxW[0]:
+			from = 0
+		case w[1] > maxW[1]:
+			from = 1
+		default:
+			from = -1
+			var bestGain int64
+			for s := 0; s < 2; s++ {
+				if heaps[s].Len() == 0 {
+					continue
+				}
+				v, gkey := heaps[s].Peek()
+				if w[1-s]+h.VW[v] > maxW[1-s] {
+					continue
+				}
+				if from < 0 || gkey > bestGain {
+					from, bestGain = s, gkey
+				}
+			}
+			if from < 0 {
+				break moves
+			}
+		}
+		if heaps[from].Len() == 0 {
+			break
+		}
+		v, gkey := heaps[from].Pop()
+		if !imbalanced && w[1-from]+h.VW[v] > maxW[1-from] {
+			locked[v] = true
+			continue
+		}
+		to := 1 - from
+		side[v] = int8(to)
+		w[from] -= h.VW[v]
+		w[to] += h.VW[v]
+		locked[v] = true
+		gainSum += gkey
+		history = append(history, move{int32(v), int8(from)})
+
+		// Update net pin counts; collect pins whose gains may change
+		// (only nets near criticality matter, and huge nets are
+		// skipped as in PaToH).
+		for _, nn := range h.VertexNets(v) {
+			critical := pins[from][nn] <= 2 || pins[to][nn] <= 1
+			pins[from][nn]--
+			pins[to][nn]++
+			if !critical || h.NetSize(int(nn)) > opt.MaxNetSize {
+				continue
+			}
+			for _, u := range h.Pin(int(nn)) {
+				if locked[u] || stamp[u] == moveID {
+					continue
+				}
+				stamp[u] = moveID
+				heaps[side[u]].Update(int(u), gainOf(int(u)))
+			}
+		}
+		moveID++
+
+		nowFeasible := w[0] <= maxW[0] && w[1] <= maxW[1]
+		if gainSum > bestSum || (imbalanced && nowFeasible) {
+			bestSum = gainSum
+			bestPrefix = len(history)
+			if nowFeasible {
+				imbalanced = false
+			}
+			negStreak = 0
+		} else {
+			negStreak++
+			if negStreak > opt.MaxNegMoves {
+				break
+			}
+		}
+	}
+	// Roll back past the best prefix (pin counts need no restoration:
+	// the pass is over and they are rebuilt next pass).
+	for i := len(history) - 1; i >= bestPrefix; i-- {
+		m := history[i]
+		side[m.v] = m.from
+	}
+	return bestSum > 0 || bestPrefix > 0 && bestSum >= 0
+}
+
+func maxAllowed(target int64, eps float64) int64 {
+	return int64(float64(target) * (1 + eps))
+}
+
+func weightsOf(h *hypergraph.H, side []int8) [2]int64 {
+	var w [2]int64
+	for v := 0; v < h.NV; v++ {
+		w[side[v]] += h.VW[v]
+	}
+	return w
+}

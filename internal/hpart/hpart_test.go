@@ -1,0 +1,250 @@
+package hpart
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+func meshHG(nx, ny int) *hypergraph.H {
+	return hypergraph.ColumnNet(gen.Mesh2D(nx, ny, 5))
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	h := meshHG(16, 16)
+	for _, k := range []int{2, 4, 8} {
+		part, err := Partition(h, k, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := PartWeights(h, part, k)
+		total := h.TotalVertexWeight()
+		for p, ww := range w {
+			limit := int64(float64(total/int64(k)) * 1.10)
+			if ww > limit {
+				t.Fatalf("k=%d part %d weight %d > %d", k, p, ww, limit)
+			}
+		}
+	}
+}
+
+func TestPartitionConnectivityQuality(t *testing.T) {
+	// Partitioned 16x16 mesh: the hypergraph TV should be far below a
+	// random assignment's.
+	h := meshHG(16, 16)
+	const k = 4
+	part, err := Partition(h, k, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := h.Connectivity(part, k)
+	random := make([]int32, h.NV)
+	for i := range random {
+		random[i] = int32(i % k)
+	}
+	tvRandom := h.Connectivity(random, k)
+	if tv*3 > tvRandom {
+		t.Fatalf("partitioner TV %d not clearly better than random %d", tv, tvRandom)
+	}
+}
+
+func TestBisectEqualsConnectivityOnCut(t *testing.T) {
+	// For k=2 the connectivity-1 equals the cut-net metric.
+	h := meshHG(12, 12)
+	part, err := Partition(h, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := make([]int8, h.NV)
+	for v, p := range part {
+		side[v] = int8(p)
+	}
+	if got, want := Cut(h, side), h.Connectivity(part, 2); got != want {
+		t.Fatalf("Cut %d != Connectivity %d", got, want)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	h := hypergraph.ColumnNet(gen.Uniform(500, 4, 9))
+	p1, err := Partition(h, 8, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Partition(h, 8, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed gave different partitions")
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	h := meshHG(4, 4)
+	if _, err := PartitionTargets(h, nil, Options{}); err == nil {
+		t.Fatal("want error for no targets")
+	}
+	if _, err := PartitionTargets(h, []int64{-3}, Options{}); err == nil {
+		t.Fatal("want error for negative target")
+	}
+}
+
+func TestSubHypergraphDropsTrivialNets(t *testing.T) {
+	// Net {0,1,2}: restricted to {0} it must disappear.
+	h := hypergraph.Build(3, [][]int32{{0, 1, 2}, {0, 1}}, nil, nil)
+	sub := subHypergraph(h, []int32{0})
+	if sub.NV != 1 || sub.NN != 0 {
+		t.Fatalf("sub NV=%d NN=%d, want 1,0", sub.NV, sub.NN)
+	}
+	sub2 := subHypergraph(h, []int32{0, 1})
+	if sub2.NN != 2 {
+		t.Fatalf("sub2 NN=%d, want 2 (both nets have 2 pins on this side)", sub2.NN)
+	}
+}
+
+func TestMeasureKWaySmall(t *testing.T) {
+	// 4 vertices, nets: n0={0,1} owner 0, n1={1,2} owner 1, n2={2,3}
+	// owner 2, n3={3,0} owner 3. Partition {0,1} {2,3}.
+	h := hypergraph.Build(4, [][]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, nil, nil)
+	owner := []int32{0, 1, 2, 3}
+	part := []int32{0, 0, 1, 1}
+	m := MeasureKWay(h, part, 2, owner)
+	// Cut nets: n1 (owner part 0, covers part 1), n3 (owner part 1,
+	// covers part 0). TV=2, TM=2, MSV=1, MSM=1.
+	if m.TV != 2 || m.TM != 2 || m.MSV != 1 || m.MSM != 1 {
+		t.Fatalf("metrics = %+v, want TV=2 TM=2 MSV=1 MSM=1", m)
+	}
+}
+
+func TestMeasureKWayMatchesConnectivity(t *testing.T) {
+	h := hypergraph.ColumnNet(gen.Uniform(300, 4, 11))
+	owner := make([]int32, h.NN)
+	for i := range owner {
+		owner[i] = int32(i)
+	}
+	const k = 8
+	part := make([]int32, h.NV)
+	for i := range part {
+		part[i] = int32((i * 7) % k)
+	}
+	m := MeasureKWay(h, part, k, owner)
+	if want := h.Connectivity(part, k); m.TV != want {
+		t.Fatalf("kstate TV %d != Connectivity %d", m.TV, want)
+	}
+}
+
+func TestKStateMoveRevert(t *testing.T) {
+	h := hypergraph.ColumnNet(gen.Mesh2D(8, 8, 5))
+	owner := make([]int32, h.NN)
+	for i := range owner {
+		owner[i] = int32(i)
+	}
+	const k = 4
+	part := make([]int32, h.NV)
+	for i := range part {
+		part[i] = int32(i % k)
+	}
+	s := newKState(h, append([]int32(nil), part...), k, owner)
+	before := s.metrics()
+	// Move a few vertices and move them back; metrics must be restored.
+	for _, v := range []int32{0, 5, 17, 33} {
+		orig := s.part[v]
+		s.move(v, (orig+1)%k)
+		s.move(v, (orig+2)%k)
+		s.move(v, orig)
+	}
+	after := s.metrics()
+	if before != after {
+		t.Fatalf("move/revert not exact: before %+v after %+v", before, after)
+	}
+	// And the state must agree with a fresh computation.
+	fresh := MeasureKWay(h, s.part, k, owner)
+	if fresh != after {
+		t.Fatalf("incremental %+v != fresh %+v", after, fresh)
+	}
+}
+
+func TestKStateIncrementalAgainstFresh(t *testing.T) {
+	h := hypergraph.ColumnNet(gen.Uniform(120, 3, 13))
+	owner := make([]int32, h.NN)
+	for i := range owner {
+		owner[i] = int32(i)
+	}
+	const k = 5
+	part := make([]int32, h.NV)
+	for i := range part {
+		part[i] = int32(i % k)
+	}
+	s := newKState(h, part, k, owner)
+	// A pseudo-random walk of moves; after each, fresh must match.
+	rngState := int64(12345)
+	for step := 0; step < 100; step++ {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		v := int32(uint64(rngState) >> 33 % uint64(h.NV))
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		q := int32(uint64(rngState) >> 33 % uint64(k))
+		s.move(v, q)
+		if step%10 == 0 {
+			fresh := MeasureKWay(h, s.part, k, owner)
+			if got := s.metrics(); got != fresh {
+				t.Fatalf("step %d: incremental %+v != fresh %+v", step, got, fresh)
+			}
+		}
+	}
+}
+
+func TestRefineObjectivesImprovesMSV(t *testing.T) {
+	h := hypergraph.ColumnNet(gen.Uniform(400, 4, 17))
+	owner := make([]int32, h.NN)
+	for i := range owner {
+		owner[i] = int32(i)
+	}
+	const k = 8
+	part, err := Partition(h, k, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]int64, k)
+	total := h.TotalVertexWeight()
+	for i := range targets {
+		targets[i] = total / int64(k)
+	}
+	before := MeasureKWay(h, part, k, owner)
+	refined := append([]int32(nil), part...)
+	moves := RefineObjectives(h, refined, k, owner, StackMV, targets, 0.10, 4)
+	after := MeasureKWay(h, refined, k, owner)
+	if moves > 0 && after.MSV > before.MSV {
+		t.Fatalf("MSV refinement made MSV worse: %d -> %d", before.MSV, after.MSV)
+	}
+	if after.MSV > before.MSV || (after.MSV == before.MSV && after.TV > before.TV) {
+		t.Fatalf("objective stack regressed: before %+v after %+v", before, after)
+	}
+}
+
+func TestRefineObjectivesRespectsBalance(t *testing.T) {
+	h := hypergraph.ColumnNet(gen.Mesh2D(10, 10, 5))
+	owner := make([]int32, h.NN)
+	for i := range owner {
+		owner[i] = int32(i)
+	}
+	const k = 4
+	part, err := Partition(h, k, Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]int64, k)
+	total := h.TotalVertexWeight()
+	for i := range targets {
+		targets[i] = total / int64(k)
+	}
+	RefineObjectives(h, part, k, owner, StackTM, targets, 0.10, 3)
+	w := PartWeights(h, part, k)
+	for p, ww := range w {
+		if ww > maxAllowed(targets[p], 0.101) {
+			t.Fatalf("part %d weight %d violates balance", p, ww)
+		}
+	}
+}

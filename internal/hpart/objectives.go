@@ -1,0 +1,339 @@
+package hpart
+
+import (
+	"repro/internal/ds"
+	"repro/internal/hypergraph"
+)
+
+// Objective identifies one of the communication metrics the
+// multi-objective UMPA partitioner variants optimize (§IV-A): the
+// total volume TV, the total message count TM, the maximum per-part
+// send volume MSV and the maximum per-part sent message count MSM.
+type Objective int
+
+// Objectives, in the paper's notation.
+const (
+	ObjTV Objective = iota
+	ObjTM
+	ObjMSV
+	ObjMSM
+)
+
+// Objective stacks of the three UMPA personalities (primary first;
+// §IV-A: UMPA-MV minimizes MSV and TV; UMPA-MM minimizes MSM, TM and
+// TV; UMPA-TM minimizes TM and TV).
+var (
+	StackMV = []Objective{ObjMSV, ObjTV}
+	StackMM = []Objective{ObjMSM, ObjTM, ObjTV}
+	StackTM = []Objective{ObjTM, ObjTV}
+)
+
+// PartMetrics summarizes the communication metrics of a k-way
+// hypergraph partition under the owner model: net n is "sent" by the
+// part of its owner vertex to every other part covering the net.
+type PartMetrics struct {
+	TV  int64
+	TM  int64
+	MSV int64
+	MSM int64
+}
+
+// partCount is one (part, pins) entry of a net's coverage list.
+type partCount struct {
+	part, cnt int32
+}
+
+// kstate tracks a k-way partition's communication metrics under
+// single-vertex moves, exactly and incrementally.
+type kstate struct {
+	h     *hypergraph.H
+	k     int
+	part  []int32
+	owner []int32   // owner vertex per net
+	owned [][]int32 // nets owned per vertex
+
+	netParts [][]partCount
+	lambda   []int32
+	tv       int64
+	tm       int64
+	msg      map[int64]int32 // senderPart*k+destPart -> covering net count
+	svHeap   *ds.IndexedMaxHeap
+	smHeap   *ds.IndexedMaxHeap
+	weights  []int64
+}
+
+func newKState(h *hypergraph.H, part []int32, k int, owner []int32) *kstate {
+	s := &kstate{
+		h:        h,
+		k:        k,
+		part:     part,
+		owner:    owner,
+		owned:    make([][]int32, h.NV),
+		netParts: make([][]partCount, h.NN),
+		lambda:   make([]int32, h.NN),
+		msg:      make(map[int64]int32),
+		svHeap:   ds.NewIndexedMaxHeap(k),
+		smHeap:   ds.NewIndexedMaxHeap(k),
+		weights:  make([]int64, k),
+	}
+	for p := 0; p < k; p++ {
+		s.svHeap.Push(p, 0)
+		s.smHeap.Push(p, 0)
+	}
+	for v := 0; v < h.NV; v++ {
+		s.weights[part[v]] += h.VW[v]
+	}
+	for n := 0; n < h.NN; n++ {
+		s.owned[owner[n]] = append(s.owned[owner[n]], int32(n))
+		for _, v := range h.Pin(n) {
+			s.addPin(int32(n), part[v])
+		}
+		po := part[owner[n]]
+		cost := h.Cost(n)
+		s.svHeap.Add(int(po), cost*int64(s.lambda[n]-1))
+		s.tv += cost * int64(s.lambda[n]-1)
+		for _, pc := range s.netParts[n] {
+			if pc.part != po {
+				s.msgIncr(po, pc.part)
+			}
+		}
+	}
+	return s
+}
+
+// addPin registers one pin of net n in part p (init only: no metric
+// side effects beyond lambda).
+func (s *kstate) addPin(n, p int32) {
+	for i := range s.netParts[n] {
+		if s.netParts[n][i].part == p {
+			s.netParts[n][i].cnt++
+			return
+		}
+	}
+	s.netParts[n] = append(s.netParts[n], partCount{p, 1})
+	s.lambda[n]++
+}
+
+func (s *kstate) msgIncr(a, b int32) {
+	key := int64(a)*int64(s.k) + int64(b)
+	if s.msg[key] == 0 {
+		s.smHeap.Add(int(a), 1)
+		s.tm++
+	}
+	s.msg[key]++
+}
+
+func (s *kstate) msgDecr(a, b int32) {
+	key := int64(a)*int64(s.k) + int64(b)
+	s.msg[key]--
+	if s.msg[key] == 0 {
+		delete(s.msg, key)
+		s.smHeap.Add(int(a), -1)
+		s.tm--
+	}
+}
+
+// pinDelta moves one pin of net n from part "from" to part "to",
+// maintaining lambda, TV, SV and messages. When the net is owned by
+// the moving vertex itself, owner-side bookkeeping is suspended
+// (handled by the caller around the move).
+func (s *kstate) pinDelta(n, from, to int32, skipOwner bool) {
+	cost := s.h.Cost(int(n))
+	var po int32 = -1
+	if !skipOwner {
+		po = s.part[s.owner[n]]
+	}
+	// Remove from "from".
+	for i := range s.netParts[n] {
+		if s.netParts[n][i].part == from {
+			s.netParts[n][i].cnt--
+			if s.netParts[n][i].cnt == 0 {
+				last := len(s.netParts[n]) - 1
+				s.netParts[n][i] = s.netParts[n][last]
+				s.netParts[n] = s.netParts[n][:last]
+				s.lambda[n]--
+				s.tv -= cost
+				if !skipOwner {
+					s.svHeap.Add(int(po), -cost)
+					if from != po {
+						s.msgDecr(po, from)
+					}
+				}
+			}
+			break
+		}
+	}
+	// Add to "to".
+	present := false
+	for i := range s.netParts[n] {
+		if s.netParts[n][i].part == to {
+			s.netParts[n][i].cnt++
+			present = true
+			break
+		}
+	}
+	if !present {
+		s.netParts[n] = append(s.netParts[n], partCount{to, 1})
+		s.lambda[n]++
+		s.tv += cost
+		if !skipOwner {
+			s.svHeap.Add(int(po), cost)
+			if to != po {
+				s.msgIncr(po, to)
+			}
+		}
+	}
+}
+
+// move relocates vertex v to part b, updating every metric exactly.
+func (s *kstate) move(v int32, b int32) {
+	a := s.part[v]
+	if a == b {
+		return
+	}
+	// Detach owner contributions of nets owned by v.
+	for _, n := range s.owned[v] {
+		cost := s.h.Cost(int(n))
+		s.svHeap.Add(int(a), -cost*int64(s.lambda[n]-1))
+		for _, pc := range s.netParts[n] {
+			if pc.part != a {
+				s.msgDecr(a, pc.part)
+			}
+		}
+	}
+	ownedSet := make(map[int32]bool, len(s.owned[v]))
+	for _, n := range s.owned[v] {
+		ownedSet[n] = true
+	}
+	// Move the pins.
+	for _, n := range s.h.VertexNets(int(v)) {
+		s.pinDelta(n, a, b, ownedSet[n])
+	}
+	s.part[v] = b
+	s.weights[a] -= s.h.VW[v]
+	s.weights[b] += s.h.VW[v]
+	// Reattach owner contributions at the new part.
+	for _, n := range s.owned[v] {
+		cost := s.h.Cost(int(n))
+		s.svHeap.Add(int(b), cost*int64(s.lambda[n]-1))
+		for _, pc := range s.netParts[n] {
+			if pc.part != b {
+				s.msgIncr(b, pc.part)
+			}
+		}
+	}
+}
+
+// metrics snapshots the current metric values.
+func (s *kstate) metrics() PartMetrics {
+	_, msv := s.svHeap.Peek()
+	_, msm := s.smHeap.Peek()
+	return PartMetrics{TV: s.tv, TM: s.tm, MSV: msv, MSM: msm}
+}
+
+// vec projects the metrics onto an objective stack.
+func (m PartMetrics) vec(objs []Objective) [4]int64 {
+	var out [4]int64
+	for i, o := range objs {
+		switch o {
+		case ObjTV:
+			out[i] = m.TV
+		case ObjTM:
+			out[i] = m.TM
+		case ObjMSV:
+			out[i] = m.MSV
+		case ObjMSM:
+			out[i] = m.MSM
+		}
+	}
+	return out
+}
+
+func lexLess(a, b [4]int64, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// MeasureKWay computes the partition communication metrics of part
+// under the owner model without any refinement.
+func MeasureKWay(h *hypergraph.H, part []int32, k int, owner []int32) PartMetrics {
+	s := newKState(h, append([]int32(nil), part...), k, owner)
+	return s.metrics()
+}
+
+// RefineObjectives runs move-based multi-objective refinement passes
+// over the boundary vertices: a move is kept only when it improves
+// the objective stack lexicographically while respecting the balance
+// constraint. This reproduces the directed refinement of the UMPA
+// partitioner variants. It mutates part and returns the number of
+// improving moves applied.
+func RefineObjectives(h *hypergraph.H, part []int32, k int, owner []int32, objs []Objective, targets []int64, eps float64, maxPasses int) int {
+	s := newKState(h, part, k, owner)
+	nObj := len(objs)
+	maxW := make([]int64, k)
+	for p := 0; p < k; p++ {
+		maxW[p] = maxAllowed(targets[p], eps)
+	}
+	moves := 0
+	cands := make([]int32, 0, 8)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for v := 0; v < h.NV; v++ {
+			a := s.part[v]
+			// Candidate destinations: parts sharing a net with v.
+			cands = cands[:0]
+			for _, n := range h.VertexNets(v) {
+				if s.lambda[n] < 2 {
+					continue
+				}
+				for _, pc := range s.netParts[n] {
+					if pc.part == a {
+						continue
+					}
+					dup := false
+					for _, c := range cands {
+						if c == pc.part {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						cands = append(cands, pc.part)
+						if len(cands) == cap(cands) {
+							break
+						}
+					}
+				}
+				if len(cands) == cap(cands) {
+					break
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			base := s.metrics().vec(objs)
+			vw := h.VW[v]
+			for _, q := range cands {
+				if s.weights[q]+vw > maxW[q] {
+					continue
+				}
+				s.move(int32(v), q)
+				now := s.metrics().vec(objs)
+				if lexLess(now, base, nObj) {
+					improved = true
+					moves++
+					break
+				}
+				s.move(int32(v), a) // revert
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}

@@ -1,0 +1,259 @@
+// Package hypergraph provides the column-net hypergraph model the
+// paper's partitioning phase uses (§IV-A): for a sparse matrix, the
+// rows become vertices (tasks, weighted by their nonzero counts) and
+// every column becomes a net connecting the rows with a nonzero in
+// that column. Partitioning this hypergraph with the connectivity-1
+// objective minimizes the total communication volume of 1D row-wise
+// SpMV.
+package hypergraph
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// H is a hypergraph in dual CSR form: Pins lists the vertices of each
+// net, and the vertex-to-net incidence is kept as well for traversal.
+type H struct {
+	NV int // number of vertices
+	NN int // number of nets
+
+	// Net -> pins.
+	NetPtr []int32
+	Pins   []int32
+
+	// Vertex -> incident nets.
+	VtxPtr []int32
+	Nets   []int32
+
+	// Weights.
+	VW      []int64 // vertex weights (len NV)
+	NetCost []int64 // net costs (len NN), nil = unit
+}
+
+// Pin returns the vertices of net n.
+func (h *H) Pin(n int) []int32 { return h.Pins[h.NetPtr[n]:h.NetPtr[n+1]] }
+
+// VertexNets returns the nets incident to vertex v.
+func (h *H) VertexNets(v int) []int32 { return h.Nets[h.VtxPtr[v]:h.VtxPtr[v+1]] }
+
+// NetSize returns the number of pins of net n.
+func (h *H) NetSize(n int) int { return int(h.NetPtr[n+1] - h.NetPtr[n]) }
+
+// Cost returns the cost of net n (1 when NetCost is nil).
+func (h *H) Cost(n int) int64 {
+	if h.NetCost == nil {
+		return 1
+	}
+	return h.NetCost[n]
+}
+
+// TotalVertexWeight returns the sum of vertex weights.
+func (h *H) TotalVertexWeight() int64 {
+	var s int64
+	for _, w := range h.VW {
+		s += w
+	}
+	return s
+}
+
+// Validate checks the structural invariants, including the mutual
+// consistency of the two incidence directions.
+func (h *H) Validate() error {
+	if len(h.NetPtr) != h.NN+1 || len(h.VtxPtr) != h.NV+1 {
+		return fmt.Errorf("hypergraph: pointer array sizes wrong")
+	}
+	if len(h.VW) != h.NV {
+		return fmt.Errorf("hypergraph: len(VW)=%d, NV=%d", len(h.VW), h.NV)
+	}
+	pinCount := 0
+	for n := 0; n < h.NN; n++ {
+		if h.NetPtr[n+1] < h.NetPtr[n] {
+			return fmt.Errorf("hypergraph: NetPtr not monotone at %d", n)
+		}
+		for _, v := range h.Pin(n) {
+			if v < 0 || int(v) >= h.NV {
+				return fmt.Errorf("hypergraph: pin %d of net %d out of range", v, n)
+			}
+			pinCount++
+		}
+	}
+	backCount := 0
+	for v := 0; v < h.NV; v++ {
+		for _, n := range h.VertexNets(v) {
+			if n < 0 || int(n) >= h.NN {
+				return fmt.Errorf("hypergraph: net %d of vertex %d out of range", n, v)
+			}
+			backCount++
+		}
+	}
+	if pinCount != backCount {
+		return fmt.Errorf("hypergraph: %d pins but %d vertex-net incidences", pinCount, backCount)
+	}
+	return nil
+}
+
+// ColumnNet builds the column-net hypergraph of a square sparse
+// matrix: vertex i is row i with weight = nonzeros of row i (its SpMV
+// computation load); net j connects the rows with a nonzero in column
+// j plus row j itself (the owner of x_j, which is the source of the
+// communication the net models). Nets with fewer than two pins are
+// kept — they simply never contribute to connectivity.
+func ColumnNet(m *matrix.CSR) *H {
+	if m.Rows != m.Cols {
+		panic("hypergraph: ColumnNet requires a square matrix")
+	}
+	n := m.Rows
+	h := &H{NV: n, NN: n}
+	// Build nets: pins of net j = {j} ∪ {i : a_ij ≠ 0}. Count first.
+	counts := make([]int32, n)
+	for i := 0; i < n; i++ {
+		for _, j := range m.Row(i) {
+			counts[j]++
+		}
+	}
+	// Row j may or may not contain a_jj; reserve space for the owner
+	// pin and dedupe during fill.
+	h.NetPtr = make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		h.NetPtr[j+1] = h.NetPtr[j] + counts[j] + 1
+	}
+	h.Pins = make([]int32, h.NetPtr[n])
+	next := make([]int32, n)
+	copy(next, h.NetPtr[:n])
+	hasOwner := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for _, j := range m.Row(i) {
+			h.Pins[next[j]] = int32(i)
+			next[j]++
+			if int(j) == i {
+				hasOwner[j] = true
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		if !hasOwner[j] {
+			h.Pins[next[j]] = int32(j)
+			next[j]++
+		}
+	}
+	// Compact away the unused owner slots.
+	write := int32(0)
+	newPtr := make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		start := h.NetPtr[j]
+		newPtr[j] = write
+		for p := start; p < next[j]; p++ {
+			h.Pins[write] = h.Pins[p]
+			write++
+		}
+	}
+	newPtr[n] = write
+	h.Pins = h.Pins[:write]
+	h.NetPtr = newPtr
+
+	// Vertex weights: row nonzero counts (computation load, §IV-A).
+	h.VW = make([]int64, n)
+	for i := 0; i < n; i++ {
+		w := int64(m.RowNNZ(i))
+		if w == 0 {
+			w = 1
+		}
+		h.VW[i] = w
+	}
+	h.buildVertexIncidence()
+	return h
+}
+
+func (h *H) buildVertexIncidence() {
+	h.VtxPtr = make([]int32, h.NV+1)
+	for n := 0; n < h.NN; n++ {
+		for _, v := range h.Pin(n) {
+			h.VtxPtr[v+1]++
+		}
+	}
+	for v := 0; v < h.NV; v++ {
+		h.VtxPtr[v+1] += h.VtxPtr[v]
+	}
+	h.Nets = make([]int32, h.NetPtr[h.NN])
+	next := make([]int32, h.NV)
+	copy(next, h.VtxPtr[:h.NV])
+	for n := 0; n < h.NN; n++ {
+		for _, v := range h.Pin(n) {
+			h.Nets[next[v]] = int32(n)
+			next[v]++
+		}
+	}
+}
+
+// Build constructs a hypergraph from explicit nets. Pins of each net
+// are deduplicated.
+func Build(nv int, nets [][]int32, vw []int64, netCost []int64) *H {
+	h := &H{NV: nv, NN: len(nets)}
+	h.NetPtr = make([]int32, len(nets)+1)
+	seen := make([]int32, nv)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for n, pins := range nets {
+		cnt := int32(0)
+		for _, v := range pins {
+			if seen[v] != int32(n) {
+				seen[v] = int32(n)
+				cnt++
+			}
+		}
+		h.NetPtr[n+1] = h.NetPtr[n] + cnt
+	}
+	for i := range seen {
+		seen[i] = -1
+	}
+	h.Pins = make([]int32, h.NetPtr[len(nets)])
+	w := int32(0)
+	for n, pins := range nets {
+		for _, v := range pins {
+			if seen[v] != int32(n) {
+				seen[v] = int32(n)
+				h.Pins[w] = v
+				w++
+			}
+		}
+	}
+	if vw == nil {
+		vw = make([]int64, nv)
+		for i := range vw {
+			vw[i] = 1
+		}
+	}
+	h.VW = vw
+	h.NetCost = netCost
+	h.buildVertexIncidence()
+	return h
+}
+
+// Connectivity computes, for a partition vector part (values in
+// [0,k)), the connectivity-1 cost sum_n cost(n)*(lambda(n)-1), which
+// equals the total SpMV communication volume TV for column-net
+// models.
+func (h *H) Connectivity(part []int32, k int) int64 {
+	mark := make([]int32, k)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var total int64
+	for n := 0; n < h.NN; n++ {
+		lambda := int64(0)
+		for _, v := range h.Pin(n) {
+			p := part[v]
+			if mark[p] != int32(n) {
+				mark[p] = int32(n)
+				lambda++
+			}
+		}
+		if lambda > 1 {
+			total += h.Cost(n) * (lambda - 1)
+		}
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func TestColumnNetSmall(t *testing.T) {
+	// 3x3 matrix: row0={0,1}, row1={1}, row2={0,2}.
+	m := matrix.FromCOO(3, 3,
+		[]int32{0, 0, 1, 2, 2},
+		[]int32{0, 1, 1, 0, 2})
+	h := ColumnNet(m)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NV != 3 || h.NN != 3 {
+		t.Fatalf("NV=%d NN=%d, want 3,3", h.NV, h.NN)
+	}
+	// Net 0 (column 0): rows {0,2} plus owner 0 -> {0,2}.
+	pins0 := h.Pin(0)
+	if len(pins0) != 2 {
+		t.Fatalf("net 0 pins = %v, want 2 pins", pins0)
+	}
+	// Net 1 (column 1): rows {0,1}, owner 1 already included.
+	if h.NetSize(1) != 2 {
+		t.Fatalf("net 1 size = %d, want 2", h.NetSize(1))
+	}
+	// Net 2 (column 2): row {2} only; owner is 2 itself -> single pin.
+	if h.NetSize(2) != 1 {
+		t.Fatalf("net 2 size = %d, want 1", h.NetSize(2))
+	}
+	// Vertex weights = row nonzero counts.
+	if h.VW[0] != 2 || h.VW[1] != 1 || h.VW[2] != 2 {
+		t.Fatalf("VW = %v", h.VW)
+	}
+}
+
+func TestColumnNetOwnerAdded(t *testing.T) {
+	// Column 1 has a nonzero only in row 0; owner 1 must be added.
+	m := matrix.FromCOO(2, 2, []int32{0, 1}, []int32{1, 0})
+	h := ColumnNet(m)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range h.Pin(1) {
+		if v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("owner vertex missing from its column net")
+	}
+	if h.NetSize(1) != 2 {
+		t.Fatalf("net 1 size = %d, want 2", h.NetSize(1))
+	}
+}
+
+func TestConnectivityMatchesSpMVVolume(t *testing.T) {
+	// 1D row-wise SpMV on a 4x4 tridiagonal with 2 parts {0,1} {2,3}:
+	// x_1 needed by row 2 (part 1) from part 0, x_2 needed by row 1.
+	// TV = 2.
+	var ri, ci []int32
+	for i := 0; i < 4; i++ {
+		for _, j := range []int{i - 1, i, i + 1} {
+			if j >= 0 && j < 4 {
+				ri = append(ri, int32(i))
+				ci = append(ci, int32(j))
+			}
+		}
+	}
+	m := matrix.FromCOO(4, 4, ri, ci)
+	h := ColumnNet(m)
+	part := []int32{0, 0, 1, 1}
+	if tv := h.Connectivity(part, 2); tv != 2 {
+		t.Fatalf("TV = %d, want 2", tv)
+	}
+	// Everything in one part: zero volume.
+	if tv := h.Connectivity([]int32{0, 0, 0, 0}, 1); tv != 0 {
+		t.Fatalf("TV single part = %d, want 0", tv)
+	}
+	// Fully split: each column net with lambda pins in distinct parts
+	// costs lambda-1. Columns have sizes 2,3,3,2 -> TV = 1+2+2+1.
+	if tv := h.Connectivity([]int32{0, 1, 2, 3}, 4); tv != 6 {
+		t.Fatalf("TV fully split = %d, want 6", tv)
+	}
+}
+
+func TestBuildDedupesPins(t *testing.T) {
+	h := Build(3, [][]int32{{0, 1, 1, 2}, {2, 2}}, nil, []int64{5, 7})
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NetSize(0) != 3 || h.NetSize(1) != 1 {
+		t.Fatalf("net sizes = %d,%d want 3,1", h.NetSize(0), h.NetSize(1))
+	}
+	if h.Cost(0) != 5 || h.Cost(1) != 7 {
+		t.Fatal("net costs lost")
+	}
+	if h.TotalVertexWeight() != 3 {
+		t.Fatalf("total vw = %d, want 3 (unit)", h.TotalVertexWeight())
+	}
+}
+
+func TestVertexIncidenceConsistency(t *testing.T) {
+	m := gen.Mesh2D(12, 12, 5)
+	h := ColumnNet(m)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// v is a pin of net n iff n is in v's net list.
+	for n := 0; n < h.NN; n++ {
+		for _, v := range h.Pin(n) {
+			found := false
+			for _, nn := range h.VertexNets(int(v)) {
+				if int(nn) == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("net %d has pin %d but vertex lacks the net", n, v)
+			}
+		}
+	}
+}
+
+// Property: connectivity is invariant under part relabeling.
+func TestConnectivityRelabelProperty(t *testing.T) {
+	m := gen.Uniform(60, 3, 5)
+	h := ColumnNet(m)
+	prop := func(seed int64) bool {
+		// Random 4-part assignment from the seed.
+		part := make([]int32, h.NV)
+		s := seed
+		for i := range part {
+			s = s*6364136223846793005 + 1442695040888963407
+			part[i] = int32((s >> 33) & 3)
+		}
+		base := h.Connectivity(part, 4)
+		// Relabel parts by the permutation (0 1 2 3) -> (3 0 2 1).
+		perm := []int32{3, 0, 2, 1}
+		relabeled := make([]int32, len(part))
+		for i, p := range part {
+			relabeled[i] = perm[p]
+		}
+		return h.Connectivity(relabeled, 4) == base
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectivityLowerOnContiguousParts(t *testing.T) {
+	// On a banded matrix, contiguous blocks must beat round-robin.
+	m := gen.Banded(400, 8, 3, 2)
+	h := ColumnNet(m)
+	const k = 4
+	blocks := make([]int32, 400)
+	rr := make([]int32, 400)
+	for i := range blocks {
+		blocks[i] = int32(i / 100)
+		rr[i] = int32(i % k)
+	}
+	cb, cr := h.Connectivity(blocks, k), h.Connectivity(rr, k)
+	if cb >= cr {
+		t.Fatalf("contiguous TV %d >= round-robin TV %d", cb, cr)
+	}
+}

@@ -1,0 +1,157 @@
+// Package matrix provides the sparse-matrix substrate: CSR storage,
+// structural transforms and MatrixMarket I/O. The paper's workloads
+// are 25 UFL sparse matrices converted to column-net hypergraphs and
+// 1D row-wise partitioned for SpMV; this package supplies the matrix
+// side of that pipeline.
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse pattern matrix in compressed sparse row form. The
+// evaluation pipeline only needs the structure (communication is
+// driven by which x-entries an SpMV row touches), so no numerical
+// values are stored; Rows/Cols are the logical dimensions.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32 // length Rows+1
+	ColIdx     []int32 // length NNZ
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// Row returns the column indices of row i; the caller must not mutate
+// the slice.
+func (m *CSR) Row(i int) []int32 { return m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]] }
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Validate checks structural invariants.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("matrix: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("matrix: len(RowPtr)=%d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("matrix: RowPtr[0]=%d", m.RowPtr[0])
+	}
+	// Bounds before any slicing: a corrupt RowPtr must yield an error,
+	// not a panic.
+	for i, p := range m.RowPtr {
+		if int(p) > len(m.ColIdx) || p < 0 {
+			return fmt.Errorf("matrix: RowPtr[%d]=%d out of [0,%d]", i, p, len(m.ColIdx))
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] < m.RowPtr[i] {
+			return fmt.Errorf("matrix: RowPtr not monotone at row %d", i)
+		}
+		prev := int32(-1)
+		for _, c := range m.Row(i) {
+			if c < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("matrix: col %d out of range in row %d", c, i)
+			}
+			if c <= prev {
+				return fmt.Errorf("matrix: row %d not strictly sorted", i)
+			}
+			prev = c
+		}
+	}
+	if int(m.RowPtr[m.Rows]) != len(m.ColIdx) {
+		return fmt.Errorf("matrix: RowPtr[Rows]=%d, NNZ=%d", m.RowPtr[m.Rows], len(m.ColIdx))
+	}
+	return nil
+}
+
+// FromCOO builds a CSR matrix from coordinate form, sorting rows and
+// dropping duplicate entries.
+func FromCOO(rows, cols int, ri, ci []int32) *CSR {
+	if len(ri) != len(ci) {
+		panic("matrix: COO length mismatch")
+	}
+	type pair struct{ r, c int32 }
+	entries := make([]pair, len(ri))
+	for i := range ri {
+		entries[i] = pair{ri[i], ci[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].r != entries[j].r {
+			return entries[i].r < entries[j].r
+		}
+		return entries[i].c < entries[j].c
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	var last pair = pair{-1, -1}
+	for _, e := range entries {
+		if e == last {
+			continue
+		}
+		last = e
+		m.ColIdx = append(m.ColIdx, e.c)
+		m.RowPtr[e.r+1]++
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// Transpose returns the structural transpose.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int32, m.Cols+1)}
+	t.ColIdx = make([]int32, m.NNZ())
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int32(nil), t.RowPtr[:t.Rows]...)
+	for r := 0; r < m.Rows; r++ {
+		for _, c := range m.Row(r) {
+			t.ColIdx[next[c]] = int32(r)
+			next[c]++
+		}
+	}
+	return t
+}
+
+// SymmetrizePattern returns A | A^T with the diagonal forced present,
+// as needed when converting a square matrix to an undirected graph.
+func (m *CSR) SymmetrizePattern() *CSR {
+	if m.Rows != m.Cols {
+		panic("matrix: SymmetrizePattern on non-square matrix")
+	}
+	t := m.Transpose()
+	var ri, ci []int32
+	for r := 0; r < m.Rows; r++ {
+		ri = append(ri, int32(r))
+		ci = append(ci, int32(r))
+		for _, c := range m.Row(r) {
+			ri = append(ri, int32(r))
+			ci = append(ci, c)
+		}
+		for _, c := range t.Row(r) {
+			ri = append(ri, int32(r))
+			ci = append(ci, c)
+		}
+	}
+	return FromCOO(m.Rows, m.Cols, ri, ci)
+}
+
+// MaxRowNNZ returns the maximum row length.
+func (m *CSR) MaxRowNNZ() int {
+	maxLen := 0
+	for i := 0; i < m.Rows; i++ {
+		if l := m.RowNNZ(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	return maxLen
+}

@@ -1,0 +1,237 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func small() *CSR {
+	// 3x3: row0 -> {0,2}, row1 -> {1}, row2 -> {0,1,2}
+	return FromCOO(3, 3,
+		[]int32{0, 0, 1, 2, 2, 2},
+		[]int32{2, 0, 1, 1, 0, 2})
+}
+
+func TestFromCOOSortsAndDedupes(t *testing.T) {
+	m := FromCOO(2, 2, []int32{1, 0, 1, 1}, []int32{0, 1, 0, 1})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicate dropped)", m.NNZ())
+	}
+	row1 := m.Row(1)
+	if len(row1) != 2 || row1[0] != 0 || row1[1] != 1 {
+		t.Fatalf("row 1 = %v, want [0 1]", row1)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := small()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 || m.RowNNZ(2) != 3 || m.MaxRowNNZ() != 3 {
+		t.Fatalf("shape wrong: nnz=%d row2=%d max=%d", m.NNZ(), m.RowNNZ(2), m.MaxRowNNZ())
+	}
+	bad := &CSR{Rows: 1, Cols: 1, RowPtr: []int32{0, 1}, ColIdx: []int32{5}}
+	if bad.Validate() == nil {
+		t.Fatal("Validate missed out-of-range column")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := small()
+	tr := m.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NNZ() != m.NNZ() {
+		t.Fatalf("transpose NNZ = %d, want %d", tr.NNZ(), m.NNZ())
+	}
+	// (0,2) in m must be (2,0) in tr.
+	found := false
+	for _, c := range tr.Row(2) {
+		if c == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transpose missing entry (2,0)")
+	}
+	// Double transpose is identity.
+	tt := tr.Transpose()
+	for i := 0; i < m.Rows; i++ {
+		a, b := m.Row(i), tt.Row(i)
+		if len(a) != len(b) {
+			t.Fatalf("row %d length differs after double transpose", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d differs after double transpose", i)
+			}
+		}
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	prop := func(entries [][2]uint8) bool {
+		const n = 16
+		var ri, ci []int32
+		for _, e := range entries {
+			ri = append(ri, int32(e[0])%n)
+			ci = append(ci, int32(e[1])%n)
+		}
+		m := FromCOO(n, n, ri, ci)
+		tr := m.Transpose()
+		if tr.Validate() != nil || tr.NNZ() != m.NNZ() {
+			return false
+		}
+		// Every (i,j) in m appears as (j,i) in tr.
+		for i := 0; i < n; i++ {
+			for _, j := range m.Row(i) {
+				ok := false
+				for _, c := range tr.Row(int(j)) {
+					if int(c) == i {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrizePattern(t *testing.T) {
+	m := FromCOO(3, 3, []int32{0}, []int32{2}) // single entry (0,2)
+	s := m.SymmetrizePattern()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Must contain (0,2), (2,0) and the full diagonal.
+	want := map[[2]int32]bool{{0, 2}: true, {2, 0}: true, {0, 0}: true, {1, 1}: true, {2, 2}: true}
+	got := map[[2]int32]bool{}
+	for i := 0; i < 3; i++ {
+		for _, c := range s.Row(i) {
+			got[[2]int32{int32(i), c}] = true
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing entry %v after SymmetrizePattern", k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("extra entries: got %v", got)
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := small()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip shape: %dx%d nnz %d", back.Rows, back.Cols, back.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		a, b := m.Row(i), back.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d differs after round trip", i)
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 2
+2 1 1.5
+3 3 2.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1) expands to (1,0) and (0,1) zero-based; (3,3) stays single.
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if len(m.Row(0)) != 1 || m.Row(0)[0] != 1 {
+		t.Fatalf("row 0 = %v, want [1]", m.Row(0))
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"not a header\n1 1 0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestValidateMoreBranches(t *testing.T) {
+	cases := []*CSR{
+		{Rows: -1, Cols: 2, RowPtr: []int32{0}},                          // negative dims
+		{Rows: 1, Cols: 1, RowPtr: []int32{0}},                           // short RowPtr
+		{Rows: 1, Cols: 1, RowPtr: []int32{1, 1}},                        // RowPtr[0] != 0
+		{Rows: 2, Cols: 2, RowPtr: []int32{0, 2, 1}, ColIdx: []int32{0}}, // non-monotone
+		{Rows: 1, Cols: 2, RowPtr: []int32{0, 2}, ColIdx: []int32{1, 0}}, // unsorted row
+		{Rows: 1, Cols: 2, RowPtr: []int32{0, 2}, ColIdx: []int32{0, 0}}, // duplicate col
+		{Rows: 1, Cols: 1, RowPtr: []int32{0, 2}, ColIdx: []int32{0}},    // nnz mismatch
+	}
+	for i, m := range cases {
+		if m.Validate() == nil {
+			t.Fatalf("case %d: Validate accepted corrupt matrix", i)
+		}
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.after -= len(p)
+	if w.after <= 0 {
+		return 0, errWrite
+	}
+	return len(p), nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }
+
+func TestWriteMatrixMarketPropagatesErrors(t *testing.T) {
+	m := small()
+	// Fail at various points of the output to cover each branch.
+	for _, budget := range []int{1, 60, 75} {
+		if err := WriteMatrixMarket(&failWriter{after: budget}, m); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes the pattern of m in MatrixMarket coordinate
+// format ("%%MatrixMarket matrix coordinate pattern general").
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for r := 0; r < m.Rows; r++ {
+		for _, c := range m.Row(r) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", r+1, c+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket reads a MatrixMarket coordinate file. Pattern,
+// integer and real matrices are accepted (values are discarded);
+// "symmetric" and "skew-symmetric" storage is expanded to general.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrixmarket: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("matrixmarket: bad header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("matrixmarket: only coordinate format supported, got %q", header[2])
+	}
+	symmetric := false
+	for _, f := range header[3:] {
+		switch f {
+		case "symmetric", "skew-symmetric", "hermitian":
+			symmetric = true
+		case "complex":
+			return nil, fmt.Errorf("matrixmarket: complex matrices not supported")
+		}
+	}
+	// Skip comments, find the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	ri := make([]int32, 0, nnz)
+	ci := make([]int32, 0, nnz)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("matrixmarket: bad entry line %q", line)
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad row index %q", fields[0])
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad col index %q", fields[1])
+		}
+		if a < 1 || a > rows || b < 1 || b > cols {
+			return nil, fmt.Errorf("matrixmarket: entry (%d,%d) out of %dx%d", a, b, rows, cols)
+		}
+		ri = append(ri, int32(a-1))
+		ci = append(ci, int32(b-1))
+		if symmetric && a != b {
+			ri = append(ri, int32(b-1))
+			ci = append(ci, int32(a-1))
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("matrixmarket: expected %d entries, found %d", nnz, read)
+	}
+	return FromCOO(rows, cols, ri, ci), nil
+}

@@ -1,0 +1,140 @@
+// Package metrics computes the topology-aware mapping metrics of the
+// paper's §II: total hops TH, weighted hops WH, maximum message
+// congestion MMC, maximum (volume) congestion MC, and the averaged
+// variants AMC and AC, plus the extra regression covariates of §IV-E
+// (ICV, ICM, MNRV, MNRM). All metrics are evaluated on the fine task
+// graph through the task→group→node composition, with messages routed
+// on the topology's static shortest paths.
+package metrics
+
+import (
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// MapMetrics holds every mapping metric for one mapping.
+type MapMetrics struct {
+	TH  int64   // total hop count: sum of dilations over task edges
+	WH  int64   // weighted hops: dilation * volume
+	MMC int64   // max messages crossing any link
+	MC  float64 // max volume congestion: max over links of volume/bw
+	AMC float64 // average message congestion over used links
+	AC  float64 // average volume congestion over used links
+
+	ICV  int64 // inter-node communication volume
+	ICM  int64 // inter-node message count
+	MNRV int64 // max volume received by a node
+	MNRM int64 // max messages received by a node
+
+	UsedLinks int // |E_tm|: links carrying at least one message
+}
+
+// Placement maps fine tasks to nodes: node(t) = NodeOf[GroupOf[t]]
+// when GroupOf is non-nil, else NodeOf[t] directly.
+type Placement struct {
+	GroupOf []int32 // task -> group (nil for identity)
+	NodeOf  []int32 // group -> network node
+}
+
+// Node returns the network node hosting task t.
+func (p *Placement) Node(t int32) int32 {
+	if p.GroupOf == nil {
+		return p.NodeOf[t]
+	}
+	return p.NodeOf[p.GroupOf[t]]
+}
+
+// Compute evaluates all metrics for the directed task graph tg under
+// the placement on topo.
+func Compute(tg *graph.Graph, topo torus.Topology, pl *Placement) MapMetrics {
+	var m MapMetrics
+	msgCong := make([]int64, topo.Links())
+	volCong := make([]int64, topo.Links())
+	recvVol := make(map[int32]int64)
+	recvMsg := make(map[int32]int64)
+	var route []int32
+	for t := 0; t < tg.N(); t++ {
+		a := pl.Node(int32(t))
+		for i := tg.Xadj[t]; i < tg.Xadj[t+1]; i++ {
+			u := tg.Adj[i]
+			b := pl.Node(u)
+			if a == b {
+				continue // intra-node: no network traffic
+			}
+			w := tg.EdgeWeight(int(i))
+			hops := int64(topo.HopDist(int(a), int(b)))
+			m.TH += hops
+			m.WH += hops * w
+			m.ICV += w
+			m.ICM++
+			recvVol[b] += w
+			recvMsg[b]++
+			route = topo.Route(int(a), int(b), route[:0])
+			for _, l := range route {
+				msgCong[l]++
+				volCong[l] += w
+			}
+		}
+	}
+	var sumMsg int64
+	var sumVC float64
+	for l := range msgCong {
+		if msgCong[l] == 0 {
+			continue
+		}
+		m.UsedLinks++
+		sumMsg += msgCong[l]
+		if msgCong[l] > m.MMC {
+			m.MMC = msgCong[l]
+		}
+		vc := float64(volCong[l]) / topo.LinkBW(l)
+		sumVC += vc
+		if vc > m.MC {
+			m.MC = vc
+		}
+	}
+	if m.UsedLinks > 0 {
+		m.AMC = float64(sumMsg) / float64(m.UsedLinks)
+		m.AC = sumVC / float64(m.UsedLinks)
+	}
+	for _, v := range recvVol {
+		if v > m.MNRV {
+			m.MNRV = v
+		}
+	}
+	for _, c := range recvMsg {
+		if c > m.MNRM {
+			m.MNRM = c
+		}
+	}
+	return m
+}
+
+// WeightedHops computes only WH for a symmetric coarse graph mapped
+// one-to-one onto nodes (each stored direction counted once; for a
+// symmetric graph WH of the directed view double-counts each
+// undirected edge, matching the refinement algorithms' internal
+// accounting).
+func WeightedHops(g *graph.Graph, topo torus.Topology, nodeOf []int32) int64 {
+	var wh int64
+	for v := 0; v < g.N(); v++ {
+		a := int(nodeOf[v])
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			b := int(nodeOf[g.Adj[i]])
+			wh += int64(topo.HopDist(a, b)) * g.EdgeWeight(int(i))
+		}
+	}
+	return wh
+}
+
+// TotalHops computes only TH (unit costs) for a coarse graph mapping.
+func TotalHops(g *graph.Graph, topo torus.Topology, nodeOf []int32) int64 {
+	var th int64
+	for v := 0; v < g.N(); v++ {
+		a := int(nodeOf[v])
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			th += int64(topo.HopDist(a, int(nodeOf[g.Adj[i]])))
+		}
+	}
+	return th
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/torus"
+)
+
+func topoFixture() *torus.Torus { return torus.NewHopper3D(6, 6, 6) }
+
+func lineGraph(n int, vol int64) *graph.Graph {
+	var us, vs []int32
+	var ws []int64
+	for i := 0; i < n-1; i++ {
+		us = append(us, int32(i))
+		vs = append(vs, int32(i+1))
+		ws = append(ws, vol)
+	}
+	return graph.FromEdges(n, us, vs, ws, nil)
+}
+
+func TestCommOnlyZeroWhenLocal(t *testing.T) {
+	topo := topoFixture()
+	tg := lineGraph(4, 100)
+	pl := &metrics.Placement{NodeOf: []int32{5, 5, 5, 5}}
+	r := CommOnly(tg, topo, pl, 4096, Params{Seed: 1})
+	if r.Seconds != 0 {
+		t.Fatalf("all-local communication took %g s", r.Seconds)
+	}
+}
+
+func TestCommOnlyScalesWithVolume(t *testing.T) {
+	topo := topoFixture()
+	pl := &metrics.Placement{NodeOf: []int32{0, 1}}
+	small := CommOnly(lineGraph(2, 10), topo, pl, 4096, Params{Seed: 2, NoiseSigma: 1e-9})
+	big := CommOnly(lineGraph(2, 1000), topo, pl, 4096, Params{Seed: 2, NoiseSigma: 1e-9})
+	if big.Seconds <= small.Seconds {
+		t.Fatalf("100x volume not slower: %g vs %g", big.Seconds, small.Seconds)
+	}
+}
+
+func TestCommOnlyPenalizesCongestion(t *testing.T) {
+	topo := topoFixture()
+	// Many tasks all sending to neighbours over the same link vs
+	// spread out. Build a star: tasks 1..8 send to task 0.
+	var us, vs []int32
+	var ws []int64
+	for i := 1; i <= 8; i++ {
+		us = append(us, int32(i))
+		vs = append(vs, 0)
+		ws = append(ws, 1000)
+	}
+	tg := graph.FromEdges(9, us, vs, ws, nil)
+	// Congested: all senders on one node, receiver on the next; all
+	// messages share one link.
+	a := topo.NodeAt([]int{0, 0, 0})
+	b := topo.NodeAt([]int{1, 0, 0})
+	congested := make([]int32, 9)
+	congested[0] = int32(b)
+	for i := 1; i <= 8; i++ {
+		congested[i] = int32(a)
+	}
+	// Spread: senders on distinct neighbours of the receiver.
+	nb := topo.NeighborNodes(b, nil)
+	spread := make([]int32, 9)
+	spread[0] = int32(b)
+	for i := 1; i <= 8; i++ {
+		if i-1 < len(nb) {
+			spread[i] = nb[(i-1)%len(nb)]
+		} else {
+			spread[i] = nb[0]
+		}
+	}
+	p := Params{Seed: 3, NoiseSigma: 1e-9}
+	tc := CommOnly(tg, topo, &metrics.Placement{NodeOf: congested}, 1<<18, p)
+	ts := CommOnly(tg, topo, &metrics.Placement{NodeOf: spread}, 1<<18, p)
+	if tc.Seconds <= ts.Seconds {
+		t.Fatalf("congested placement not slower: %g vs %g", tc.Seconds, ts.Seconds)
+	}
+}
+
+func TestCommOnlyPenalizesDilation(t *testing.T) {
+	topo := topoFixture()
+	tg := lineGraph(2, 1) // single tiny message: latency dominated
+	near := &metrics.Placement{NodeOf: []int32{
+		int32(topo.NodeAt([]int{0, 0, 0})), int32(topo.NodeAt([]int{1, 0, 0}))}}
+	far := &metrics.Placement{NodeOf: []int32{
+		int32(topo.NodeAt([]int{0, 0, 0})), int32(topo.NodeAt([]int{3, 3, 3}))}}
+	p := Params{Seed: 4, NoiseSigma: 1e-9}
+	tn := CommOnly(tg, topo, near, 8, p)
+	tf := CommOnly(tg, topo, far, 8, p)
+	if tf.Seconds <= tn.Seconds {
+		t.Fatalf("far placement not slower: %g vs %g", tf.Seconds, tn.Seconds)
+	}
+}
+
+func TestSpMVIterationsScale(t *testing.T) {
+	topo := topoFixture()
+	tg := lineGraph(8, 50)
+	tg.VW = make([]int64, 8)
+	for i := range tg.VW {
+		tg.VW[i] = 10000
+	}
+	nodeOf := make([]int32, 8)
+	for i := range nodeOf {
+		nodeOf[i] = int32(i)
+	}
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	p := Params{Seed: 5, NoiseSigma: 1e-9}
+	t500 := SpMV(tg, topo, pl, 500, p)
+	t1000 := SpMV(tg, topo, pl, 1000, p)
+	ratio := t1000.Seconds / t500.Seconds
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("iteration scaling ratio = %g, want ~2", ratio)
+	}
+}
+
+func TestSpMVLatencyBound(t *testing.T) {
+	// With small messages, a mapping with more per-rank messages
+	// must be slower even at equal volume.
+	topo := topoFixture()
+	// Hub task 0 exchanges with 6 others (many messages) vs a chain
+	// (few messages per rank), same total volume.
+	var us, vs []int32
+	var ws []int64
+	for i := 1; i <= 6; i++ {
+		us = append(us, 0)
+		vs = append(vs, int32(i))
+		ws = append(ws, 10)
+	}
+	hub := graph.FromEdges(7, us, vs, ws, nil)
+	chainG := lineGraph(7, 10)
+	nodeOf := make([]int32, 7)
+	for i := range nodeOf {
+		nodeOf[i] = int32(i)
+	}
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	p := Params{Seed: 6, NoiseSigma: 1e-9}
+	tHub := SpMV(hub, topo, pl, 100, p)
+	tChain := SpMV(chainG, topo, pl, 100, p)
+	if tHub.Seconds <= tChain.Seconds {
+		t.Fatalf("hub pattern (max 6 msgs/rank) not slower than chain: %g vs %g", tHub.Seconds, tChain.Seconds)
+	}
+}
+
+func TestRepeatStatistics(t *testing.T) {
+	mean, std := Repeat(5, 1, func(seed int64) float64 { return 10 })
+	if mean != 10 || std != 0 {
+		t.Fatalf("constant sim: mean %g std %g", mean, std)
+	}
+	mean, std = Repeat(50, 2, func(seed int64) float64 {
+		return float64(seed % 7)
+	})
+	if std == 0 {
+		t.Fatal("varying sim should have nonzero std")
+	}
+	if mean <= 0 {
+		t.Fatalf("mean = %g", mean)
+	}
+	m0, s0 := Repeat(0, 3, func(int64) float64 { return 1 })
+	if m0 != 0 || s0 != 0 {
+		t.Fatal("zero count should return zeros")
+	}
+}
+
+func TestNoiseReproducible(t *testing.T) {
+	topo := topoFixture()
+	tg := lineGraph(3, 100)
+	pl := &metrics.Placement{NodeOf: []int32{0, 1, 2}}
+	p := Params{Seed: 42, NoiseSigma: 0.05}
+	a := CommOnly(tg, topo, pl, 4096, p)
+	b := CommOnly(tg, topo, pl, 4096, p)
+	if a.Seconds != b.Seconds {
+		t.Fatal("same seed should reproduce exactly")
+	}
+	c := CommOnly(tg, topo, pl, 4096, Params{Seed: 43, NoiseSigma: 0.05})
+	if a.Seconds == c.Seconds {
+		t.Fatal("different seeds should differ under noise")
+	}
+}
+
+func TestLatencyInterpolation(t *testing.T) {
+	p := Params{}.withDefaults()
+	if l := p.latency(0, 10); l != 0 {
+		t.Fatalf("latency(0) = %g", l)
+	}
+	if l := p.latency(1, 10); l != p.LatNear {
+		t.Fatalf("latency(1) = %g, want LatNear", l)
+	}
+	if l := p.latency(10, 10); l != p.LatFar {
+		t.Fatalf("latency(diam) = %g, want LatFar", l)
+	}
+	mid := p.latency(5, 10)
+	if mid <= p.LatNear || mid >= p.LatFar {
+		t.Fatalf("latency(5) = %g not between", mid)
+	}
+}

@@ -1,0 +1,256 @@
+// Package nnls implements the nonnegative least squares solver and
+// correlation statistics the paper's regression analysis uses
+// (§IV-E): the Lawson–Hanson active-set algorithm (the algorithm
+// behind MATLAB's lsqnonneg), column standardization, and Pearson
+// correlation.
+package nnls
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve minimizes ||A·x − b||₂ subject to x ≥ 0 with the
+// Lawson–Hanson active-set method. A is row-major (len(A) rows, each
+// of equal length). maxIter ≤ 0 selects 3·cols iterations.
+func Solve(A [][]float64, b []float64, maxIter int) ([]float64, error) {
+	rows := len(A)
+	if rows == 0 {
+		return nil, fmt.Errorf("nnls: empty system")
+	}
+	cols := len(A[0])
+	if len(b) != rows {
+		return nil, fmt.Errorf("nnls: %d rows but %d rhs entries", rows, len(b))
+	}
+	for i := range A {
+		if len(A[i]) != cols {
+			return nil, fmt.Errorf("nnls: ragged matrix at row %d", i)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 3 * cols
+	}
+
+	x := make([]float64, cols)
+	passive := make([]bool, cols)
+	w := make([]float64, cols) // gradient Aᵀ(b−Ax)
+	resid := append([]float64(nil), b...)
+
+	const tol = 1e-10
+	for iter := 0; iter < maxIter; iter++ {
+		// w = Aᵀ·resid.
+		for j := 0; j < cols; j++ {
+			w[j] = 0
+			for i := 0; i < rows; i++ {
+				w[j] += A[i][j] * resid[i]
+			}
+		}
+		// Pick the most positive gradient among active (zero) vars.
+		best, bestW := -1, tol
+		for j := 0; j < cols; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			break // KKT satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve the unconstrained LS on the passive set
+		// and clip variables that went nonpositive.
+		for {
+			z, err := lsqPassive(A, b, passive)
+			if err != nil {
+				return nil, err
+			}
+			minNeg := math.Inf(1)
+			alpha := 1.0
+			for j := 0; j < cols; j++ {
+				if passive[j] && z[j] <= tol {
+					a := x[j] / (x[j] - z[j])
+					if a < alpha {
+						alpha = a
+					}
+					if z[j] < minNeg {
+						minNeg = z[j]
+					}
+				}
+			}
+			if alpha >= 1 { // all passive strictly positive
+				copy(x, z)
+				break
+			}
+			for j := 0; j < cols; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+					if x[j] <= tol {
+						x[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+		// resid = b − A·x.
+		for i := 0; i < rows; i++ {
+			r := b[i]
+			for j := 0; j < cols; j++ {
+				if x[j] != 0 {
+					r -= A[i][j] * x[j]
+				}
+			}
+			resid[i] = r
+		}
+	}
+	return x, nil
+}
+
+// lsqPassive solves the unconstrained least squares over the passive
+// columns via normal equations with Cholesky factorization (plus a
+// tiny ridge for rank-deficient sets), returning a full-length vector
+// with zeros on active columns.
+func lsqPassive(A [][]float64, b []float64, passive []bool) ([]float64, error) {
+	rows, cols := len(A), len(passive)
+	var idx []int
+	for j := 0; j < cols; j++ {
+		if passive[j] {
+			idx = append(idx, j)
+		}
+	}
+	p := len(idx)
+	out := make([]float64, cols)
+	if p == 0 {
+		return out, nil
+	}
+	// Normal equations G = ApᵀAp, c = Apᵀb.
+	g := make([][]float64, p)
+	c := make([]float64, p)
+	for a := 0; a < p; a++ {
+		g[a] = make([]float64, p)
+		for bb := a; bb < p; bb++ {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += A[i][idx[a]] * A[i][idx[bb]]
+			}
+			g[a][bb] = s
+		}
+		for i := 0; i < rows; i++ {
+			c[a] += A[i][idx[a]] * b[i]
+		}
+	}
+	for a := 0; a < p; a++ {
+		g[a][a] += 1e-12 // ridge against exact collinearity
+		for bb := 0; bb < a; bb++ {
+			g[a][bb] = g[bb][a]
+		}
+	}
+	z, err := cholSolve(g, c)
+	if err != nil {
+		return nil, err
+	}
+	for a, j := range idx {
+		out[j] = z[a]
+	}
+	return out, nil
+}
+
+// cholSolve solves G·x = c for symmetric positive definite G.
+func cholSolve(g [][]float64, c []float64) ([]float64, error) {
+	n := len(g)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := g[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("nnls: matrix not positive definite")
+				}
+				l[i][i] = math.Sqrt(s)
+			} else {
+				l[i][j] = s / l[j][j]
+			}
+		}
+	}
+	// Forward then backward substitution.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := c[i]
+		for k := 0; k < i; k++ {
+			s -= l[i][k] * y[k]
+		}
+		y[i] = s / l[i][i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k][i] * x[k]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x, nil
+}
+
+// Standardize transforms each column in place to zero mean and unit
+// standard deviation ("each column of V is normalized by first
+// subtracting the column mean ... and dividing them to the column
+// standard deviation", §IV-E). Constant columns become all zeros.
+// Columns are given as cols[j][i] = value of column j at row i.
+func Standardize(cols [][]float64) {
+	for _, col := range cols {
+		n := float64(len(col))
+		if n == 0 {
+			continue
+		}
+		var mean float64
+		for _, v := range col {
+			mean += v
+		}
+		mean /= n
+		var variance float64
+		for _, v := range col {
+			variance += (v - mean) * (v - mean)
+		}
+		std := math.Sqrt(variance / n)
+		for i := range col {
+			if std > 0 {
+				col[i] = (col[i] - mean) / std
+			} else {
+				col[i] = 0
+			}
+		}
+	}
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y
+// (NaN when either is constant).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

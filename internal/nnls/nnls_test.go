@@ -1,0 +1,193 @@
+package nnls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveExactNonnegative(t *testing.T) {
+	// b = A·x* with x* >= 0 and A well-conditioned: recover x*.
+	A := [][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+		{1, 1, 1},
+	}
+	want := []float64{2, 0, 3}
+	b := make([]float64, 4)
+	for i := range A {
+		for j := range want {
+			b[i] += A[i][j] * want[j]
+		}
+	}
+	x, err := Solve(A, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Abs(x[j]-want[j]) > 1e-8 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveClampsNegative(t *testing.T) {
+	// Unconstrained solution would be negative: NNLS must return 0.
+	A := [][]float64{{1}, {1}, {1}}
+	b := []float64{-1, -2, -3}
+	x, err := Solve(A, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 {
+		t.Fatalf("x = %v, want [0]", x)
+	}
+}
+
+func TestSolveMatchesKKT(t *testing.T) {
+	// Random overdetermined systems: verify the KKT conditions
+	// x >= 0, grad_j <= 0 for x_j = 0, grad_j ~ 0 for x_j > 0.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 30, 6
+		A := make([][]float64, rows)
+		for i := range A {
+			A[i] = make([]float64, cols)
+			for j := range A[i] {
+				A[i][j] = rng.NormFloat64()
+			}
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(A, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gradient w = Aᵀ(b - Ax).
+		resid := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			r := b[i]
+			for j := 0; j < cols; j++ {
+				r -= A[i][j] * x[j]
+			}
+			resid[i] = r
+		}
+		for j := 0; j < cols; j++ {
+			var w float64
+			for i := 0; i < rows; i++ {
+				w += A[i][j] * resid[i]
+			}
+			if x[j] < 0 {
+				t.Fatalf("trial %d: negative coefficient %g", trial, x[j])
+			}
+			if x[j] == 0 && w > 1e-6 {
+				t.Fatalf("trial %d: active var %d has positive gradient %g", trial, j, w)
+			}
+			if x[j] > 0 && math.Abs(w) > 1e-6 {
+				t.Fatalf("trial %d: passive var %d has gradient %g", trial, j, w)
+			}
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, nil, 0); err == nil {
+		t.Fatal("want error for empty system")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want error for rhs length mismatch")
+	}
+	if _, err := Solve([][]float64{{1, 2}, {1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want error for ragged matrix")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	col := []float64{1, 2, 3, 4, 5}
+	cols := [][]float64{col, {7, 7, 7}}
+	Standardize(cols)
+	var mean float64
+	for _, v := range cols[0] {
+		mean += v
+	}
+	if math.Abs(mean) > 1e-12 {
+		t.Fatalf("standardized mean = %g", mean)
+	}
+	var variance float64
+	for _, v := range cols[0] {
+		variance += v * v
+	}
+	if math.Abs(variance/5-1) > 1e-12 {
+		t.Fatalf("standardized variance = %g", variance/5)
+	}
+	for _, v := range cols[1] {
+		if v != 0 {
+			t.Fatal("constant column should zero out")
+		}
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 20, 30, 40}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %g, want 1", r)
+	}
+	yneg := []float64{-1, -2, -3, -4}
+	if r := Pearson(x, yneg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %g, want -1", r)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		return !math.IsNaN(r) && r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{1, 2})) {
+		t.Fatal("constant input should yield NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1, 2})) {
+		t.Fatal("length mismatch should yield NaN")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	g := [][]float64{{4, 2}, {2, 3}}
+	c := []float64{10, 8}
+	x, err := cholSolve(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify G·x = c.
+	for i := range g {
+		var s float64
+		for j := range x {
+			s += g[i][j] * x[j]
+		}
+		if math.Abs(s-c[i]) > 1e-10 {
+			t.Fatalf("G·x != c at row %d: %g vs %g", i, s, c[i])
+		}
+	}
+	if _, err := cholSolve([][]float64{{-1}}, []float64{1}); err == nil {
+		t.Fatal("want error for non-PD matrix")
+	}
+}

@@ -1,0 +1,86 @@
+// Package parallel provides the small deterministic worker-pool
+// helpers the experiment harness uses to exploit multicore hosts:
+// results are always collected by index, so a parallel run produces
+// byte-identical output to a serial one.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default worker count (GOMAXPROCS).
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach invokes fn(i) for every i in [0,n) on up to workers
+// goroutines (workers <= 0 means Workers()). It waits for all
+// invocations to finish and returns the error with the lowest index,
+// if any — so the reported error is the same one a serial loop would
+// have hit first. fn must be safe for concurrent invocation.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map applies fn to every index in [0,n) in parallel and returns the
+// results in index order. The first error (by index) aborts the
+// result; all invocations still run to completion.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

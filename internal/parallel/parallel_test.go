@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 100
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n=0: err=%v called=%v", err, called)
+	}
+	if err := ForEach(-5, 4, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n<0: err=%v called=%v", err, called)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 8} {
+		err := ForEach(50, workers, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 31:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want the index-7 error", workers, err)
+		}
+	}
+}
+
+func TestForEachSerialErrorShortCircuits(t *testing.T) {
+	// With one worker the loop stops at the first error, as a serial
+	// loop would.
+	var calls int
+	err := ForEach(100, 1, func(i int) error {
+		calls++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := Map(64, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	out, err := Map(16, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) || out != nil {
+		t.Fatalf("err=%v out=%v", err, out)
+	}
+}
+
+func TestMapDeterministicProperty(t *testing.T) {
+	f := func(n uint8, workers uint8) bool {
+		out, err := Map(int(n), int(workers%16), func(i int) (int, error) { return 3 * i, nil })
+		if err != nil || len(out) != int(n) {
+			return false
+		}
+		for i, v := range out {
+			if v != 3*i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// FixToCapacities enforces hard part capacities on an existing k-way
+// partition by moving vertices out of overfull parts, choosing moves
+// that damage the edge cut least (the paper's "fix the balance with a
+// small sacrifice on the edge-cut metric via a single FM iteration",
+// §III-A). Vertices move to the underfull part they are most
+// connected to (or the emptiest one when they have no underfull
+// neighbour part). It returns an error only when the total weight
+// exceeds the total capacity.
+func FixToCapacities(g *graph.Graph, part []int32, capacities []int64) error {
+	k := len(capacities)
+	w := PartWeights(g, part, k)
+	var totalW, totalC int64
+	for p := 0; p < k; p++ {
+		totalW += w[p]
+		totalC += capacities[p]
+	}
+	if totalW > totalC {
+		return fmt.Errorf("partition: total weight %d exceeds total capacity %d", totalW, totalC)
+	}
+	conn := make([]int64, k) // scratch: connectivity of v to each part
+	touched := make([]int32, 0, 16)
+	// Per-part vertex lists so each move scans only one part.
+	verts := make([][]int32, k)
+	for v := 0; v < g.N(); v++ {
+		p := part[v]
+		verts[p] = append(verts[p], int32(v))
+	}
+	for p := 0; p < k; p++ {
+		for w[p] > capacities[p] {
+			// Choose the vertex in p whose move is cheapest:
+			// maximize (connectivity to destination - connectivity to p).
+			var bestV, bestDest int32 = -1, -1
+			var bestScore int64
+			for _, v32 := range verts[p] {
+				v := int(v32)
+				if part[v] != int32(p) {
+					continue // already moved away
+				}
+				vw := g.VertexWeight(v)
+				touched = touched[:0]
+				var connP int64
+				for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+					q := part[g.Adj[i]]
+					ew := g.EdgeWeight(int(i))
+					if q == int32(p) {
+						connP += ew
+						continue
+					}
+					if conn[q] == 0 {
+						touched = append(touched, q)
+					}
+					conn[q] += ew
+				}
+				// Best underfull destination among neighbour parts.
+				var dest int32 = -1
+				var destConn int64 = -1
+				for _, q := range touched {
+					if w[q]+vw <= capacities[q] && conn[q] > destConn {
+						dest, destConn = q, conn[q]
+					}
+					conn[q] = 0
+				}
+				if dest < 0 {
+					// Fall back to the globally emptiest part with room.
+					var slack int64 = -1
+					for q := 0; q < k; q++ {
+						if int32(q) == int32(p) || w[q]+vw > capacities[q] {
+							continue
+						}
+						if s := capacities[q] - w[q]; s > slack {
+							slack, dest = s, int32(q)
+						}
+					}
+					destConn = 0
+				}
+				if dest < 0 {
+					continue
+				}
+				score := destConn - connP
+				if bestV < 0 || score > bestScore {
+					bestV, bestDest, bestScore = int32(v), dest, score
+				}
+			}
+			if bestV < 0 {
+				return fmt.Errorf("partition: cannot rebalance part %d (weight %d > capacity %d)", p, w[p], capacities[p])
+			}
+			vw := g.VertexWeight(int(bestV))
+			part[bestV] = bestDest
+			verts[bestDest] = append(verts[bestDest], bestV)
+			w[p] -= vw
+			w[bestDest] += vw
+		}
+	}
+	return nil
+}
+
+// RefineKWayPass runs one greedy k-way refinement pass: every boundary
+// vertex may move to the neighbouring part it is most connected to if
+// that strictly reduces the cut and respects capacities. Returns the
+// total gain achieved. The paper's mapping pipeline uses this to
+// polish the task-to-node grouping.
+func RefineKWayPass(g *graph.Graph, part []int32, capacities []int64) int64 {
+	k := len(capacities)
+	w := PartWeights(g, part, k)
+	conn := make([]int64, k)
+	touched := make([]int32, 0, 16)
+	var total int64
+	for v := 0; v < g.N(); v++ {
+		p := part[v]
+		touched = touched[:0]
+		var connP int64
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			q := part[g.Adj[i]]
+			ew := g.EdgeWeight(int(i))
+			if q == p {
+				connP += ew
+				continue
+			}
+			if conn[q] == 0 {
+				touched = append(touched, q)
+			}
+			conn[q] += ew
+		}
+		var dest int32 = -1
+		var destConn int64
+		vw := g.VertexWeight(v)
+		for _, q := range touched {
+			if conn[q] > connP && conn[q] > destConn && w[q]+vw <= capacities[q] {
+				dest, destConn = q, conn[q]
+			}
+			conn[q] = 0
+		}
+		if dest >= 0 {
+			part[v] = dest
+			w[p] -= vw
+			w[dest] += vw
+			total += destConn - connP
+		}
+	}
+	return total
+}

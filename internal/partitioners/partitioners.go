@@ -1,0 +1,144 @@
+// Package partitioners exposes the seven partitioner personalities of
+// the paper's evaluation (§IV-A): SCOTCH, KaFFPa, METIS, PaToH and the
+// three multi-objective UMPA variants. Each personality is a
+// configuration of the multilevel graph partitioner (edge-cut
+// objective) or the multilevel hypergraph partitioner (communication
+// volume objective), matching how the real tools differ:
+//
+//   - SCOTCHP, KAFFPAP: edge-cut minimizers on the graph model, with
+//     Scotch-flavoured (random matching, light refinement) and
+//     KaFFPa-flavoured (heavy-edge matching, aggressive refinement)
+//     settings.
+//   - METISP, PATOHP: total-communication-volume minimizers on the
+//     column-net hypergraph (the paper runs METIS and PaToH "to
+//     minimize the total communication volume").
+//   - UMPAMV, UMPAMM, UMPATM: PATOHP followed by the multi-objective
+//     refinement with objective stacks (MSV,TV), (MSM,TM,TV), (TM,TV).
+package partitioners
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hpart"
+	"repro/internal/hypergraph"
+	"repro/internal/matrix"
+	"repro/internal/partition"
+)
+
+// Name identifies a partitioner personality.
+type Name string
+
+// The seven personalities, named as in the paper's figures.
+const (
+	SCOTCHP Name = "SCOTCH"
+	KAFFPAP Name = "KAFFPA"
+	METISP  Name = "METIS"
+	PATOHP  Name = "PATOH"
+	UMPAMV  Name = "UMPAMV"
+	UMPAMM  Name = "UMPAMM"
+	UMPATM  Name = "UMPATM"
+)
+
+// All returns the personalities in the paper's figure order.
+func All() []Name {
+	return []Name{KAFFPAP, METISP, PATOHP, SCOTCHP, UMPAMM, UMPAMV, UMPATM}
+}
+
+// GraphModel converts a square matrix to the undirected graph model
+// used by edge-cut partitioners: vertices are rows weighted by their
+// nonzero counts; an edge joins i and j when a_ij or a_ji is nonzero.
+func GraphModel(m *matrix.CSR) *graph.Graph {
+	sym := m.SymmetrizePattern()
+	var us, vs []int32
+	for i := 0; i < sym.Rows; i++ {
+		for _, j := range sym.Row(i) {
+			if int(j) == i {
+				continue
+			}
+			us = append(us, int32(i))
+			vs = append(vs, j)
+		}
+	}
+	vw := make([]int64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		w := int64(m.RowNNZ(i))
+		if w == 0 {
+			w = 1
+		}
+		vw[i] = w
+	}
+	return graph.FromEdges(m.Rows, us, vs, nil, vw)
+}
+
+// Run partitions matrix m into k parts with the given personality and
+// returns the row part vector.
+func Run(name Name, m *matrix.CSR, k int, seed int64) ([]int32, error) {
+	switch name {
+	case SCOTCHP:
+		g := GraphModel(m)
+		return partition.Partition(g, k, partition.Options{
+			Seed:     seed,
+			Matching: partition.RandomEdge,
+			InitRuns: 2,
+			FMPasses: 1,
+		})
+	case KAFFPAP:
+		g := GraphModel(m)
+		return partition.Partition(g, k, partition.Options{
+			Seed:        seed,
+			Matching:    partition.HeavyEdge,
+			InitRuns:    6,
+			FMPasses:    3,
+			MaxNegMoves: 200,
+		})
+	case METISP:
+		h := hypergraph.ColumnNet(m)
+		return hpart.Partition(h, k, hpart.Options{
+			Seed:     seed,
+			InitRuns: 2,
+			FMPasses: 1,
+		})
+	case PATOHP:
+		h := hypergraph.ColumnNet(m)
+		return hpart.Partition(h, k, hpart.Options{
+			Seed:     seed,
+			InitRuns: 4,
+			FMPasses: 2,
+		})
+	case UMPAMV, UMPAMM, UMPATM:
+		h := hypergraph.ColumnNet(m)
+		part, err := hpart.Partition(h, k, hpart.Options{
+			Seed:     seed,
+			InitRuns: 3,
+			FMPasses: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		owner := make([]int32, h.NN)
+		for i := range owner {
+			owner[i] = int32(i)
+		}
+		targets := make([]int64, k)
+		total := h.TotalVertexWeight()
+		for i := range targets {
+			targets[i] = total / int64(k)
+			if int64(i) < total%int64(k) {
+				targets[i]++
+			}
+		}
+		var stack []hpart.Objective
+		switch name {
+		case UMPAMV:
+			stack = hpart.StackMV
+		case UMPAMM:
+			stack = hpart.StackMM
+		default:
+			stack = hpart.StackTM
+		}
+		hpart.RefineObjectives(h, part, k, owner, stack, targets, 0.10, 3)
+		return part, nil
+	}
+	return nil, fmt.Errorf("partitioners: unknown personality %q", name)
+}

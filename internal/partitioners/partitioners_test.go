@@ -1,0 +1,141 @@
+package partitioners
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+	"repro/internal/taskgraph"
+)
+
+func TestAllPersonalitiesProduceValidPartitions(t *testing.T) {
+	m := gen.Mesh2D(32, 32, 5) // 1024 rows
+	const k = 16
+	for _, name := range All() {
+		part, err := Run(name, m, k, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(part) != m.Rows {
+			t.Fatalf("%s: part length %d", name, len(part))
+		}
+		counts := make([]int, k)
+		for _, p := range part {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("%s: part id %d out of range", name, p)
+			}
+			counts[p]++
+		}
+		for p, c := range counts {
+			if c == 0 {
+				t.Fatalf("%s: part %d empty", name, p)
+			}
+		}
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	m := gen.Mesh2D(4, 4, 5)
+	if _, err := Run(Name("NOPE"), m, 2, 1); err == nil {
+		t.Fatal("want error for unknown personality")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	names := All()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 personalities, got %d", len(names))
+	}
+	// Paper figure order: KAFFPA METIS PATOH SCOTCH UMPAMM UMPAMV UMPATM.
+	want := []Name{KAFFPAP, METISP, PATOHP, SCOTCHP, UMPAMM, UMPAMV, UMPATM}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestGraphModel(t *testing.T) {
+	m := gen.Web(500, 4, 1) // directed pattern
+	g := GraphModel(m)
+	if g.N() != m.Rows {
+		t.Fatalf("graph has %d vertices, want %d", g.N(), m.Rows)
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("graph model must be symmetric")
+	}
+	// Vertex weights are row nnz.
+	if g.VertexWeight(0) != int64(m.RowNNZ(0)) {
+		t.Fatalf("vw[0] = %d, want %d", g.VertexWeight(0), m.RowNNZ(0))
+	}
+}
+
+// The qualitative Figure 1 shapes the personalities must reproduce:
+// hypergraph-based partitioners (PATOH) beat edge-cut partitioners
+// (SCOTCH, KAFFPA) on total volume, and each UMPA variant improves
+// its primary objective relative to PATOH.
+func TestPersonalityShapes(t *testing.T) {
+	m := gen.DeBruijn(4, 5) // 1024 rows, irregular
+	const k = 32
+	metricsOf := func(name Name) taskgraph.Metrics {
+		part, err := Run(name, m, k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg, err := taskgraph.Build(m, part, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tg.PartitionMetrics()
+	}
+	patoh := metricsOf(PATOHP)
+	scotch := metricsOf(SCOTCHP)
+	if float64(patoh.TV) > 1.05*float64(scotch.TV) {
+		t.Fatalf("PATOH TV %d clearly worse than SCOTCH TV %d", patoh.TV, scotch.TV)
+	}
+	umpamv := metricsOf(UMPAMV)
+	if umpamv.MSV > patoh.MSV {
+		t.Fatalf("UMPAMV MSV %d worse than PATOH %d", umpamv.MSV, patoh.MSV)
+	}
+	umpatm := metricsOf(UMPATM)
+	if float64(umpatm.TM) > 1.05*float64(patoh.TM) {
+		t.Fatalf("UMPATM TM %d clearly worse than PATOH %d", umpatm.TM, patoh.TM)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	m := gen.Mesh2D(20, 20, 5)
+	for _, name := range []Name{SCOTCHP, PATOHP, UMPAMM} {
+		a, err := Run(name, m, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(name, m, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestConnectivityMatchesTaskGraphTV(t *testing.T) {
+	// The hypergraph partitioner's objective (connectivity-1) must
+	// equal the task graph's TV for its own partitions.
+	m := gen.Uniform(600, 4, 9)
+	h := hypergraph.ColumnNet(m)
+	part, err := Run(PATOHP, m, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, part, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tg.PartitionMetrics().TV, h.Connectivity(part, 12); got != want {
+		t.Fatalf("TV %d != connectivity %d", got, want)
+	}
+}

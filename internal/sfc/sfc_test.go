@@ -1,0 +1,134 @@
+package sfc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertRoundTrip(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 4} {
+		total := uint64(1) << uint(3*b)
+		for d := uint64(0); d < total; d++ {
+			x, y, z := HilbertD2XYZ(b, d)
+			if got := HilbertXYZ2D(b, x, y, z); got != d {
+				t.Fatalf("b=%d d=%d -> (%d,%d,%d) -> %d", b, d, x, y, z, got)
+			}
+		}
+	}
+}
+
+func TestHilbertIsBijection(t *testing.T) {
+	const b = 3
+	side := uint32(1) << b
+	seen := map[[3]uint32]bool{}
+	for d := uint64(0); d < uint64(side)*uint64(side)*uint64(side); d++ {
+		x, y, z := HilbertD2XYZ(b, d)
+		if x >= side || y >= side || z >= side {
+			t.Fatalf("d=%d out of cube: (%d,%d,%d)", d, x, y, z)
+		}
+		key := [3]uint32{x, y, z}
+		if seen[key] {
+			t.Fatalf("duplicate point (%d,%d,%d)", x, y, z)
+		}
+		seen[key] = true
+	}
+}
+
+// The defining property of the Hilbert curve: consecutive indices map
+// to lattice points at L1 distance exactly 1.
+func TestHilbertAdjacency(t *testing.T) {
+	const b = 4
+	total := uint64(1) << (3 * b)
+	px, py, pz := HilbertD2XYZ(b, 0)
+	for d := uint64(1); d < total; d++ {
+		x, y, z := HilbertD2XYZ(b, d)
+		dist := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+		if dist != 1 {
+			t.Fatalf("d=%d: L1 step = %d, want 1 ((%d,%d,%d)->(%d,%d,%d))",
+				d, dist, px, py, pz, x, y, z)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestMortonRoundTripProperty(t *testing.T) {
+	prop := func(x, y, z uint16) bool {
+		xx, yy, zz := uint32(x)&0x3ff, uint32(y)&0x3ff, uint32(z)&0x3ff
+		d := Morton3D(xx, yy, zz)
+		gx, gy, gz := mortonDecode(d)
+		return gx == xx && gy == yy && gz == zz
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxOrderCoversEveryPointOnce(t *testing.T) {
+	for _, order := range []Order{OrderHilbert, OrderMorton, OrderRowMajor} {
+		for _, dims := range [][3]int{{4, 4, 4}, {5, 3, 7}, {1, 1, 1}, {16, 12, 16}} {
+			pts := BoxOrder(order, dims[0], dims[1], dims[2])
+			n := dims[0] * dims[1] * dims[2]
+			if len(pts) != n {
+				t.Fatalf("order %d dims %v: len = %d, want %d", order, dims, len(pts), n)
+			}
+			seen := make([]bool, n)
+			for _, p := range pts {
+				if p < 0 || int(p) >= n {
+					t.Fatalf("order %d dims %v: point %d out of range", order, dims, p)
+				}
+				if seen[p] {
+					t.Fatalf("order %d dims %v: duplicate point %d", order, dims, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// A space-filling ordering should be far more local than a row-major
+// sweep on a cube: measure the mean L1 jump between consecutive
+// points and require Hilbert to beat row-major.
+func TestHilbertLocalityBeatsRowMajor(t *testing.T) {
+	dims := [3]int{8, 8, 8}
+	jump := func(pts []int32) float64 {
+		var total float64
+		for i := 1; i < len(pts); i++ {
+			a, b := int(pts[i-1]), int(pts[i])
+			ax, ay, az := a%dims[0], a/dims[0]%dims[1], a/(dims[0]*dims[1])
+			bx, by, bz := b%dims[0], b/dims[0]%dims[1], b/(dims[0]*dims[1])
+			total += float64(abs(ax-bx) + abs(ay-by) + abs(az-bz))
+		}
+		return total / float64(len(pts)-1)
+	}
+	h := jump(BoxOrder(OrderHilbert, dims[0], dims[1], dims[2]))
+	r := jump(BoxOrder(OrderRowMajor, dims[0], dims[1], dims[2]))
+	if h != 1.0 {
+		t.Fatalf("hilbert mean jump = %f, want exactly 1 on a cube", h)
+	}
+	if h >= r {
+		t.Fatalf("hilbert (%f) not more local than row-major (%f)", h, r)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for in, want := range cases {
+		if got := ceilLog2(in); got != want {
+			t.Fatalf("ceilLog2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("GeoMean = %g, want 10", g)
+	}
+	if g := GeoMean([]float64{2, 0, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean skipping zero = %g, want 4", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("empty GeoMean should be NaN")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %g", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("Std = %g, want 2", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4}, 2)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("Normalize = %v", out)
+	}
+	zero := Normalize([]float64{3}, 0)
+	if zero[0] != 0 {
+		t.Fatal("zero base should produce zeros")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("alpha", "1.00")
+	tab.AddRow("b", "22.50")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: 'value' header starts at same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1.00") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRowf([]string{"%s", "%.2f"}, "x", 3.14159)
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	if !strings.Contains(sb.String(), "3.14") {
+		t.Fatal("AddRowf formatting lost")
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456) != "1.235" || F2(1.23456) != "1.23" {
+		t.Fatal("float formatting helpers wrong")
+	}
+}

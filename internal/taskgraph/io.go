@@ -1,0 +1,125 @@
+package taskgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Encode serializes the task graph in the plain text edge-list
+// format "src dst volume" (one directed edge per line, 0-based ids),
+// preceded by a comment header. Compute loads are emitted as
+// "# load <task> <nnz>" lines when present.
+func (t *TaskGraph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# task graph: %d tasks, %d directed edges\n", t.K, t.G.M()); err != nil {
+		return err
+	}
+	if t.G.VW != nil {
+		for v, load := range t.G.VW {
+			if _, err := fmt.Fprintf(bw, "# load %d %d\n", v, load); err != nil {
+				return err
+			}
+		}
+	}
+	for u := 0; u < t.G.N(); u++ {
+		for i := t.G.Xadj[u]; i < t.G.Xadj[u+1]; i++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", u, t.G.Adj[i], t.G.EdgeWeight(int(i))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text edge-list format of Encode: whitespace-
+// separated "src dst [volume]" lines (volume defaults to 1), with
+// "#"-prefixed comments; "# load <task> <nnz>" comments restore
+// compute loads. The number of tasks is one plus the largest id seen.
+func Read(r io.Reader) (*TaskGraph, error) {
+	var us, vs []int32
+	var ws []int64
+	loads := map[int]int64{}
+	maxID := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "load" {
+				id, err1 := strconv.Atoi(fields[2])
+				load, err2 := strconv.ParseInt(fields[3], 10, 64)
+				if err1 == nil && err2 == nil {
+					loads[id] = load
+					if id > maxID {
+						maxID = id
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("taskgraph: line %d: need \"src dst [volume]\", got %q", lineNo, line)
+		}
+		s, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("taskgraph: line %d: bad src %q", lineNo, fields[0])
+		}
+		d, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("taskgraph: line %d: bad dst %q", lineNo, fields[1])
+		}
+		if s < 0 || d < 0 {
+			return nil, fmt.Errorf("taskgraph: line %d: negative task id", lineNo)
+		}
+		w := int64(1)
+		if len(fields) > 2 {
+			w, err = strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("taskgraph: line %d: bad volume %q", lineNo, fields[2])
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("taskgraph: line %d: volume must be positive", lineNo)
+			}
+		}
+		us = append(us, int32(s))
+		vs = append(vs, int32(d))
+		ws = append(ws, w)
+		if s > maxID {
+			maxID = s
+		}
+		if d > maxID {
+			maxID = d
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxID < 0 {
+		return nil, fmt.Errorf("taskgraph: empty input")
+	}
+	n := maxID + 1
+	var vw []int64
+	if len(loads) > 0 {
+		vw = make([]int64, n)
+		for i := range vw {
+			vw[i] = 1
+		}
+		for id, load := range loads {
+			vw[id] = load
+		}
+	}
+	g := graph.FromEdges(n, us, vs, ws, vw)
+	return &TaskGraph{G: g, K: n}, nil
+}

@@ -1,0 +1,92 @@
+package taskgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTaskGraphIORoundTrip(t *testing.T) {
+	m := tridiag(16)
+	part := make([]int32, 16)
+	for i := range part {
+		part[i] = int32(i / 4)
+	}
+	tg, err := Build(m, part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tg.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != tg.K || back.G.M() != tg.G.M() {
+		t.Fatalf("round trip shape: K %d/%d M %d/%d", back.K, tg.K, back.G.M(), tg.G.M())
+	}
+	for u := 0; u < tg.G.N(); u++ {
+		a, b := tg.G.Neighbors(u), back.G.Neighbors(u)
+		wa, wb := tg.G.Weights(u), back.G.Weights(u)
+		if len(a) != len(b) {
+			t.Fatalf("task %d adjacency differs", u)
+		}
+		for i := range a {
+			if a[i] != b[i] || wa[i] != wb[i] {
+				t.Fatalf("task %d edge %d differs", u, i)
+			}
+		}
+		if tg.G.VertexWeight(u) != back.G.VertexWeight(u) {
+			t.Fatalf("task %d load lost: %d vs %d", u, tg.G.VertexWeight(u), back.G.VertexWeight(u))
+		}
+	}
+	// Partition metrics must survive the round trip.
+	if tg.PartitionMetrics() != back.PartitionMetrics() {
+		t.Fatal("metrics differ after round trip")
+	}
+}
+
+func TestReadDefaults(t *testing.T) {
+	in := `# comment line
+0 1 10
+
+1 2
+`
+	tg, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.K != 3 {
+		t.Fatalf("K = %d, want 3", tg.K)
+	}
+	// Edge 1->2 defaults to volume 1.
+	found := false
+	for i := tg.G.Xadj[1]; i < tg.G.Xadj[2]; i++ {
+		if tg.G.Adj[i] == 2 && tg.G.EW[i] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("default volume edge missing")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"0\n",           // too few fields
+		"a b 1\n",       // bad src
+		"0 b 1\n",       // bad dst
+		"0 1 x\n",       // bad volume
+		"0 1 0\n",       // non-positive volume
+		"-1 2 1\n",      // negative id
+		"# only\n#hi\n", // comments only
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d (%q): expected error", i, in)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package taskgraph builds MPI task communication graphs from a
+// 1D row-wise partitioned sparse matrix (the paper's workload
+// pipeline, §IV-A/§IV-B) and computes the partition-level
+// communication metrics TV, TM, MSV, MSM. It also provides the
+// task-to-node grouping step of §III-A: partitioning the task graph
+// into |Va| groups with node capacities as target weights, fixed up
+// to hard feasibility with an FM balance pass.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/partition"
+)
+
+// TaskGraph is a directed MPI task graph: vertex t sends w(t,u) units
+// of data to vertex u (x-vector entries for SpMV workloads). G.VW
+// holds per-task computation loads (nonzeros owned).
+type TaskGraph struct {
+	G *graph.Graph
+	K int // number of tasks
+}
+
+// Metrics are the partition communication metrics of §IV-A, in unit
+// costs: total volume, total messages, maximum per-part send volume
+// and maximum per-part sent messages.
+type Metrics struct {
+	TV, TM, MSV, MSM int64
+}
+
+// Build constructs the task graph of a k-part 1D row-wise SpMV on m:
+// the owner of row/column j (part[j]) sends x_j to every other part
+// that has a nonzero in column j. Edge weights count distinct x
+// entries.
+func Build(m *matrix.CSR, part []int32, k int) (*TaskGraph, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("taskgraph: matrix not square")
+	}
+	if len(part) != m.Rows {
+		return nil, fmt.Errorf("taskgraph: part vector length %d, want %d", len(part), m.Rows)
+	}
+	for _, p := range part {
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("taskgraph: part id %d out of [0,%d)", p, k)
+		}
+	}
+	tr := m.Transpose()
+	vol := make(map[int64]int64)
+	stamp := make([]int32, k)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for j := 0; j < m.Cols; j++ {
+		q := part[j] // owner of x_j
+		for _, i := range tr.Row(j) {
+			p := part[i]
+			if p == q || stamp[p] == int32(j) {
+				continue
+			}
+			stamp[p] = int32(j)
+			vol[int64(q)*int64(k)+int64(p)]++
+		}
+	}
+	var us, vs []int32
+	var ws []int64
+	for key, w := range vol {
+		us = append(us, int32(key/int64(k)))
+		vs = append(vs, int32(key%int64(k)))
+		ws = append(ws, w)
+	}
+	loads := make([]int64, k)
+	for i := 0; i < m.Rows; i++ {
+		loads[part[i]] += int64(m.RowNNZ(i))
+	}
+	g := graph.FromEdges(k, us, vs, ws, loads)
+	return &TaskGraph{G: g, K: k}, nil
+}
+
+// PartitionMetrics computes TV/TM/MSV/MSM from the task graph.
+func (t *TaskGraph) PartitionMetrics() Metrics {
+	var m Metrics
+	m.TM = int64(t.G.M())
+	for v := 0; v < t.G.N(); v++ {
+		var sv int64
+		for _, w := range t.G.Weights(v) {
+			sv += w
+		}
+		m.TV += sv
+		if sv > m.MSV {
+			m.MSV = sv
+		}
+		if d := int64(t.G.Degree(v)); d > m.MSM {
+			m.MSM = d
+		}
+	}
+	return m
+}
+
+// Symmetric returns the undirected view of the task graph with
+// c(t,u) = w(t→u) + w(u→t), which the mapping algorithms assume
+// (WH is an undirected metric, §III-A).
+func (t *TaskGraph) Symmetric() *graph.Graph { return t.G.Symmetrize() }
+
+// GroupBlocks groups tasks into consecutive-rank blocks matching the
+// node capacities, exactly how an SMP-style default mapping fills
+// nodes: group g takes capacities[g] consecutive task ids.
+func GroupBlocks(nTasks int, capacities []int64) ([]int32, error) {
+	group := make([]int32, nTasks)
+	t := 0
+	for gidx, c := range capacities {
+		for i := int64(0); i < c && t < nTasks; i++ {
+			group[t] = int32(gidx)
+			t++
+		}
+	}
+	if t != nTasks {
+		return nil, fmt.Errorf("taskgraph: capacities sum below %d tasks", nTasks)
+	}
+	return group, nil
+}
+
+// GroupTasks partitions the task graph into len(capacities) groups so
+// that group g holds at most capacities[g] tasks (each task counts
+// one processor slot), minimizing inter-group communication: the
+// paper's "use METIS to partition Gt into |Va| nodes" plus the
+// single FM balance fix (§III-A).
+//
+// Two candidates are produced — a multilevel partition of the task
+// graph, and the consecutive-rank block grouping refined with k-way
+// passes (recursive-bisection part ids are already locality-ordered,
+// §IV-B, so blocks are a strong start) — and the one with the lower
+// inter-group volume wins.
+func GroupTasks(t *TaskGraph, capacities []int64, seed int64) ([]int32, error) {
+	sym := t.Symmetric()
+	// Unit vertex weights: a task occupies one processor.
+	unit := make([]int64, sym.N())
+	for i := range unit {
+		unit[i] = 1
+	}
+	sym.VW = unit
+	interVolume := func(group []int32) int64 {
+		var vol int64
+		for u := 0; u < sym.N(); u++ {
+			for i := sym.Xadj[u]; i < sym.Xadj[u+1]; i++ {
+				if group[u] != group[sym.Adj[i]] {
+					vol += sym.EW[i]
+				}
+			}
+		}
+		return vol
+	}
+
+	partitioned, err := partition.PartitionTargets(sym, capacities, partition.Options{
+		Seed:      seed,
+		Imbalance: 0.02,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := partition.FixToCapacities(sym, partitioned, capacities); err != nil {
+		return nil, err
+	}
+
+	blocks, err := GroupBlocks(sym.N(), capacities)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < 4; pass++ {
+		if partition.RefineKWayPass(sym, blocks, capacities) == 0 {
+			break
+		}
+	}
+
+	if interVolume(blocks) < interVolume(partitioned) {
+		return blocks, nil
+	}
+	return partitioned, nil
+}
+
+// CoarseGraph aggregates the task graph over a grouping: vertex g of
+// the result is a supertask holding the tasks with group[t]==g; edge
+// weights are summed task volumes (symmetrized), vertex weights are
+// summed compute loads. Mapping algorithms run on this graph, one
+// supertask per allocated node (§III-A, §III-B "we choose to perform
+// only on the coarser task graphs").
+func CoarseGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
+	var us, vs []int32
+	var ws []int64
+	for u := 0; u < t.G.N(); u++ {
+		gu := group[u]
+		for i := t.G.Xadj[u]; i < t.G.Xadj[u+1]; i++ {
+			gv := group[t.G.Adj[i]]
+			if gu == gv {
+				continue
+			}
+			w := t.G.EdgeWeight(int(i))
+			us = append(us, gu, gv)
+			vs = append(vs, gv, gu)
+			ws = append(ws, w, w)
+		}
+	}
+	vw := make([]int64, nGroups)
+	for u := 0; u < t.G.N(); u++ {
+		vw[group[u]] += t.G.VertexWeight(u)
+	}
+	return graph.FromEdges(nGroups, us, vs, ws, vw)
+}
+
+// CoarseMessageGraph aggregates like CoarseGraph but weights each
+// coarse edge by the number of fine directed messages between the two
+// groups (both directions summed), which is the load the
+// message-congestion (MMC) refinement must see: all fine messages
+// between a group pair follow the same static route.
+func CoarseMessageGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
+	var us, vs []int32
+	var ws []int64
+	for u := 0; u < t.G.N(); u++ {
+		gu := group[u]
+		for i := t.G.Xadj[u]; i < t.G.Xadj[u+1]; i++ {
+			gv := group[t.G.Adj[i]]
+			if gu == gv {
+				continue
+			}
+			us = append(us, gu, gv)
+			vs = append(vs, gv, gu)
+			ws = append(ws, 1, 1)
+		}
+	}
+	vw := make([]int64, nGroups)
+	for u := 0; u < t.G.N(); u++ {
+		vw[group[u]] += t.G.VertexWeight(u)
+	}
+	return graph.FromEdges(nGroups, us, vs, ws, vw)
+}
+
+// MaxSendReceiveVertex returns the task with the maximum total
+// send+receive volume (the t_MSRV starting vertex of Algorithm 1)
+// of a symmetric graph.
+func MaxSendReceiveVertex(g *graph.Graph) int32 {
+	var best int32
+	var bestVol int64 = -1
+	for v := 0; v < g.N(); v++ {
+		var vol int64
+		for _, w := range g.Weights(v) {
+			vol += w
+		}
+		if vol > bestVol {
+			bestVol, best = vol, int32(v)
+		}
+	}
+	return best
+}
+
+// SortedEdgeVolumes returns all directed edge volumes sorted
+// descending (diagnostics and tests).
+func SortedEdgeVolumes(t *TaskGraph) []int64 {
+	out := append([]int64(nil), t.G.EW...)
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

@@ -1,0 +1,275 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	tor := New([]int{4, 3, 5}, []float64{1, 1, 1})
+	if tor.Nodes() != 60 {
+		t.Fatalf("Nodes = %d, want 60", tor.Nodes())
+	}
+	var buf []int
+	for node := 0; node < tor.Nodes(); node++ {
+		buf = tor.Coord(node, buf)
+		if got := tor.NodeAt(buf); got != node {
+			t.Fatalf("round trip %d -> %v -> %d", node, buf, got)
+		}
+	}
+}
+
+func TestHopDistRing(t *testing.T) {
+	// 1D torus of size 8 is a ring.
+	tor := New([]int{8}, []float64{1})
+	want := [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 3}, {6, 2}, {7, 1}}
+	for _, w := range want {
+		if got := tor.HopDist(0, w[0]); got != w[1] {
+			t.Fatalf("HopDist(0,%d) = %d, want %d", w[0], got, w[1])
+		}
+	}
+	if tor.Diameter() != 4 {
+		t.Fatalf("Diameter = %d, want 4", tor.Diameter())
+	}
+}
+
+func TestHopDistSymmetricProperty(t *testing.T) {
+	tor := New([]int{5, 4, 6}, []float64{1, 1, 1})
+	prop := func(a, b uint16) bool {
+		x, y := int(a)%tor.Nodes(), int(b)%tor.Nodes()
+		d := tor.HopDist(x, y)
+		return d == tor.HopDist(y, x) && d >= 0 && d <= tor.Diameter() &&
+			(d == 0) == (x == y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistTriangleInequality(t *testing.T) {
+	tor := New([]int{4, 4, 4}, []float64{1, 1, 1})
+	prop := func(a, b, c uint16) bool {
+		x, y, z := int(a)%64, int(b)%64, int(c)%64
+		return tor.HopDist(x, z) <= tor.HopDist(x, y)+tor.HopDist(y, z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteLengthMatchesHopDist(t *testing.T) {
+	tor := New([]int{5, 3, 4}, []float64{1, 2, 3})
+	var route []int32
+	for a := 0; a < tor.Nodes(); a += 7 {
+		for b := 0; b < tor.Nodes(); b++ {
+			route = tor.Route(a, b, route[:0])
+			if len(route) != tor.HopDist(a, b) {
+				t.Fatalf("route(%d,%d) has %d links, HopDist=%d", a, b, len(route), tor.HopDist(a, b))
+			}
+		}
+	}
+}
+
+func TestRouteIsContiguous(t *testing.T) {
+	tor := New([]int{6, 5, 4}, []float64{1, 1, 1})
+	var route []int32
+	for _, pair := range [][2]int{{0, 119}, {3, 77}, {50, 2}, {119, 0}, {17, 17}} {
+		route = tor.Route(pair[0], pair[1], route[:0])
+		cur := pair[0]
+		for _, l := range route {
+			from, _, _, to := tor.LinkInfo(int(l))
+			if from != cur {
+				t.Fatalf("route %v: link %d starts at %d, expected %d", pair, l, from, cur)
+			}
+			cur = to
+		}
+		if cur != pair[1] {
+			t.Fatalf("route %v ends at %d", pair, cur)
+		}
+	}
+}
+
+func TestRouteDimensionOrdered(t *testing.T) {
+	tor := New([]int{8, 8, 8}, []float64{1, 1, 1})
+	var route []int32
+	route = tor.Route(tor.NodeAt([]int{0, 0, 0}), tor.NodeAt([]int{2, 3, 1}), route)
+	lastDim := -1
+	for _, l := range route {
+		_, dim, _, _ := tor.LinkInfo(int(l))
+		if dim < lastDim {
+			t.Fatalf("route not dimension ordered: dim %d after %d", dim, lastDim)
+		}
+		lastDim = dim
+	}
+	if len(route) != 6 {
+		t.Fatalf("route length = %d, want 6", len(route))
+	}
+}
+
+func TestRouteWrapsAround(t *testing.T) {
+	tor := New([]int{8}, []float64{1})
+	var route []int32
+	// 0 -> 6 should wrap backwards: 2 hops in the negative direction.
+	route = tor.Route(0, 6, route)
+	if len(route) != 2 {
+		t.Fatalf("wrap route length = %d, want 2", len(route))
+	}
+	for _, l := range route {
+		_, _, dir, _ := tor.LinkInfo(int(l))
+		if dir != 1 {
+			t.Fatal("expected negative-direction links for wrap route")
+		}
+	}
+	// Tie at distance 4: deterministic positive direction.
+	route = tor.Route(0, 4, route[:0])
+	if len(route) != 4 {
+		t.Fatalf("tie route length = %d, want 4", len(route))
+	}
+	for _, l := range route {
+		_, _, dir, _ := tor.LinkInfo(int(l))
+		if dir != 0 {
+			t.Fatal("tie should route in positive direction")
+		}
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	tor := NewHopper3D(6, 6, 6)
+	a, b := 5, 200
+	r1 := tor.Route(a, b, nil)
+	r2 := tor.Route(a, b, nil)
+	if len(r1) != len(r2) {
+		t.Fatal("routing not deterministic")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("routing not deterministic")
+		}
+	}
+}
+
+func TestNeighborNodes(t *testing.T) {
+	tor := New([]int{4, 4, 4}, []float64{1, 1, 1})
+	nb := tor.NeighborNodes(0, nil)
+	if len(nb) != 6 {
+		t.Fatalf("3D torus degree = %d, want 6", len(nb))
+	}
+	seen := map[int32]bool{}
+	for _, v := range nb {
+		if seen[v] {
+			t.Fatalf("duplicate neighbour %d", v)
+		}
+		seen[v] = true
+		if tor.HopDist(0, int(v)) != 1 {
+			t.Fatalf("neighbour %d not at distance 1", v)
+		}
+	}
+	// Size-2 dimension: only one distinct neighbour in that dim.
+	tor2 := New([]int{2, 3}, []float64{1, 1})
+	nb2 := tor2.NeighborNodes(0, nil)
+	if len(nb2) != 3 {
+		t.Fatalf("2x3 torus degree at 0 = %d, want 3", len(nb2))
+	}
+	// Size-1 dimension contributes nothing.
+	tor1 := New([]int{1, 4}, []float64{1, 1})
+	nb1 := tor1.NeighborNodes(0, nil)
+	if len(nb1) != 2 {
+		t.Fatalf("1x4 torus degree = %d, want 2", len(nb1))
+	}
+}
+
+func TestLinkInfoRoundTrip(t *testing.T) {
+	tor := New([]int{3, 4}, []float64{10, 20})
+	for link := 0; link < tor.Links(); link++ {
+		from, dim, dir, to := tor.LinkInfo(link)
+		if got := tor.linkID(from, dim, dir); got != link {
+			t.Fatalf("linkID round trip: %d -> %d", link, got)
+		}
+		if tor.dims[dim] > 1 && tor.HopDist(from, to) != 1 {
+			t.Fatalf("link %d endpoints not adjacent", link)
+		}
+	}
+}
+
+func TestLinkBWPerDimension(t *testing.T) {
+	tor := NewHopper3D(4, 4, 4)
+	var route []int32
+	// A pure-Y route must use the low-bandwidth links.
+	a := tor.NodeAt([]int{0, 0, 0})
+	b := tor.NodeAt([]int{0, 1, 0})
+	route = tor.Route(a, b, route)
+	if len(route) != 1 {
+		t.Fatalf("expected single-hop route, got %d", len(route))
+	}
+	if bw := tor.LinkBW(int(route[0])); bw != HopperBWLow {
+		t.Fatalf("Y link bw = %g, want %g", bw, HopperBWLow)
+	}
+	// A pure-X route must use the high-bandwidth links.
+	c := tor.NodeAt([]int{1, 0, 0})
+	route = tor.Route(a, c, route[:0])
+	if bw := tor.LinkBW(int(route[0])); bw != HopperBWHigh {
+		t.Fatalf("X link bw = %g, want %g", bw, HopperBWHigh)
+	}
+}
+
+func TestHopDistBruteForce(t *testing.T) {
+	// Compare the O(1) metric against BFS distances on the topology
+	// graph for a small torus.
+	tor := New([]int{4, 3, 2}, []float64{1, 1, 1})
+	n := tor.Nodes()
+	for s := 0; s < n; s++ {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range tor.NeighborNodes(v, nil) {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, int(u))
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if dist[v] != tor.HopDist(s, v) {
+				t.Fatalf("HopDist(%d,%d) = %d, BFS = %d", s, v, tor.HopDist(s, v), dist[v])
+			}
+		}
+	}
+}
+
+func TestDiameterIsAchieved(t *testing.T) {
+	tor := New([]int{5, 4}, []float64{1, 1})
+	maxD := 0
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			if d := tor.HopDist(a, b); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD != tor.Diameter() {
+		t.Fatalf("observed max dist %d != Diameter() %d", maxD, tor.Diameter())
+	}
+}
+
+func TestFiveDimensionalTorus(t *testing.T) {
+	// The paper's intro motivates 5D tori (BlueGene/Q style).
+	tor := New([]int{4, 3, 2, 2, 3}, []float64{1, 1, 1, 1, 1})
+	if tor.Nodes() != 144 {
+		t.Fatalf("Nodes = %d, want 144", tor.Nodes())
+	}
+	var route []int32
+	for a := 0; a < tor.Nodes(); a += 13 {
+		for b := 0; b < tor.Nodes(); b += 7 {
+			route = tor.Route(a, b, route[:0])
+			if len(route) != tor.HopDist(a, b) {
+				t.Fatalf("5D route(%d,%d) len %d != dist %d", a, b, len(route), tor.HopDist(a, b))
+			}
+		}
+	}
+}

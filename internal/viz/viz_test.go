@@ -1,0 +1,195 @@
+package viz
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/fattree"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/torus"
+)
+
+func vizFixture(t *testing.T) (*torus.Torus, *alloc.Allocation, *graph.Graph, []int32) {
+	t.Helper()
+	topo := torus.NewHopper3D(4, 4, 4)
+	a, err := alloc.Generate(topo, 8, alloc.Config{Mode: alloc.Sparse, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.RandomConnected(8, 20, 50, 7)
+	nodeOf := append([]int32(nil), a.Nodes...)
+	return topo, a, g, nodeOf
+}
+
+func TestCongestionHistogramRenders(t *testing.T) {
+	topo, _, g, nodeOf := vizFixture(t)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	var buf bytes.Buffer
+	if err := CongestionHistogram(&buf, g, topo, pl, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "used links") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 9 { // header + 8 buckets
+		t.Fatalf("%d lines, want 9:\n%s", lines, out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+}
+
+func TestCongestionHistogramBucketTotal(t *testing.T) {
+	topo, _, g, nodeOf := vizFixture(t)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	var buf bytes.Buffer
+	if err := CongestionHistogram(&buf, g, topo, pl, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket counts must sum to the used-link count from the metrics.
+	m := metrics.Compute(g, topo, pl)
+	total := 0
+	for _, line := range strings.Split(buf.String(), "\n")[1:] {
+		// The count is the last purely numeric field of each bucket
+		// line (the bar of '#'s may be empty).
+		count := -1
+		for _, f := range strings.Fields(line) {
+			if c, err := strconv.Atoi(f); err == nil {
+				count = c
+			}
+		}
+		if count >= 0 {
+			total += count
+		}
+	}
+	if total != m.UsedLinks {
+		t.Fatalf("histogram counts %d, used links %d\n%s", total, m.UsedLinks, buf.String())
+	}
+}
+
+func TestCongestionHistogramErrors(t *testing.T) {
+	topo, _, g, nodeOf := vizFixture(t)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	if err := CongestionHistogram(&bytes.Buffer{}, g, topo, pl, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+func TestCongestionHistogramNoTraffic(t *testing.T) {
+	topo := torus.NewHopper3D(4, 4, 4)
+	g := graph.FromEdges(2, []int32{0}, []int32{1}, []int64{5}, nil)
+	pl := &metrics.Placement{NodeOf: []int32{3, 3}} // intra-node only
+	var buf bytes.Buffer
+	if err := CongestionHistogram(&buf, g, topo, pl, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no network traffic") {
+		t.Fatalf("unexpected output: %q", buf.String())
+	}
+}
+
+func TestTopLinksOrderingAndConsistency(t *testing.T) {
+	topo, _, g, nodeOf := vizFixture(t)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	hot := TopLinks(g, topo, pl, 5)
+	if len(hot) == 0 {
+		t.Fatal("no hot links")
+	}
+	m := metrics.Compute(g, topo, pl)
+	if hot[0].VC != m.MC {
+		t.Fatalf("hottest link VC %g != MC %g", hot[0].VC, m.MC)
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].VC > hot[i-1].VC {
+			t.Fatalf("links not sorted: %g before %g", hot[i-1].VC, hot[i].VC)
+		}
+	}
+	for _, h := range hot {
+		if h.From < 0 || h.To < 0 {
+			t.Fatalf("torus link endpoints not decoded: %+v", h)
+		}
+		if h.Messages <= 0 || h.Volume <= 0 {
+			t.Fatalf("degenerate hot link: %+v", h)
+		}
+	}
+}
+
+func TestTopLinksDecodesFatTreeEndpoints(t *testing.T) {
+	ft, err := fattree.New(4, 10e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.RandomConnected(8, 20, 40, 5)
+	nodeOf := make([]int32, 8)
+	for i := range nodeOf {
+		nodeOf[i] = int32(i * 2)
+	}
+	hot := TopLinks(g, ft, &metrics.Placement{NodeOf: nodeOf}, 5)
+	if len(hot) == 0 {
+		t.Fatal("no hot links on fat tree")
+	}
+	for _, h := range hot {
+		if h.From < 0 || h.To < 0 || h.From >= ft.Nodes() || h.To >= ft.Nodes() {
+			t.Fatalf("fat-tree endpoints not decoded: %+v", h)
+		}
+	}
+}
+
+func TestFprintTopLinksRenders(t *testing.T) {
+	topo, _, g, nodeOf := vizFixture(t)
+	pl := &metrics.Placement{NodeOf: nodeOf}
+	var buf bytes.Buffer
+	if err := FprintTopLinks(&buf, g, topo, pl, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(") || !strings.Contains(buf.String(), "VC(s)") {
+		t.Fatalf("missing coordinates or header:\n%s", buf.String())
+	}
+}
+
+func TestSliceMapRenders(t *testing.T) {
+	topo, a, g, nodeOf := vizFixture(t)
+	var buf bytes.Buffer
+	if err := SliceMap(&buf, topo, a, g, nodeOf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if lines := strings.Count(out, "\n"); lines != 5 { // header + 4 rows
+		t.Fatalf("%d lines, want 5:\n%s", lines, out)
+	}
+	// At least one hosting node somewhere across all slices.
+	hosting := 0
+	for z := 0; z < 4; z++ {
+		var b bytes.Buffer
+		if err := SliceMap(&b, topo, a, g, nodeOf, z); err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range b.String() {
+			if ch >= 'a' && ch <= 'z' {
+				hosting++
+			}
+		}
+	}
+	if hosting < len(nodeOf) {
+		t.Fatalf("only %d hosting cells rendered for %d supertasks", hosting, len(nodeOf))
+	}
+}
+
+func TestSliceMapErrors(t *testing.T) {
+	topo, a, g, nodeOf := vizFixture(t)
+	if err := SliceMap(&bytes.Buffer{}, topo, a, g, nodeOf, -1); err == nil {
+		t.Fatal("negative slice accepted")
+	}
+	if err := SliceMap(&bytes.Buffer{}, topo, a, g, nodeOf, 4); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+	topo5 := torus.New([]int{2, 2, 2, 2}, []float64{1e9, 1e9, 1e9, 1e9})
+	if err := SliceMap(&bytes.Buffer{}, topo5, a, g, nodeOf, 0); err == nil {
+		t.Fatal("non-3D torus accepted")
+	}
+}

@@ -1,0 +1,487 @@
+// Package topomap is a topology-aware task mapping library
+// reproducing "Fast and high quality topology-aware task mapping"
+// (Deveci, Kaya, Uçar, Çatalyürek; IPDPS 2015). It maps the
+// communicating tasks of a parallel application onto a sparse
+// allocation of nodes in a torus network, minimizing the weighted hop
+// (WH) and maximum link congestion (MC) metrics with the paper's
+// greedy construction and refinement algorithms.
+//
+// The package exposes the full evaluation pipeline:
+//
+//	matrix → partitioner → task graph → grouping → mapping → metrics → simulation
+//
+// Quick start:
+//
+//	m := topomap.GenerateMatrix("cagelike", topomap.Tiny)
+//	topo := topomap.NewHopperTorus(8, 8, 8)
+//	alloc, _ := topomap.SparseAllocation(topo, 16, 1)
+//	part, _ := topomap.PartitionMatrix(topomap.PATOH, m, alloc.TotalProcs(), 1)
+//	tg, _ := topomap.BuildTaskGraph(m, part, alloc.TotalProcs())
+//	res, _ := topomap.RunMapping(topomap.UWH, tg, topo, alloc, 1)
+//	fmt.Println(res.Metrics.WH, res.Metrics.MC)
+package topomap
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dragonfly"
+	"repro/internal/fattree"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/partitioners"
+	"repro/internal/rankfile"
+	"repro/internal/taskgraph"
+	"repro/internal/torus"
+	"repro/internal/viz"
+)
+
+// Re-exported pipeline types. These are aliases of the implementing
+// packages so the whole library is usable through this single import.
+type (
+	// Matrix is a structural sparse matrix in CSR form.
+	Matrix = matrix.CSR
+	// Graph is a CSR graph (task graphs, coarse graphs).
+	Graph = graph.Graph
+	// Torus is an N-dimensional torus network with static routing.
+	Torus = torus.Torus
+	// Topology is the abstract network interface.
+	Topology = torus.Topology
+	// MultipathTopology is a Topology that enumerates the minimal
+	// routes of a dynamically routed network (tori implement it).
+	MultipathTopology = torus.MultipathTopology
+	// AdaptiveMetrics are the expected-congestion metrics under
+	// dynamic routing (EMC/EMMC/EAC/EAMC).
+	AdaptiveMetrics = metrics.AdaptiveMetrics
+	// Allocation is a reserved node set with per-node capacities.
+	Allocation = alloc.Allocation
+	// TaskGraph is a directed MPI task communication graph.
+	TaskGraph = taskgraph.TaskGraph
+	// PartitionMetrics are the partition metrics TV/TM/MSV/MSM.
+	PartitionMetrics = taskgraph.Metrics
+	// MapMetrics are the mapping metrics TH/WH/MMC/MC/AMC/AC and the
+	// regression covariates.
+	MapMetrics = metrics.MapMetrics
+	// Placement composes task→group→node.
+	Placement = metrics.Placement
+	// Partitioner names one of the seven partitioner personalities.
+	Partitioner = partitioners.Name
+	// SimParams tunes the execution-time simulator.
+	SimParams = netsim.Params
+	// Tier selects dataset scale.
+	Tier = gen.Tier
+	// FatTree is a k-ary fat-tree network with static D-mod-k
+	// routing; it implements Topology and MultipathTopology.
+	FatTree = fattree.FatTree
+	// Dragonfly is a canonical dragonfly network (Cray Aries class)
+	// with unique hierarchical minimal routing; it implements
+	// Topology and MultipathTopology.
+	Dragonfly = dragonfly.Dragonfly
+)
+
+// Dataset tiers.
+const (
+	Tiny  = gen.Tiny
+	Small = gen.Small
+	Large = gen.Large
+)
+
+// Partitioner personalities (§IV-A).
+const (
+	SCOTCH = partitioners.SCOTCHP
+	KAFFPA = partitioners.KAFFPAP
+	METIS  = partitioners.METISP
+	PATOH  = partitioners.PATOHP
+	UMPAMV = partitioners.UMPAMV
+	UMPAMM = partitioners.UMPAMM
+	UMPATM = partitioners.UMPATM
+)
+
+// Partitioners returns all seven personalities in figure order.
+func Partitioners() []Partitioner { return partitioners.All() }
+
+// NewHopperTorus returns a 3D torus with Hopper's heterogeneous
+// Gemini link bandwidths.
+func NewHopperTorus(x, y, z int) *Torus { return torus.NewHopper3D(x, y, z) }
+
+// NewTorus returns a torus with arbitrary dimensions and
+// per-dimension bandwidths (supports the 5D/6D networks of the
+// paper's introduction).
+func NewTorus(dims []int, bw []float64) *Torus { return torus.New(dims, bw) }
+
+// NewTorusMesh returns the mesh (no wraparound) counterpart of
+// NewTorus.
+func NewTorusMesh(dims []int, bw []float64) *Torus { return torus.NewMesh(dims, bw) }
+
+// NewFatTree returns a k-ary fat tree (k even): k³/4 hosts on k pods
+// of k/2 edge and k/2 aggregation switches plus (k/2)² cores. bwHost
+// is the host-uplink bandwidth; taper >= 1 divides the bandwidth per
+// level upward (1 = full bisection). Hosts are vertices 0..k³/4-1;
+// the mapping algorithms and metrics run on it unchanged (§III: the
+// WH algorithms "can be applied to various topologies").
+func NewFatTree(k int, bwHost, taper float64) (*FatTree, error) {
+	return fattree.New(k, bwHost, taper)
+}
+
+// FatTreeSparseHosts reserves n hosts on a busy fat tree the way
+// SparseAllocation does on a torus: non-contiguous but locality
+// biased, with 16 processors per host.
+func FatTreeSparseHosts(ft *FatTree, n int, seed int64) (*Allocation, error) {
+	return fattree.SparseHosts(ft, n, alloc.DefaultProcsPerNode, seed)
+}
+
+// NewDragonfly returns a canonical dragonfly with h global links per
+// router: groups of 2h routers (h hosts each), 2h²+1 groups, one
+// global link per group pair, full local mesh per group, and unique
+// hierarchical minimal routing. Hosts are vertices 0..Hosts()-1. The
+// third topology family behind the §III "various topologies" claim.
+func NewDragonfly(h int, bwHost, bwLocal, bwGlobal float64) (*Dragonfly, error) {
+	return dragonfly.New(h, bwHost, bwLocal, bwGlobal)
+}
+
+// DragonflySparseHosts reserves n hosts on a busy dragonfly,
+// non-contiguous but locality biased, with 16 processors per host.
+func DragonflySparseHosts(d *Dragonfly, n int, seed int64) (*Allocation, error) {
+	return dragonfly.SparseHosts(d, n, alloc.DefaultProcsPerNode, seed)
+}
+
+// SparseAllocation reserves n nodes the way Cray's scheduler does:
+// non-contiguous but locality-biased, with 16 processors per node.
+func SparseAllocation(t *Torus, n int, seed int64) (*Allocation, error) {
+	return alloc.Generate(t, n, alloc.Config{Mode: alloc.Sparse, Seed: seed})
+}
+
+// ContiguousAllocation reserves n consecutive nodes in machine order.
+func ContiguousAllocation(t *Torus, n int, seed int64) (*Allocation, error) {
+	return alloc.Generate(t, n, alloc.Config{Mode: alloc.Contiguous, Seed: seed})
+}
+
+// DatasetNames lists the 25 synthetic workload matrices.
+func DatasetNames() []string { return gen.Names() }
+
+// FromEdges builds a graph from a directed weighted edge list
+// (parallel edges merged, self loops dropped); use it to hand-author
+// task graphs for GreedyMap / RunMapping.
+func FromEdges(n int, us, vs []int32, ws []int64) *Graph {
+	return graph.FromEdges(n, us, vs, ws, nil)
+}
+
+// ReadTaskGraph parses a task graph from the text edge-list format
+// ("src dst volume" lines; see TaskGraph.Encode).
+func ReadTaskGraph(r io.Reader) (*TaskGraph, error) { return taskgraph.Read(r) }
+
+// GenerateMatrix builds a dataset matrix by name at the given tier.
+func GenerateMatrix(name string, tier Tier) (*Matrix, error) {
+	spec, err := gen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(tier), nil
+}
+
+// PartitionMatrix partitions the rows of m into k parts with the
+// given personality.
+func PartitionMatrix(p Partitioner, m *Matrix, k int, seed int64) ([]int32, error) {
+	return partitioners.Run(p, m, k, seed)
+}
+
+// BuildTaskGraph constructs the directed MPI task graph of a k-part
+// 1D row-wise SpMV on m.
+func BuildTaskGraph(m *Matrix, part []int32, k int) (*TaskGraph, error) {
+	return taskgraph.Build(m, part, k)
+}
+
+// Mapper names a mapping algorithm of the evaluation (§IV-B).
+type Mapper string
+
+// The mappers: first the seven of the paper's figures (the Hopper
+// default, two baselines, four UMPA variants), then the extension
+// variants the paper sketches but does not plot.
+const (
+	DEF  Mapper = "DEF"
+	TMAP Mapper = "TMAP"
+	SMAP Mapper = "SMAP"
+	UG   Mapper = "UG"
+	UWH  Mapper = "UWH"
+	UMC  Mapper = "UMC"
+	UMMC Mapper = "UMMC"
+	// UTH is the TH-objective variant (§III: "adaptation ... trivial").
+	UTH Mapper = "UTH"
+	// TMAPG is LibTopoMap's greedy construction strategy (the library
+	// ships six algorithms; the paper plots its best, recursive
+	// bipartitioning = TMAP).
+	TMAPG Mapper = "TMAPG"
+	// UML is the multilevel WH mapper sketched in §III-B ("in a
+	// multilevel fashion from coarser to finer levels"): a heavy-edge
+	// matching hierarchy placed by BFS region growth and refined with
+	// cluster swaps level by level, finishing with Algorithm 2.
+	UML Mapper = "UML"
+	// UMCA is the dynamic-routing congestion variant of §III-C's
+	// closing remark: congestion refinement over the expected link
+	// loads of an adaptively routed torus (Blue Gene style), instead
+	// of the exact loads of static routing.
+	UMCA Mapper = "UMCA"
+)
+
+// Mappers returns the mappers evaluated in Figure 2, in order.
+func Mappers() []Mapper {
+	return []Mapper{DEF, TMAP, SMAP, UG, UWH, UMC, UMMC}
+}
+
+// MapResult bundles the outcome of RunMapping.
+type MapResult struct {
+	// GroupOf maps each task to its supertask/group (node index).
+	GroupOf []int32
+	// NodeOf maps each group to its network node.
+	NodeOf []int32
+	// Coarse is the aggregated supertask graph the mapper ran on.
+	Coarse *Graph
+	// Metrics holds the mapping metrics on the fine task graph.
+	Metrics MapMetrics
+}
+
+// Placement returns the task→node composition for the simulator.
+func (r *MapResult) Placement() *Placement {
+	return &metrics.Placement{GroupOf: r.GroupOf, NodeOf: r.NodeOf}
+}
+
+// RunMapping executes the paper's full mapping pipeline (§III-A) for
+// one mapper: group the tasks onto the allocated nodes (SMP-style
+// blocks for DEF, graph partitioning with capacity fix-up for the
+// rest), aggregate to the coarse graph, map it, and evaluate the
+// metrics on the fine task graph.
+func RunMapping(mapper Mapper, tg *TaskGraph, topo *Torus, a *Allocation, seed int64) (*MapResult, error) {
+	if tg.K > a.TotalProcs() {
+		return nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, a.TotalProcs())
+	}
+	caps := make([]int64, a.NumNodes())
+	for i, p := range a.ProcsPerNode {
+		caps[i] = int64(p)
+	}
+	var group []int32
+	var err error
+	if mapper == DEF {
+		group, err = taskgraph.GroupBlocks(tg.K, caps)
+	} else {
+		group, err = taskgraph.GroupTasks(tg, caps, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	coarse := taskgraph.CoarseGraph(tg, group, a.NumNodes())
+
+	var nodeOf []int32
+	switch mapper {
+	case DEF:
+		nodeOf = baseline.DEF(coarse.N(), a)
+	case TMAP:
+		nodeOf = baseline.TMAP(coarse, topo, a, seed)
+	case TMAPG:
+		nodeOf = baseline.TMAPGreedy(coarse, topo, a, seed)
+	case SMAP:
+		nodeOf = baseline.SMAP(coarse, topo, a, seed)
+	case UG:
+		nodeOf = core.MapUG(coarse, topo, a.Nodes)
+	case UWH:
+		nodeOf = core.MapUWH(coarse, topo, a.Nodes)
+	case UMC:
+		nodeOf = core.MapUMC(coarse, topo, a.Nodes)
+	case UMMC:
+		msgG := taskgraph.CoarseMessageGraph(tg, group, a.NumNodes())
+		nodeOf = core.MapUMMC(coarse, msgG, topo, a.Nodes)
+	case UTH:
+		nodeOf = core.MapUTH(coarse, topo, a.Nodes)
+	case UML:
+		nodeOf = core.MapUML(coarse, topo, a.Nodes, core.MultilevelOptions{})
+	case UMCA:
+		nodeOf = core.MapUMCA(coarse, topo, a.Nodes)
+	default:
+		return nil, fmt.Errorf("topomap: unknown mapper %q", mapper)
+	}
+	// Heterogeneous capacities (§III-A): the mappers optimize locality
+	// one-to-one; when node capacities are non-uniform a heavy group
+	// can land on a small node, so repair any violations with
+	// weight-aware swaps (a no-op on uniform allocations).
+	if mapper != DEF && !uniformCaps(a.ProcsPerNode) {
+		weight := make([]int64, coarse.N())
+		for _, g := range group {
+			weight[g]++
+		}
+		capOfNode := make([]int64, topo.Nodes())
+		for i, m := range a.Nodes {
+			capOfNode[m] = int64(a.ProcsPerNode[i])
+		}
+		core.RepairCapacities(coarse, topo, nodeOf, weight, capOfNode)
+	}
+	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
+	return &MapResult{
+		GroupOf: group,
+		NodeOf:  nodeOf,
+		Coarse:  coarse,
+		Metrics: metrics.Compute(tg.G, topo, pl),
+	}, nil
+}
+
+func uniformCaps(procs []int) bool {
+	for _, p := range procs[1:] {
+		if p != procs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateMetrics computes the mapping metrics of an arbitrary
+// placement of the fine task graph.
+func EvaluateMetrics(tg *TaskGraph, topo Topology, pl *Placement) MapMetrics {
+	return metrics.Compute(tg.G, topo, pl)
+}
+
+// EvaluateAdaptiveMetrics computes the expected-congestion metrics of
+// a placement under the dynamic-routing model (§III-C): every message
+// is spread uniformly over its minimal dimension-ordered routes.
+func EvaluateAdaptiveMetrics(tg *TaskGraph, topo MultipathTopology, pl *Placement) AdaptiveMetrics {
+	return metrics.ComputeAdaptive(tg.G, topo, pl)
+}
+
+// SimulateCommOnly runs the communication-only application simulator
+// (§IV-C) and returns seconds.
+func SimulateCommOnly(tg *TaskGraph, topo Topology, pl *Placement, bytesPerUnit float64, p SimParams) float64 {
+	return netsim.CommOnly(tg.G, topo, pl, bytesPerUnit, p).Seconds
+}
+
+// SimulateSpMV runs the SpMV kernel simulator (§IV-D) for the given
+// iteration count and returns seconds.
+func SimulateSpMV(tg *TaskGraph, topo Topology, pl *Placement, iters int, p SimParams) float64 {
+	return netsim.SpMV(tg.G, topo, pl, iters, p).Seconds
+}
+
+// SimulateCommOnlyAdaptive runs the communication-only simulator on
+// an adaptively routed network (§III-C): every message is sprayed
+// evenly over its minimal routes. Use it to evaluate mappings for
+// Blue Gene style tori or ECMP fat trees in execution time, not just
+// in the EMC metric.
+func SimulateCommOnlyAdaptive(tg *TaskGraph, topo MultipathTopology, pl *Placement, bytesPerUnit float64, p SimParams) float64 {
+	return netsim.CommOnlyAdaptive(tg.G, topo, pl, bytesPerUnit, p).Seconds
+}
+
+// GreedyMap exposes Algorithm 1 directly on a symmetric coarse graph:
+// it maps the graph's vertices one-to-one onto allocated nodes
+// minimizing WH, trying NBFS ∈ {0,1} and keeping the better mapping.
+func GreedyMap(coarse *Graph, topo Topology, allocNodes []int32) []int32 {
+	return core.GreedyBest(coarse, topo, allocNodes, core.WeightedHops)
+}
+
+// RefineWH exposes Algorithm 2: in-place WH swap refinement.
+// It returns the WH improvement.
+func RefineWH(coarse *Graph, topo Topology, allocNodes, nodeOf []int32) int64 {
+	return core.RefineWH(coarse, topo, allocNodes, nodeOf, core.RefineOptions{})
+}
+
+// RefineMC exposes Algorithm 3 (volume congestion): in-place MC
+// refinement. It returns the number of swaps applied.
+func RefineMC(coarse *Graph, topo Topology, allocNodes, nodeOf []int32) int {
+	return core.RefineCongestion(coarse, topo, allocNodes, nodeOf, core.VolumeCongestion, core.RefineOptions{})
+}
+
+// RefineFineLevel applies WH refinement on the finer-level task
+// vertices (§III-B): individual tasks swap groups when that lowers WH
+// without raising the inter-node communication volume. It mutates
+// res.GroupOf and returns the WH and volume improvements. The paper
+// leaves this variant off by default; it is exposed for
+// experimentation and the ablation benchmarks.
+func RefineFineLevel(tg *TaskGraph, topo Topology, res *MapResult) (whGain, volGain int64) {
+	return core.RefineWHFine(tg.Symmetric(), topo, res.GroupOf, res.NodeOf, core.RefineOptions{})
+}
+
+// RefineMCAdaptive exposes the dynamic-routing adaptation of
+// Algorithm 3 (§III-C's closing remark): congestion refinement over
+// the expected link loads of a multipath network (adaptively routed
+// torus, ECMP fat tree). It returns the number of swaps applied.
+func RefineMCAdaptive(coarse *Graph, topo MultipathTopology, allocNodes, nodeOf []int32) int {
+	return core.RefineCongestionAdaptive(coarse, topo, allocNodes, nodeOf, core.VolumeCongestion, core.RefineOptions{})
+}
+
+// GroupOntoAllocation groups the fine tasks of tg onto the allocated
+// nodes (graph partitioning with the capacity fix-up of §III-A) and
+// returns the group vector together with the aggregated symmetric
+// coarse graph the mapping algorithms consume. Use it with GreedyMap
+// / RefineWH / RefineMC when mapping onto topologies RunMapping does
+// not cover (e.g. fat trees).
+func GroupOntoAllocation(tg *TaskGraph, a *Allocation, seed int64) (group []int32, coarse *Graph, err error) {
+	if tg.K > a.TotalProcs() {
+		return nil, nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, a.TotalProcs())
+	}
+	caps := make([]int64, a.NumNodes())
+	for i, p := range a.ProcsPerNode {
+		caps[i] = int64(p)
+	}
+	group, err = taskgraph.GroupTasks(tg, caps, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return group, taskgraph.CoarseGraph(tg, group, a.NumNodes()), nil
+}
+
+// WriteRankOrder emits a Cray-style MPICH_RANK_ORDER file realizing
+// the placement on the allocation under SMP block filling
+// (MPICH_RANK_REORDER_METHOD=3) — the channel through which a mapping
+// reaches a real MPI launch. It fails when the placement cannot be
+// realized by block filling (a node over capacity, or an interior
+// node left partially filled).
+func WriteRankOrder(w io.Writer, pl *Placement, a *Allocation) error {
+	return rankfile.WriteRankOrder(w, pl, a)
+}
+
+// ReadRankOrder parses a rank-order file and validates that it is a
+// permutation of 0..n-1.
+func ReadRankOrder(r io.Reader) ([]int32, error) { return rankfile.ReadRankOrder(r) }
+
+// PlacementFromRankOrder reconstructs the rank→node placement an MPI
+// runtime realizes from a rank-order file on the given allocation —
+// use it to evaluate the metrics of an existing rank file.
+func PlacementFromRankOrder(order []int32, a *Allocation) (*Placement, error) {
+	return rankfile.PlacementFromRankOrder(order, a)
+}
+
+// WriteNodeList emits an allocation as "node procs" lines.
+func WriteNodeList(w io.Writer, a *Allocation) error { return rankfile.WriteNodeList(w, a) }
+
+// ReadNodeList parses an allocation from "node [procs]" lines, the
+// form a launcher wrapper captures from the scheduler (§II-B). Node
+// order is preserved as the scheduler's allocation order.
+func ReadNodeList(r io.Reader) (*Allocation, error) { return rankfile.ReadNodeList(r) }
+
+// RenderCongestionHistogram writes an ASCII histogram of the per-link
+// volume congestion under the placement — the spread behind the MC
+// and AC aggregates.
+func RenderCongestionHistogram(w io.Writer, tg *TaskGraph, topo Topology, pl *Placement, buckets int) error {
+	return viz.CongestionHistogram(w, tg.G, topo, pl, buckets)
+}
+
+// RenderTopLinks writes a table of the n most congested links with
+// their torus coordinates, routed volume and message counts.
+func RenderTopLinks(w io.Writer, tg *TaskGraph, topo *Torus, pl *Placement, n int) error {
+	return viz.FprintTopLinks(w, tg.G, topo, pl, n)
+}
+
+// RenderSliceMap draws one z-slice of a 3D torus as a character grid
+// showing free, allocated and task-hosting nodes (letters scale with
+// hosted communication volume).
+func RenderSliceMap(w io.Writer, topo *Torus, a *Allocation, coarse *Graph, nodeOf []int32, z int) error {
+	return viz.SliceMap(w, topo, a, coarse, nodeOf, z)
+}
+
+// RefineMMC exposes the message-congestion adaptation of Algorithm 3.
+// The graph's edge weights are read as message multiplicities: pass a
+// unit-weight graph when every edge is one message, or a
+// message-count-weighted coarse graph for grouped tasks.
+func RefineMMC(msgGraph *Graph, topo Topology, allocNodes, nodeOf []int32) int {
+	return core.RefineCongestion(msgGraph, topo, allocNodes, nodeOf, core.MessageCongestion, core.RefineOptions{})
+}

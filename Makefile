@@ -1,0 +1,31 @@
+# The canonical tier-1 gate (see ROADMAP.md): `make check` is what CI
+# and every PR must keep green. Individual stages are separate targets.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench race
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Bench smoke: one iteration of the engine benchmarks proves the
+# service API's hot path still runs; full numbers via `go test -bench=.`.
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkEngine' -benchtime=1x .
+
+race:
+	$(GO) test -race -run='Engine|Batch' .

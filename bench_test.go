@@ -420,6 +420,112 @@ func BenchmarkAblationAdaptiveSim(b *testing.B) {
 	})
 }
 
+// --- engine (service API) benchmarks --------------------------------
+
+// engineBenchFixture builds the full-pipeline fixture of the engine
+// benchmarks: a 256-task PATOH task graph and matching sparse
+// allocations on a Hopper-like torus and a canonical dragonfly.
+func engineBenchFixture(b *testing.B) (*topomap.TaskGraph, *torus.Torus, *alloc.Allocation, *dragonfly.Dragonfly, *alloc.Allocation) {
+	b.Helper()
+	spec, err := gen.ByName(gen.Cagelike)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Generate(gen.Tiny)
+	part, err := partitioners.Run(partitioners.PATOHP, m, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg, err := taskgraph.Build(m, part, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := torus.NewHopper3D(8, 8, 8)
+	a, err := alloc.Generate(topo, 16, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dragonfly.New(3, 10e9, 5e9, 4e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	da, err := dragonfly.SparseHosts(d, 16, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tg, topo, a, d, da
+}
+
+// BenchmarkEngineReuse measures the steady state of the service API:
+// one Engine per (topology, allocation), its routing/distance state
+// precomputed once, serving repeated UWH requests. Compare with
+// BenchmarkEngineColdStart for the cached-routing-state win.
+func BenchmarkEngineReuse(b *testing.B) {
+	tg, topo, a, d, da := engineBenchFixture(b)
+	run := func(name string, t topomap.Topology, al *alloc.Allocation) {
+		b.Run(name, func(b *testing.B) {
+			eng, err := topomap.NewEngine(t, al)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(topomap.Request{Mapper: topomap.UMC, Tasks: tg, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("torus", topo, a)
+	run("dragonfly", d, da)
+}
+
+// BenchmarkEngineColdStart is the baseline BenchmarkEngineReuse beats:
+// every request recomputes routes from scratch — the legacy RunMapping
+// path on the torus, a freshly built engine per request on the
+// dragonfly (which the legacy API could not serve at all).
+func BenchmarkEngineColdStart(b *testing.B) {
+	tg, topo, a, d, da := engineBenchFixture(b)
+	b.Run("torus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := topomap.RunMapping(topomap.UMC, tg, topo, a, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dragonfly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := topomap.NewEngine(d, da)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(topomap.Request{Mapper: topomap.UMC, Tasks: tg, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineRunBatch measures the worker-pool fan-out: the seven
+// Figure-2 mappers as one batch against a shared engine.
+func BenchmarkEngineRunBatch(b *testing.B) {
+	tg, topo, a, _, _ := engineBenchFixture(b)
+	eng, err := topomap.NewEngine(topo, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []topomap.Request
+	for _, mp := range topomap.Mappers() {
+		reqs = append(reqs, topomap.Request{Mapper: mp, Tasks: tg, Seed: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunBatch(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationGrouping compares SMP-style block grouping against
 // the partition-based grouping of §III-A.
 func BenchmarkAblationGrouping(b *testing.B) {

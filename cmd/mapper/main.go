@@ -1,14 +1,18 @@
-// Command mapper maps an MPI task graph onto a torus allocation and
-// reports the mapping metrics — the end-user tool of the library.
+// Command mapper maps an MPI task graph onto a network allocation and
+// reports the mapping metrics — the end-user tool of the library. It
+// drives the topology-generic Engine, so the same invocation works on
+// a torus, a mesh, a k-ary fat tree or a canonical dragonfly.
 //
 // The task graph is read from a file of whitespace-separated lines
 // "src dst volume" (directed edges, 0-based task ids), or generated
 // from a dataset matrix with -matrix/-partitioner.
 //
-// Example:
+// Examples:
 //
 //	mapper -matrix cagelike -procs 256 -algo UWH -torus 8x8x8
 //	mapper -graph app.tgraph -algo UMC -torus 16x12x16
+//	mapper -matrix cagelike -procs 256 -algo UWH -topology fattree -fattree-k 8
+//	mapper -matrix cagelike -procs 256 -algo UMC -topology dragonfly -dragonfly-h 3
 package main
 
 import (
@@ -26,9 +30,13 @@ func main() {
 	matName := flag.String("matrix", "", "dataset matrix to partition instead of -graph")
 	partName := flag.String("partitioner", "PATOH", "partitioner personality for -matrix")
 	procs := flag.Int("procs", 256, "number of MPI processes (with -matrix)")
-	algo := flag.String("algo", "UWH", "mapper: DEF TMAP TMAPG SMAP UG UWH UMC UMMC UTH UML UMCA")
-	torusSpec := flag.String("torus", "8x8x8", "torus dimensions XxYxZ")
+	algo := flag.String("algo", "UWH", "mapper: "+mapperList())
+	topoKind := flag.String("topology", "torus", "network family: torus, fattree, dragonfly")
+	torusSpec := flag.String("torus", "8x8x8", "torus dimensions XxYxZ (with -topology torus)")
 	mesh := flag.Bool("mesh", false, "use a mesh (no wraparound) instead of a torus")
+	ftK := flag.Int("fattree-k", 8, "fat-tree arity k (even; k³/4 hosts, with -topology fattree)")
+	ftTaper := flag.Float64("fattree-taper", 2, "fat-tree per-level bandwidth taper (1 = full bisection)")
+	dfH := flag.Int("dragonfly-h", 3, "dragonfly global links per router (with -topology dragonfly)")
 	seed := flag.Int64("seed", 1, "random seed (allocation, partitioner)")
 	tier := flag.String("tier", "small", "dataset tier with -matrix: tiny, small, large")
 	allocFile := flag.String("allocfile", "", "read the allocation from a node-list file (node [procs] lines) instead of generating one")
@@ -36,16 +44,9 @@ func main() {
 	viz := flag.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
 	flag.Parse()
 
-	dims, err := parseDims(*torusSpec)
+	net, err := buildTopology(*topoKind, *torusSpec, *mesh, *ftK, *ftTaper, *dfH)
 	if err != nil {
 		fail(err)
-	}
-	bw := []float64{9.38e9, 4.68e9, 9.38e9} // Hopper-like heterogeneous links
-	var topo *topomap.Torus
-	if *mesh {
-		topo = topomap.NewTorusMesh(dims[:], bw)
-	} else {
-		topo = topomap.NewTorus(dims[:], bw)
 	}
 
 	var tg *topomap.TaskGraph
@@ -96,19 +97,27 @@ func main() {
 			fail(err)
 		}
 		for _, n := range a.Nodes {
-			if int(n) >= topo.Nodes() {
-				fail(fmt.Errorf("allocfile node %d outside the %s torus", n, *torusSpec))
+			if int(n) >= net.hosts {
+				fail(fmt.Errorf("allocfile node %d outside the %d placement-eligible nodes of the %s", n, net.hosts, net.label))
 			}
 		}
 	} else {
 		nodes := (tg.K + 15) / 16
-		var err error
-		a, err = topomap.SparseAllocation(topo, nodes, *seed)
+		a, err = net.sparseAlloc(nodes, *seed)
 		if err != nil {
 			fail(err)
 		}
 	}
-	res, err := topomap.RunMapping(topomap.Mapper(strings.ToUpper(*algo)), tg, topo, a, *seed)
+
+	eng, err := topomap.NewEngine(net.topo, a)
+	if err != nil {
+		fail(err)
+	}
+	res, err := eng.Run(topomap.Request{
+		Mapper: topomap.Mapper(strings.ToUpper(*algo)),
+		Tasks:  tg,
+		Seed:   *seed,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -127,7 +136,7 @@ func main() {
 		fmt.Printf("wrote rank order to %s\n", *rankFile)
 	}
 	m := res.Metrics
-	fmt.Printf("tasks: %d   nodes: %d   torus: %s\n", tg.K, a.NumNodes(), *torusSpec)
+	fmt.Printf("tasks: %d   nodes: %d   network: %s\n", tg.K, a.NumNodes(), net.label)
 	fmt.Printf("mapper: %s\n", strings.ToUpper(*algo))
 	fmt.Printf("TH  = %d\n", m.TH)
 	fmt.Printf("WH  = %d\n", m.WH)
@@ -145,20 +154,97 @@ func main() {
 	}
 	if *viz {
 		fmt.Println()
-		if err := topomap.RenderCongestionHistogram(os.Stdout, tg, topo, res.Placement(), 10); err != nil {
+		if err := topomap.RenderCongestionHistogram(os.Stdout, tg, net.topo, res.Placement(), 10); err != nil {
 			fail(err)
 		}
-		fmt.Println()
-		if err := topomap.RenderTopLinks(os.Stdout, tg, topo, res.Placement(), 10); err != nil {
-			fail(err)
-		}
-		fmt.Println()
-		for z := 0; z < dims[2]; z++ {
-			if err := topomap.RenderSliceMap(os.Stdout, topo, a, res.Coarse, res.NodeOf, z); err != nil {
+		if t, ok := net.topo.(*topomap.Torus); ok {
+			fmt.Println()
+			if err := topomap.RenderTopLinks(os.Stdout, tg, t, res.Placement(), 10); err != nil {
 				fail(err)
+			}
+			fmt.Println()
+			for z := 0; z < t.Dims()[2]; z++ {
+				if err := topomap.RenderSliceMap(os.Stdout, t, a, res.Coarse, res.NodeOf, z); err != nil {
+					fail(err)
+				}
 			}
 		}
 	}
+}
+
+// network bundles a topology with its placement-host count and its
+// sparse-allocation generator, so the main flow is topology-agnostic.
+type network struct {
+	topo        topomap.Topology
+	label       string
+	hosts       int // placement-eligible node ids are 0..hosts-1
+	sparseAlloc func(nodes int, seed int64) (*topomap.Allocation, error)
+}
+
+// buildTopology constructs the network selected by -topology.
+func buildTopology(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, dfH int) (*network, error) {
+	switch strings.ToLower(kind) {
+	case "torus":
+		dims, err := parseDims(torusSpec)
+		if err != nil {
+			return nil, err
+		}
+		bw := []float64{9.38e9, 4.68e9, 9.38e9} // Hopper-like heterogeneous links
+		var t *topomap.Torus
+		label := "torus " + torusSpec
+		if mesh {
+			t = topomap.NewTorusMesh(dims[:], bw)
+			label = "mesh " + torusSpec
+		} else {
+			t = topomap.NewTorus(dims[:], bw)
+		}
+		return &network{
+			topo:  t,
+			label: label,
+			hosts: t.Nodes(),
+			sparseAlloc: func(nodes int, seed int64) (*topomap.Allocation, error) {
+				return topomap.SparseAllocation(t, nodes, seed)
+			},
+		}, nil
+	case "fattree":
+		ft, err := topomap.NewFatTree(ftK, 10e9, ftTaper)
+		if err != nil {
+			return nil, err
+		}
+		return &network{
+			topo:  ft,
+			label: fmt.Sprintf("fat tree k=%d (%d hosts)", ftK, ft.Hosts()),
+			hosts: ft.Hosts(),
+			sparseAlloc: func(nodes int, seed int64) (*topomap.Allocation, error) {
+				return topomap.FatTreeSparseHosts(ft, nodes, seed)
+			},
+		}, nil
+	case "dragonfly":
+		d, err := topomap.NewDragonfly(dfH, 10e9, 5e9, 4e9)
+		if err != nil {
+			return nil, err
+		}
+		return &network{
+			topo:  d,
+			label: fmt.Sprintf("dragonfly h=%d (%d hosts)", dfH, d.Hosts()),
+			hosts: d.Hosts(),
+			sparseAlloc: func(nodes int, seed int64) (*topomap.Allocation, error) {
+				return topomap.DragonflySparseHosts(d, nodes, seed)
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("mapper: unknown -topology %q (want torus, fattree or dragonfly)", kind)
+}
+
+// mapperList renders the registered mapper names for the -algo usage
+// string — derived from the registry, never hand-maintained.
+func mapperList() string {
+	names := topomap.RegisteredMappers()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return strings.Join(out, " ")
 }
 
 func parseDims(s string) ([3]int, error) {

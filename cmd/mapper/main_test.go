@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	topomap "repro"
+)
 
 func TestParseDims(t *testing.T) {
 	dims, err := parseDims("8x8x8")
@@ -20,6 +25,88 @@ func TestParseDims(t *testing.T) {
 	for _, bad := range []string{"8x8", "axbxc", "8x8x0", "", "8x8x8x8"} {
 		if _, err := parseDims(bad); err == nil {
 			t.Fatalf("parseDims(%q): expected error", bad)
+		}
+	}
+}
+
+func TestBuildTopologyFamilies(t *testing.T) {
+	cases := []struct {
+		kind  string
+		hosts int
+	}{
+		{"torus", 6 * 6 * 6},
+		{"fattree", 8 * 8 * 8 / 4},
+		{"dragonfly", 19 * 6 * 3}, // h=3: (2h²+1) groups × 2h routers × h hosts
+	}
+	for _, cs := range cases {
+		net, err := buildTopology(cs.kind, "6x6x6", false, 8, 2, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.kind, err)
+		}
+		if net.hosts != cs.hosts {
+			t.Fatalf("%s: hosts = %d, want %d", cs.kind, net.hosts, cs.hosts)
+		}
+		a, err := net.sparseAlloc(4, 1)
+		if err != nil {
+			t.Fatalf("%s: alloc: %v", cs.kind, err)
+		}
+		if a.NumNodes() != 4 {
+			t.Fatalf("%s: alloc has %d nodes", cs.kind, a.NumNodes())
+		}
+		if _, err := topomap.NewEngine(net.topo, a); err != nil {
+			t.Fatalf("%s: NewEngine: %v", cs.kind, err)
+		}
+	}
+	if _, err := buildTopology("hypercube", "6x6x6", false, 8, 2, 3); err == nil {
+		t.Fatal("expected error for unknown topology kind")
+	}
+}
+
+// TestEndToEndPerTopology drives the full mapper pipeline on every
+// topology family the CLI exposes — the -topology satellite's
+// acceptance: one Request path, three networks.
+func TestEndToEndPerTopology(t *testing.T) {
+	m, err := topomap.GenerateMatrix("cagelike", topomap.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const procs = 64
+	part, err := topomap.PartitionMatrix(topomap.PATOH, m, procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := topomap.BuildTaskGraph(m, part, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"torus", "fattree", "dragonfly"} {
+		net, err := buildTopology(kind, "6x6x6", false, 8, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := net.sparseAlloc((procs+15)/16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		eng, err := topomap.NewEngine(net.topo, a)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		res, err := eng.Run(topomap.Request{Mapper: topomap.UWH, Tasks: tg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Metrics.WH <= 0 {
+			t.Fatalf("%s: degenerate WH %d", kind, res.Metrics.WH)
+		}
+	}
+}
+
+func TestMapperListDerivedFromRegistry(t *testing.T) {
+	list := mapperList()
+	for _, mp := range topomap.Mappers() {
+		if !strings.Contains(list, string(mp)) {
+			t.Fatalf("mapper list %q missing %s", list, mp)
 		}
 	}
 }

@@ -1,0 +1,289 @@
+package topomap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/routecache"
+	"repro/internal/taskgraph"
+	"repro/internal/torus"
+)
+
+// Engine is the topology-generic mapping service: constructed once
+// per (Topology, Allocation) pair, it precomputes the pairwise
+// routing and distance state of the allocated nodes (torus
+// dimension-ordered routes, fat-tree D-mod-k paths, dragonfly
+// hierarchical minimal routes — whatever the topology's static
+// routing produces) and serves any number of mapping requests against
+// that cached state. An Engine is immutable after construction and
+// safe for concurrent use; Run may be called from many goroutines and
+// RunBatch fans a request slice out over a worker pool.
+//
+// Mappers are dispatched through the pluggable registry: the eleven
+// built-ins plus anything added with RegisterMapper.
+type Engine struct {
+	topo      Topology
+	view      Topology // route-cached view of topo (identical answers)
+	alloc     *Allocation
+	caps      []int64 // per-allocated-node capacities, allocation order
+	capOfNode []int64 // node id -> capacity (repair accounting)
+	uniform   bool
+}
+
+// NewEngine validates the allocation against the topology and builds
+// the engine's cached routing state. Any Topology works: *Torus,
+// *FatTree, *Dragonfly, or a user implementation.
+func NewEngine(topo Topology, a *Allocation) (*Engine, error) {
+	if topo == nil || a == nil {
+		return nil, fmt.Errorf("topomap: NewEngine needs a topology and an allocation")
+	}
+	if err := a.Validate(topo); err != nil {
+		return nil, err
+	}
+	view, err := routecache.New(topo, a.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return newEngineView(topo, view, a), nil
+}
+
+// newEngineView assembles an engine around an arbitrary topology view
+// (cached for NewEngine, the raw topology for the legacy RunMapping
+// shim). It performs no validation — the legacy path never did.
+func newEngineView(topo, view Topology, a *Allocation) *Engine {
+	e := &Engine{
+		topo:      topo,
+		view:      view,
+		alloc:     a,
+		caps:      make([]int64, a.NumNodes()),
+		capOfNode: make([]int64, topo.Nodes()),
+		uniform:   uniformCaps(a.ProcsPerNode),
+	}
+	for i, p := range a.ProcsPerNode {
+		e.caps[i] = int64(p)
+		e.capOfNode[a.Nodes[i]] = int64(p)
+	}
+	return e
+}
+
+// Topology returns the network the engine maps onto.
+func (e *Engine) Topology() Topology { return e.topo }
+
+// Allocation returns the node set the engine maps onto.
+func (e *Engine) Allocation() *Allocation { return e.alloc }
+
+// Request is one mapping job for an Engine: which mapper to run, the
+// task graph to place, the seed driving any randomized choice, and
+// optional per-request behaviour.
+type Request struct {
+	Mapper  Mapper
+	Tasks   *TaskGraph
+	Seed    int64
+	Options []RequestOption
+}
+
+// RequestOption tunes one Request.
+type RequestOption func(*requestConfig)
+
+type requestConfig struct {
+	refine     bool
+	fineRefine bool
+	simulate   bool
+	simBytes   float64
+	simParams  SimParams
+}
+
+// WithRefinement applies an extra WH swap-refinement pass
+// (Algorithm 2) to the mapper's output — useful to polish baselines
+// such as DEF or a custom registered mapper; the UWH family already
+// ends with it.
+func WithRefinement() RequestOption {
+	return func(c *requestConfig) { c.refine = true }
+}
+
+// WithFineRefine applies the §III-B fine-level refinement after
+// mapping: individual tasks swap groups when that lowers WH without
+// raising the inter-node volume. The gains are reported in
+// MapResult.FineWHGain / FineVolGain. The paper leaves this off by
+// default.
+func WithFineRefine() RequestOption {
+	return func(c *requestConfig) { c.fineRefine = true }
+}
+
+// WithSimParams additionally runs the communication-only simulator
+// (§IV-C) on the finished mapping and stores the simulated seconds in
+// MapResult.SimSeconds. bytesPerUnit scales task-graph volume units
+// to bytes.
+func WithSimParams(bytesPerUnit float64, p SimParams) RequestOption {
+	return func(c *requestConfig) {
+		c.simulate = true
+		c.simBytes = bytesPerUnit
+		c.simParams = p
+	}
+}
+
+// MapResult bundles the outcome of one mapping request.
+type MapResult struct {
+	// Mapper is the algorithm that produced the result.
+	Mapper Mapper
+	// GroupOf maps each task to its supertask/group (node index).
+	GroupOf []int32
+	// NodeOf maps each group to its network node.
+	NodeOf []int32
+	// Coarse is the aggregated supertask graph the mapper ran on.
+	Coarse *Graph
+	// Metrics holds the mapping metrics on the fine task graph.
+	Metrics MapMetrics
+	// FineWHGain and FineVolGain are the WH and volume improvements
+	// of the fine-level refinement (WithFineRefine only).
+	FineWHGain, FineVolGain int64
+	// SimSeconds is the simulated communication time (WithSimParams
+	// only).
+	SimSeconds float64
+}
+
+// Placement returns the task→node composition for the simulator.
+func (r *MapResult) Placement() *Placement {
+	return &metrics.Placement{GroupOf: r.GroupOf, NodeOf: r.NodeOf}
+}
+
+// Run executes the paper's full mapping pipeline (§III-A) for one
+// request: group the tasks onto the allocated nodes (SMP-style blocks
+// for block-grouping mappers, graph partitioning with capacity fix-up
+// for the rest), aggregate to the coarse supertask graph, dispatch
+// the mapper through the registry, repair heterogeneous capacity
+// violations, and evaluate the metrics on the fine task graph —
+// all against the engine's cached routing state.
+func (e *Engine) Run(req Request) (*MapResult, error) {
+	tg := req.Tasks
+	if tg == nil {
+		return nil, fmt.Errorf("topomap: request carries no task graph")
+	}
+	if tg.K > e.alloc.TotalProcs() {
+		return nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, e.alloc.TotalProcs())
+	}
+	spec, ok := registry.Lookup(string(req.Mapper))
+	if !ok {
+		return nil, fmt.Errorf("topomap: unknown mapper %q", req.Mapper)
+	}
+	caps := spec.Caps()
+	if caps.NeedsMultipath {
+		if _, ok := torus.MultipathOf(e.view); !ok {
+			return nil, fmt.Errorf("topomap: mapper %s needs a topology with minimal-route enumeration", req.Mapper)
+		}
+	}
+
+	var group []int32
+	var err error
+	if caps.BlockGrouping {
+		group, err = taskgraph.GroupBlocks(tg.K, e.caps)
+	} else {
+		group, err = taskgraph.GroupTasks(tg, e.caps, req.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	coarse := taskgraph.CoarseGraph(tg, group, e.alloc.NumNodes())
+	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: req.Seed}
+	if caps.NeedsMessageGraph {
+		in.Msg = taskgraph.CoarseMessageGraph(tg, group, e.alloc.NumNodes())
+	}
+	nodeOf, err := spec.Map(in)
+	if err != nil {
+		return nil, err
+	}
+	var cfg requestConfig
+	for _, opt := range req.Options {
+		opt(&cfg)
+	}
+	// The optional extra WH pass runs before the capacity repair:
+	// RefineWH swaps whole groups between nodes without weighing
+	// their sizes, so it must never be the last placement-mutating
+	// step on a heterogeneous allocation.
+	if cfg.refine {
+		core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{})
+	}
+	// Heterogeneous capacities (§III-A): the mappers optimize locality
+	// one-to-one; when node capacities are non-uniform a heavy group
+	// can land on a small node, so repair any violations with
+	// weight-aware swaps (a no-op on uniform allocations).
+	if !caps.BlockGrouping && !e.uniform {
+		weight := make([]int64, coarse.N())
+		for _, g := range group {
+			weight[g]++
+		}
+		core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
+	}
+
+	res := &MapResult{Mapper: req.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
+	if cfg.fineRefine {
+		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.Symmetric(), e.view, group, nodeOf, core.RefineOptions{})
+	}
+	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
+	res.Metrics = metrics.Compute(tg.G, e.view, pl)
+	if cfg.simulate {
+		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, cfg.simBytes, cfg.simParams).Seconds
+	}
+	return res, nil
+}
+
+// RunBatch runs every request on a worker pool sized to the host
+// (GOMAXPROCS) and returns the results by request index. Results are
+// deterministic: the same requests produce the same placements
+// regardless of worker count or scheduling. On error the first
+// failure (lowest request index, as a serial loop would hit it) is
+// returned; entries for requests that completed are still filled.
+func (e *Engine) RunBatch(reqs []Request) ([]*MapResult, error) {
+	return e.RunBatchWorkers(reqs, 0)
+}
+
+// RunBatchWorkers is RunBatch with an explicit worker count
+// (workers <= 0 means GOMAXPROCS).
+func (e *Engine) RunBatchWorkers(reqs []Request, workers int) ([]*MapResult, error) {
+	results := make([]*MapResult, len(reqs))
+	err := parallel.ForEach(len(reqs), workers, func(i int) error {
+		res, err := e.Run(reqs[i])
+		if err != nil {
+			return fmt.Errorf("topomap: request %d (%s): %w", i, reqs[i].Mapper, err)
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
+// Evaluate computes the mapping metrics of an arbitrary placement
+// through the engine's cached routing state (same answers as
+// EvaluateMetrics, faster on repeated calls).
+func (e *Engine) Evaluate(tg *TaskGraph, pl *Placement) MapMetrics {
+	return metrics.Compute(tg.G, e.view, pl)
+}
+
+// RunMapping executes the full mapping pipeline for one mapper on a
+// torus, without reusable cached state.
+//
+// Deprecated: build an Engine with NewEngine and call Run — it serves
+// any Topology (fat trees, dragonflies, custom networks), reuses the
+// precomputed routing state across requests, and batches. RunMapping
+// remains as a shim over the same registry-dispatched pipeline.
+func RunMapping(mapper Mapper, tg *TaskGraph, topo *Torus, a *Allocation, seed int64) (*MapResult, error) {
+	return newEngineView(topo, topo, a).Run(Request{Mapper: mapper, Tasks: tg, Seed: seed})
+}
+
+// uniformCaps reports whether every allocated node has the same
+// processor capacity (vacuously true for empty allocations).
+func uniformCaps(procs []int) bool {
+	if len(procs) == 0 {
+		return true
+	}
+	for _, p := range procs[1:] {
+		if p != procs[0] {
+			return false
+		}
+	}
+	return true
+}

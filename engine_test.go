@@ -1,0 +1,405 @@
+package topomap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Engine/Request API tests: golden equivalence against the legacy
+// RunMapping pipeline, topology generality, batch determinism, and
+// the registry surface.
+
+// engineFixture builds one task graph and a sparse torus allocation
+// shared by the engine tests.
+func engineFixture(t *testing.T, procs int) (*TaskGraph, *Torus, *Allocation) {
+	t.Helper()
+	m, err := GenerateMatrix("cagelike", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionMatrix(PATOH, m, procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := BuildTaskGraph(m, part, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := NewHopperTorus(6, 6, 6)
+	a, err := SparseAllocation(topo, procs/16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, topo, a
+}
+
+// TestEngineGoldenEquivalence is the API redesign's conservation law:
+// Engine.Run (registry dispatch + cached routing state) must produce
+// byte-identical GroupOf/NodeOf — and therefore identical metrics —
+// to the legacy RunMapping path for every registered mapper on a
+// torus.
+func TestEngineGoldenEquivalence(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range RegisteredMappers() {
+		legacy, err := RunMapping(mp, tg, topo, a, 1)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", mp, err)
+		}
+		got, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: engine: %v", mp, err)
+		}
+		if !reflect.DeepEqual(got.GroupOf, legacy.GroupOf) {
+			t.Fatalf("%s: GroupOf diverged from legacy RunMapping", mp)
+		}
+		if !reflect.DeepEqual(got.NodeOf, legacy.NodeOf) {
+			t.Fatalf("%s: NodeOf diverged from legacy RunMapping", mp)
+		}
+		if got.Metrics != legacy.Metrics {
+			t.Fatalf("%s: metrics diverged:\n legacy %+v\n engine %+v", mp, legacy.Metrics, got.Metrics)
+		}
+	}
+}
+
+// TestEngineTopologyGeneric runs the same Request on a fat tree and a
+// dragonfly — the §III "various topologies" claim as an API property.
+func TestEngineTopologyGeneric(t *testing.T) {
+	tg, _, _ := engineFixture(t, 64)
+	ft, err := NewFatTree(8, 10e9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := FatTreeSparseHosts(ft, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := NewDragonfly(3, 10e9, 5e9, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := DragonflySparseHosts(df, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		topo Topology
+		a    *Allocation
+	}{{"fattree", ft, fa}, {"dragonfly", df, da}} {
+		eng, err := NewEngine(tc.topo, tc.a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, mp := range RegisteredMappers() {
+			res, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, mp, err)
+			}
+			if len(res.NodeOf) != tc.a.NumNodes() || len(res.GroupOf) != tg.K {
+				t.Fatalf("%s/%s: result shapes wrong", tc.name, mp)
+			}
+			if res.Metrics.WH <= 0 {
+				t.Fatalf("%s/%s: degenerate WH", tc.name, mp)
+			}
+			// Placements must stay on allocated hosts.
+			onAlloc := map[int32]bool{}
+			for _, n := range tc.a.Nodes {
+				onAlloc[n] = true
+			}
+			for g, n := range res.NodeOf {
+				if !onAlloc[n] {
+					t.Fatalf("%s/%s: group %d on unallocated node %d", tc.name, mp, g, n)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineRunBatchDeterministic checks the batch path: the same
+// requests must yield identical placements across repeated runs and
+// across worker counts, while sharing one engine (the -race run makes
+// this the concurrency acceptance test too).
+func TestEngineRunBatchDeterministic(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for _, mp := range Mappers() {
+		for seed := int64(1); seed <= 3; seed++ {
+			reqs = append(reqs, Request{Mapper: mp, Tasks: tg, Seed: seed})
+		}
+	}
+	base, err := eng.RunBatchWorkers(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := eng.RunBatchWorkers(reqs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range reqs {
+			if !reflect.DeepEqual(got[i].NodeOf, base[i].NodeOf) ||
+				!reflect.DeepEqual(got[i].GroupOf, base[i].GroupOf) {
+				t.Fatalf("workers=%d: request %d (%s seed %d) diverged from serial run",
+					workers, i, reqs[i].Mapper, reqs[i].Seed)
+			}
+		}
+	}
+}
+
+// TestEngineRequestOptions exercises the functional options: the
+// extra refinement pass must never regress WH, the fine-level
+// refinement must report non-negative gains, and WithSimParams must
+// produce a positive simulated time.
+func TestEngineRequestOptions(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := eng.Run(Request{Mapper: DEF, Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := eng.Run(Request{Mapper: DEF, Tasks: tg, Seed: 1,
+		Options: []RequestOption{WithRefinement()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Metrics.WH > plain.Metrics.WH {
+		t.Fatalf("WithRefinement regressed WH: %d -> %d", plain.Metrics.WH, refined.Metrics.WH)
+	}
+	full, err := eng.Run(Request{Mapper: UWH, Tasks: tg, Seed: 1,
+		Options: []RequestOption{WithFineRefine(), WithSimParams(4096, SimParams{Seed: 1})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FineWHGain < 0 || full.FineVolGain < 0 {
+		t.Fatalf("fine refinement reported negative gains: WH %d vol %d", full.FineWHGain, full.FineVolGain)
+	}
+	if full.SimSeconds <= 0 {
+		t.Fatalf("WithSimParams produced non-positive time %g", full.SimSeconds)
+	}
+}
+
+// TestEngineRefinementRespectsCapacities pins the option ordering:
+// the extra WH pass runs before the capacity repair, so even with
+// WithRefinement a heterogeneous allocation can never end up
+// oversubscribed.
+func TestEngineRefinementRespectsCapacities(t *testing.T) {
+	m, err := GenerateMatrix("cagelike", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := NewHopperTorus(6, 6, 6)
+	a := &Allocation{
+		Nodes:        []int32{3, 40, 77, 101, 130, 171},
+		ProcsPerNode: []int{24, 8, 16, 24, 8, 16}, // 96 procs
+	}
+	procs := a.TotalProcs()
+	part, err := PartitionMatrix(PATOH, m, procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := BuildTaskGraph(m, part, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capOf := map[int32]int{}
+	for i, n := range a.Nodes {
+		capOf[n] = a.ProcsPerNode[i]
+	}
+	for _, mp := range []Mapper{UG, UWH, UMC} {
+		res, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1,
+			Options: []RequestOption{WithRefinement()}})
+		if err != nil {
+			t.Fatalf("%s: %v", mp, err)
+		}
+		perNode := map[int32]int{}
+		for _, g := range res.GroupOf {
+			perNode[res.NodeOf[g]]++
+		}
+		for n, cnt := range perNode {
+			if cnt > capOf[n] {
+				t.Fatalf("%s: node %d hosts %d tasks, capacity %d", mp, n, cnt, capOf[n])
+			}
+		}
+	}
+}
+
+// TestRegisterMapperPublicAPI registers a custom mapper through the
+// exported registry surface and dispatches it through the engine.
+func TestRegisterMapperPublicAPI(t *testing.T) {
+	const name = "TEST-REVBLOCK"
+	spec := NewMapper(name, MapperCaps{BlockGrouping: true}, func(in MapperInput) ([]int32, error) {
+		nodeOf := make([]int32, in.Coarse.N())
+		for g := range nodeOf {
+			nodeOf[g] = in.Alloc.Nodes[len(in.Alloc.Nodes)-1-g]
+		}
+		return nodeOf, nil
+	})
+	if err := RegisterMapper(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterMapper(spec); err == nil {
+		t.Fatal("duplicate registration must be rejected")
+	}
+	found := false
+	for _, mp := range RegisteredMappers() {
+		if mp == Mapper(name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RegisteredMappers misses %s", name)
+	}
+
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(Request{Mapper: Mapper(name), Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, n := range res.NodeOf {
+		if want := a.Nodes[a.NumNodes()-1-g]; n != want {
+			t.Fatalf("group %d on node %d, want %d", g, n, want)
+		}
+	}
+	if res.Metrics.WH <= 0 {
+		t.Fatal("degenerate WH for custom mapper")
+	}
+}
+
+// flatTopo hides every optional capability of a torus, leaving a bare
+// Topology — the capability-gating test double.
+type flatTopo struct{ t *Torus }
+
+func (f flatTopo) Nodes() int                               { return f.t.Nodes() }
+func (f flatTopo) HopDist(a, b int) int                     { return f.t.HopDist(a, b) }
+func (f flatTopo) Diameter() int                            { return f.t.Diameter() }
+func (f flatTopo) NeighborNodes(v int, dst []int32) []int32 { return f.t.NeighborNodes(v, dst) }
+func (f flatTopo) Links() int                               { return f.t.Links() }
+func (f flatTopo) Route(a, b int, dst []int32) []int32      { return f.t.Route(a, b, dst) }
+func (f flatTopo) LinkBW(link int) float64                  { return f.t.LinkBW(link) }
+
+// TestEngineCapabilityGate: a mapper that declares NeedsMultipath
+// must be rejected on a topology that cannot enumerate minimal
+// routes, with a clear error instead of a panic.
+func TestEngineCapabilityGate(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(flatTopo{topo}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(Request{Mapper: UMCA, Tasks: tg, Seed: 1}); err == nil {
+		t.Fatal("UMCA on a non-multipath topology must fail")
+	}
+	// The WH family runs fine on the bare interface.
+	if _, err := eng.Run(Request{Mapper: UWH, Tasks: tg, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineErrors mirrors the legacy RunMapping error contract.
+func TestEngineErrors(t *testing.T) {
+	tg, topo, _ := engineFixture(t, 128)
+	small, err := SparseAllocation(topo, 2, 1) // 32 procs < 128 tasks
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(Request{Mapper: UG, Tasks: tg, Seed: 1}); err == nil {
+		t.Fatal("want error when tasks exceed allocated processors")
+	}
+	ok, err := SparseAllocation(topo, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err = NewEngine(topo, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(Request{Mapper: Mapper("NOPE"), Tasks: tg, Seed: 1}); err == nil {
+		t.Fatal("want error for unknown mapper")
+	}
+	if _, err := eng.Run(Request{Mapper: UG}); err == nil {
+		t.Fatal("want error for missing task graph")
+	}
+	if _, err := NewEngine(topo, &Allocation{Nodes: []int32{1, 1}, ProcsPerNode: []int{16, 16}}); err == nil {
+		t.Fatal("want error for duplicate allocation nodes")
+	}
+}
+
+// TestUniformCapsEmpty is the regression test for the uniformCaps
+// panic on an empty ProcsPerNode slice (procs[1:] on length 0).
+func TestUniformCapsEmpty(t *testing.T) {
+	for _, tc := range []struct {
+		procs []int
+		want  bool
+	}{
+		{nil, true},
+		{[]int{}, true},
+		{[]int{16}, true},
+		{[]int{16, 16, 16}, true},
+		{[]int{16, 8}, false},
+	} {
+		if got := uniformCaps(tc.procs); got != tc.want {
+			t.Fatalf("uniformCaps(%v) = %v, want %v", tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestEngineEvaluateMatchesEvaluateMetrics pins the cached-view
+// metric evaluation to the raw-topology one.
+func TestEngineEvaluateMatchesEvaluateMetrics(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(Request{Mapper: UMC, Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eng.Evaluate(tg, res.Placement()), EvaluateMetrics(tg, topo, res.Placement()); got != want {
+		t.Fatalf("cached evaluation diverged:\n want %+v\n got  %+v", want, got)
+	}
+}
+
+// ExampleEngine_RunBatch is compile-checked documentation of the
+// batch path; it doubles as the smallest possible engine quickstart.
+func ExampleEngine_RunBatch() {
+	topo := NewHopperTorus(4, 4, 4)
+	a, _ := ContiguousAllocation(topo, 4, 3)
+	coarse := FromEdges(4,
+		[]int32{0, 1, 2, 3},
+		[]int32{1, 2, 3, 0},
+		[]int64{10, 10, 10, 10})
+	tg := &TaskGraph{G: coarse, K: 4}
+	eng, _ := NewEngine(topo, a)
+	results, _ := eng.RunBatch([]Request{
+		{Mapper: DEF, Tasks: tg, Seed: 1},
+		{Mapper: UWH, Tasks: tg, Seed: 1},
+	})
+	fmt.Println("UWH no worse than DEF:", results[1].Metrics.WH <= results[0].Metrics.WH)
+	// Output:
+	// UWH no worse than DEF: true
+}

@@ -1,8 +1,9 @@
 package topomap_test
 
 // Godoc examples: compile-checked documentation of the two ways to
-// drive the library — the full paper pipeline through RunMapping, and
-// the algorithms directly on a hand-built coarse task graph.
+// drive the library — the full paper pipeline through the Engine
+// service API, and the algorithms directly on a hand-built coarse
+// task graph.
 
 import (
 	"fmt"
@@ -11,11 +12,13 @@ import (
 	topomap "repro"
 )
 
-// ExampleRunMapping runs the paper's full pipeline: generate a
-// workload matrix, partition it into MPI ranks, build the task graph,
-// and map it onto a sparse torus allocation with UWH (greedy
-// construction + WH refinement).
-func ExampleRunMapping() {
+// ExampleEngine_Run runs the paper's full pipeline through the
+// service API: generate a workload matrix, partition it into MPI
+// ranks, build the task graph, construct an Engine for the (torus,
+// allocation) pair — its routing state is precomputed once — and
+// serve two mapping requests against it: the SMP-style default
+// placement and UWH (greedy construction + WH refinement).
+func ExampleEngine_Run() {
 	m, err := topomap.GenerateMatrix("mesh2d-a", topomap.Tiny)
 	if err != nil {
 		log.Fatal(err)
@@ -34,11 +37,15 @@ func ExampleRunMapping() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	def, err := topomap.RunMapping(topomap.DEF, tg, topo, a, 1)
+	eng, err := topomap.NewEngine(topo, a)
 	if err != nil {
 		log.Fatal(err)
 	}
-	uwh, err := topomap.RunMapping(topomap.UWH, tg, topo, a, 1)
+	def, err := eng.Run(topomap.Request{Mapper: topomap.DEF, Tasks: tg, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uwh, err := eng.Run(topomap.Request{Mapper: topomap.UWH, Tasks: tg, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,9 @@
 // Fattree: topology-aware mapping on a k-ary fat tree, the most
 // common non-torus interconnect. The paper presents its WH-minimizing
-// algorithms as topology-agnostic (§III); this example runs them on a
-// k=8 fat tree (128 hosts) with a 2:1 bandwidth taper, compares a
-// block placement against UG+UWH and the congestion refinement, and
+// algorithms as topology-agnostic (§III); this example serves a k=8
+// fat tree (128 hosts, 2:1 bandwidth taper) through the Engine API —
+// the same Requests that run on a torus — then layers the manual
+// ECMP-aware congestion refinement on top of the best WH mapping and
 // evaluates both the static (D-mod-k) and adaptive (ECMP-spread)
 // congestion of every mapping.
 package main
@@ -24,14 +25,20 @@ func main() {
 	fmt.Printf("fat tree: k=8, %d hosts, %d vertices, %d directed links\n",
 		ft.Hosts(), ft.Nodes(), ft.Links())
 
-	// A sparse allocation of 48 hosts on the busy machine.
+	// A sparse allocation of 48 hosts on the busy machine, and the
+	// engine serving it: D-mod-k routes between every allocated host
+	// pair are precomputed once, shared by all requests below.
 	a, err := topomap.FatTreeSparseHosts(ft, 48, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := topomap.NewEngine(ft, a)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Task graph: a 1D row-wise SpMV communication graph of the
-	// cagelike matrix, partitioned and grouped to 48 supertasks.
+	// cagelike matrix, partitioned to one task per processor.
 	m, err := topomap.GenerateMatrix("cagelike", topomap.Tiny)
 	if err != nil {
 		log.Fatal(err)
@@ -44,65 +51,65 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	group, coarse, err := topomap.GroupOntoAllocation(tg, a, 1)
+
+	// Three mappings through one engine. On a fat tree the block
+	// placement (DEF) is already a strong baseline — allocation order
+	// follows pod locality — so the interesting comparisons are
+	// refinements of it: DEF polished by Algorithm 2
+	// (WithRefinement), the full UG+UWH construction, and below, the
+	// ECMP-aware congestion refinement on the best WH mapping.
+	results, err := eng.RunBatch([]topomap.Request{
+		{Mapper: topomap.DEF, Tasks: tg, Seed: 1},
+		{Mapper: topomap.DEF, Tasks: tg, Seed: 1,
+			Options: []topomap.RequestOption{topomap.WithRefinement()}},
+		{Mapper: topomap.UWH, Tasks: tg, Seed: 1},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	block, refined, uwh := results[0], results[1], results[2]
 
-	// Four mappings. On a fat tree the block placement is already a
-	// strong baseline (allocation order follows pod locality and
-	// recursive-bisection group ids follow the partition order — the
-	// same effect the paper reports for Hopper's DEF mapping), so the
-	// interesting comparisons are refinements of it: Algorithm 2 run
-	// on the block mapping, the full UG+UWH construction, and the
-	// ECMP-aware congestion refinement on top of the best WH mapping.
-	block := append([]int32(nil), a.Nodes...)
-
-	refined := append([]int32(nil), block...)
-	topomap.RefineWH(coarse, ft, a.Nodes, refined)
-
-	uwh := topomap.GreedyMap(coarse, ft, a.Nodes)
-	topomap.RefineWH(coarse, ft, a.Nodes, uwh)
-
-	whOf := func(nodeOf []int32) int64 {
-		pl := &topomap.Placement{GroupOf: group, NodeOf: nodeOf}
-		return topomap.EvaluateMetrics(tg, ft, pl).WH
-	}
+	// The ECMP refinement is the manual layer: copy the best WH
+	// mapping and lower its expected congestion over all minimal
+	// (agg, core) route choices.
 	best := refined
-	if whOf(uwh) < whOf(refined) {
+	if uwh.Metrics.WH < refined.Metrics.WH {
 		best = uwh
 	}
-	ecmp := append([]int32(nil), best...)
-	topomap.RefineMCAdaptive(coarse, ft, a.Nodes, ecmp)
+	ecmpNodeOf := append([]int32(nil), best.NodeOf...)
+	topomap.RefineMCAdaptive(best.Coarse, ft, a.Nodes, ecmpNodeOf)
 
 	fmt.Printf("\n%-14s %12s %12s %14s %14s\n", "mapping", "WH", "TH", "MC (static)", "EMC (ECMP)")
-	show := func(name string, nodeOf []int32) {
+	show := func(name string, group, nodeOf []int32) topomap.MapMetrics {
 		pl := &topomap.Placement{GroupOf: group, NodeOf: nodeOf}
-		mm := topomap.EvaluateMetrics(tg, ft, pl)
+		mm := eng.Evaluate(tg, pl)
 		am := topomap.EvaluateAdaptiveMetrics(tg, ft, pl)
 		fmt.Printf("%-14s %12d %12d %14.4g %14.4g\n", name, mm.WH, mm.TH, mm.MC*1e6, am.EMC*1e6)
+		return mm
 	}
-	show("block", block)
-	show("block+UWH", refined)
-	show("UG+UWH", uwh)
-	show("best+ECMP", ecmp)
+	show("block", block.GroupOf, block.NodeOf)
+	show("block+UWH", refined.GroupOf, refined.NodeOf)
+	show("UG+UWH", uwh.GroupOf, uwh.NodeOf)
+	show("best+ECMP", best.GroupOf, ecmpNodeOf)
 	fmt.Println("\ncongestion columns are microseconds of bottleneck-link transfer time")
 
 	// Algorithm 2 never accepts a worsening swap, so refining the
 	// block mapping cannot regress it; the ECMP refinement likewise
 	// never raises the expected congestion it optimizes.
-	if whOf(refined) > whOf(block) {
-		log.Fatalf("refinement regressed WH: %d -> %d", whOf(block), whOf(refined))
+	if refined.Metrics.WH > block.Metrics.WH {
+		log.Fatalf("refinement regressed WH: %d -> %d", block.Metrics.WH, refined.Metrics.WH)
 	}
-	emcOf := func(nodeOf []int32) float64 {
+	emcOf := func(group, nodeOf []int32) float64 {
 		pl := &topomap.Placement{GroupOf: group, NodeOf: nodeOf}
 		return topomap.EvaluateAdaptiveMetrics(tg, ft, pl).EMC
 	}
-	if emcOf(ecmp) > emcOf(best)*(1+1e-9) {
-		log.Fatalf("ECMP refinement regressed EMC: %g -> %g", emcOf(best), emcOf(ecmp))
+	emcBest := emcOf(best.GroupOf, best.NodeOf)
+	emcECMP := emcOf(best.GroupOf, ecmpNodeOf)
+	if emcECMP > emcBest*(1+1e-9) {
+		log.Fatalf("ECMP refinement regressed EMC: %g -> %g", emcBest, emcECMP)
 	}
 	fmt.Printf("refining the block mapping improves WH by %.1f%%; "+
 		"ECMP refinement improves expected congestion by %.1f%%\n",
-		100*(1-float64(whOf(refined))/float64(whOf(block))),
-		100*(1-emcOf(ecmp)/emcOf(best)))
+		100*(1-float64(refined.Metrics.WH)/float64(block.Metrics.WH)),
+		100*(1-emcECMP/emcBest))
 }

@@ -37,7 +37,9 @@ func DEF(nTasks int, a *alloc.Allocation) []int32 {
 // (tasks by min edge cut, nodes geometrically by their widest
 // coordinate spread) until singletons remain. If the resulting MC is
 // not lower than DEF's, DEF is returned, as LibTopoMap does (§IV-B).
-func TMAP(g *graph.Graph, topo *torus.Torus, a *alloc.Allocation, seed int64) []int32 {
+// On topologies without a coordinate grid (fat trees, dragonflies)
+// the geometric node split degrades to an allocation-order split.
+func TMAP(g *graph.Graph, topo torus.Topology, a *alloc.Allocation, seed int64) []int32 {
 	nodeOf := make([]int32, g.N())
 	tasks := make([]int32, g.N())
 	for i := range tasks {
@@ -61,7 +63,7 @@ func TMAP(g *graph.Graph, topo *torus.Torus, a *alloc.Allocation, seed int64) []
 // architecture decomposition does not see the sparse allocation's
 // geometry, which is why the paper finds SMAP below DEF on most
 // cases).
-func SMAP(g *graph.Graph, topo *torus.Torus, a *alloc.Allocation, seed int64) []int32 {
+func SMAP(g *graph.Graph, topo torus.Topology, a *alloc.Allocation, seed int64) []int32 {
 	nodeOf := make([]int32, g.N())
 	tasks := make([]int32, g.N())
 	for i := range tasks {
@@ -73,10 +75,11 @@ func SMAP(g *graph.Graph, topo *torus.Torus, a *alloc.Allocation, seed int64) []
 }
 
 // rbMap recursively assigns the given tasks to the given nodes
-// (|tasks| == |nodes|). When geometric is true the node set is split
-// along the coordinate dimension with the widest spread (LibTopoMap
-// style); otherwise it is split in allocation order (Scotch style).
-func rbMap(g *graph.Graph, tasks, nodes []int32, topo *torus.Torus, seed int64, geometric bool, out []int32) {
+// (|tasks| == |nodes|). When geometric is true and the topology has a
+// coordinate grid, the node set is split along the dimension with the
+// widest spread (LibTopoMap style); otherwise it is split in
+// allocation order (Scotch style).
+func rbMap(g *graph.Graph, tasks, nodes []int32, topo torus.Topology, seed int64, geometric bool, out []int32) {
 	if len(tasks) == 0 {
 		return
 	}
@@ -86,8 +89,8 @@ func rbMap(g *graph.Graph, tasks, nodes []int32, topo *torus.Torus, seed int64, 
 	}
 	nl := len(nodes) / 2
 	var nodesL, nodesR []int32
-	if geometric {
-		nodesL, nodesR = splitGeometric(nodes, nl, topo)
+	if ct, ok := torus.CoordsOf(topo); geometric && ok {
+		nodesL, nodesR = splitGeometric(nodes, nl, ct)
 	} else {
 		nodesL = append([]int32(nil), nodes[:nl]...)
 		nodesR = append([]int32(nil), nodes[nl:]...)
@@ -126,9 +129,9 @@ func rbMap(g *graph.Graph, tasks, nodes []int32, topo *torus.Torus, seed int64, 
 }
 
 // splitGeometric splits nodes into two sets of sizes nl and
-// len(nodes)-nl along the torus dimension with the widest coordinate
+// len(nodes)-nl along the grid dimension with the widest coordinate
 // spread among the set.
-func splitGeometric(nodes []int32, nl int, topo *torus.Torus) (left, right []int32) {
+func splitGeometric(nodes []int32, nl int, topo torus.CoordTopology) (left, right []int32) {
 	dims := topo.NDims()
 	coords := make([][]int, len(nodes))
 	var buf []int

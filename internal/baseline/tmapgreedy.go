@@ -16,7 +16,7 @@ import (
 // scanning every free node (no BFS early exit — that is the paper's
 // contribution). Like TMAP it returns DEF when it fails to improve
 // MC.
-func TMAPGreedy(g *graph.Graph, topo *torus.Torus, a *alloc.Allocation, seed int64) []int32 {
+func TMAPGreedy(g *graph.Graph, topo torus.Topology, a *alloc.Allocation, seed int64) []int32 {
 	n := g.N()
 	nodeOf := make([]int32, n)
 	for i := range nodeOf {

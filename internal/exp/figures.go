@@ -146,7 +146,7 @@ func (s *Suite) Figure2() (string, error) {
 				}
 				got := map[topomap.Mapper]metrics.MapMetrics{}
 				for _, mp := range topomap.Mappers() {
-					res, _, err := mapCase(mp, u.tg, topo, a, cfg.Seed)
+					res, _, err := c.mapCase(mp, u.tg, topo, a, cfg.Seed)
 					if err != nil {
 						return nil, err
 					}
@@ -233,7 +233,7 @@ func (s *Suite) Figure3() (string, error) {
 				return "", err
 			}
 			for _, mp := range mappers {
-				_, dt, err := mapCase(mp, tg, topo, a, cfg.Seed)
+				_, dt, err := c.mapCase(mp, tg, topo, a, cfg.Seed)
 				if err != nil {
 					return "", err
 				}
@@ -288,7 +288,7 @@ func (s *Suite) commFigure(matName string, bytesPerUnit float64) (string, error)
 	if err != nil {
 		return "", err
 	}
-	baseRes, _, err := mapCase(topomap.DEF, baseTG, topo, a, cfg.Seed)
+	baseRes, _, err := c.mapCase(topomap.DEF, baseTG, topo, a, cfg.Seed)
 	if err != nil {
 		return "", err
 	}
@@ -309,7 +309,7 @@ func (s *Suite) commFigure(matName string, bytesPerUnit float64) (string, error)
 		}
 		var group [][]string
 		for _, mp := range commMappers() {
-			res, _, err := mapCase(mp, tg, topo, a, cfg.Seed)
+			res, _, err := c.mapCase(mp, tg, topo, a, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -361,7 +361,7 @@ func (s *Suite) Figure5() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	baseRes, _, err := mapCase(topomap.DEF, baseTG, topo, a, cfg.Seed)
+	baseRes, _, err := c.mapCase(topomap.DEF, baseTG, topo, a, cfg.Seed)
 	if err != nil {
 		return "", err
 	}
@@ -380,7 +380,7 @@ func (s *Suite) Figure5() (string, error) {
 		}
 		var group [][]string
 		for _, mp := range commMappers() {
-			res, _, err := mapCase(mp, tg, topo, a, cfg.Seed)
+			res, _, err := c.mapCase(mp, tg, topo, a, cfg.Seed)
 			if err != nil {
 				return nil, err
 			}

@@ -75,7 +75,7 @@ func (s *Suite) regressOne(kind string) (string, error) {
 			pm := tg.PartitionMetrics()
 			var sm sample
 			for _, mp := range commMappers() {
-				res, _, err := mapCase(mp, tg, topo, a, cfg.Seed)
+				res, _, err := c.mapCase(mp, tg, topo, a, cfg.Seed)
 				if err != nil {
 					return sample{}, err
 				}

@@ -86,14 +86,14 @@ func (s *Suite) Table1() (string, error) {
 					if err != nil {
 						return partResult{}, err
 					}
-					defRes, _, err := mapCase(topomap.DEF, tg, topo, a, cfg.Seed)
+					defRes, _, err := c.mapCase(topomap.DEF, tg, topo, a, cfg.Seed)
 					if err != nil {
 						return partResult{}, err
 					}
 					defTime, _ := c.simulate(wl.kind, tg, topo, defRes.Placement(), wl.scale, iters)
 					pr := partResult{defTime: defTime, normed: map[topomap.Mapper]float64{}}
 					for _, mp := range mappers {
-						res, _, err := mapCase(mp, tg, topo, a, cfg.Seed)
+						res, _, err := c.mapCase(mp, tg, topo, a, cfg.Seed)
 						if err != nil {
 							return partResult{}, err
 						}

@@ -1,0 +1,71 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// The eleven built-in mappers: the seven of the paper's figures (DEF,
+// the TMAP/SMAP baselines, the four UMPA variants), then the
+// extension variants the paper sketches but does not plot. All are
+// topology-generic — the WH family runs on anything implementing
+// torus.Topology (§III: the algorithms "can be applied to various
+// topologies"), the baselines degrade their geometric node split to
+// an order split when the topology has no coordinate grid, and UMCA
+// requires multipath route enumeration, declared via Caps.
+func init() {
+	simple := func(name string, fn func(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32) MapperSpec {
+		return NewFunc(name, Caps{}, func(in Input) ([]int32, error) {
+			return fn(in.Coarse, in.Topo, in.Alloc.Nodes), nil
+		})
+	}
+
+	MustRegister(NewFunc("DEF", Caps{BlockGrouping: true}, func(in Input) ([]int32, error) {
+		return baseline.DEF(in.Coarse.N(), in.Alloc), nil
+	}))
+	MustRegister(NewFunc("TMAP", Caps{}, func(in Input) ([]int32, error) {
+		return baseline.TMAP(in.Coarse, in.Topo, in.Alloc, in.Seed), nil
+	}))
+	MustRegister(NewFunc("SMAP", Caps{}, func(in Input) ([]int32, error) {
+		return baseline.SMAP(in.Coarse, in.Topo, in.Alloc, in.Seed), nil
+	}))
+	MustRegister(simple("UG", core.MapUG))
+	MustRegister(simple("UWH", core.MapUWH))
+	MustRegister(simple("UMC", core.MapUMC))
+	MustRegister(NewFunc("UMMC", Caps{NeedsMessageGraph: true}, func(in Input) ([]int32, error) {
+		return core.MapUMMC(in.Coarse, in.Msg, in.Topo, in.Alloc.Nodes), nil
+	}))
+	MustRegister(simple("UTH", core.MapUTH))
+	MustRegister(NewFunc("TMAPG", Caps{}, func(in Input) ([]int32, error) {
+		return baseline.TMAPGreedy(in.Coarse, in.Topo, in.Alloc, in.Seed), nil
+	}))
+	MustRegister(NewFunc("UML", Caps{}, func(in Input) ([]int32, error) {
+		return core.MapUML(in.Coarse, in.Topo, in.Alloc.Nodes, core.MultilevelOptions{}), nil
+	}))
+	MustRegister(NewFunc("UMCA", Caps{NeedsMultipath: true}, func(in Input) ([]int32, error) {
+		mp, ok := torus.MultipathOf(in.Topo)
+		if !ok {
+			return nil, fmt.Errorf("registry: mapper UMCA needs a multipath topology")
+		}
+		return core.MapUMCA(in.Coarse, withMultipath{in.Topo, mp}, in.Alloc.Nodes), nil
+	}))
+}
+
+// withMultipath runs the adaptive refinement on the engine's cached
+// view for the Topology methods while borrowing the base topology's
+// minimal-route enumeration (views delegate those anyway; this also
+// covers a view that hides them behind Unwrap).
+type withMultipath struct {
+	torus.Topology
+	mp torus.MultipathTopology
+}
+
+func (w withMultipath) ForEachMinimalRoute(a, b int, fn func(route []int32)) int {
+	return w.mp.ForEachMinimalRoute(a, b, fn)
+}
+func (w withMultipath) NumMinimalRoutes(a, b int) int { return w.mp.NumMinimalRoutes(a, b) }
+func (w withMultipath) RouteScale() int64             { return w.mp.RouteScale() }

@@ -1,0 +1,133 @@
+// Package registry is the pluggable mapper registry behind the
+// public Engine API: every mapping algorithm — the paper's seven
+// Figure-2 mappers, the four extension variants, and any mapper a
+// downstream user registers — is a MapperSpec dispatched by name.
+// The registry replaces the hard-coded switch the legacy RunMapping
+// facade used, so adding a mapper no longer touches the engine and
+// the CLI/flag surfaces derive their mapper lists instead of
+// duplicating them.
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// Input is everything a mapper may consume for one request. Topo is
+// the engine's (possibly cached) topology view; capability helpers in
+// package torus (CoordsOf, MultipathOf) discover geometry and
+// multipath support through it.
+type Input struct {
+	// Coarse is the symmetric volume-weighted supertask graph, one
+	// vertex per allocated node.
+	Coarse *graph.Graph
+	// Msg is the message-count-weighted view of the same supertasks;
+	// populated only when the spec declares NeedsMessageGraph.
+	Msg *graph.Graph
+	// Topo is the network the mapping targets.
+	Topo torus.Topology
+	// Alloc is the reserved node set, in scheduler order.
+	Alloc *alloc.Allocation
+	// Seed drives any randomized choice the mapper makes.
+	Seed int64
+}
+
+// Caps are a mapper's declared capability requirements; the engine
+// prepares inputs and grouping accordingly.
+type Caps struct {
+	// NeedsMessageGraph asks the engine to aggregate the
+	// message-count coarse graph into Input.Msg (UMMC-style mappers).
+	NeedsMessageGraph bool
+	// NeedsMultipath requires the topology to enumerate minimal
+	// routes (torus.MultipathTopology); the engine rejects requests
+	// on topologies that cannot.
+	NeedsMultipath bool
+	// BlockGrouping groups tasks into consecutive-rank blocks (the
+	// SMP-style DEF placement) instead of partitioning the task
+	// graph, and skips the heterogeneous capacity repair.
+	BlockGrouping bool
+}
+
+// MapperSpec is one registered mapping algorithm.
+type MapperSpec interface {
+	// Name is the registry key (canonically upper-case, e.g. "UWH").
+	Name() string
+	// Caps declares what the engine must prepare.
+	Caps() Caps
+	// Map places the supertasks of in.Coarse one-to-one onto
+	// allocated nodes and returns the supertask→node vector.
+	Map(in Input) ([]int32, error)
+}
+
+// funcSpec adapts a plain function to MapperSpec.
+type funcSpec struct {
+	name string
+	caps Caps
+	fn   func(Input) ([]int32, error)
+}
+
+func (f *funcSpec) Name() string                  { return f.name }
+func (f *funcSpec) Caps() Caps                    { return f.caps }
+func (f *funcSpec) Map(in Input) ([]int32, error) { return f.fn(in) }
+
+// NewFunc wraps a function as a MapperSpec.
+func NewFunc(name string, caps Caps, fn func(Input) ([]int32, error)) MapperSpec {
+	return &funcSpec{name: name, caps: caps, fn: fn}
+}
+
+var (
+	mu    sync.RWMutex
+	specs = map[string]MapperSpec{}
+	order []string
+)
+
+// Register adds a mapper to the registry. Empty names and duplicate
+// names are rejected — a registered mapper can never be silently
+// replaced.
+func Register(s MapperSpec) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("registry: mapper name must not be empty")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := specs[name]; dup {
+		return fmt.Errorf("registry: mapper %q already registered", name)
+	}
+	specs[name] = s
+	order = append(order, name)
+	return nil
+}
+
+// MustRegister is Register for init-time built-ins.
+func MustRegister(s MapperSpec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (MapperSpec, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := specs[name]
+	return s, ok
+}
+
+// Names returns every registered mapper name in registration order
+// (built-ins first, in figure order).
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]string(nil), order...)
+}
+
+// Figure2Names are the seven mappers of the paper's Figure 2, in
+// figure order.
+func Figure2Names() []string {
+	return []string{"DEF", "TMAP", "SMAP", "UG", "UWH", "UMC", "UMMC"}
+}

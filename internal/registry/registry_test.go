@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := Names()
+	want := []string{"DEF", "TMAP", "SMAP", "UG", "UWH", "UMC", "UMMC", "UTH", "TMAPG", "UML", "UMCA"}
+	if len(names) < len(want) {
+		t.Fatalf("only %d registered mappers: %v", len(names), names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("registration order %v, want prefix %v", names, want)
+		}
+	}
+	for _, w := range Figure2Names() {
+		if _, ok := Lookup(w); !ok {
+			t.Fatalf("figure-2 mapper %s not registered", w)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	spec := NewFunc("TEST-DUP", Caps{}, func(in Input) ([]int32, error) { return nil, nil })
+	if err := Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(spec); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+	if err := Register(NewFunc("UWH", Caps{}, nil)); err == nil {
+		t.Fatal("clobbering a built-in must be rejected")
+	}
+	if err := Register(NewFunc("", Caps{}, nil)); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+}
+
+func TestCustomMapperDispatch(t *testing.T) {
+	called := false
+	spec := NewFunc("TEST-IDENT", Caps{}, func(in Input) ([]int32, error) {
+		called = true
+		out := make([]int32, in.Coarse.N())
+		copy(out, in.Alloc.Nodes)
+		return out, nil
+	})
+	if err := Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Lookup("TEST-IDENT")
+	if !ok {
+		t.Fatal("registered mapper not found")
+	}
+	topo := torus.NewHopper3D(4, 4, 4)
+	a, err := alloc.Generate(topo, 4, alloc.Config{Mode: alloc.Contiguous, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(4, []int32{0, 1}, []int32{1, 0}, []int64{5, 5}, nil)
+	nodeOf, err := got.Map(Input{Coarse: g, Topo: topo, Alloc: a, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called || len(nodeOf) != 4 {
+		t.Fatalf("dispatch failed: called=%v len=%d", called, len(nodeOf))
+	}
+}
+
+func TestMapperErrorsPropagate(t *testing.T) {
+	wantErr := fmt.Errorf("boom")
+	if err := Register(NewFunc("TEST-ERR", Caps{}, func(Input) ([]int32, error) {
+		return nil, wantErr
+	})); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := Lookup("TEST-ERR")
+	if _, err := spec.Map(Input{}); err != wantErr {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}

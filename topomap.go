@@ -2,23 +2,40 @@
 // reproducing "Fast and high quality topology-aware task mapping"
 // (Deveci, Kaya, Uçar, Çatalyürek; IPDPS 2015). It maps the
 // communicating tasks of a parallel application onto a sparse
-// allocation of nodes in a torus network, minimizing the weighted hop
-// (WH) and maximum link congestion (MC) metrics with the paper's
-// greedy construction and refinement algorithms.
+// allocation of nodes in a network — torus, fat tree, dragonfly, or
+// any custom Topology — minimizing the weighted hop (WH) and maximum
+// link congestion (MC) metrics with the paper's greedy construction
+// and refinement algorithms.
 //
 // The package exposes the full evaluation pipeline:
 //
 //	matrix → partitioner → task graph → grouping → mapping → metrics → simulation
 //
-// Quick start:
+// The service-shaped core is the Engine: build it once per
+// (Topology, Allocation) pair — it precomputes and caches the
+// pairwise routing state of the allocated nodes — then serve mapping
+// Requests against it, serially, concurrently, or in batches:
 //
-//	m := topomap.GenerateMatrix("cagelike", topomap.Tiny)
+//	m, _ := topomap.GenerateMatrix("cagelike", topomap.Tiny)
 //	topo := topomap.NewHopperTorus(8, 8, 8)
 //	alloc, _ := topomap.SparseAllocation(topo, 16, 1)
 //	part, _ := topomap.PartitionMatrix(topomap.PATOH, m, alloc.TotalProcs(), 1)
 //	tg, _ := topomap.BuildTaskGraph(m, part, alloc.TotalProcs())
-//	res, _ := topomap.RunMapping(topomap.UWH, tg, topo, alloc, 1)
+//	eng, _ := topomap.NewEngine(topo, alloc)
+//	res, _ := eng.Run(topomap.Request{Mapper: topomap.UWH, Tasks: tg, Seed: 1})
 //	fmt.Println(res.Metrics.WH, res.Metrics.MC)
+//
+// The same Request runs unchanged on a fat tree or a dragonfly —
+// swap the two topology lines:
+//
+//	ft, _ := topomap.NewFatTree(8, 10e9, 2)
+//	alloc, _ := topomap.FatTreeSparseHosts(ft, 16, 1)
+//	eng, _ := topomap.NewEngine(ft, alloc)
+//
+// Mapping algorithms are dispatched through a registry; RegisterMapper
+// plugs in custom mappers next to the eleven built-ins, and
+// Engine.RunBatch fans many requests out over a worker pool with
+// deterministic results.
 package topomap
 
 import (
@@ -26,7 +43,6 @@ import (
 	"io"
 
 	"repro/internal/alloc"
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dragonfly"
 	"repro/internal/fattree"
@@ -37,6 +53,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/partitioners"
 	"repro/internal/rankfile"
+	"repro/internal/registry"
 	"repro/internal/taskgraph"
 	"repro/internal/torus"
 	"repro/internal/viz"
@@ -231,111 +248,48 @@ const (
 
 // Mappers returns the mappers evaluated in Figure 2, in order.
 func Mappers() []Mapper {
-	return []Mapper{DEF, TMAP, SMAP, UG, UWH, UMC, UMMC}
+	return mapperNames(registry.Figure2Names())
 }
 
-// MapResult bundles the outcome of RunMapping.
-type MapResult struct {
-	// GroupOf maps each task to its supertask/group (node index).
-	GroupOf []int32
-	// NodeOf maps each group to its network node.
-	NodeOf []int32
-	// Coarse is the aggregated supertask graph the mapper ran on.
-	Coarse *Graph
-	// Metrics holds the mapping metrics on the fine task graph.
-	Metrics MapMetrics
+// RegisteredMappers returns every mapper known to the registry —
+// built-ins first in figure order, then custom registrations — for
+// CLI flag parsing and sweeps.
+func RegisteredMappers() []Mapper {
+	return mapperNames(registry.Names())
 }
 
-// Placement returns the task→node composition for the simulator.
-func (r *MapResult) Placement() *Placement {
-	return &metrics.Placement{GroupOf: r.GroupOf, NodeOf: r.NodeOf}
+func mapperNames(names []string) []Mapper {
+	out := make([]Mapper, len(names))
+	for i, n := range names {
+		out[i] = Mapper(n)
+	}
+	return out
 }
 
-// RunMapping executes the paper's full mapping pipeline (§III-A) for
-// one mapper: group the tasks onto the allocated nodes (SMP-style
-// blocks for DEF, graph partitioning with capacity fix-up for the
-// rest), aggregate to the coarse graph, map it, and evaluate the
-// metrics on the fine task graph.
-func RunMapping(mapper Mapper, tg *TaskGraph, topo *Torus, a *Allocation, seed int64) (*MapResult, error) {
-	if tg.K > a.TotalProcs() {
-		return nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, a.TotalProcs())
-	}
-	caps := make([]int64, a.NumNodes())
-	for i, p := range a.ProcsPerNode {
-		caps[i] = int64(p)
-	}
-	var group []int32
-	var err error
-	if mapper == DEF {
-		group, err = taskgraph.GroupBlocks(tg.K, caps)
-	} else {
-		group, err = taskgraph.GroupTasks(tg, caps, seed)
-	}
-	if err != nil {
-		return nil, err
-	}
-	coarse := taskgraph.CoarseGraph(tg, group, a.NumNodes())
+// MapperSpec is a registered mapping algorithm: a name, capability
+// flags, and the mapping function the Engine dispatches to.
+type MapperSpec = registry.MapperSpec
 
-	var nodeOf []int32
-	switch mapper {
-	case DEF:
-		nodeOf = baseline.DEF(coarse.N(), a)
-	case TMAP:
-		nodeOf = baseline.TMAP(coarse, topo, a, seed)
-	case TMAPG:
-		nodeOf = baseline.TMAPGreedy(coarse, topo, a, seed)
-	case SMAP:
-		nodeOf = baseline.SMAP(coarse, topo, a, seed)
-	case UG:
-		nodeOf = core.MapUG(coarse, topo, a.Nodes)
-	case UWH:
-		nodeOf = core.MapUWH(coarse, topo, a.Nodes)
-	case UMC:
-		nodeOf = core.MapUMC(coarse, topo, a.Nodes)
-	case UMMC:
-		msgG := taskgraph.CoarseMessageGraph(tg, group, a.NumNodes())
-		nodeOf = core.MapUMMC(coarse, msgG, topo, a.Nodes)
-	case UTH:
-		nodeOf = core.MapUTH(coarse, topo, a.Nodes)
-	case UML:
-		nodeOf = core.MapUML(coarse, topo, a.Nodes, core.MultilevelOptions{})
-	case UMCA:
-		nodeOf = core.MapUMCA(coarse, topo, a.Nodes)
-	default:
-		return nil, fmt.Errorf("topomap: unknown mapper %q", mapper)
-	}
-	// Heterogeneous capacities (§III-A): the mappers optimize locality
-	// one-to-one; when node capacities are non-uniform a heavy group
-	// can land on a small node, so repair any violations with
-	// weight-aware swaps (a no-op on uniform allocations).
-	if mapper != DEF && !uniformCaps(a.ProcsPerNode) {
-		weight := make([]int64, coarse.N())
-		for _, g := range group {
-			weight[g]++
-		}
-		capOfNode := make([]int64, topo.Nodes())
-		for i, m := range a.Nodes {
-			capOfNode[m] = int64(a.ProcsPerNode[i])
-		}
-		core.RepairCapacities(coarse, topo, nodeOf, weight, capOfNode)
-	}
-	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
-	return &MapResult{
-		GroupOf: group,
-		NodeOf:  nodeOf,
-		Coarse:  coarse,
-		Metrics: metrics.Compute(tg.G, topo, pl),
-	}, nil
+// MapperInput is everything a registered mapper receives for one
+// request: the coarse supertask graph (plus its message-count view
+// when requested), the topology, the allocation and the seed.
+type MapperInput = registry.Input
+
+// MapperCaps declares what the Engine must prepare for a mapper:
+// a message-count coarse graph, multipath route enumeration, or
+// SMP-style block grouping.
+type MapperCaps = registry.Caps
+
+// NewMapper wraps a function as a MapperSpec for RegisterMapper.
+func NewMapper(name string, caps MapperCaps, fn func(MapperInput) ([]int32, error)) MapperSpec {
+	return registry.NewFunc(name, caps, fn)
 }
 
-func uniformCaps(procs []int) bool {
-	for _, p := range procs[1:] {
-		if p != procs[0] {
-			return false
-		}
-	}
-	return true
-}
+// RegisterMapper plugs a custom mapping algorithm into the registry,
+// making it dispatchable by name through Engine.Run next to the
+// built-ins. Duplicate names are rejected — a registered mapper can
+// never be silently replaced.
+func RegisterMapper(s MapperSpec) error { return registry.Register(s) }
 
 // EvaluateMetrics computes the mapping metrics of an arbitrary
 // placement of the fine task graph.
@@ -411,9 +365,11 @@ func RefineMCAdaptive(coarse *Graph, topo MultipathTopology, allocNodes, nodeOf 
 // GroupOntoAllocation groups the fine tasks of tg onto the allocated
 // nodes (graph partitioning with the capacity fix-up of §III-A) and
 // returns the group vector together with the aggregated symmetric
-// coarse graph the mapping algorithms consume. Use it with GreedyMap
-// / RefineWH / RefineMC when mapping onto topologies RunMapping does
-// not cover (e.g. fat trees).
+// coarse graph the mapping algorithms consume.
+//
+// Deprecated: Engine.Run performs grouping, mapping and metric
+// evaluation on any Topology in one call; this remains for code that
+// drives GreedyMap / RefineWH / RefineMC by hand.
 func GroupOntoAllocation(tg *TaskGraph, a *Allocation, seed int64) (group []int32, coarse *Graph, err error) {
 	if tg.K > a.TotalProcs() {
 		return nil, nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, a.TotalProcs())

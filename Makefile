@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench race
+.PHONY: check fmt vet build test bench bench-json race
 
 check: fmt vet build test
 
@@ -27,5 +27,17 @@ test:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkEngine' -benchtime=1x .
 
+# Bench tracking: run the engine benchmarks at a stable iteration
+# count and record ns/op per benchmark as JSON, so the perf
+# trajectory is diffable PR over PR (BENCH_PR<n>.json).
+BENCH_OUT ?= BENCH_PR2.json
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkEngine' -benchtime=50x -count=1 . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# Race gate: the engine's concurrent paths plus the whole mapd
+# service package (concurrent clients, cache churn, cancellation).
 race:
 	$(GO) test -race -run='Engine|Batch' .
+	$(GO) test -race ./internal/service/...

@@ -506,6 +506,39 @@ func BenchmarkEngineColdStart(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineCacheHit measures the mapd steady state: every
+// request fingerprints its (topology, allocation) pair, hits the
+// engine cache, and solves against the resident routing state. The
+// delta against BenchmarkEngineColdStart is the per-request win of
+// the allocation-keyed cache (route-state rebuild plus topology
+// construction skipped).
+func BenchmarkEngineCacheHit(b *testing.B) {
+	tg, topo, a, d, da := engineBenchFixture(b)
+	run := func(name string, t topomap.Topology, al *alloc.Allocation) {
+		b.Run(name, func(b *testing.B) {
+			cache := topomap.NewEngineCache(8)
+			if _, _, err := cache.Get(t, al); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, hit, err := cache.Get(t, al)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !hit {
+					b.Fatal("warm key missed the cache")
+				}
+				if _, err := eng.Run(topomap.Request{Mapper: topomap.UMC, Tasks: tg, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("torus", topo, a)
+	run("dragonfly", d, da)
+}
+
 // BenchmarkEngineRunBatch measures the worker-pool fan-out: the seven
 // Figure-2 mappers as one batch against a shared engine.
 func BenchmarkEngineRunBatch(b *testing.B) {

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON file, so the per-PR benchmark trajectory
+// (BENCH_PR*.json, written by `make bench-json`) can be diffed and
+// plotted instead of eyeballed.
+//
+//	go test -run='^$' -bench='BenchmarkEngine' . | benchjson -out BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmarks and
+	// the -cpu suffix (e.g. "BenchmarkEngineReuse/torus-8").
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (B/op, allocs/op,
+	// custom b.ReportMetric units like "WH") keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output: header lines (goos/goarch/pkg/
+// cpu) and result lines of the form
+//
+//	BenchmarkName-8   100   9122762 ns/op   123 WH   0 B/op
+func parse(sc *bufio.Scanner) (*Report, error) {
+	r := &Report{}
+	header := func(line, key string) (string, bool) {
+		if rest, ok := strings.CutPrefix(line, key+": "); ok {
+			return strings.TrimSpace(rest), true
+		}
+		return "", false
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := header(line, "goos"); ok {
+			r.Goos = v
+			continue
+		}
+		if v, ok := header(line, "goarch"); ok {
+			r.Goarch = v
+			continue
+		}
+		if v, ok := header(line, "pkg"); ok {
+			r.Pkg = v
+			continue
+		}
+		if v, ok := header(line, "cpu"); ok {
+			r.CPU = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX 	--- FAIL"
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+		r.Benchmarks = append(r.Benchmarks, b)
+	}
+	return r, sc.Err()
+}

@@ -1,0 +1,84 @@
+// Command mapd is the resident mapping daemon: the library's Engine
+// behind an HTTP wire protocol, the shape a resource manager embeds
+// at job-launch time. It keeps an LRU cache of engines keyed by the
+// canonical (topology, allocation) fingerprint, so repeated jobs on
+// the same partition skip the route-state rebuild, and serves solves
+// from a bounded worker pool with per-request deadlines.
+//
+// Endpoints:
+//
+//	POST /v1/map        one mapping job
+//	POST /v1/map/batch  several mappers against one shared engine
+//	GET  /v1/mappers    registered mappers with capability flags
+//	GET  /healthz       liveness
+//	GET  /statusz       live counters (requests, cache, latency)
+//
+// Example:
+//
+//	mapd -addr :8080 &
+//	curl -s localhost:8080/v1/map -d '{
+//	  "topology":   {"kind": "torus", "dims": [8,8,8]},
+//	  "allocation": {"sparse_nodes": 4, "seed": 1},
+//	  "tasks":      {"n": 4, "edges": [[0,1,10],[1,2,10],[2,3,10],[3,0,10]]},
+//	  "mapper":     "UWH"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 32, "engine cache entries (topology+allocation pairs)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mapd: serving on %s (workers=%d cache=%d timeout=%s)",
+			*addr, srv.Status().Workers, *cacheSize, *timeout)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mapd:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Printf("mapd: %s, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mapd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Command mapper maps an MPI task graph onto a network allocation and
 // reports the mapping metrics — the end-user tool of the library. It
 // drives the topology-generic Engine, so the same invocation works on
-// a torus, a mesh, a k-ary fat tree or a canonical dragonfly.
+// a torus, a mesh, a k-ary fat tree or a canonical dragonfly; the
+// resident-daemon counterpart is cmd/mapd.
 //
 // The task graph is read from a file of whitespace-separated lines
 // "src dst volume" (directed edges, 0-based task ids), or generated
@@ -18,35 +19,59 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	topomap "repro"
+	"repro/internal/service"
 )
 
 func main() {
-	graphPath := flag.String("graph", "", "task graph file (src dst volume per line)")
-	matName := flag.String("matrix", "", "dataset matrix to partition instead of -graph")
-	partName := flag.String("partitioner", "PATOH", "partitioner personality for -matrix")
-	procs := flag.Int("procs", 256, "number of MPI processes (with -matrix)")
-	algo := flag.String("algo", "UWH", "mapper: "+mapperList())
-	topoKind := flag.String("topology", "torus", "network family: torus, fattree, dragonfly")
-	torusSpec := flag.String("torus", "8x8x8", "torus dimensions XxYxZ (with -topology torus)")
-	mesh := flag.Bool("mesh", false, "use a mesh (no wraparound) instead of a torus")
-	ftK := flag.Int("fattree-k", 8, "fat-tree arity k (even; k³/4 hosts, with -topology fattree)")
-	ftTaper := flag.Float64("fattree-taper", 2, "fat-tree per-level bandwidth taper (1 = full bisection)")
-	dfH := flag.Int("dragonfly-h", 3, "dragonfly global links per router (with -topology dragonfly)")
-	seed := flag.Int64("seed", 1, "random seed (allocation, partitioner)")
-	tier := flag.String("tier", "small", "dataset tier with -matrix: tiny, small, large")
-	allocFile := flag.String("allocfile", "", "read the allocation from a node-list file (node [procs] lines) instead of generating one")
-	rankFile := flag.String("rankfile", "", "write a Cray-style MPICH_RANK_ORDER file realizing the mapping")
-	viz := flag.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: it parses args, executes the pipeline and
+// returns the process exit code — non-zero on any failure, including
+// unknown mapper or topology names.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mapper", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graphPath := fs.String("graph", "", "task graph file (src dst volume per line)")
+	matName := fs.String("matrix", "", "dataset matrix to partition instead of -graph")
+	partName := fs.String("partitioner", "PATOH", "partitioner personality for -matrix")
+	procs := fs.Int("procs", 256, "number of MPI processes (with -matrix)")
+	algo := fs.String("algo", "UWH", "mapper: "+mapperList())
+	topoKind := fs.String("topology", "torus", "network family: torus, fattree, dragonfly")
+	torusSpec := fs.String("torus", "8x8x8", "torus dimensions XxYxZ (with -topology torus)")
+	mesh := fs.Bool("mesh", false, "use a mesh (no wraparound) instead of a torus")
+	ftK := fs.Int("fattree-k", 8, "fat-tree arity k (even; k³/4 hosts, with -topology fattree)")
+	ftTaper := fs.Float64("fattree-taper", 2, "fat-tree per-level bandwidth taper (1 = full bisection)")
+	dfH := fs.Int("dragonfly-h", 3, "dragonfly global links per router (with -topology dragonfly)")
+	seed := fs.Int64("seed", 1, "random seed (allocation, partitioner)")
+	tier := fs.String("tier", "small", "dataset tier with -matrix: tiny, small, large")
+	allocFile := fs.String("allocfile", "", "read the allocation from a node-list file (node [procs] lines) instead of generating one")
+	rankFile := fs.String("rankfile", "", "write a Cray-style MPICH_RANK_ORDER file realizing the mapping")
+	viz := fs.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mapper:", err)
+		return 1
+	}
+
+	// Validate the mapper name before any expensive work, so a typo
+	// fails in microseconds, not after a partitioner run.
+	mapper := topomap.Mapper(strings.ToUpper(*algo))
+	if !knownMapper(mapper) {
+		return fail(fmt.Errorf("unknown mapper %q (want one of: %s)", *algo, mapperList()))
+	}
 
 	net, err := buildTopology(*topoKind, *torusSpec, *mesh, *ftK, *ftTaper, *dfH)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	var tg *topomap.TaskGraph
@@ -61,179 +86,149 @@ func main() {
 		}
 		m, err := topomap.GenerateMatrix(*matName, t)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		part, err := topomap.PartitionMatrix(topomap.Partitioner(*partName), m, *procs, *seed)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		tg, err = topomap.BuildTaskGraph(m, part, *procs)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	case *graphPath != "":
 		f, err := os.Open(*graphPath)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		tg, err = topomap.ReadTaskGraph(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	default:
-		fail(fmt.Errorf("need -graph or -matrix"))
+		return fail(fmt.Errorf("need -graph or -matrix"))
 	}
 
 	var a *topomap.Allocation
 	if *allocFile != "" {
 		f, err := os.Open(*allocFile)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		a, err = topomap.ReadNodeList(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		for _, n := range a.Nodes {
-			if int(n) >= net.hosts {
-				fail(fmt.Errorf("allocfile node %d outside the %d placement-eligible nodes of the %s", n, net.hosts, net.label))
+			if int(n) >= net.Hosts {
+				return fail(fmt.Errorf("allocfile node %d outside the %d placement-eligible nodes of the %s", n, net.Hosts, net.Label))
 			}
 		}
 	} else {
 		nodes := (tg.K + 15) / 16
-		a, err = net.sparseAlloc(nodes, *seed)
+		a, err = net.SparseAlloc(nodes, *seed)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 
-	eng, err := topomap.NewEngine(net.topo, a)
+	eng, err := topomap.NewEngine(net.Topo, a)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	res, err := eng.Run(topomap.Request{
-		Mapper: topomap.Mapper(strings.ToUpper(*algo)),
-		Tasks:  tg,
-		Seed:   *seed,
-	})
+	res, err := eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *rankFile != "" {
 		f, err := os.Create(*rankFile)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		err = topomap.WriteRankOrder(f, res.Placement(), a)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote rank order to %s\n", *rankFile)
+		fmt.Fprintf(stdout, "wrote rank order to %s\n", *rankFile)
 	}
 	m := res.Metrics
-	fmt.Printf("tasks: %d   nodes: %d   network: %s\n", tg.K, a.NumNodes(), net.label)
-	fmt.Printf("mapper: %s\n", strings.ToUpper(*algo))
-	fmt.Printf("TH  = %d\n", m.TH)
-	fmt.Printf("WH  = %d\n", m.WH)
-	fmt.Printf("MMC = %d\n", m.MMC)
-	fmt.Printf("MC  = %.6g\n", m.MC)
-	fmt.Printf("AMC = %.4f\n", m.AMC)
-	fmt.Printf("AC  = %.6g\n", m.AC)
-	fmt.Printf("used links = %d\n", m.UsedLinks)
+	fmt.Fprintf(stdout, "tasks: %d   nodes: %d   network: %s\n", tg.K, a.NumNodes(), net.Label)
+	fmt.Fprintf(stdout, "mapper: %s\n", mapper)
+	fmt.Fprintf(stdout, "TH  = %d\n", m.TH)
+	fmt.Fprintf(stdout, "WH  = %d\n", m.WH)
+	fmt.Fprintf(stdout, "MMC = %d\n", m.MMC)
+	fmt.Fprintf(stdout, "MC  = %.6g\n", m.MC)
+	fmt.Fprintf(stdout, "AMC = %.4f\n", m.AMC)
+	fmt.Fprintf(stdout, "AC  = %.6g\n", m.AC)
+	fmt.Fprintf(stdout, "used links = %d\n", m.UsedLinks)
 	for g, n := range res.NodeOf {
-		fmt.Printf("group %d -> node %d\n", g, n)
+		fmt.Fprintf(stdout, "group %d -> node %d\n", g, n)
 		if g > 20 {
-			fmt.Printf("... (%d more)\n", len(res.NodeOf)-g-1)
+			fmt.Fprintf(stdout, "... (%d more)\n", len(res.NodeOf)-g-1)
 			break
 		}
 	}
 	if *viz {
-		fmt.Println()
-		if err := topomap.RenderCongestionHistogram(os.Stdout, tg, net.topo, res.Placement(), 10); err != nil {
-			fail(err)
+		fmt.Fprintln(stdout)
+		if err := topomap.RenderCongestionHistogram(stdout, tg, net.Topo, res.Placement(), 10); err != nil {
+			return fail(err)
 		}
-		if t, ok := net.topo.(*topomap.Torus); ok {
-			fmt.Println()
-			if err := topomap.RenderTopLinks(os.Stdout, tg, t, res.Placement(), 10); err != nil {
-				fail(err)
+		if t, ok := net.Topo.(*topomap.Torus); ok {
+			fmt.Fprintln(stdout)
+			if err := topomap.RenderTopLinks(stdout, tg, t, res.Placement(), 10); err != nil {
+				return fail(err)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 			for z := 0; z < t.Dims()[2]; z++ {
-				if err := topomap.RenderSliceMap(os.Stdout, t, a, res.Coarse, res.NodeOf, z); err != nil {
-					fail(err)
+				if err := topomap.RenderSliceMap(stdout, t, a, res.Coarse, res.NodeOf, z); err != nil {
+					return fail(err)
 				}
 			}
 		}
 	}
+	return 0
 }
 
-// network bundles a topology with its placement-host count and its
-// sparse-allocation generator, so the main flow is topology-agnostic.
-type network struct {
-	topo        topomap.Topology
-	label       string
-	hosts       int // placement-eligible node ids are 0..hosts-1
-	sparseAlloc func(nodes int, seed int64) (*topomap.Allocation, error)
-}
-
-// buildTopology constructs the network selected by -topology.
-func buildTopology(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, dfH int) (*network, error) {
-	switch strings.ToLower(kind) {
+// buildTopology translates the CLI flags into the service's wire-level
+// topology spec — one construction path shared with cmd/mapd.
+func buildTopology(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, dfH int) (*service.Network, error) {
+	spec := service.TopologySpec{Kind: strings.ToLower(kind)}
+	switch spec.Kind {
 	case "torus":
 		dims, err := parseDims(torusSpec)
 		if err != nil {
 			return nil, err
 		}
-		bw := []float64{9.38e9, 4.68e9, 9.38e9} // Hopper-like heterogeneous links
-		var t *topomap.Torus
-		label := "torus " + torusSpec
+		spec.Dims = dims[:]
 		if mesh {
-			t = topomap.NewTorusMesh(dims[:], bw)
-			label = "mesh " + torusSpec
-		} else {
-			t = topomap.NewTorus(dims[:], bw)
+			spec.Kind = "mesh"
 		}
-		return &network{
-			topo:  t,
-			label: label,
-			hosts: t.Nodes(),
-			sparseAlloc: func(nodes int, seed int64) (*topomap.Allocation, error) {
-				return topomap.SparseAllocation(t, nodes, seed)
-			},
-		}, nil
 	case "fattree":
-		ft, err := topomap.NewFatTree(ftK, 10e9, ftTaper)
-		if err != nil {
-			return nil, err
-		}
-		return &network{
-			topo:  ft,
-			label: fmt.Sprintf("fat tree k=%d (%d hosts)", ftK, ft.Hosts()),
-			hosts: ft.Hosts(),
-			sparseAlloc: func(nodes int, seed int64) (*topomap.Allocation, error) {
-				return topomap.FatTreeSparseHosts(ft, nodes, seed)
-			},
-		}, nil
+		spec.K = ftK
+		spec.Taper = ftTaper
 	case "dragonfly":
-		d, err := topomap.NewDragonfly(dfH, 10e9, 5e9, 4e9)
-		if err != nil {
-			return nil, err
-		}
-		return &network{
-			topo:  d,
-			label: fmt.Sprintf("dragonfly h=%d (%d hosts)", dfH, d.Hosts()),
-			hosts: d.Hosts(),
-			sparseAlloc: func(nodes int, seed int64) (*topomap.Allocation, error) {
-				return topomap.DragonflySparseHosts(d, nodes, seed)
-			},
-		}, nil
+		spec.H = dfH
 	}
-	return nil, fmt.Errorf("mapper: unknown -topology %q (want torus, fattree or dragonfly)", kind)
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
+}
+
+// knownMapper reports whether the registry dispatches name.
+func knownMapper(name topomap.Mapper) bool {
+	for _, mp := range topomap.RegisteredMappers() {
+		if mp == name {
+			return true
+		}
+	}
+	return false
 }
 
 // mapperList renders the registered mapper names for the -algo usage
@@ -261,9 +256,4 @@ func parseDims(s string) ([3]int, error) {
 		dims[i] = v
 	}
 	return dims, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mapper:", err)
-	os.Exit(1)
 }

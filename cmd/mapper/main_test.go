@@ -43,17 +43,17 @@ func TestBuildTopologyFamilies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", cs.kind, err)
 		}
-		if net.hosts != cs.hosts {
-			t.Fatalf("%s: hosts = %d, want %d", cs.kind, net.hosts, cs.hosts)
+		if net.Hosts != cs.hosts {
+			t.Fatalf("%s: hosts = %d, want %d", cs.kind, net.Hosts, cs.hosts)
 		}
-		a, err := net.sparseAlloc(4, 1)
+		a, err := net.SparseAlloc(4, 1)
 		if err != nil {
 			t.Fatalf("%s: alloc: %v", cs.kind, err)
 		}
 		if a.NumNodes() != 4 {
 			t.Fatalf("%s: alloc has %d nodes", cs.kind, a.NumNodes())
 		}
-		if _, err := topomap.NewEngine(net.topo, a); err != nil {
+		if _, err := topomap.NewEngine(net.Topo, a); err != nil {
 			t.Fatalf("%s: NewEngine: %v", cs.kind, err)
 		}
 	}
@@ -84,11 +84,11 @@ func TestEndToEndPerTopology(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := net.sparseAlloc((procs+15)/16, 1)
+		a, err := net.SparseAlloc((procs+15)/16, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
-		eng, err := topomap.NewEngine(net.topo, a)
+		eng, err := topomap.NewEngine(net.Topo, a)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -99,6 +99,68 @@ func TestEndToEndPerTopology(t *testing.T) {
 		if res.Metrics.WH <= 0 {
 			t.Fatalf("%s: degenerate WH %d", kind, res.Metrics.WH)
 		}
+	}
+}
+
+// TestRunExitCodes pins the CLI contract: bad inputs — unknown
+// mapper or topology names above all — exit non-zero with a
+// diagnostic on stderr, and a good run exits 0. The unknown-mapper
+// case must fail fast, before the matrix/partitioner pipeline runs.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{
+			name:     "unknown mapper",
+			args:     []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "NOPE"},
+			wantCode: 1,
+			wantErr:  "unknown mapper",
+		},
+		{
+			name:     "unknown topology",
+			args:     []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-topology", "hypercube"},
+			wantCode: 1,
+			wantErr:  "unknown kind",
+		},
+		{
+			name:     "missing input",
+			args:     []string{"-algo", "UWH"},
+			wantCode: 1,
+			wantErr:  "need -graph or -matrix",
+		},
+		{
+			name:     "unknown matrix",
+			args:     []string{"-matrix", "no-such-dataset", "-tier", "tiny", "-procs", "64"},
+			wantCode: 1,
+		},
+		{
+			name:     "bad flag",
+			args:     []string{"-no-such-flag"},
+			wantCode: 2,
+		},
+		{
+			name:     "good run",
+			args:     []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "uwh", "-torus", "6x6x6"},
+			wantCode: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.wantErr)
+			}
+			if tc.wantCode == 0 && !strings.Contains(stdout.String(), "WH  =") {
+				t.Fatalf("good run printed no metrics:\n%s", stdout.String())
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package topomap
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -159,6 +160,17 @@ func (r *MapResult) Placement() *Placement {
 // violations, and evaluate the metrics on the fine task graph —
 // all against the engine's cached routing state.
 func (e *Engine) Run(req Request) (*MapResult, error) {
+	return e.RunContext(context.Background(), req)
+}
+
+// RunContext is Run with cancellation: the pipeline checks ctx
+// between its stages (grouping, mapper dispatch, refinement, metric
+// evaluation) and returns ctx.Err() as soon as the deadline expires
+// or the caller cancels. A stage in progress runs to completion —
+// mappers are pure CPU and carry no cancellation points — so
+// cancellation latency is bounded by the longest single stage, not
+// the whole request.
+func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error) {
 	tg := req.Tasks
 	if tg == nil {
 		return nil, fmt.Errorf("topomap: request carries no task graph")
@@ -177,6 +189,9 @@ func (e *Engine) Run(req Request) (*MapResult, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var group []int32
 	var err error
 	if caps.BlockGrouping {
@@ -187,6 +202,9 @@ func (e *Engine) Run(req Request) (*MapResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	coarse := taskgraph.CoarseGraph(tg, group, e.alloc.NumNodes())
 	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: req.Seed}
 	if caps.NeedsMessageGraph {
@@ -194,6 +212,9 @@ func (e *Engine) Run(req Request) (*MapResult, error) {
 	}
 	nodeOf, err := spec.Map(in)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var cfg requestConfig
@@ -219,6 +240,9 @@ func (e *Engine) Run(req Request) (*MapResult, error) {
 		core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &MapResult{Mapper: req.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
 	if cfg.fineRefine {
 		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.Symmetric(), e.view, group, nodeOf, core.RefineOptions{})
@@ -244,9 +268,16 @@ func (e *Engine) RunBatch(reqs []Request) ([]*MapResult, error) {
 // RunBatchWorkers is RunBatch with an explicit worker count
 // (workers <= 0 means GOMAXPROCS).
 func (e *Engine) RunBatchWorkers(reqs []Request, workers int) ([]*MapResult, error) {
+	return e.RunBatchContext(context.Background(), reqs, workers)
+}
+
+// RunBatchContext is RunBatchWorkers with cancellation: every request
+// runs under ctx (see RunContext), so one deadline bounds the whole
+// batch.
+func (e *Engine) RunBatchContext(ctx context.Context, reqs []Request, workers int) ([]*MapResult, error) {
 	results := make([]*MapResult, len(reqs))
 	err := parallel.ForEach(len(reqs), workers, func(i int) error {
-		res, err := e.Run(reqs[i])
+		res, err := e.RunContext(ctx, reqs[i])
 		if err != nil {
 			return fmt.Errorf("topomap: request %d (%s): %w", i, reqs[i].Mapper, err)
 		}

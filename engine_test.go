@@ -1,6 +1,7 @@
 package topomap
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -152,6 +153,149 @@ func TestEngineRunBatchDeterministic(t *testing.T) {
 					workers, i, reqs[i].Mapper, reqs[i].Seed)
 			}
 		}
+	}
+}
+
+// dragonflyFixture builds the dragonfly golden instance: a 128-task
+// cagelike/PATOH graph on 8 sparse hosts of a canonical h=3
+// dragonfly.
+func dragonflyFixture(t *testing.T) (*TaskGraph, *Dragonfly, *Allocation) {
+	t.Helper()
+	m, err := GenerateMatrix("cagelike", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionMatrix(PATOH, m, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := BuildTaskGraph(m, part, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := NewDragonfly(3, 10e9, 5e9, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := DragonflySparseHosts(df, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, df, da
+}
+
+// TestEngineDragonflyMultipathGolden pins the engine's output on a
+// dragonfly with the multipath-capable mapper (UMCA enumerates
+// minimal routes through the cached view): PR 1's golden test only
+// pinned torus and fat-tree behaviour. The dragonfly's minimal routes
+// are unique, so UMCA must agree exactly with UMC — and both must
+// reproduce the pinned placement and metrics.
+func TestEngineDragonflyMultipathGolden(t *testing.T) {
+	tg, df, da := dragonflyFixture(t)
+	wantNodes := []int32{223, 224, 225, 226, 230, 231, 233, 234}
+	if !reflect.DeepEqual(da.Nodes, wantNodes) {
+		t.Fatalf("allocation drifted: %v, want %v", da.Nodes, wantNodes)
+	}
+	eng, err := NewEngine(df, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodeOf := []int32{226, 225, 224, 223, 230, 234, 233, 231}
+	var results []*MapResult
+	for _, mp := range []Mapper{UMCA, UMC} {
+		res, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", mp, err)
+		}
+		if !reflect.DeepEqual(res.NodeOf, wantNodeOf) {
+			t.Fatalf("%s: NodeOf = %v, want golden %v", mp, res.NodeOf, wantNodeOf)
+		}
+		m := res.Metrics
+		if m.TH != 5520 || m.WH != 17302 || m.MMC != 279 || m.UsedLinks != 40 {
+			t.Fatalf("%s: metrics drifted from golden: %+v", mp, m)
+		}
+		if got := fmt.Sprintf("%.6g", m.MC); got != "1.415e-07" {
+			t.Fatalf("%s: MC = %s, want golden 1.415e-07", mp, got)
+		}
+		results = append(results, res)
+	}
+	// Unique minimal routes: the adaptive variant must agree with the
+	// static one bit for bit.
+	if results[0].Metrics != results[1].Metrics {
+		t.Fatalf("UMCA diverged from UMC on unique-minimal-route dragonfly:\n %+v\n %+v",
+			results[0].Metrics, results[1].Metrics)
+	}
+}
+
+// TestEngineDragonflyDeterminism re-runs the dragonfly/UMCA request
+// through fresh engines and through the batch pool: every path must
+// produce the identical placement.
+func TestEngineDragonflyDeterminism(t *testing.T) {
+	tg, df, da := dragonflyFixture(t)
+	base, err := NewEngine(df, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(Request{Mapper: UMCA, Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh engine, same answer.
+	fresh, err := NewEngine(df, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := fresh.Run(Request{Mapper: UMCA, Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.NodeOf, want.NodeOf) || !reflect.DeepEqual(again.GroupOf, want.GroupOf) {
+		t.Fatal("fresh engine diverged on dragonfly/UMCA")
+	}
+	// Batch pool, repeated request, same answer regardless of workers.
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{Mapper: UMCA, Tasks: tg, Seed: 1}
+	}
+	for _, workers := range []int{1, 4} {
+		results, err := base.RunBatchWorkers(reqs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range results {
+			if !reflect.DeepEqual(res.NodeOf, want.NodeOf) {
+				t.Fatalf("workers=%d: batch request %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestEngineRunContext pins the cancellation contract: a live context
+// changes nothing, a dead one stops the pipeline between stages.
+func TestEngineRunContext(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(Request{Mapper: UWH, Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunContext(context.Background(), Request{Mapper: UWH, Tasks: tg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.NodeOf, want.NodeOf) {
+		t.Fatal("RunContext with a live context diverged from Run")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunContext(ctx, Request{Mapper: UWH, Tasks: tg, Seed: 1}); err != context.Canceled {
+		t.Fatalf("cancelled RunContext returned %v, want context.Canceled", err)
+	}
+	if _, err := eng.RunBatchContext(ctx, []Request{{Mapper: UWH, Tasks: tg, Seed: 1}}, 1); err == nil {
+		t.Fatal("cancelled RunBatchContext must fail")
 	}
 }
 

@@ -27,6 +27,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One engine serves both partitioners' sweeps — the routing state
+	// depends only on the (topology, allocation) pair.
+	eng, err := topomap.NewEngine(topo, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Compare two partitioners × all mappers, as Figure 4b does.
 	for _, p := range []topomap.Partitioner{topomap.PATOH, topomap.UMPAMM} {
@@ -45,7 +51,7 @@ func main() {
 			if mapper == topomap.SMAP {
 				continue // excluded from Figure 4 in the paper too
 			}
-			res, err := topomap.RunMapping(mapper, tg, topo, alloc, 1)
+			res, err := eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: 1})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -46,7 +46,11 @@ func main() {
 	}
 
 	// Map with UWH and emit the rank-order file.
-	res, err := topomap.RunMapping(topomap.UWH, tg, topo, a, 1)
+	eng, err := topomap.NewEngine(topo, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(topomap.Request{Mapper: topomap.UWH, Tasks: tg, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,11 +36,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One engine for the allocation; its cached routing state serves
+	// every mapper below.
+	eng, err := topomap.NewEngine(topo, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-6s %10s %10s %12s %14s\n", "mapper", "TH", "MMC", "MC", "SpMV time (s)")
 	var defTime float64
 	for _, mapper := range topomap.Mappers() {
-		res, err := topomap.RunMapping(mapper, tg, topo, alloc, 1)
+		res, err := eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -21,6 +21,7 @@ package dragonfly
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/alloc"
 	"repro/internal/torus"
@@ -39,6 +40,8 @@ type Dragonfly struct {
 	xadj []int32
 	adj  []int32
 	bw   []float64
+
+	bwHost, bwLocal, bwGlobal float64 // construction parameters
 }
 
 // New builds a canonical dragonfly with h global links per router
@@ -52,11 +55,21 @@ func New(h int, bwHost, bwLocal, bwGlobal float64) (*Dragonfly, error) {
 	if bwHost <= 0 || bwLocal <= 0 || bwGlobal <= 0 {
 		return nil, fmt.Errorf("dragonfly: bandwidths must be positive")
 	}
-	d := &Dragonfly{p: h, a: 2 * h, h: h}
+	d := &Dragonfly{p: h, a: 2 * h, h: h, bwHost: bwHost, bwLocal: bwLocal, bwGlobal: bwGlobal}
 	d.g = d.a*d.h + 1
 	d.hosts = d.g * d.a * d.p
 	d.build(bwHost, bwLocal, bwGlobal)
 	return d, nil
+}
+
+// TopologyFingerprint canonically describes the dragonfly: global
+// links per router and the three level bandwidths
+// (torus.Fingerprinter).
+func (d *Dragonfly) TopologyFingerprint() string {
+	return "dragonfly:h=" + strconv.Itoa(d.h) +
+		";bw=" + strconv.FormatFloat(d.bwHost, 'g', -1, 64) +
+		"," + strconv.FormatFloat(d.bwLocal, 'g', -1, 64) +
+		"," + strconv.FormatFloat(d.bwGlobal, 'g', -1, 64)
 }
 
 // Groups returns the number of groups g = 2h²+1.

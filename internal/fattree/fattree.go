@@ -24,6 +24,7 @@ package fattree
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/torus"
 )
@@ -74,6 +75,14 @@ func New(k int, bwHost, taper float64) (*FatTree, error) {
 
 // Arity returns k.
 func (ft *FatTree) Arity() int { return ft.k }
+
+// TopologyFingerprint canonically describes the fat tree: arity,
+// host-link bandwidth and per-level taper (torus.Fingerprinter).
+func (ft *FatTree) TopologyFingerprint() string {
+	return "fattree:k=" + strconv.Itoa(ft.k) +
+		";bw=" + strconv.FormatFloat(ft.bwHost, 'g', -1, 64) +
+		";taper=" + strconv.FormatFloat(ft.taper, 'g', -1, 64)
+}
 
 // Hosts returns the number of compute nodes (k³/4); they are vertices
 // 0..Hosts()-1.

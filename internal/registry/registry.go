@@ -41,15 +41,15 @@ type Input struct {
 type Caps struct {
 	// NeedsMessageGraph asks the engine to aggregate the
 	// message-count coarse graph into Input.Msg (UMMC-style mappers).
-	NeedsMessageGraph bool
+	NeedsMessageGraph bool `json:"needs_message_graph"`
 	// NeedsMultipath requires the topology to enumerate minimal
 	// routes (torus.MultipathTopology); the engine rejects requests
 	// on topologies that cannot.
-	NeedsMultipath bool
+	NeedsMultipath bool `json:"needs_multipath"`
 	// BlockGrouping groups tasks into consecutive-rank blocks (the
 	// SMP-style DEF placement) instead of partitioning the task
 	// graph, and skips the heterogeneous capacity repair.
-	BlockGrouping bool
+	BlockGrouping bool `json:"block_grouping"`
 }
 
 // MapperSpec is one registered mapping algorithm.
@@ -124,6 +124,25 @@ func Names() []string {
 	mu.RLock()
 	defer mu.RUnlock()
 	return append([]string(nil), order...)
+}
+
+// Info describes one registered mapper for capability listings (the
+// mapd /v1/mappers payload, CLI usage strings).
+type Info struct {
+	Name string `json:"name"`
+	Caps Caps   `json:"caps"`
+}
+
+// List returns the name and capability flags of every registered
+// mapper in registration order (built-ins first, in figure order).
+func List() []Info {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Info, 0, len(order))
+	for _, name := range order {
+		out = append(out, Info{Name: name, Caps: specs[name].Caps()})
+	}
+	return out
 }
 
 // Figure2Names are the seven mappers of the paper's Figure 2, in

@@ -85,3 +85,33 @@ func TestMapperErrorsPropagate(t *testing.T) {
 		t.Fatalf("error not propagated: %v", err)
 	}
 }
+
+// TestListServesCapabilities pins the /v1/mappers source of truth:
+// every registered mapper appears in order with the capability flags
+// its spec declares.
+func TestListServesCapabilities(t *testing.T) {
+	infos := List()
+	names := Names()
+	if len(infos) != len(names) {
+		t.Fatalf("List has %d entries, Names has %d", len(infos), len(names))
+	}
+	for i, in := range infos {
+		if in.Name != names[i] {
+			t.Fatalf("List order diverged at %d: %s vs %s", i, in.Name, names[i])
+		}
+		spec, ok := Lookup(in.Name)
+		if !ok {
+			t.Fatalf("%s listed but not lookupable", in.Name)
+		}
+		if in.Caps != spec.Caps() {
+			t.Fatalf("%s: listed caps %+v != spec caps %+v", in.Name, in.Caps, spec.Caps())
+		}
+	}
+	byName := map[string]Caps{}
+	for _, in := range infos {
+		byName[in.Name] = in.Caps
+	}
+	if !byName["DEF"].BlockGrouping || !byName["UMMC"].NeedsMessageGraph || !byName["UMCA"].NeedsMultipath {
+		t.Fatalf("built-in capability flags wrong: %+v", byName)
+	}
+}

@@ -1,0 +1,377 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	topomap "repro"
+	"repro/internal/registry"
+)
+
+// Config tunes a Server. The zero value serves with sensible
+// defaults.
+type Config struct {
+	// Workers bounds the number of concurrently solving requests
+	// (further requests queue, cancellable while waiting). Default:
+	// GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the engine LRU cache. Default 32 engines.
+	CacheSize int
+	// DefaultTimeout is the per-request solve deadline when the
+	// request carries no timeout_ms. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Default 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the mapping service: HTTP handlers over a bounded worker
+// pool and an allocation-keyed engine cache. Create it with New and
+// mount Handler on any http.Server (cmd/mapd) or drive it in-process
+// through the client package.
+type Server struct {
+	cfg   Config
+	cache *topomap.EngineCache
+	sem   chan struct{}
+	st    *stats
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 32
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: topomap.NewEngineCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+		st:    newStats(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/map", s.handleMap)
+	s.mux.HandleFunc("/v1/map/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// engineFor resolves the request's (topology, allocation) pair
+// through the LRU cache: the canonical key is derived from the wire
+// specs alone, so a hit skips building the topology, the allocation
+// and — the expensive part — the engine's pairwise routing state.
+func (s *Server) engineFor(ts TopologySpec, as AllocationSpec) (*topomap.Engine, bool, error) {
+	ts, err := ts.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	allocKey, err := as.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.cache.GetKeyed(ts.Key()+"|"+allocKey, func() (*topomap.Engine, error) {
+		net, err := ts.Build()
+		if err != nil {
+			return nil, err
+		}
+		a, err := as.Build(net)
+		if err != nil {
+			return nil, err
+		}
+		return topomap.NewEngine(net.Topo, a)
+	})
+}
+
+// timeout resolves the effective solve deadline of a request.
+func (s *Server) timeout(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// acquire takes a worker slot, waiting cancellably; the returned
+// release must be called when the solve finishes.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// buildRequest turns wire options into an engine Request.
+func buildRequest(mapper string, seed int64, refine, fineRefine bool, tg *topomap.TaskGraph) topomap.Request {
+	req := topomap.Request{Mapper: topomap.Mapper(strings.ToUpper(mapper)), Tasks: tg, Seed: seed}
+	if refine {
+		req.Options = append(req.Options, topomap.WithRefinement())
+	}
+	if fineRefine {
+		req.Options = append(req.Options, topomap.WithFineRefine())
+	}
+	return req
+}
+
+// respond converts an engine result to the wire form, rendering the
+// rankfile text when asked.
+func respond(res *topomap.MapResult, eng *topomap.Engine, hit bool, wantRankfile bool, elapsed time.Duration) (*MapResponse, error) {
+	out := &MapResponse{
+		Mapper:      string(res.Mapper),
+		GroupOf:     res.GroupOf,
+		NodeOf:      res.NodeOf,
+		AllocNodes:  eng.Allocation().Nodes,
+		Metrics:     metricsPayload(res.Metrics),
+		FineWHGain:  res.FineWHGain,
+		FineVolGain: res.FineVolGain,
+		CacheHit:    hit,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+	}
+	if wantRankfile {
+		var sb strings.Builder
+		if err := topomap.WriteRankOrder(&sb, res.Placement(), eng.Allocation()); err != nil {
+			return nil, err // already prefixed "rankfile:"
+		}
+		out.Rankfile = sb.String()
+	}
+	return out, nil
+}
+
+// solveOutcome carries a solve across the goroutine boundary.
+type solveOutcome struct {
+	res []*topomap.MapResult
+	err error
+}
+
+// solve runs fn on a worker slot under deadline. The handler returns
+// as soon as the deadline expires even if a non-preemptible mapper
+// stage is still running; the abandoned solve keeps its slot until it
+// finishes (bounding CPU oversubscription) and is then discarded.
+func (s *Server) solve(ctx context.Context, fn func(context.Context) ([]*topomap.MapResult, error)) ([]*topomap.MapResult, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan solveOutcome, 1)
+	go func() {
+		defer release()
+		res, err := fn(ctx)
+		done <- solveOutcome{res: res, err: err}
+	}()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// errStatus maps a solve error to its HTTP status. Deadline expiry is
+// a server-side timeout; a canceled context means the client went
+// away (nobody reads the response) and must not inflate the timeout
+// counter operators tune deadlines from.
+func (s *Server) errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.st.timeouts.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusBadRequest
+}
+
+// handleMap serves POST /v1/map: one mapping job.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.st.requests.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	var req MapRequest
+	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	began := time.Now()
+	tg, err := req.Tasks.Build()
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	run := buildRequest(req.Mapper, req.Seed, req.Refine, req.FineRefine, tg)
+	// The engine build — the expensive cold path — runs inside the
+	// worker slot and under the deadline, like the solve itself.
+	var eng *topomap.Engine
+	var hit bool
+	results, err := s.solve(ctx, func(ctx context.Context) ([]*topomap.MapResult, error) {
+		var err error
+		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.RunContext(ctx, run)
+		if err != nil {
+			return nil, err
+		}
+		return []*topomap.MapResult{res}, nil
+	})
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, s.errStatus(err), err)
+		return
+	}
+	out, err := respond(results[0], eng, hit, req.Rankfile, time.Since(began))
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.st.observe(out.ElapsedMS)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleBatch serves POST /v1/map/batch: several mapper runs against
+// one shared engine, fanned out on the engine's deterministic worker
+// pool.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.st.batchRequests.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	var req BatchRequest
+	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch: empty requests"))
+		return
+	}
+	began := time.Now()
+	tg, err := req.Tasks.Build()
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	runs := make([]topomap.Request, len(req.Requests))
+	for i, item := range req.Requests {
+		runs[i] = buildRequest(item.Mapper, item.Seed, item.Refine, item.FineRefine, tg)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	// A batch occupies one worker slot and runs its items serially
+	// within it — letting the engine pool fan out here would multiply
+	// the Config.Workers CPU bound by GOMAXPROCS. Clients that want
+	// cross-item parallelism issue parallel /v1/map requests, which
+	// share the cached engine anyway.
+	var eng *topomap.Engine
+	var hit bool
+	results, err := s.solve(ctx, func(ctx context.Context) ([]*topomap.MapResult, error) {
+		var err error
+		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunBatchContext(ctx, runs, 1)
+	})
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, s.errStatus(err), err)
+		return
+	}
+	out := BatchResponse{
+		Results:   make([]MapResponse, len(results)),
+		CacheHit:  hit,
+		ElapsedMS: float64(time.Since(began)) / float64(time.Millisecond),
+	}
+	for i, res := range results {
+		// Items share one engine run; only the batch-level elapsed is
+		// meaningful, so per-item elapsed_ms is omitted.
+		item, err := respond(res, eng, hit, false, 0)
+		if err != nil {
+			s.st.errors.Add(1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out.Results[i] = *item
+	}
+	s.st.observe(out.ElapsedMS)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMappers serves GET /v1/mappers: the registry's capability
+// listing.
+func (s *Server) handleMappers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, MappersResponse{Mappers: registry.List()})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStatusz serves GET /statusz: the live counters.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// Status snapshots the live counters.
+func (s *Server) Status() Status {
+	hits, misses := s.cache.Stats()
+	p50, p90, p99, samples := s.st.quantiles()
+	return Status{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Requests:       s.st.requests.Load(),
+		BatchRequests:  s.st.batchRequests.Load(),
+		Errors:         s.st.errors.Load(),
+		Timeouts:       s.st.timeouts.Load(),
+		InFlight:       s.st.inflight.Load(),
+		Workers:        s.cfg.Workers,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEntries:   s.cache.Len(),
+		CacheCapacity:  s.cache.Cap(),
+		LatencyP50MS:   p50,
+		LatencyP90MS:   p90,
+		LatencyP99MS:   p99,
+		LatencySamples: samples,
+		Mappers:        len(registry.Names()),
+	}
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stats holds the service's live counters: monotonically increasing
+// request/error/timeout counts (lock-free atomics on the hot path)
+// and a fixed ring of recent request latencies from which /statusz
+// computes p50/p90/p99.
+type stats struct {
+	requests      atomic.Int64
+	batchRequests atomic.Int64
+	errors        atomic.Int64
+	timeouts      atomic.Int64
+	inflight      atomic.Int64
+
+	mu  sync.Mutex
+	lat []float64 // ms, ring buffer
+	pos int
+	n   int // filled entries, <= len(lat)
+}
+
+// latencyWindow bounds the quantile ring: big enough for stable tail
+// estimates, small enough that /statusz snapshots stay cheap.
+const latencyWindow = 2048
+
+func newStats() *stats {
+	return &stats{lat: make([]float64, latencyWindow)}
+}
+
+// observe records one completed request's latency.
+func (s *stats) observe(ms float64) {
+	s.mu.Lock()
+	s.lat[s.pos] = ms
+	s.pos = (s.pos + 1) % len(s.lat)
+	if s.n < len(s.lat) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// quantiles returns the p50/p90/p99 of the recorded window (zeros
+// when nothing completed yet).
+func (s *stats) quantiles() (p50, p90, p99 float64, samples int) {
+	s.mu.Lock()
+	snap := append([]float64(nil), s.lat[:s.n]...)
+	s.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(snap)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(snap)-1))
+		return snap[i]
+	}
+	return at(0.50), at(0.90), at(0.99), len(snap)
+}

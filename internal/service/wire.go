@@ -1,0 +1,202 @@
+// Package service is the resident mapping service behind cmd/mapd:
+// the paper's pitch is that high-quality topology-aware mapping is
+// fast enough to run at job-launch time inside the resource manager,
+// and the natural production shape of that is a daemon, not a batch
+// CLI. The package defines the JSON wire protocol (map, batch,
+// mapper-capability and status payloads), builds topologies and
+// allocations from wire specs, and serves requests through a bounded
+// worker pool against an LRU cache of Engines keyed by the canonical
+// (topology, allocation) fingerprint — so repeated jobs on the same
+// partition skip the route-state rebuild that dominates a cold
+// request.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	topomap "repro"
+	"repro/internal/registry"
+)
+
+// TaskGraphSpec is the wire form of a task graph: n tasks and a
+// directed weighted edge list (the same "src dst volume" triples the
+// CLI's -graph files carry).
+type TaskGraphSpec struct {
+	N     int        `json:"n"`
+	Edges [][3]int64 `json:"edges"`
+}
+
+// maxTasks bounds wire task graphs: n is a bare integer whose cost
+// (vertex arrays, grouping) is unrelated to the request's byte size.
+const maxTasks = 1 << 20
+
+// Build constructs the task graph (parallel edges merged, self loops
+// dropped, unit task weights).
+func (t TaskGraphSpec) Build() (*topomap.TaskGraph, error) {
+	if t.N <= 0 {
+		return nil, fmt.Errorf("tasks: need n > 0, got %d", t.N)
+	}
+	if t.N > maxTasks {
+		return nil, fmt.Errorf("tasks: n=%d exceeds the %d-task service limit", t.N, maxTasks)
+	}
+	us := make([]int32, 0, len(t.Edges))
+	vs := make([]int32, 0, len(t.Edges))
+	ws := make([]int64, 0, len(t.Edges))
+	for i, e := range t.Edges {
+		src, dst, vol := e[0], e[1], e[2]
+		if src < 0 || src >= int64(t.N) || dst < 0 || dst >= int64(t.N) {
+			return nil, fmt.Errorf("tasks: edge %d endpoint out of [0,%d)", i, t.N)
+		}
+		if vol <= 0 {
+			return nil, fmt.Errorf("tasks: edge %d has volume %d", i, vol)
+		}
+		us = append(us, int32(src))
+		vs = append(vs, int32(dst))
+		ws = append(ws, vol)
+	}
+	return &topomap.TaskGraph{G: topomap.FromEdges(t.N, us, vs, ws), K: t.N}, nil
+}
+
+// MapRequest is one mapping job: network, allocation, task graph,
+// mapper, and per-request options. TimeoutMS (0 = the server default)
+// bounds the solve; Rankfile additionally asks for the Cray-style
+// MPICH_RANK_ORDER text realizing the placement.
+type MapRequest struct {
+	Topology   TopologySpec   `json:"topology"`
+	Allocation AllocationSpec `json:"allocation"`
+	Tasks      TaskGraphSpec  `json:"tasks"`
+	Mapper     string         `json:"mapper"`
+	Seed       int64          `json:"seed"`
+	Refine     bool           `json:"refine,omitempty"`
+	FineRefine bool           `json:"fine_refine,omitempty"`
+	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
+	Rankfile   bool           `json:"rankfile,omitempty"`
+}
+
+// Metrics is the wire form of the mapping metrics (§II-C).
+type Metrics struct {
+	TH        int64   `json:"th"`
+	WH        int64   `json:"wh"`
+	MMC       int64   `json:"mmc"`
+	MC        float64 `json:"mc"`
+	AMC       float64 `json:"amc"`
+	AC        float64 `json:"ac"`
+	ICV       int64   `json:"icv"`
+	ICM       int64   `json:"icm"`
+	MNRV      int64   `json:"mnrv"`
+	MNRM      int64   `json:"mnrm"`
+	UsedLinks int     `json:"used_links"`
+}
+
+func metricsPayload(m topomap.MapMetrics) Metrics {
+	return Metrics{
+		TH: m.TH, WH: m.WH, MMC: m.MMC, MC: m.MC, AMC: m.AMC, AC: m.AC,
+		ICV: m.ICV, ICM: m.ICM, MNRV: m.MNRV, MNRM: m.MNRM, UsedLinks: m.UsedLinks,
+	}
+}
+
+// MapResponse is the outcome of one mapping job. NodeOf values are
+// network node ids; AllocNodes reports the allocated node set in
+// allocation order (essential when the server generated the
+// allocation from a sparse spec). CacheHit reports whether the
+// engine's routing state was reused from the cache.
+type MapResponse struct {
+	Mapper      string  `json:"mapper"`
+	GroupOf     []int32 `json:"group_of"`
+	NodeOf      []int32 `json:"node_of"`
+	AllocNodes  []int32 `json:"alloc_nodes"`
+	Metrics     Metrics `json:"metrics"`
+	FineWHGain  int64   `json:"fine_wh_gain,omitempty"`
+	FineVolGain int64   `json:"fine_vol_gain,omitempty"`
+	Rankfile    string  `json:"rankfile,omitempty"`
+	CacheHit    bool    `json:"cache_hit"`
+	ElapsedMS   float64 `json:"elapsed_ms,omitempty"`
+}
+
+// BatchItem is one mapper run of a batch; the batch's topology,
+// allocation and task graph are shared.
+type BatchItem struct {
+	Mapper     string `json:"mapper"`
+	Seed       int64  `json:"seed"`
+	Refine     bool   `json:"refine,omitempty"`
+	FineRefine bool   `json:"fine_refine,omitempty"`
+}
+
+// BatchRequest fans several mapper runs out against one shared
+// engine — the sweep shape of the paper's figures.
+type BatchRequest struct {
+	Topology   TopologySpec   `json:"topology"`
+	Allocation AllocationSpec `json:"allocation"`
+	Tasks      TaskGraphSpec  `json:"tasks"`
+	Requests   []BatchItem    `json:"requests"`
+	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse carries the per-item results in request order.
+type BatchResponse struct {
+	Results   []MapResponse `json:"results"`
+	CacheHit  bool          `json:"cache_hit"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+// MappersResponse lists every registered mapper with its capability
+// flags — the registry served over the wire.
+type MappersResponse struct {
+	Mappers []registry.Info `json:"mappers"`
+}
+
+// Status is the /statusz payload: live counters of the running
+// service.
+type Status struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       int64   `json:"requests"`
+	BatchRequests  int64   `json:"batch_requests"`
+	Errors         int64   `json:"errors"`
+	Timeouts       int64   `json:"timeouts"`
+	InFlight       int64   `json:"in_flight"`
+	Workers        int     `json:"workers"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP90MS   float64 `json:"latency_p90_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	LatencySamples int     `json:"latency_samples"`
+	Mappers        int     `json:"mappers"`
+}
+
+// ErrorResponse is the uniform error payload of every non-2xx
+// response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// writeError encodes an ErrorResponse with the given status code.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// readJSON decodes a request body into v, rejecting unknown fields
+// (typos in a wire payload must fail loudly, not map with defaults)
+// and bodies over limit bytes.
+func readJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}

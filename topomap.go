@@ -35,7 +35,10 @@
 // Mapping algorithms are dispatched through a registry; RegisterMapper
 // plugs in custom mappers next to the eleven built-ins, and
 // Engine.RunBatch fans many requests out over a worker pool with
-// deterministic results.
+// deterministic results. NewCachedEngine serves engines from a
+// process-wide LRU keyed by the canonical (topology, allocation)
+// fingerprint; cmd/mapd exposes the same machinery as a resident
+// HTTP service for job-launch-time mapping.
 package topomap
 
 import (

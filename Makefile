@@ -28,16 +28,23 @@ bench:
 	$(GO) test -run='^$$' -bench='BenchmarkEngine' -benchtime=1x .
 
 # Bench tracking: run the engine benchmarks at a stable iteration
-# count and record ns/op per benchmark as JSON, so the perf
-# trajectory is diffable PR over PR (BENCH_PR<n>.json).
-BENCH_OUT ?= BENCH_PR2.json
+# count — with allocation stats, so the scratch-arena trajectory is
+# tracked alongside ns/op — and record them as JSON diffable PR over
+# PR (BENCH_PR<n>.json). The large parallel-solve instances run at a
+# lower iteration count: one solve is ~10^8 ns.
+BENCH_OUT ?= BENCH_PR3.json
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkEngine' -benchtime=50x -count=1 . \
-		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
+	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch)' -benchmem -benchtime=50x -count=1 . > $$tmp; \
+	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $$tmp
 	@echo "wrote $(BENCH_OUT)"
 
-# Race gate: the engine's concurrent paths plus the whole mapd
-# service package (concurrent clients, cache churn, cancellation).
+# Race gate: the engine's concurrent paths (batch pool and
+# intra-request parallelism), the parallel/partition/arena plumbing
+# those are built on, plus the whole mapd service package (concurrent
+# clients, cache churn, cancellation, multi-slot accounting).
 race:
 	$(GO) test -race -run='Engine|Batch' .
+	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/...
 	$(GO) test -race ./internal/service/...

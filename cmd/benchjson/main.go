@@ -36,11 +36,23 @@ type Report struct {
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	Notes      []string    `json:"notes,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// notesFlag collects repeated -note values.
+type notesFlag []string
+
+func (n *notesFlag) String() string { return strings.Join(*n, "; ") }
+func (n *notesFlag) Set(v string) error {
+	*n = append(*n, v)
+	return nil
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	var notes notesFlag
+	flag.Var(&notes, "note", "free-form annotation recorded in the report (repeatable)")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
@@ -48,6 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	report.Notes = notes
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)

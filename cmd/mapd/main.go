@@ -41,13 +41,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "total solver worker slots; a request with parallelism p holds p slots (0 = GOMAXPROCS)")
+	maxPar := flag.Int("max-parallelism", 0, "cap on a single request's `parallelism` field (0 = GOMAXPROCS, clamped to -workers)")
 	cacheSize := flag.Int("cache", 32, "engine cache entries (topology+allocation pairs)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	flag.Parse()
 
 	srv := service.New(service.Config{
 		Workers:        *workers,
+		MaxParallelism: *maxPar,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 	})

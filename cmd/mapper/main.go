@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ftTaper := fs.Float64("fattree-taper", 2, "fat-tree per-level bandwidth taper (1 = full bisection)")
 	dfH := fs.Int("dragonfly-h", 3, "dragonfly global links per router (with -topology dragonfly)")
 	seed := fs.Int64("seed", 1, "random seed (allocation, partitioner)")
+	workers := fs.Int("workers", 0, "solver parallelism: worker goroutines for this solve (0 = all CPUs, 1 = serial; the mapping is identical at any value)")
 	tier := fs.String("tier", "small", "dataset tier with -matrix: tiny, small, large")
 	allocFile := fs.String("allocfile", "", "read the allocation from a node-list file (node [procs] lines) instead of generating one")
 	rankFile := fs.String("rankfile", "", "write a Cray-style MPICH_RANK_ORDER file realizing the mapping")
@@ -138,7 +139,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	res, err := eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed})
+	res, err := eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed,
+		Options: []topomap.RequestOption{topomap.WithParallelism(*workers)}})
 	if err != nil {
 		return fail(err)
 	}

@@ -172,3 +172,23 @@ func TestMapperListDerivedFromRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWorkersFlag: -workers changes the solve's parallelism only;
+// the printed metrics and mapping lines must be identical at any
+// worker count.
+func TestRunWorkersFlag(t *testing.T) {
+	base := []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "umc", "-torus", "6x6x6"}
+	outputs := make([]string, 0, 3)
+	for _, w := range []string{"1", "4", "0"} {
+		var stdout, stderr strings.Builder
+		if code := run(append([]string{"-workers", w}, base...), &stdout, &stderr); code != 0 {
+			t.Fatalf("-workers %s: exit %d (stderr: %s)", w, code, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("output diverged between -workers settings:\n%s\nvs\n%s", outputs[0], outputs[i])
+		}
+	}
+}

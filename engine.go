@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -33,6 +34,13 @@ type Engine struct {
 	caps      []int64 // per-allocated-node capacities, allocation order
 	capOfNode []int64 // node id -> capacity (repair accounting)
 	uniform   bool
+
+	// arena recycles per-solve scratch (BFS marks, gain buffers,
+	// heaps, queues) across requests, so the steady state of a
+	// resident engine allocates almost nothing per solve. It is
+	// concurrency-safe; concurrent requests and the parallel subtasks
+	// within one request share it.
+	arena *arena.Arena
 }
 
 // NewEngine validates the allocation against the topology and builds
@@ -63,6 +71,7 @@ func newEngineView(topo, view Topology, a *Allocation) *Engine {
 		caps:      make([]int64, a.NumNodes()),
 		capOfNode: make([]int64, topo.Nodes()),
 		uniform:   uniformCaps(a.ProcsPerNode),
+		arena:     arena.New(),
 	}
 	for i, p := range a.ProcsPerNode {
 		e.caps[i] = int64(p)
@@ -96,6 +105,7 @@ type requestConfig struct {
 	simulate   bool
 	simBytes   float64
 	simParams  SimParams
+	workers    int // 0 = caller-dependent default (see WithParallelism)
 }
 
 // WithRefinement applies an extra WH swap-refinement pass
@@ -113,6 +123,26 @@ func WithRefinement() RequestOption {
 // default.
 func WithFineRefine() RequestOption {
 	return func(c *requestConfig) { c.fineRefine = true }
+}
+
+// WithParallelism bounds the worker goroutines of this request's
+// solve: the grouping partitioner forks its bisection subtrees, the
+// greedy mapper runs its two seeded attempts concurrently, and the
+// refinement stages fan candidate scoring out — all on one bounded
+// pool of n workers. The result is byte-identical for every n; only
+// the wall-clock changes. n <= 0 (and the default for Run/RunContext
+// when the option is absent) means parallel.Workers(), i.e. one
+// worker per available CPU. Requests inside RunBatch default to 1
+// worker instead, because the batch pool already fans out across
+// requests; pass WithParallelism explicitly to oversubscribe
+// deliberately.
+func WithParallelism(n int) RequestOption {
+	return func(c *requestConfig) {
+		if n <= 0 {
+			n = parallel.Workers()
+		}
+		c.workers = n
+	}
 }
 
 // WithSimParams additionally runs the communication-only simulator
@@ -163,14 +193,23 @@ func (e *Engine) Run(req Request) (*MapResult, error) {
 	return e.RunContext(context.Background(), req)
 }
 
-// RunContext is Run with cancellation: the pipeline checks ctx
-// between its stages (grouping, mapper dispatch, refinement, metric
-// evaluation) and returns ctx.Err() as soon as the deadline expires
-// or the caller cancels. A stage in progress runs to completion —
-// mappers are pure CPU and carry no cancellation points — so
-// cancellation latency is bounded by the longest single stage, not
-// the whole request.
+// RunContext is Run with cancellation, both between and inside the
+// pipeline stages: the pipeline checks ctx at stage boundaries
+// (grouping, mapper dispatch, refinement, metric evaluation), and the
+// stages themselves — the bisection recursion, the greedy placement
+// loop, every refinement pass — poll the context cooperatively and
+// bail early, so cancellation latency is bounded by one refinement
+// swap or bisection level, not a whole stage. It returns ctx.Err() as
+// soon as the deadline expires or the caller cancels.
 func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error) {
+	return e.runContext(ctx, req, 0)
+}
+
+// runContext implements RunContext. defaultWorkers is the parallelism
+// a request without WithParallelism gets: 0 means parallel.Workers()
+// (direct Run/RunContext calls use the whole host), while RunBatch
+// passes 1 (its pool already fans out across requests).
+func (e *Engine) runContext(ctx context.Context, req Request, defaultWorkers int) (*MapResult, error) {
 	tg := req.Tasks
 	if tg == nil {
 		return nil, fmt.Errorf("topomap: request carries no task graph")
@@ -188,6 +227,15 @@ func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error
 			return nil, fmt.Errorf("topomap: mapper %s needs a topology with minimal-route enumeration", req.Mapper)
 		}
 	}
+	var cfg requestConfig
+	for _, opt := range req.Options {
+		opt(&cfg)
+	}
+	workers := cfg.workers
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	ex := &core.Exec{Par: parallel.NewGroup(ctx, workers), Arena: e.arena}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -197,7 +245,7 @@ func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error
 	if caps.BlockGrouping {
 		group, err = taskgraph.GroupBlocks(tg.K, e.caps)
 	} else {
-		group, err = taskgraph.GroupTasks(tg, e.caps, req.Seed)
+		group, err = taskgraph.GroupTasksExec(tg, e.caps, req.Seed, ex.Par, e.arena)
 	}
 	if err != nil {
 		return nil, err
@@ -206,7 +254,7 @@ func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error
 		return nil, err
 	}
 	coarse := taskgraph.CoarseGraph(tg, group, e.alloc.NumNodes())
-	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: req.Seed}
+	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: req.Seed, Exec: ex}
 	if caps.NeedsMessageGraph {
 		in.Msg = taskgraph.CoarseMessageGraph(tg, group, e.alloc.NumNodes())
 	}
@@ -217,16 +265,12 @@ func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var cfg requestConfig
-	for _, opt := range req.Options {
-		opt(&cfg)
-	}
 	// The optional extra WH pass runs before the capacity repair:
 	// RefineWH swaps whole groups between nodes without weighing
 	// their sizes, so it must never be the last placement-mutating
 	// step on a heterogeneous allocation.
 	if cfg.refine {
-		core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{})
+		core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{Exec: ex})
 	}
 	// Heterogeneous capacities (§III-A): the mappers optimize locality
 	// one-to-one; when node capacities are non-uniform a heavy group
@@ -245,12 +289,15 @@ func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error
 	}
 	res := &MapResult{Mapper: req.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
 	if cfg.fineRefine {
-		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.Symmetric(), e.view, group, nodeOf, core.RefineOptions{})
+		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.Symmetric(), e.view, group, nodeOf, core.RefineOptions{Exec: ex})
 	}
 	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
 	res.Metrics = metrics.Compute(tg.G, e.view, pl)
 	if cfg.simulate {
 		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, cfg.simBytes, cfg.simParams).Seconds
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -277,7 +324,10 @@ func (e *Engine) RunBatchWorkers(reqs []Request, workers int) ([]*MapResult, err
 func (e *Engine) RunBatchContext(ctx context.Context, reqs []Request, workers int) ([]*MapResult, error) {
 	results := make([]*MapResult, len(reqs))
 	err := parallel.ForEach(len(reqs), workers, func(i int) error {
-		res, err := e.RunContext(ctx, reqs[i])
+		// Each request defaults to one worker: the batch pool already
+		// fans out across requests, so per-request parallelism on top
+		// would oversubscribe the host. WithParallelism overrides.
+		res, err := e.runContext(ctx, reqs[i], 1)
 		if err != nil {
 			return fmt.Errorf("topomap: request %d (%s): %w", i, reqs[i].Mapper, err)
 		}

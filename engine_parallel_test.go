@@ -1,0 +1,173 @@
+package topomap
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Parallel-pipeline tests: WithParallelism must change wall-clock
+// only, never bytes. These run under `make race` (the -run pattern
+// matches Engine), which makes them the proof that the solve's
+// forked subtasks touch disjoint state.
+
+// rankfileBytes renders the canonical rankfile of a result — the
+// wire-visible artifact the determinism contract is stated over.
+func rankfileBytes(t *testing.T, res *MapResult, a *Allocation) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteRankOrder(&sb, res.Placement(), a); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestEngineParallelDeterminism is the tentpole contract: for every
+// registered mapper, the same request produces a byte-identical
+// rankfile (and placement, and metrics) at workers = 1, 2 and 8.
+func TestEngineParallelDeterminism(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range RegisteredMappers() {
+		if strings.HasPrefix(string(mp), "TEST-") {
+			continue // registered by other tests in this binary
+		}
+		base, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 3,
+			Options: []RequestOption{WithParallelism(1)}})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", mp, err)
+		}
+		baseRF := rankfileBytes(t, base, a)
+		for _, workers := range []int{2, 8} {
+			got, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 3,
+				Options: []RequestOption{WithParallelism(workers)}})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mp, workers, err)
+			}
+			if !reflect.DeepEqual(got.GroupOf, base.GroupOf) {
+				t.Fatalf("%s workers=%d: GroupOf diverged from workers=1", mp, workers)
+			}
+			if !reflect.DeepEqual(got.NodeOf, base.NodeOf) {
+				t.Fatalf("%s workers=%d: NodeOf diverged from workers=1", mp, workers)
+			}
+			if got.Metrics != base.Metrics {
+				t.Fatalf("%s workers=%d: metrics diverged:\n w1 %+v\n w%d %+v",
+					mp, workers, base.Metrics, workers, got.Metrics)
+			}
+			if rf := rankfileBytes(t, got, a); rf != baseRF {
+				t.Fatalf("%s workers=%d: rankfile bytes diverged from workers=1", mp, workers)
+			}
+		}
+	}
+}
+
+// TestEngineParallelDefaultMatchesExplicit: a request without the
+// option (host default) must still match workers=1 — the default may
+// only change speed.
+func TestEngineParallelDefaultMatchesExplicit(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := eng.Run(Request{Mapper: UWH, Tasks: tg, Seed: 5,
+		Options: []RequestOption{WithParallelism(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := eng.Run(Request{Mapper: UWH, Tasks: tg, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def.NodeOf, serial.NodeOf) || !reflect.DeepEqual(def.GroupOf, serial.GroupOf) {
+		t.Fatal("default parallelism diverged from workers=1")
+	}
+}
+
+// TestEngineParallelHeterogeneous covers the capacity-repair path:
+// non-uniform processor counts with parallel workers must reproduce
+// the serial placement and still respect every node capacity.
+func TestEngineParallelHeterogeneous(t *testing.T) {
+	m, err := GenerateMatrix("cagelike", Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := NewHopperTorus(6, 6, 6)
+	a := &Allocation{
+		Nodes:        []int32{3, 40, 77, 101, 130, 171},
+		ProcsPerNode: []int{24, 8, 16, 24, 8, 16}, // 96 procs
+	}
+	procs := a.TotalProcs()
+	part, err := PartitionMatrix(PATOH, m, procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := BuildTaskGraph(m, part, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capOf := map[int32]int{}
+	for i, n := range a.Nodes {
+		capOf[n] = a.ProcsPerNode[i]
+	}
+	for _, mp := range []Mapper{UG, UWH, UMC, UML} {
+		base, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1,
+			Options: []RequestOption{WithParallelism(1)}})
+		if err != nil {
+			t.Fatalf("%s: %v", mp, err)
+		}
+		got, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1,
+			Options: []RequestOption{WithParallelism(8)}})
+		if err != nil {
+			t.Fatalf("%s: %v", mp, err)
+		}
+		if !reflect.DeepEqual(got.NodeOf, base.NodeOf) || !reflect.DeepEqual(got.GroupOf, base.GroupOf) {
+			t.Fatalf("%s: heterogeneous parallel run diverged from serial", mp)
+		}
+		perNode := map[int32]int{}
+		for _, g := range got.GroupOf {
+			perNode[got.NodeOf[g]]++
+		}
+		for n, cnt := range perNode {
+			if cnt > capOf[n] {
+				t.Fatalf("%s: node %d hosts %d tasks, capacity %d", mp, n, cnt, capOf[n])
+			}
+		}
+	}
+}
+
+// TestEngineInSolveCancellation: with cooperative in-solve polling, a
+// deadline far shorter than the solve must surface promptly as the
+// context error, not only at the next stage boundary.
+func TestEngineInSolveCancellation(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	began := time.Now()
+	_, err = eng.RunContext(ctx, Request{Mapper: UMC, Tasks: tg, Seed: 1,
+		Options: []RequestOption{WithParallelism(2)}})
+	if err == nil {
+		t.Fatal("microsecond deadline produced a result")
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: the solve itself takes ~10ms serial; a prompt
+	// bail must come back well under a full uncancelled solve.
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

@@ -20,7 +20,7 @@ type EngineCache struct {
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 // cacheEntry is one keyed engine; once gates the single build shared
@@ -78,6 +78,7 @@ func (c *EngineCache) GetKeyed(key string, build func() (*Engine, error)) (eng *
 		lru := c.ll.Back()
 		c.ll.Remove(lru)
 		delete(c.entries, lru.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 	c.mu.Unlock()
 
@@ -106,11 +107,14 @@ func (c *EngineCache) Len() int {
 // Cap returns the maximum number of cached engines.
 func (c *EngineCache) Cap() int { return c.max }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *EngineCache) Stats() (hits, misses int64) {
+// Stats returns the cumulative hit, miss and eviction counts. An
+// eviction rate rivaling the miss rate tells an operator the cache is
+// sized below the live (topology, allocation) working set, i.e. the
+// cached-path win is not being realized.
+func (c *EngineCache) Stats() (hits, misses, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }
 
 // processEngines backs NewCachedEngine: one cache per process, the

@@ -122,9 +122,12 @@ func TestEngineCacheLRU(t *testing.T) {
 	if e0b == e0 {
 		t.Fatal("evicted engine pointer resurfaced without a rebuild")
 	}
-	hits, misses := c.Stats()
+	hits, misses, evictions := c.Stats()
 	if hits != 1 || misses != 4 {
 		t.Fatalf("stats = %d hits / %d misses, want 1/4", hits, misses)
+	}
+	if evictions != 2 {
+		t.Fatalf("stats = %d evictions, want 2", evictions)
 	}
 }
 
@@ -156,7 +159,7 @@ func TestEngineCacheSharesInFlightBuild(t *testing.T) {
 			t.Fatal("concurrent misses built distinct engines for one key")
 		}
 	}
-	if _, misses := c.Stats(); misses != 1 {
+	if _, misses, _ := c.Stats(); misses != 1 {
 		t.Fatalf("%d misses for one key under concurrency, want 1 shared build", misses)
 	}
 }

@@ -1,0 +1,130 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestArenaZeroedReuse: a returned buffer must come back zeroed at
+// the requested length, like a fresh make.
+func TestArenaZeroedReuse(t *testing.T) {
+	a := New()
+	s := a.Int32s(8)
+	for i := range s {
+		s[i] = int32(i + 1)
+	}
+	a.PutInt32s(s)
+	got := a.Int32s(4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %d", i, v)
+		}
+	}
+
+	w := a.Int64s(3)
+	w[0] = 7
+	a.PutInt64s(w)
+	if g := a.Int64s(3); g[0] != 0 {
+		t.Fatal("int64 buffer not zeroed on reuse")
+	}
+
+	b := a.Bools(5)
+	b[2] = true
+	a.PutBools(b)
+	if g := a.Bools(5); g[2] {
+		t.Fatal("bool buffer not zeroed on reuse")
+	}
+
+	e := a.Int8s(5)
+	e[1] = 1
+	a.PutInt8s(e)
+	if g := a.Int8s(5); g[1] != 0 {
+		t.Fatal("int8 buffer not zeroed on reuse")
+	}
+}
+
+// TestArenaUndersizedEntryKept: asking for more than a pooled entry
+// holds must allocate fresh without losing the pooled entry.
+func TestArenaUndersizedEntryKept(t *testing.T) {
+	a := New()
+	small := a.Int32s(4)
+	a.PutInt32s(small)
+	big := a.Int32s(1 << 16)
+	if len(big) != 1<<16 {
+		t.Fatalf("len = %d", len(big))
+	}
+	// The small entry must still be poolable.
+	if s := a.Int32s(4); len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+}
+
+// TestArenaNil: a nil arena degrades to plain allocation.
+func TestArenaNil(t *testing.T) {
+	var a *Arena
+	s := a.Int32s(4)
+	if len(s) != 4 {
+		t.Fatalf("nil arena Int32s len = %d", len(s))
+	}
+	a.PutInt32s(s) // must not panic
+	h := a.MaxHeap(4)
+	h.Push(1, 10)
+	a.PutMaxHeap(h)
+	q := a.Queue()
+	q.Push(3)
+	a.PutQueue(q)
+}
+
+// TestArenaHeapReset: a reused heap must behave like a fresh one of
+// the new dimension.
+func TestArenaHeapReset(t *testing.T) {
+	a := New()
+	h := a.MaxHeap(8)
+	h.Push(3, 30)
+	h.Push(5, 50)
+	a.PutMaxHeap(h)
+	h2 := a.MaxHeap(4)
+	if h2.Len() != 0 {
+		t.Fatalf("reused heap not empty: %d", h2.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if h2.Contains(i) {
+			t.Fatalf("reused heap claims to contain %d", i)
+		}
+	}
+	h2.Push(2, 20)
+	h2.Push(1, 40)
+	if it, k := h2.Pop(); it != 1 || k != 40 {
+		t.Fatalf("Pop = (%d,%d), want (1,40)", it, k)
+	}
+}
+
+// TestArenaConcurrent hammers one arena from many goroutines — the
+// shape of parallel subtasks inside one solve (run under -race).
+func TestArenaConcurrent(t *testing.T) {
+	a := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := a.Int32s(64)
+				for j := range s {
+					if s[j] != 0 {
+						panic("dirty buffer")
+					}
+					s[j] = int32(j)
+				}
+				a.PutInt32s(s)
+				h := a.MaxHeap(16)
+				h.Push(i%16, int64(i))
+				a.PutMaxHeap(h)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -274,7 +274,7 @@ func TestCongStateLoadsMatchMetrics(t *testing.T) {
 	topo, a := fixture(t, 24, 23)
 	g := graph.RandomConnected(24, 60, 15, 24)
 	nodeOf := DEFLike(a, 24)
-	st := newMapState(g, topo, a.Nodes)
+	st := newMapState(g, topo, a.Nodes, nil)
 	for i, m := range nodeOf {
 		st.place(int32(i), m)
 	}
@@ -302,7 +302,7 @@ func TestCongStateDeltasExact(t *testing.T) {
 	topo, a := fixture(t, 20, 25)
 	g := graph.RandomConnected(20, 50, 12, 26)
 	nodeOf := DEFLike(a, 20)
-	st := newMapState(g, topo, a.Nodes)
+	st := newMapState(g, topo, a.Nodes, nil)
 	for i, m := range nodeOf {
 		st.place(int32(i), m)
 	}
@@ -313,7 +313,7 @@ func TestCongStateDeltasExact(t *testing.T) {
 	cs.commitSwap(aT, bT)
 
 	// Fresh state from the new mapping.
-	st2 := newMapState(g, topo, a.Nodes)
+	st2 := newMapState(g, topo, a.Nodes, nil)
 	for i := 0; i < g.N(); i++ {
 		st2.place(int32(i), cs.st.nodeOf[i])
 	}
@@ -334,7 +334,7 @@ func TestCongStateDeltasExact(t *testing.T) {
 func TestCongStateApplyRevert(t *testing.T) {
 	topo, a := fixture(t, 20, 27)
 	g := graph.RandomConnected(20, 50, 12, 28)
-	st := newMapState(g, topo, a.Nodes)
+	st := newMapState(g, topo, a.Nodes, nil)
 	for i := 0; i < g.N(); i++ {
 		st.place(int32(i), a.Nodes[i])
 	}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"repro/internal/arena"
+	"repro/internal/parallel"
+)
+
+// Exec is the execution context of one solve: the bounded fork-join
+// group carrying intra-request parallelism and cooperative
+// cancellation, and the scratch arena the solve borrows its
+// node-sized buffers from. The Engine owns the arena and builds one
+// Exec per request; the mapping algorithms thread it through their
+// option structs. A nil *Exec (the legacy serial facades) means
+// "serial, fresh allocations, never cancelled" — every algorithm
+// produces byte-identical results either way.
+type Exec struct {
+	// Par bounds the solve's worker goroutines and carries the
+	// request context. Nil runs serial.
+	Par *parallel.Group
+	// Arena recycles scratch buffers across solves. Nil allocates
+	// fresh.
+	Arena *arena.Arena
+}
+
+// par returns the group, nil-safely.
+func (e *Exec) par() *parallel.Group {
+	if e == nil {
+		return nil
+	}
+	return e.Par
+}
+
+// arenaOf returns the arena, nil-safely.
+func (e *Exec) arenaOf() *arena.Arena {
+	if e == nil {
+		return nil
+	}
+	return e.Arena
+}
+
+// cancelled reports whether the solve's context died. Algorithms poll
+// it at safe points (between swaps, passes and placements) and bail
+// early with structurally valid state; the engine surfaces ctx.Err.
+func (e *Exec) cancelled() bool {
+	return e != nil && e.Par.Cancelled()
+}

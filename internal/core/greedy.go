@@ -60,6 +60,9 @@ type GreedyOptions struct {
 	// the early exits", §III-A); this switch exists for the ablation
 	// benchmark.
 	NoEarlyExit bool
+	// Exec supplies the solve's scratch arena and cancellation; nil
+	// runs serial with fresh allocations.
+	Exec *Exec
 }
 
 // Greedy runs Algorithm 1: it maps each vertex of the symmetric task
@@ -70,16 +73,24 @@ func Greedy(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt GreedyO
 	if len(allocNodes) < n {
 		panic("core: fewer allocated nodes than tasks")
 	}
-	st := newMapState(g, topo, allocNodes)
+	ex := opt.Exec
+	ar := ex.arenaOf()
+	st := newMapState(g, topo, allocNodes, ex)
+	defer st.release()
 
-	conn := ds.NewIndexedMaxHeap(n)
-	mapped := make([]bool, n)
+	conn := ar.MaxHeap(n)
+	mapped := ar.Bools(n)
+	defer func() {
+		ar.PutMaxHeap(conn)
+		ar.PutBools(mapped)
+	}()
 	nMapped := 0
 	bfsSeeded := 0
 
 	// Total send+receive volume per task: the MSRV start and the BFS
 	// tie-break both use it.
-	volume := make([]int64, n)
+	volume := ar.Int64s(n)
+	defer ar.PutInt64s(volume)
 	for v := 0; v < n; v++ {
 		for _, w := range g.Weights(v) {
 			volume[v] += w
@@ -128,6 +139,14 @@ func Greedy(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt GreedyO
 
 	mappedSeeds := make([]int32, 0, n)
 	for nMapped < n {
+		if ex.cancelled() {
+			// Bail early but keep the mapping complete: the remaining
+			// tasks take the free allocated nodes in order (the engine
+			// discards the result, downstream refinement must not see
+			// a half-filled nodeOf).
+			fillRemaining(st, mapped)
+			break
+		}
 		var tbest int32 = -1
 		if len(hetero) > 0 {
 			tbest = hetero[0]
@@ -167,15 +186,48 @@ func Greedy(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt GreedyO
 		}
 		mapTask(tbest, node)
 	}
-	return st.nodeOf
+	out := make([]int32, n)
+	copy(out, st.nodeOf)
+	return out
+}
+
+// fillRemaining assigns every unmapped task a free allocated node in
+// increasing task/node order — the cheap deterministic completion of
+// a cancelled greedy run.
+func fillRemaining(st *mapState, mapped []bool) {
+	next := 0
+	for t := range mapped {
+		if mapped[t] {
+			continue
+		}
+		for ; next < len(st.allocNodes); next++ {
+			if m := st.allocNodes[next]; st.taskAt[m] < 0 {
+				st.place(int32(t), m)
+				mapped[t] = true
+				break
+			}
+		}
+	}
 }
 
 // GreedyBest runs Algorithm 1 with NBFS=0 and NBFS=1 and returns the
 // mapping with the lower objective value, as the paper's
 // implementation does (§III-A).
 func GreedyBest(g *graph.Graph, topo torus.Topology, allocNodes []int32, objective Objective) []int32 {
-	m0 := Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 0, Objective: objective})
-	m1 := Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 1, Objective: objective})
+	return GreedyBestEx(g, topo, allocNodes, objective, nil)
+}
+
+// GreedyBestEx is GreedyBest under an execution context: the two
+// independent greedy runs fork onto the solve's worker pool (they
+// share nothing but read-only inputs and the concurrency-safe arena),
+// and the winner is chosen afterwards exactly as the serial code
+// does — so the result is identical at every worker count.
+func GreedyBestEx(g *graph.Graph, topo torus.Topology, allocNodes []int32, objective Objective, ex *Exec) []int32 {
+	var m0, m1 []int32
+	ex.par().Fork(
+		func() { m0 = Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 0, Objective: objective, Exec: ex}) },
+		func() { m1 = Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 1, Objective: objective, Exec: ex}) },
+	)
 	if objectiveValue(g, topo, m1, objective) < objectiveValue(g, topo, m0, objective) {
 		return m1
 	}
@@ -222,10 +274,15 @@ func objectiveValue(g *graph.Graph, topo torus.Topology, nodeOf []int32, obj Obj
 
 // mapState holds the placement bookkeeping shared by Algorithm 1's
 // GETBESTNODE and the refinement algorithms' BFS candidate searches.
+// Its node-sized buffers dominate a solve's allocations, so they are
+// borrowed from the solve's arena when one is supplied; release
+// returns them. A mapState is single-goroutine state — parallel
+// subtasks each borrow their own.
 type mapState struct {
 	g          *graph.Graph
 	topo       torus.Topology
 	allocNodes []int32
+	ex         *Exec
 	nodeOf     []int32 // task -> node (-1 while unmapped)
 	taskAt     []int32 // node -> task (-1 when empty), len topo.Nodes()
 	allocated  []bool  // node -> allocated?
@@ -239,17 +296,19 @@ type mapState struct {
 	nbBuf     []int32
 }
 
-func newMapState(g *graph.Graph, topo torus.Topology, allocNodes []int32) *mapState {
+func newMapState(g *graph.Graph, topo torus.Topology, allocNodes []int32, ex *Exec) *mapState {
+	ar := ex.arenaOf()
 	st := &mapState{
 		g:          g,
 		topo:       topo,
 		allocNodes: allocNodes,
-		nodeOf:     make([]int32, g.N()),
-		taskAt:     make([]int32, topo.Nodes()),
-		allocated:  make([]bool, topo.Nodes()),
-		visitMark:  make([]int32, topo.Nodes()),
-		level:      make([]int32, topo.Nodes()),
-		queue:      ds.NewQueue(256),
+		ex:         ex,
+		nodeOf:     ar.Int32s(g.N()),
+		taskAt:     ar.Int32s(topo.Nodes()),
+		allocated:  ar.Bools(topo.Nodes()),
+		visitMark:  ar.Int32s(topo.Nodes()),
+		level:      ar.Int32s(topo.Nodes()),
+		queue:      ar.Queue(),
 	}
 	for i := range st.nodeOf {
 		st.nodeOf[i] = -1
@@ -261,6 +320,19 @@ func newMapState(g *graph.Graph, topo torus.Topology, allocNodes []int32) *mapSt
 		st.allocated[m] = true
 	}
 	return st
+}
+
+// release returns the state's buffers to the solve's arena. The
+// mapState must not be used afterwards.
+func (st *mapState) release() {
+	ar := st.ex.arenaOf()
+	ar.PutInt32s(st.nodeOf)
+	ar.PutInt32s(st.taskAt)
+	ar.PutBools(st.allocated)
+	ar.PutInt32s(st.visitMark)
+	ar.PutInt32s(st.level)
+	ar.PutQueue(st.queue)
+	st.nodeOf, st.taskAt, st.allocated, st.visitMark, st.level, st.queue = nil, nil, nil, nil, nil, nil
 }
 
 func (st *mapState) place(t, node int32) {

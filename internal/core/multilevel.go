@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 
-	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/torus"
 )
@@ -28,6 +27,9 @@ type MultilevelOptions struct {
 	// Refine configures the per-level swap refinement and the final
 	// Algorithm 2 run.
 	Refine RefineOptions
+	// Exec supplies the solve's scratch arena, worker pool and
+	// cancellation; nil runs serial with fresh allocations.
+	Exec *Exec
 }
 
 func (o MultilevelOptions) withDefaults() MultilevelOptions {
@@ -175,24 +177,31 @@ func clusterSets(levels []mlLevel, l int) (cl0 []int32, members [][]int32) {
 // the greedy order of Algorithm 1 (max-volume cluster first, then by
 // connectivity to the already placed clusters). It fills nodeOf for
 // all fine vertices.
-func placeCoarsest(gl *graph.Graph, members [][]int32, topo torus.Topology, allocNodes []int32, nodeOf []int32) {
+func placeCoarsest(gl *graph.Graph, members [][]int32, topo torus.Topology, allocNodes []int32, nodeOf []int32, ex *Exec) {
 	nc := gl.N()
-	st := newMapState(gl, topo, allocNodes) // reused for its BFS scratch and allocated[]
-	occupied := make([]bool, topo.Nodes())
-	rep := make([]int32, nc) // first node of each placed cluster's region
+	st := newMapState(gl, topo, allocNodes, ex) // reused for its BFS scratch and allocated[]
+	defer st.release()
+	ar := ex.arenaOf()
+	occupied := ar.Bools(topo.Nodes())
+	rep := ar.Int32s(nc) // first node of each placed cluster's region
+	volume := ar.Int64s(nc)
+	conn := ar.MaxHeap(nc)
+	placed := ar.Bools(nc)
+	defer func() {
+		ar.PutBools(occupied)
+		ar.PutInt32s(rep)
+		ar.PutInt64s(volume)
+		ar.PutMaxHeap(conn)
+		ar.PutBools(placed)
+	}()
 	for i := range rep {
 		rep[i] = -1
 	}
-
-	volume := make([]int64, nc)
 	for v := 0; v < nc; v++ {
 		for _, w := range gl.Weights(v) {
 			volume[v] += w
 		}
 	}
-
-	conn := ds.NewIndexedMaxHeap(nc)
-	placed := make([]bool, nc)
 	nPlaced := 0
 
 	// anyEmpty reports whether an allocated node is still free.
@@ -355,11 +364,18 @@ type clusterRefineState struct {
 	cl0     []int32   // fine vertex -> cluster at the current level
 	members [][]int32 // cluster -> fine vertices (sorted by id)
 
-	inPair    []int32 // generation marks: fine vertex in the swap pair?
-	pairPos   []int32 // index of the vertex within its cluster's members
-	pairGen   int32
 	triedMark []int32 // generation marks: cluster already tried?
 	triedGen  int32
+}
+
+// pairScratch is the generation-marked swap-pair bookkeeping of one
+// swapDelta evaluation. Candidate scoring fans swaps out over the
+// worker pool, and the marks are mutated per evaluation, so every
+// concurrent scorer owns its own pairScratch.
+type pairScratch struct {
+	inPair  []int32 // generation marks: fine vertex in the swap pair?
+	pairPos []int32 // index of the vertex within its cluster's members
+	gen     int32
 }
 
 // clusterWH returns the WH incurred by a cluster: the weighted hops
@@ -385,29 +401,30 @@ func (cr *clusterRefineState) clusterWH(c int32, obj Objective) int64 {
 // member i of a moves to the node of member i of b and vice versa.
 // Internal a∪b edges are counted once per direction; edges leaving
 // the pair are counted twice (their reverse direction changes by the
-// same amount on the symmetric graph).
-func (cr *clusterRefineState) swapDelta(a, b int32, obj Objective) int64 {
+// same amount on the symmetric graph). It reads only shared state and
+// mutates only ps, so concurrent scorers with distinct ps are safe.
+func (cr *clusterRefineState) swapDelta(ps *pairScratch, a, b int32, obj Objective) int64 {
 	g := cr.g0
 	ma, mb := cr.members[a], cr.members[b]
-	cr.pairGen++
-	gen := cr.pairGen
+	ps.gen++
+	gen := ps.gen
 	for i, t := range ma {
-		cr.inPair[t] = gen
-		cr.pairPos[t] = int32(i)
+		ps.inPair[t] = gen
+		ps.pairPos[t] = int32(i)
 	}
 	for i, t := range mb {
-		cr.inPair[t] = gen
-		cr.pairPos[t] = int32(i)
+		ps.inPair[t] = gen
+		ps.pairPos[t] = int32(i)
 	}
 	// newNode(t): position after the hypothetical swap.
 	newNode := func(t int32) int32 {
-		if cr.inPair[t] != gen {
+		if ps.inPair[t] != gen {
 			return cr.nodeOf[t]
 		}
 		if cr.cl0[t] == a {
-			return cr.nodeOf[mb[cr.pairPos[t]]]
+			return cr.nodeOf[mb[ps.pairPos[t]]]
 		}
-		return cr.nodeOf[ma[cr.pairPos[t]]]
+		return cr.nodeOf[ma[ps.pairPos[t]]]
 	}
 	var d int64
 	scan := func(mem []int32) {
@@ -419,7 +436,7 @@ func (cr *clusterRefineState) swapDelta(a, b int32, obj Objective) int64 {
 				if obj == WeightedHops {
 					w = g.EdgeWeight(int(i))
 				}
-				if cr.inPair[u] == gen {
+				if ps.inPair[u] == gen {
 					// Internal edge: the loop visits both directions.
 					d += w * int64(cr.topo.HopDist(nt, int(newNode(u)))-cr.topo.HopDist(ot, int(cr.nodeOf[u])))
 				} else {
@@ -453,19 +470,25 @@ func (cr *clusterRefineState) applySwap(a, b int32) {
 // improvement, doubled-edge accounting).
 func refineClusterLevel(g0, gl *graph.Graph, cl0 []int32, members [][]int32, topo torus.Topology, allocNodes []int32, nodeOf []int32, opt RefineOptions) int64 {
 	opt = opt.withDefaults()
+	ex := opt.Exec
+	ar := ex.arenaOf()
+	par := ex.par()
 	nc := gl.N()
-	st := newMapState(gl, topo, allocNodes) // BFS scratch + allocated[]
+	st := newMapState(gl, topo, allocNodes, ex) // BFS scratch + allocated[]
+	defer st.release()
 	cr := &clusterRefineState{
 		g0:        g0,
 		topo:      topo,
 		nodeOf:    nodeOf,
-		taskAt:    make([]int32, topo.Nodes()),
+		taskAt:    ar.Int32s(topo.Nodes()),
 		cl0:       cl0,
 		members:   members,
-		inPair:    make([]int32, g0.N()),
-		pairPos:   make([]int32, g0.N()),
-		triedMark: make([]int32, nc),
+		triedMark: ar.Int32s(nc),
 	}
+	defer func() {
+		ar.PutInt32s(cr.taskAt)
+		ar.PutInt32s(cr.triedMark)
+	}()
 	for i := range cr.taskAt {
 		cr.taskAt[i] = -1
 	}
@@ -473,21 +496,69 @@ func refineClusterLevel(g0, gl *graph.Graph, cl0 []int32, members [][]int32, top
 		cr.taskAt[nodeOf[t]] = int32(t)
 	}
 
+	// Per-cluster WH values: clusterWH reads only the shared placement,
+	// so the per-pass reloads fan out over the worker pool; the serial
+	// fill below keeps heap order identical at every worker count.
+	whVals := ar.Int64s(nc)
+	defer ar.PutInt64s(whVals)
+	loadWH := func() {
+		par.ForEachIdx(nc, func(c int) { whVals[c] = cr.clusterWH(int32(c), opt.Objective) })
+	}
+	loadWH()
 	var totalWH int64
 	for c := 0; c < nc; c++ {
-		totalWH += cr.clusterWH(int32(c), opt.Objective)
+		totalWH += whVals[c]
 	}
 	var totalGain int64
-	heap := ds.NewIndexedMaxHeap(nc)
+	heap := ar.MaxHeap(nc)
+	defer ar.PutMaxHeap(heap)
 	var seeds []int32
 
+	// Swap-candidate scoring scratch: the serial path owns one
+	// pairScratch; parallel scoring slot i owns scorers[i] for the
+	// whole refine call (generation marks make reuse across pops
+	// correct without re-zeroing — borrowing fresh buffers per
+	// candidate would cost O(n) zeroing against O(deg) useful work).
+	newPS := func() *pairScratch {
+		return &pairScratch{inPair: ar.Int32s(g0.N()), pairPos: ar.Int32s(g0.N())}
+	}
+	putPS := func(ps *pairScratch) {
+		ar.PutInt32s(ps.inPair)
+		ar.PutInt32s(ps.pairPos)
+	}
+	serialPS := newPS()
+	defer putPS(serialPS)
+	var scorers []*pairScratch
+	if ex.par().NumWorkers() > 1 {
+		scorers = make([]*pairScratch, opt.Delta)
+		for i := range scorers {
+			scorers[i] = newPS()
+		}
+		defer func() {
+			for _, ps := range scorers {
+				putPS(ps)
+			}
+		}()
+	}
+	cands := make([]int32, 0, opt.Delta)
+	deltas := make([]int64, opt.Delta)
+
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if ex.cancelled() {
+			break
+		}
 		passStart := totalWH
 		heap.Clear()
+		if pass > 0 {
+			loadWH()
+		}
 		for c := 0; c < nc; c++ {
-			heap.Push(c, cr.clusterWH(int32(c), opt.Objective))
+			heap.Push(c, whVals[c])
 		}
 		for heap.Len() > 0 {
+			if ex.cancelled() {
+				break
+			}
 			ci, _ := heap.Pop()
 			cwh := int32(ci)
 			seeds = seeds[:0]
@@ -499,7 +570,11 @@ func refineClusterLevel(g0, gl *graph.Graph, cl0 []int32, members [][]int32, top
 			if len(seeds) == 0 {
 				continue
 			}
-			tried := 0
+			// Collect up to Delta equal-cardinality candidates in BFS
+			// order — the exact prefix the serial algorithm would have
+			// tried — then score them (in parallel when workers are
+			// free) and apply the first improving swap in that order.
+			cands = cands[:0]
 			cr.triedGen++
 			st.bfs(seeds, func(node, lv int32) bool {
 				t := cr.taskAt[node]
@@ -514,28 +589,52 @@ func refineClusterLevel(g0, gl *graph.Graph, cl0 []int32, members [][]int32, top
 				if len(members[b]) != len(members[cwh]) {
 					return true // only equal-cardinality clusters swap 1:1
 				}
-				tried++
-				if d := cr.swapDelta(cwh, b, opt.Objective); d < 0 {
-					cr.applySwap(cwh, b)
-					totalWH += d
-					totalGain -= d
-					for _, u := range gl.Neighbors(int(cwh)) {
-						if heap.Contains(int(u)) {
-							heap.Update(int(u), cr.clusterWH(u, opt.Objective))
-						}
-					}
-					for _, u := range gl.Neighbors(int(b)) {
-						if heap.Contains(int(u)) {
-							heap.Update(int(u), cr.clusterWH(u, opt.Objective))
-						}
-					}
-					if heap.Contains(int(b)) {
-						heap.Update(int(b), cr.clusterWH(b, opt.Objective))
-					}
-					return false
-				}
-				return tried < opt.Delta
+				cands = append(cands, b)
+				return len(cands) < opt.Delta
 			})
+			chosen := -1
+			var chosenDelta int64
+			// Fan scoring out only when one evaluation is chunky
+			// enough to amortize the hand-off: swapDelta walks every
+			// member's adjacency, so small clusters (the fine
+			// levels) score faster serially.
+			if scorers != nil && len(cands) > 1 && len(members[cwh]) >= 16 {
+				par.ForEachIdx(len(cands), func(i int) {
+					deltas[i] = cr.swapDelta(scorers[i], cwh, cands[i], opt.Objective)
+				})
+				for i := range cands {
+					if deltas[i] < 0 {
+						chosen, chosenDelta = i, deltas[i]
+						break
+					}
+				}
+			} else {
+				for i, b := range cands {
+					if d := cr.swapDelta(serialPS, cwh, b, opt.Objective); d < 0 {
+						chosen, chosenDelta = i, d
+						break
+					}
+				}
+			}
+			if chosen >= 0 {
+				b := cands[chosen]
+				cr.applySwap(cwh, b)
+				totalWH += chosenDelta
+				totalGain -= chosenDelta
+				for _, u := range gl.Neighbors(int(cwh)) {
+					if heap.Contains(int(u)) {
+						heap.Update(int(u), cr.clusterWH(u, opt.Objective))
+					}
+				}
+				for _, u := range gl.Neighbors(int(b)) {
+					if heap.Contains(int(u)) {
+						heap.Update(int(u), cr.clusterWH(u, opt.Objective))
+					}
+				}
+				if heap.Contains(int(b)) {
+					heap.Update(int(b), cr.clusterWH(b, opt.Objective))
+				}
+			}
 		}
 		passGain := passStart - totalWH
 		if passStart == 0 || float64(passGain) < opt.MinPassGain*float64(passStart) {
@@ -552,6 +651,8 @@ func refineClusterLevel(g0, gl *graph.Graph, cl0 []int32, members [][]int32, top
 // on the finest level. It returns the task→node mapping.
 func MapUML(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt MultilevelOptions) []int32 {
 	opt = opt.withDefaults()
+	ex := opt.Exec
+	opt.Refine.Exec = ex
 	n := g.N()
 	if len(allocNodes) < n {
 		panic("core: fewer allocated nodes than tasks")
@@ -561,13 +662,16 @@ func MapUML(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt Multile
 	nodeOf := make([]int32, n)
 	if L == 0 {
 		// Graph already at/below the coarsest size: plain UG + WH.
-		copy(nodeOf, GreedyBest(g, topo, allocNodes, opt.Refine.Objective))
+		copy(nodeOf, GreedyBestEx(g, topo, allocNodes, opt.Refine.Objective, ex))
 		RefineWH(g, topo, allocNodes, nodeOf, opt.Refine)
 		return nodeOf
 	}
 	cl0, members := clusterSets(levels, L)
-	placeCoarsest(levels[L].g, members, topo, allocNodes, nodeOf)
+	placeCoarsest(levels[L].g, members, topo, allocNodes, nodeOf, ex)
 	for l := L; l >= 1; l-- {
+		if ex.cancelled() {
+			break
+		}
 		cl0, members = clusterSets(levels, l)
 		refineClusterLevel(g, levels[l].g, cl0, members, topo, allocNodes, nodeOf, opt.Refine)
 	}

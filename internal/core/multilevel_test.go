@@ -120,7 +120,7 @@ func TestPlaceCoarsestValidAssignment(t *testing.T) {
 	for i := range nodeOf {
 		nodeOf[i] = -1
 	}
-	placeCoarsest(levels[L].g, members, topo, a.Nodes, nodeOf)
+	placeCoarsest(levels[L].g, members, topo, a.Nodes, nodeOf, nil)
 	checkValidMapping(t, g, a, nodeOf)
 }
 
@@ -154,7 +154,7 @@ func TestPlaceCoarsestRegionsContiguousOnRing(t *testing.T) {
 	L := len(levels) - 1
 	_, members := clusterSets(levels, L)
 	nodeOf := make([]int32, 8)
-	placeCoarsest(levels[L].g, members, topo, nodes, nodeOf)
+	placeCoarsest(levels[L].g, members, topo, nodes, nodeOf, nil)
 	// Every vertex placed on a distinct ring node.
 	used := map[int32]bool{}
 	for _, m := range nodeOf {
@@ -222,6 +222,8 @@ func TestSwapDeltaMatchesRecompute(t *testing.T) {
 		taskAt:  make([]int32, topo.Nodes()),
 		cl0:     cl0,
 		members: members,
+	}
+	ps := &pairScratch{
 		inPair:  make([]int32, g.N()),
 		pairPos: make([]int32, g.N()),
 	}
@@ -239,7 +241,7 @@ func TestSwapDeltaMatchesRecompute(t *testing.T) {
 				continue
 			}
 			before := wh(g, topo, nodeOf)
-			d := cr.swapDelta(int32(x), int32(y), WeightedHops)
+			d := cr.swapDelta(ps, int32(x), int32(y), WeightedHops)
 			cr.applySwap(int32(x), int32(y))
 			after := wh(g, topo, nodeOf)
 			if after-before != d {

@@ -94,7 +94,8 @@ func RefineWHFine(fine *graph.Graph, topo torus.Topology, group []int32, nodeOf 
 		tasksOnNode[to] = append(tasksOnNode[to], t)
 	}
 
-	st := newMapState(fine, topo, nodeOf) // only for its BFS scratch
+	st := newMapState(fine, topo, nodeOf, opt.Exec) // only for its BFS scratch
+	defer st.release()
 	var totalWH int64
 	for t := 0; t < n; t++ {
 		totalWH += taskWH(int32(t))

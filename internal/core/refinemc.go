@@ -56,24 +56,40 @@ type congState struct {
 	edgeSeen []int32 // per-edge generation stamp
 	edgeGen  int32
 	revEdge  []int32 // directed edge id -> id of the reverse edge
+
+	// Pre-bound route-link visitors. forEachRouteLink runs per edge in
+	// the innermost loops of every swap evaluation; handing it a fresh
+	// closure there allocates once per edge and dominated the solve's
+	// garbage. These two are built once per congState and parameterized
+	// through curW / curEdge.
+	deltaFn func(l int32, mult int64) // addDelta(l, curW*mult)
+	addFn   func(l int32, mult int64) // linkEdges[l].Add(curEdge)
+	delFn   func(l int32, mult int64) // linkEdges[l].Delete(curEdge)
+	curW    int64
+	curEdge int
 }
 
 func newCongState(g *graph.Graph, topo torus.Topology, st *mapState, kind CongestionKind, multipath torus.MultipathTopology) *congState {
+	ar := st.ex.arenaOf()
 	cs := &congState{
 		g:         g,
 		topo:      topo,
 		st:        st,
 		kind:      kind,
 		multipath: multipath,
-		scale:     make([]int64, topo.Links()),
-		load:      make([]int64, topo.Links()),
-		congHeap:  ds.NewIndexedMaxHeap(topo.Links()),
+		scale:     ar.Int64s(topo.Links()),
+		load:      ar.Int64s(topo.Links()),
+		congHeap:  ar.MaxHeap(topo.Links()),
 		linkEdges: make([]ds.IntSet, topo.Links()),
-		edgeOwner: make([]int32, g.M()),
-		deltaL:    make([]int64, topo.Links()),
-		linkSeen:  make([]int32, topo.Links()),
-		edgeSeen:  make([]int32, g.M()),
+		edgeOwner: ar.Int32s(g.M()),
+		deltaL:    ar.Int64s(topo.Links()),
+		linkSeen:  ar.Int32s(topo.Links()),
+		edgeSeen:  ar.Int32s(g.M()),
+		revEdge:   ar.Int32s(g.M()),
 	}
+	cs.deltaFn = func(l int32, mult int64) { cs.addDelta(l, cs.curW*mult) }
+	cs.addFn = func(l int32, _ int64) { cs.linkEdges[l].Add(cs.curEdge) }
+	cs.delFn = func(l int32, _ int64) { cs.linkEdges[l].Delete(cs.curEdge) }
 	// Fixed-point congestion scale: proportional to 1/bw, normalized
 	// so the fastest link gets 1024. Message congestion ignores
 	// bandwidth (unit links).
@@ -98,7 +114,6 @@ func newCongState(g *graph.Graph, topo torus.Topology, st *mapState, kind Conges
 	// Reverse-edge ids: the symmetric graph stores (u,v) and (v,u);
 	// adjacency lists are sorted, so the reverse is found by binary
 	// search.
-	cs.revEdge = make([]int32, g.M())
 	for u := 0; u < g.N(); u++ {
 		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
 			v := g.Adj[i]
@@ -141,6 +156,30 @@ func newCongState(g *graph.Graph, topo torus.Topology, st *mapState, kind Conges
 		}
 	}
 	return cs
+}
+
+// release returns the state's arena-backed buffers.
+func (cs *congState) release() {
+	ar := cs.st.ex.arenaOf()
+	ar.PutInt64s(cs.scale)
+	ar.PutInt64s(cs.load)
+	ar.PutMaxHeap(cs.congHeap)
+	ar.PutInt32s(cs.edgeOwner)
+	ar.PutInt64s(cs.deltaL)
+	ar.PutInt32s(cs.linkSeen)
+	ar.PutInt32s(cs.edgeSeen)
+	ar.PutInt32s(cs.revEdge)
+	cs.scale, cs.load, cs.congHeap, cs.edgeOwner = nil, nil, nil, nil
+	cs.deltaL, cs.linkSeen, cs.edgeSeen, cs.revEdge = nil, nil, nil, nil
+}
+
+// addDelta accumulates a per-link load delta, tracking touched links.
+func (cs *congState) addDelta(l int32, d int64) {
+	if cs.linkSeen[l] != cs.linkGen {
+		cs.linkSeen[l] = cs.linkGen
+		cs.touched = append(cs.touched, l)
+	}
+	cs.deltaL[l] += d
 }
 
 // edgeLoad is the routed load of directed edge i: its weight, read as
@@ -205,14 +244,9 @@ func (cs *congState) collectSwapDeltas(a, b int32) {
 			return cs.st.nodeOf[t]
 		}
 	}
-	addDelta := func(l int32, d int64) {
-		if cs.linkSeen[l] != cs.linkGen {
-			cs.linkSeen[l] = cs.linkGen
-			cs.touched = append(cs.touched, l)
-		}
-		cs.deltaL[l] += d
-	}
-	// handleEdge reroutes directed edge i = (src, dst).
+	// handleEdge reroutes directed edge i = (src, dst) through the
+	// pre-bound deltaFn visitor (closure allocation here would be one
+	// per edge per evaluated swap).
 	handleEdge := func(i int32, src, dst int32) {
 		if cs.edgeSeen[i] == cs.edgeGen {
 			return
@@ -221,18 +255,16 @@ func (cs *congState) collectSwapDeltas(a, b int32) {
 		w := cs.edgeLoad(int(i))
 		oldA, oldB := cs.st.nodeOf[src], cs.st.nodeOf[dst]
 		if oldA != oldB {
-			cs.forEachRouteLink(int(oldA), int(oldB), func(l int32, mult int64) {
-				addDelta(l, -w*mult)
-			})
+			cs.curW = -w
+			cs.forEachRouteLink(int(oldA), int(oldB), cs.deltaFn)
 		}
 		nA, nB := newNode(src), newNode(dst)
 		if nA != nB {
-			cs.forEachRouteLink(int(nA), int(nB), func(l int32, mult int64) {
-				addDelta(l, w*mult)
-			})
+			cs.curW = w
+			cs.forEachRouteLink(int(nA), int(nB), cs.deltaFn)
 		}
 	}
-	for _, t := range []int32{a, b} {
+	for _, t := range [2]int32{a, b} {
 		for i := cs.g.Xadj[t]; i < cs.g.Xadj[t+1]; i++ {
 			u := cs.g.Adj[i]
 			handleEdge(int32(i), t, u)
@@ -297,20 +329,17 @@ func (cs *congState) updateEdgeSets(a, b, ma, mb int32) {
 			return
 		}
 		cs.edgeSeen[i] = cs.edgeGen
+		cs.curEdge = int(i)
 		oldA, oldB := cs.st.nodeOf[src], cs.st.nodeOf[dst]
 		if oldA != oldB {
-			cs.forEachRouteLink(int(oldA), int(oldB), func(l int32, _ int64) {
-				cs.linkEdges[l].Delete(int(i))
-			})
+			cs.forEachRouteLink(int(oldA), int(oldB), cs.delFn)
 		}
 		nA, nB := newNode(src), newNode(dst)
 		if nA != nB {
-			cs.forEachRouteLink(int(nA), int(nB), func(l int32, _ int64) {
-				cs.linkEdges[l].Add(int(i))
-			})
+			cs.forEachRouteLink(int(nA), int(nB), cs.addFn)
 		}
 	}
-	for _, t := range []int32{a, b} {
+	for _, t := range [2]int32{a, b} {
 		for i := cs.g.Xadj[t]; i < cs.g.Xadj[t+1]; i++ {
 			u := cs.g.Adj[i]
 			handle(int32(i), t, u)
@@ -343,18 +372,24 @@ func RefineCongestionAdaptive(g *graph.Graph, topo torus.MultipathTopology, allo
 
 func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.MultipathTopology, allocNodes []int32, nodeOf []int32, kind CongestionKind, opt RefineOptions) int {
 	opt = opt.withDefaults()
-	st := newMapState(g, topo, allocNodes)
+	ex := opt.Exec
+	st := newMapState(g, topo, allocNodes, ex)
+	defer st.release()
 	for t := 0; t < g.N(); t++ {
 		st.place(int32(t), nodeOf[t])
 	}
 	defer copy(nodeOf, st.nodeOf)
 	cs := newCongState(g, topo, st, kind, multipath)
+	defer cs.release()
 
 	swaps := 0
 	maxIters := 4 * topo.Links()
 	seeds := make([]int32, 0, 16)
 	var tasksBuf []int32
 	for iter := 0; iter < maxIters; iter++ {
+		if ex.cancelled() {
+			break
+		}
 		emc, curMax := cs.congHeap.Peek()
 		if curMax == 0 {
 			break // nothing routed at all

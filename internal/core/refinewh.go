@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/torus"
 )
@@ -18,6 +17,9 @@ type RefineOptions struct {
 	Objective Objective
 	// MaxPasses is a safety bound on refinement passes (default 32).
 	MaxPasses int
+	// Exec supplies the solve's scratch arena, worker pool and
+	// cancellation; nil runs serial with fresh allocations.
+	Exec *Exec
 }
 
 func (o RefineOptions) withDefaults() RefineOptions {
@@ -40,11 +42,14 @@ func (o RefineOptions) withDefaults() RefineOptions {
 func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []int32, opt RefineOptions) int64 {
 	opt = opt.withDefaults()
 	n := g.N()
-	st := newMapState(g, topo, allocNodes)
+	ex := opt.Exec
+	st := newMapState(g, topo, allocNodes, ex)
+	defer st.release()
 	for t := 0; t < n; t++ {
 		st.place(int32(t), nodeOf[t])
 	}
-	// st.nodeOf aliases its own slice; copy back at the end.
+	// st.nodeOf aliases its own slice; copy back at the end (before
+	// release, which runs last-in).
 	defer copy(nodeOf, st.nodeOf)
 
 	cost := func(i int) int64 {
@@ -87,22 +92,46 @@ func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []
 		return 2 * d // symmetric graph stores each edge twice
 	}
 
+	ar := ex.arenaOf()
+	// Per-task WH values, recomputed in parallel at each pass start:
+	// taskWH(t) reads only the shared placement, so scoring fans out
+	// over the worker pool and the serial heap load below keeps the
+	// iteration order identical at every worker count.
+	whVals := ar.Int64s(n)
+	whHeap := ar.MaxHeap(n)
+	defer func() {
+		ar.PutInt64s(whVals)
+		ar.PutMaxHeap(whHeap)
+	}()
+	loadWH := func() {
+		ex.par().ForEachIdx(n, func(t int) { whVals[t] = taskWH(int32(t)) })
+	}
+	loadWH()
 	var totalWH int64
 	for t := 0; t < n; t++ {
-		totalWH += taskWH(int32(t))
+		totalWH += whVals[t]
 	}
 	var totalGain int64
-	whHeap := ds.NewIndexedMaxHeap(n)
 	seeds := make([]int32, 0, 16)
+	cands := make([]int32, 0, opt.Delta)
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if ex.cancelled() {
+			break
+		}
 		passStartWH := totalWH
 		// Load the heap with each task's incurred WH.
 		whHeap.Clear()
+		if pass > 0 {
+			loadWH()
+		}
 		for t := 0; t < n; t++ {
-			whHeap.Push(t, taskWH(int32(t)))
+			whHeap.Push(t, whVals[t])
 		}
 		for whHeap.Len() > 0 {
+			if ex.cancelled() {
+				break
+			}
 			twhInt, _ := whHeap.Pop()
 			twh := int32(twhInt)
 			// BFS from the nodes of twh's neighbours.
@@ -113,7 +142,13 @@ func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []
 			if len(seeds) == 0 {
 				continue
 			}
-			tried := 0
+			// Collect up to Delta swap partners in BFS order — the
+			// exact prefix the serial loop would have tried — then
+			// apply the first improving swap in that order. Scoring
+			// stays serial here: a supertask deltaSwap is O(deg),
+			// far below the cost of a fan-out; the stage's
+			// parallelism lives in the per-pass loadWH above.
+			cands = cands[:0]
 			st.bfs(seeds, func(node, lv int32) bool {
 				if !st.allocated[node] || node == st.nodeOf[twh] {
 					return true
@@ -122,32 +157,40 @@ func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []
 				if t < 0 {
 					return true // empty allocated nodes can't swap here
 				}
-				tried++
-				if d := deltaSwap(twh, t); d < 0 {
-					// Perform the swap.
-					ma, mb := st.nodeOf[twh], st.nodeOf[t]
-					st.place(twh, mb)
-					st.place(t, ma)
-					totalWH += d
-					totalGain -= d
-					// Update whHeap for the neighbours of both tasks.
-					for _, u := range g.Neighbors(int(twh)) {
-						if whHeap.Contains(int(u)) {
-							whHeap.Update(int(u), taskWH(u))
-						}
-					}
-					for _, u := range g.Neighbors(int(t)) {
-						if whHeap.Contains(int(u)) {
-							whHeap.Update(int(u), taskWH(u))
-						}
-					}
-					if whHeap.Contains(int(t)) {
-						whHeap.Update(int(t), taskWH(t))
-					}
-					return false // break: next heap vertex
-				}
-				return tried < opt.Delta
+				cands = append(cands, t)
+				return len(cands) < opt.Delta
 			})
+			chosen := -1
+			var chosenDelta int64
+			for i, t := range cands {
+				if d := deltaSwap(twh, t); d < 0 {
+					chosen, chosenDelta = i, d
+					break
+				}
+			}
+			if chosen >= 0 {
+				// Perform the swap.
+				t := cands[chosen]
+				ma, mb := st.nodeOf[twh], st.nodeOf[t]
+				st.place(twh, mb)
+				st.place(t, ma)
+				totalWH += chosenDelta
+				totalGain -= chosenDelta
+				// Update whHeap for the neighbours of both tasks.
+				for _, u := range g.Neighbors(int(twh)) {
+					if whHeap.Contains(int(u)) {
+						whHeap.Update(int(u), taskWH(u))
+					}
+				}
+				for _, u := range g.Neighbors(int(t)) {
+					if whHeap.Contains(int(u)) {
+						whHeap.Update(int(u), taskWH(u))
+					}
+				}
+				if whHeap.Contains(int(t)) {
+					whHeap.Update(int(t), taskWH(t))
+				}
+			}
 		}
 		passGain := passStartWH - totalWH
 		if passStartWH == 0 || float64(passGain) < opt.MinPassGain*float64(passStartWH) {

@@ -8,24 +8,44 @@ import (
 // The four UMPA mapping variants of the evaluation (§IV): UG is the
 // greedy mapping alone, UWH adds WH refinement, UMC and UMMC add
 // congestion refinement on top of the greedy mapping.
+//
+// Each variant has an Ex form taking the solve's execution context
+// (worker pool + scratch arena + cancellation); the plain forms are
+// the serial facades the examples and tests use. Results are
+// byte-identical between the two and across worker counts.
 
 // MapUG produces the UG mapping: greedy with the better of NBFS∈{0,1}.
 func MapUG(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32 {
-	return GreedyBest(g, topo, allocNodes, WeightedHops)
+	return MapUGEx(g, topo, allocNodes, nil)
+}
+
+// MapUGEx is MapUG under an execution context.
+func MapUGEx(g *graph.Graph, topo torus.Topology, allocNodes []int32, ex *Exec) []int32 {
+	return GreedyBestEx(g, topo, allocNodes, WeightedHops, ex)
 }
 
 // MapUWH produces the UWH mapping: UG followed by Algorithm 2.
 func MapUWH(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32 {
-	nodeOf := MapUG(g, topo, allocNodes)
-	RefineWH(g, topo, allocNodes, nodeOf, RefineOptions{})
+	return MapUWHEx(g, topo, allocNodes, nil)
+}
+
+// MapUWHEx is MapUWH under an execution context.
+func MapUWHEx(g *graph.Graph, topo torus.Topology, allocNodes []int32, ex *Exec) []int32 {
+	nodeOf := MapUGEx(g, topo, allocNodes, ex)
+	RefineWH(g, topo, allocNodes, nodeOf, RefineOptions{Exec: ex})
 	return nodeOf
 }
 
 // MapUMC produces the UMC mapping: UG followed by volume-congestion
 // refinement (Algorithm 3).
 func MapUMC(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32 {
-	nodeOf := MapUG(g, topo, allocNodes)
-	RefineCongestion(g, topo, allocNodes, nodeOf, VolumeCongestion, RefineOptions{})
+	return MapUMCEx(g, topo, allocNodes, nil)
+}
+
+// MapUMCEx is MapUMC under an execution context.
+func MapUMCEx(g *graph.Graph, topo torus.Topology, allocNodes []int32, ex *Exec) []int32 {
+	nodeOf := MapUGEx(g, topo, allocNodes, ex)
+	RefineCongestion(g, topo, allocNodes, nodeOf, VolumeCongestion, RefineOptions{Exec: ex})
 	return nodeOf
 }
 
@@ -34,8 +54,13 @@ func MapUMC(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32 {
 // weighted view of the same supertasks (taskgraph.CoarseMessageGraph).
 // Pass g itself as msgG when every edge represents a single message.
 func MapUMMC(g, msgG *graph.Graph, topo torus.Topology, allocNodes []int32) []int32 {
-	nodeOf := MapUG(g, topo, allocNodes)
-	RefineCongestion(msgG, topo, allocNodes, nodeOf, MessageCongestion, RefineOptions{})
+	return MapUMMCEx(g, msgG, topo, allocNodes, nil)
+}
+
+// MapUMMCEx is MapUMMC under an execution context.
+func MapUMMCEx(g, msgG *graph.Graph, topo torus.Topology, allocNodes []int32, ex *Exec) []int32 {
+	nodeOf := MapUGEx(g, topo, allocNodes, ex)
+	RefineCongestion(msgG, topo, allocNodes, nodeOf, MessageCongestion, RefineOptions{Exec: ex})
 	return nodeOf
 }
 
@@ -45,8 +70,13 @@ func MapUMMC(g, msgG *graph.Graph, topo torus.Topology, allocNodes []int32) []in
 // minimal dimension-ordered routes (Blue Gene style adaptive
 // routing).
 func MapUMCA(g *graph.Graph, topo torus.MultipathTopology, allocNodes []int32) []int32 {
-	nodeOf := MapUG(g, topo, allocNodes)
-	RefineCongestionAdaptive(g, topo, allocNodes, nodeOf, VolumeCongestion, RefineOptions{})
+	return MapUMCAEx(g, topo, allocNodes, nil)
+}
+
+// MapUMCAEx is MapUMCA under an execution context.
+func MapUMCAEx(g *graph.Graph, topo torus.MultipathTopology, allocNodes []int32, ex *Exec) []int32 {
+	nodeOf := MapUGEx(g, topo, allocNodes, ex)
+	RefineCongestionAdaptive(g, topo, allocNodes, nodeOf, VolumeCongestion, RefineOptions{Exec: ex})
 	return nodeOf
 }
 
@@ -55,7 +85,12 @@ func MapUMCA(g *graph.Graph, topo torus.MultipathTopology, allocNodes []int32) [
 // are very close to those of UG and UWH", §IV): greedy plus WH
 // refinement, both under the TotalHops objective.
 func MapUTH(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32 {
-	nodeOf := GreedyBest(g, topo, allocNodes, TotalHops)
-	RefineWH(g, topo, allocNodes, nodeOf, RefineOptions{Objective: TotalHops})
+	return MapUTHEx(g, topo, allocNodes, nil)
+}
+
+// MapUTHEx is MapUTH under an execution context.
+func MapUTHEx(g *graph.Graph, topo torus.Topology, allocNodes []int32, ex *Exec) []int32 {
+	nodeOf := GreedyBestEx(g, topo, allocNodes, TotalHops, ex)
+	RefineWH(g, topo, allocNodes, nodeOf, RefineOptions{Objective: TotalHops, Exec: ex})
 	return nodeOf
 }

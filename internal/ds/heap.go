@@ -131,6 +131,24 @@ func (h *IndexedMaxHeap) Clear() {
 	h.heap = h.heap[:0]
 }
 
+// Reset empties the heap and re-dimensions it for items 0..n-1,
+// reusing the existing storage when it is large enough. It leaves the
+// heap exactly as NewIndexedMaxHeap(n) would.
+func (h *IndexedMaxHeap) Reset(n int) {
+	if cap(h.pos) < n {
+		h.keys = make([]int64, n)
+		h.heap = make([]int32, 0, n)
+		h.pos = make([]int32, n)
+	} else {
+		h.keys = h.keys[:n]
+		h.heap = h.heap[:0]
+		h.pos = h.pos[:n]
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
 func (h *IndexedMaxHeap) less(i, j int) bool {
 	ki, kj := h.keys[h.heap[i]], h.keys[h.heap[j]]
 	if ki != kj {

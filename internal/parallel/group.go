@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Group is the bounded fork-join pool behind one solve's intra-request
+// parallelism. It owns workers-1 spare worker tokens (the calling
+// goroutine is the first worker): Fork runs its second closure on a
+// fresh goroutine when a token is free and inline otherwise, so a
+// recursive pipeline — bisection subtrees, independent greedy runs,
+// candidate scoring — never runs more than `workers` goroutines at
+// once, regardless of recursion depth or fan-out.
+//
+// Determinism contract: a Group never decides *what* runs, only
+// *where*. As long as forked closures touch disjoint state (or
+// pre-assigned result slots) and draw randomness from their own
+// seeded sources, the result is byte-identical for every worker count
+// including 1. All the solve-pipeline callers are built that way.
+//
+// The Group also carries the request context for cooperative,
+// in-solve cancellation: hot loops poll Cancelled at safe points
+// (between refinement swaps, between bisection subtrees) and bail
+// early, leaving state consistent; the pipeline then surfaces
+// ctx.Err. A nil *Group is valid everywhere and means "serial, never
+// cancelled".
+type Group struct {
+	tokens chan struct{}
+	done   <-chan struct{}
+	ctx    context.Context
+}
+
+// NewGroup returns a Group running at most workers goroutines
+// (workers <= 0 means Workers()) under ctx. ctx may be nil for "no
+// cancellation".
+func NewGroup(ctx context.Context, workers int) *Group {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	g := &Group{ctx: ctx}
+	if ctx != nil {
+		g.done = ctx.Done()
+	}
+	if workers > 1 {
+		g.tokens = make(chan struct{}, workers-1)
+		for i := 0; i < workers-1; i++ {
+			g.tokens <- struct{}{}
+		}
+	}
+	return g
+}
+
+// NumWorkers reports the group's worker bound (1 for nil or serial
+// groups).
+func (g *Group) NumWorkers() int {
+	if g == nil || g.tokens == nil {
+		return 1
+	}
+	return cap(g.tokens) + 1
+}
+
+// Cancelled reports whether the group's context is done. It is cheap
+// enough for refinement inner loops.
+func (g *Group) Cancelled() bool {
+	if g == nil || g.done == nil {
+		return false
+	}
+	select {
+	case <-g.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the context error once the group is cancelled, nil
+// otherwise.
+func (g *Group) Err() error {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	return g.ctx.Err()
+}
+
+// Fork runs a and b to completion, b on a pooled goroutine when a
+// worker token is free and inline otherwise. Both closures observe
+// every write made before Fork, and every write they make is visible
+// after Fork returns. They must touch disjoint state.
+func (g *Group) Fork(a, b func()) {
+	if g == nil || g.tokens == nil {
+		a()
+		b()
+		return
+	}
+	select {
+	case <-g.tokens:
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { g.tokens <- struct{}{} }()
+			b()
+		}()
+		a()
+		wg.Wait()
+	default:
+		a()
+		b()
+	}
+}
+
+// ForEachIdx invokes fn(i) for every i in [0,n), spreading the calls
+// over the group's free workers and waiting for all of them. Callers
+// keep determinism by writing results into slot i only.
+func (g *Group) ForEachIdx(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if g == nil || g.tokens == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// A shared atomic cursor hands out indices: helpers and the
+	// caller all drain it, nobody races a hand-off, and — unlike a
+	// buffered index channel — nothing n-sized is allocated in loops
+	// the arena work elsewhere exists to de-allocate.
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case <-g.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { g.tokens <- struct{}{} }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work()
+	wg.Wait()
+}

@@ -8,7 +8,9 @@ import (
 )
 
 // bisect computes a 2-way partition of g with target weights tw using
-// the full multilevel pipeline. It returns the side (0/1) per vertex.
+// the full multilevel pipeline. It returns the side (0/1) per vertex;
+// the slice is arena-backed when opt.Arena is set and the caller owns
+// it (recursiveBisect returns it to the pool after splitting).
 func bisect(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) []int8 {
 	if g.N() == 0 {
 		return nil
@@ -17,14 +19,20 @@ func bisect(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) []int8 {
 	coarsest := levels[len(levels)-1].g
 	side := initialBisection(coarsest, tw, opt, rng)
 	refineBisection(coarsest, side, tw, opt, rng)
-	// Project back up the hierarchy, refining at each level.
+	// Project back up the hierarchy, refining at each level. On
+	// cancellation the projection still completes — the caller needs a
+	// full-length side vector — but the refinement work is skipped.
 	for li := len(levels) - 2; li >= 0; li-- {
 		fine := levels[li]
-		fineSide := make([]int8, fine.g.N())
+		fineSide := opt.Arena.Int8s(fine.g.N())
 		for v := 0; v < fine.g.N(); v++ {
 			fineSide[v] = side[fine.cmap[v]]
 		}
+		opt.Arena.PutInt8s(side)
 		side = fineSide
+		if opt.Par.Cancelled() {
+			continue
+		}
 		refineBisection(fine.g, side, tw, opt, rng)
 	}
 	return side
@@ -52,7 +60,10 @@ func initialBisection(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) 
 			better = true
 		}
 		if better {
+			opt.Arena.PutInt8s(best)
 			best, bestCut, bestFeasible = side, cut, feasible
+		} else {
+			opt.Arena.PutInt8s(side)
 		}
 	}
 	return best
@@ -63,7 +74,7 @@ func initialBisection(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) 
 // is part 1. Disconnected graphs restart from fresh random seeds.
 func growBisection(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) []int8 {
 	n := g.N()
-	side := make([]int8, n)
+	side := opt.Arena.Int8s(n)
 	for i := range side {
 		side[i] = 1
 	}
@@ -74,8 +85,12 @@ func growBisection(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) []i
 		return side
 	}
 	var w0 int64
-	heap := ds.NewIndexedMaxHeap(n)
-	inPart := make([]bool, n)
+	heap := opt.Arena.MaxHeap(n)
+	inPart := opt.Arena.Bools(n)
+	defer func() {
+		opt.Arena.PutMaxHeap(heap)
+		opt.Arena.PutBools(inPart)
+	}()
 	addVertex := func(v int32) {
 		side[v] = 0
 		inPart[v] = true
@@ -122,6 +137,9 @@ func growBisection(g *graph.Graph, tw [2]int64, opt Options, rng *rand.Rand) []i
 // refineBisection runs FM passes until no pass improves the cut.
 func refineBisection(g *graph.Graph, side []int8, tw [2]int64, opt Options, rng *rand.Rand) {
 	for pass := 0; pass < opt.FMPasses; pass++ {
+		if opt.Par.Cancelled() {
+			return
+		}
 		if !fmPass(g, side, tw, opt) {
 			return
 		}
@@ -135,10 +153,17 @@ func fmPass(g *graph.Graph, side []int8, tw [2]int64, opt Options) bool {
 	maxW := [2]int64{maxAllowed(tw[0], opt.Imbalance), maxAllowed(tw[1], opt.Imbalance)}
 	w := sideWeights(g, side)
 
+	ar := opt.Arena
 	// gain[v] = cut reduction if v moves to the other side.
-	gains := make([]int64, n)
-	heaps := [2]*ds.IndexedMaxHeap{ds.NewIndexedMaxHeap(n), ds.NewIndexedMaxHeap(n)}
-	locked := make([]bool, n)
+	gains := ar.Int64s(n)
+	heaps := [2]*ds.IndexedMaxHeap{ar.MaxHeap(n), ar.MaxHeap(n)}
+	locked := ar.Bools(n)
+	defer func() {
+		ar.PutInt64s(gains)
+		ar.PutMaxHeap(heaps[0])
+		ar.PutMaxHeap(heaps[1])
+		ar.PutBools(locked)
+	}()
 	for v := 0; v < n; v++ {
 		var ext, internal int64
 		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/arena"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // Matching selects the coarsening matching policy.
@@ -48,6 +50,16 @@ type Options struct {
 	// MaxNegMoves is the FM hill-climbing window: a pass aborts after
 	// this many consecutive non-improving moves (default 100).
 	MaxNegMoves int
+	// Par, when non-nil, runs independent bisection subtrees on the
+	// group's bounded worker pool and polls it for cooperative
+	// cancellation. Every subtree draws from its own seeded RNG, so
+	// the split tree — and therefore the part vector — is identical
+	// for every worker count, including nil (serial).
+	Par *parallel.Group
+	// Arena, when non-nil, supplies the recycled side/gain/heap
+	// scratch of the bisection pipeline, so steady-state partitioning
+	// allocates almost nothing. A nil Arena allocates fresh buffers.
+	Arena *arena.Arena
 }
 
 func (o Options) withDefaults() Options {
@@ -104,19 +116,66 @@ func PartitionTargets(g *graph.Graph, targets []int64, opt Options) ([]int32, er
 		return nil, fmt.Errorf("partition: zero total target")
 	}
 	part := make([]int32, g.N())
-	rng := rand.New(rand.NewSource(opt.Seed))
 	vertices := make([]int32, g.N())
 	for i := range vertices {
 		vertices[i] = int32(i)
 	}
-	recursiveBisect(g, vertices, targets, 0, opt, rng, part)
+	recursiveBisect(g, vertices, targets, 0, opt, 1, part)
+	if err := opt.Par.Err(); err != nil {
+		return nil, err
+	}
 	return part, nil
+}
+
+// subtreeSeed derives the RNG seed of one bisection subtree from the
+// partitioner seed and the subtree's position in the split tree
+// (root 1, children 2p and 2p+1), finalized splitmix64-style. Each
+// subtree owns an independent deterministic stream, so the split tree
+// does not depend on the order — or the goroutine — its siblings run
+// on.
+func subtreeSeed(seed int64, path uint64) int64 {
+	return int64(mix64(uint64(seed)*0x9E3779B97F4A7C15 + path))
+}
+
+// mix64 is the splitmix64 finalizer shared by subtreeSeed and the
+// splitmix source — one copy, so the two can never drift apart and
+// silently change the split tree.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// splitmix is a tiny rand.Source64. The stock math/rand source carries
+// a 607-word feedback array — ~5 KB seeded per bisection subtree —
+// while the partitioner only needs cheap, well-mixed draws for seed
+// picks and matching orders.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return mix64(s.state)
+}
+
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// subtreeRNG builds the RNG of one bisection subtree.
+func subtreeRNG(seed int64, path uint64) *rand.Rand {
+	return rand.New(&splitmix{state: uint64(subtreeSeed(seed, path))})
 }
 
 // recursiveBisect assigns part ids [offset, offset+len(targets)) to
 // the given vertices of g (a subgraph of the original, with original
-// ids tracked by the caller through vertices).
-func recursiveBisect(g *graph.Graph, vertices []int32, targets []int64, offset int, opt Options, rng *rand.Rand, out []int32) {
+// ids tracked by the caller through vertices). The two halves recurse
+// as independent subtasks: they write disjoint ranges of out and
+// disjoint subslices of vertices, so Options.Par may run them on any
+// worker. path identifies the subtree for its seeded RNG.
+func recursiveBisect(g *graph.Graph, vertices []int32, targets []int64, offset int, opt Options, path uint64, out []int32) {
+	if opt.Par.Cancelled() {
+		return // caller surfaces the context error
+	}
 	if len(targets) == 1 {
 		for _, v := range vertices {
 			out[v] = int32(offset)
@@ -140,27 +199,46 @@ func recursiveBisect(g *graph.Graph, vertices []int32, targets []int64, offset i
 		levels++
 	}
 	bisOpt.Imbalance = opt.Imbalance / float64(levels)
+	rng := subtreeRNG(opt.Seed, path)
 	side := bisect(g, [2]int64{twL, twR}, bisOpt, rng)
-	var leftIDs, rightIDs []int32
+
+	ar := opt.Arena
+	nl := 0
+	for _, s := range side {
+		if s == 0 {
+			nl++
+		}
+	}
+	leftLocal := ar.Int32s(nl)
+	rightLocal := ar.Int32s(len(side) - nl)
+	// Reorder vertices in place into [left block | right block]: the
+	// subtrees then own disjoint subslices instead of freshly
+	// allocated id lists.
+	buf := ar.Int32s(len(vertices))
+	li, ri := 0, nl
 	for i, v := range vertices {
 		if side[i] == 0 {
-			leftIDs = append(leftIDs, v)
+			leftLocal[li] = int32(i)
+			buf[li] = v
+			li++
 		} else {
-			rightIDs = append(rightIDs, v)
+			rightLocal[ri-nl] = int32(i)
+			buf[ri] = v
+			ri++
 		}
 	}
-	var leftLocal, rightLocal []int32
-	for i := range side {
-		if side[i] == 0 {
-			leftLocal = append(leftLocal, int32(i))
-		} else {
-			rightLocal = append(rightLocal, int32(i))
-		}
-	}
+	copy(vertices, buf)
+	ar.PutInt32s(buf)
+	ar.PutInt8s(side)
+	leftIDs, rightIDs := vertices[:nl], vertices[nl:]
 	gl, _ := g.InducedSubgraph(leftLocal)
 	gr, _ := g.InducedSubgraph(rightLocal)
-	recursiveBisect(gl, leftIDs, targets[:kl], offset, opt, rng, out)
-	recursiveBisect(gr, rightIDs, targets[kl:], offset+kl, opt, rng, out)
+	ar.PutInt32s(leftLocal)
+	ar.PutInt32s(rightLocal)
+	opt.Par.Fork(
+		func() { recursiveBisect(gl, leftIDs, targets[:kl], offset, opt, 2*path, out) },
+		func() { recursiveBisect(gr, rightIDs, targets[kl:], offset+kl, opt, 2*path+1, out) },
+	)
 }
 
 // EdgeCut returns the weight of edges crossing parts (each undirected

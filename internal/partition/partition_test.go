@@ -1,9 +1,12 @@
 package partition
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/arena"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func checkPartition(t *testing.T, g *graph.Graph, part []int32, k int, targets []int64, eps float64) {
@@ -298,5 +301,58 @@ func TestImbalanceHelper(t *testing.T) {
 	}
 	if got := Imbalance([]int64{5}, []int64{0}); got < 1e17 {
 		t.Fatalf("Imbalance zero target = %f, want huge", got)
+	}
+}
+
+// TestPartitionWorkerDeterminism is the subtree-RNG contract: the
+// part vector must be byte-identical for every worker count — the
+// split tree depends only on (graph, targets, seed), never on how
+// subtrees were scheduled. Run under -race this is also the proof
+// that parallel subtrees touch disjoint state.
+func TestPartitionWorkerDeterminism(t *testing.T) {
+	g := graph.RandomConnected(2000, 6000, 50, 7)
+	targets := make([]int64, 32)
+	for i := range targets {
+		targets[i] = int64(g.N() / len(targets))
+	}
+	targets[0] += int64(g.N() % len(targets))
+	for _, m := range []Matching{HeavyEdge, RandomEdge} {
+		base, err := PartitionTargets(g, targets, Options{Seed: 42, Matching: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			opt := Options{
+				Seed:     42,
+				Matching: m,
+				Par:      parallel.NewGroup(context.Background(), workers),
+				Arena:    arena.New(),
+			}
+			got, err := PartitionTargets(g, targets, opt)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for v := range base {
+				if got[v] != base[v] {
+					t.Fatalf("matching=%d workers=%d: part[%d] = %d, want %d",
+						m, workers, v, got[v], base[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionCancellation: a dead context must surface as an error
+// from PartitionTargets, not as a silently wrong part vector.
+func TestPartitionCancellation(t *testing.T) {
+	g := graph.RandomConnected(500, 1500, 10, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PartitionTargets(g, []int64{250, 250}, Options{
+		Seed: 1,
+		Par:  parallel.NewGroup(ctx, 2),
+	})
+	if err == nil {
+		t.Fatal("cancelled partition returned no error")
 	}
 }

@@ -18,9 +18,9 @@ import (
 // an order split when the topology has no coordinate grid, and UMCA
 // requires multipath route enumeration, declared via Caps.
 func init() {
-	simple := func(name string, fn func(g *graph.Graph, topo torus.Topology, allocNodes []int32) []int32) MapperSpec {
+	simple := func(name string, fn func(g *graph.Graph, topo torus.Topology, allocNodes []int32, ex *core.Exec) []int32) MapperSpec {
 		return NewFunc(name, Caps{}, func(in Input) ([]int32, error) {
-			return fn(in.Coarse, in.Topo, in.Alloc.Nodes), nil
+			return fn(in.Coarse, in.Topo, in.Alloc.Nodes, in.Exec), nil
 		})
 	}
 
@@ -33,25 +33,25 @@ func init() {
 	MustRegister(NewFunc("SMAP", Caps{}, func(in Input) ([]int32, error) {
 		return baseline.SMAP(in.Coarse, in.Topo, in.Alloc, in.Seed), nil
 	}))
-	MustRegister(simple("UG", core.MapUG))
-	MustRegister(simple("UWH", core.MapUWH))
-	MustRegister(simple("UMC", core.MapUMC))
+	MustRegister(simple("UG", core.MapUGEx))
+	MustRegister(simple("UWH", core.MapUWHEx))
+	MustRegister(simple("UMC", core.MapUMCEx))
 	MustRegister(NewFunc("UMMC", Caps{NeedsMessageGraph: true}, func(in Input) ([]int32, error) {
-		return core.MapUMMC(in.Coarse, in.Msg, in.Topo, in.Alloc.Nodes), nil
+		return core.MapUMMCEx(in.Coarse, in.Msg, in.Topo, in.Alloc.Nodes, in.Exec), nil
 	}))
-	MustRegister(simple("UTH", core.MapUTH))
+	MustRegister(simple("UTH", core.MapUTHEx))
 	MustRegister(NewFunc("TMAPG", Caps{}, func(in Input) ([]int32, error) {
 		return baseline.TMAPGreedy(in.Coarse, in.Topo, in.Alloc, in.Seed), nil
 	}))
 	MustRegister(NewFunc("UML", Caps{}, func(in Input) ([]int32, error) {
-		return core.MapUML(in.Coarse, in.Topo, in.Alloc.Nodes, core.MultilevelOptions{}), nil
+		return core.MapUML(in.Coarse, in.Topo, in.Alloc.Nodes, core.MultilevelOptions{Exec: in.Exec}), nil
 	}))
 	MustRegister(NewFunc("UMCA", Caps{NeedsMultipath: true}, func(in Input) ([]int32, error) {
 		mp, ok := torus.MultipathOf(in.Topo)
 		if !ok {
 			return nil, fmt.Errorf("registry: mapper UMCA needs a multipath topology")
 		}
-		return core.MapUMCA(in.Coarse, withMultipath{in.Topo, mp}, in.Alloc.Nodes), nil
+		return core.MapUMCAEx(in.Coarse, withMultipath{in.Topo, mp}, in.Alloc.Nodes, in.Exec), nil
 	}))
 }
 

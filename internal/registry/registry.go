@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/torus"
 )
@@ -34,6 +35,12 @@ type Input struct {
 	Alloc *alloc.Allocation
 	// Seed drives any randomized choice the mapper makes.
 	Seed int64
+	// Exec is the solve's execution context: the bounded worker pool
+	// for intra-request parallelism, the scratch arena, and the
+	// cooperative cancellation signal. May be nil (serial, fresh
+	// allocations, never cancelled); mappers that ignore it stay
+	// correct, just serial.
+	Exec *core.Exec
 }
 
 // Caps are a mapper's declared capability requirements; the engine

@@ -16,10 +16,16 @@ import (
 // Config tunes a Server. The zero value serves with sensible
 // defaults.
 type Config struct {
-	// Workers bounds the number of concurrently solving requests
-	// (further requests queue, cancellable while waiting). Default:
-	// GOMAXPROCS.
+	// Workers bounds the total solver goroutines across all in-flight
+	// requests (further requests queue, cancellable while waiting).
+	// A request with wire-level parallelism p occupies p worker
+	// slots, so a parallel batch can never oversubscribe the host.
+	// Default: GOMAXPROCS.
 	Workers int
+	// MaxParallelism caps the per-request `parallelism` field: a
+	// request may ask for more, but the server clamps it here (and to
+	// Workers). Default: GOMAXPROCS.
+	MaxParallelism int
 	// CacheSize bounds the engine LRU cache. Default 32 engines.
 	CacheSize int
 	// DefaultTimeout is the per-request solve deadline when the
@@ -37,6 +43,7 @@ type Server struct {
 	cfg   Config
 	cache *topomap.EngineCache
 	sem   chan struct{}
+	acq   chan struct{} // serializes slot acquisition (multi-slot safe)
 	st    *stats
 	mux   *http.ServeMux
 	start time.Time
@@ -46,6 +53,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxParallelism <= 0 {
+		cfg.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxParallelism > cfg.Workers {
+		cfg.MaxParallelism = cfg.Workers
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 32
@@ -60,6 +73,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		cache: topomap.NewEngineCache(cfg.CacheSize),
 		sem:   make(chan struct{}, cfg.Workers),
+		acq:   make(chan struct{}, 1),
 		st:    newStats(),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
@@ -109,20 +123,54 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return s.cfg.DefaultTimeout
 }
 
-// acquire takes a worker slot, waiting cancellably; the returned
-// release must be called when the solve finishes.
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+// parallelism clamps a request's wire-level parallelism to the
+// server's cap: at least 1, at most min(MaxParallelism, Workers).
+func (s *Server) parallelism(p int) int {
+	if p < 1 {
+		p = 1
+	}
+	if p > s.cfg.MaxParallelism {
+		p = s.cfg.MaxParallelism
+	}
+	return p
+}
+
+// acquire takes n worker slots, waiting cancellably; the returned
+// release must be called when the solve finishes. Acquisition is
+// serialized through s.acq so two multi-slot requests can never
+// deadlock each other holding partial slot sets; a cancelled waiter
+// returns everything it held.
+func (s *Server) acquire(ctx context.Context, n int) (release func(), err error) {
 	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
+	case s.acq <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	defer func() { <-s.acq }()
+	for got := 0; got < n; got++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			for i := 0; i < got; i++ {
+				<-s.sem
+			}
+			return nil, ctx.Err()
+		}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-s.sem
+		}
+	}, nil
 }
 
-// buildRequest turns wire options into an engine Request.
-func buildRequest(mapper string, seed int64, refine, fineRefine bool, tg *topomap.TaskGraph) topomap.Request {
+// buildRequest turns wire options into an engine Request. workers is
+// the server-clamped per-request parallelism; it is always set
+// explicitly so the engine's host-wide default cannot bypass the
+// service's slot accounting.
+func buildRequest(mapper string, seed int64, refine, fineRefine bool, workers int, tg *topomap.TaskGraph) topomap.Request {
 	req := topomap.Request{Mapper: topomap.Mapper(strings.ToUpper(mapper)), Tasks: tg, Seed: seed}
+	req.Options = append(req.Options, topomap.WithParallelism(workers))
 	if refine {
 		req.Options = append(req.Options, topomap.WithRefinement())
 	}
@@ -162,12 +210,13 @@ type solveOutcome struct {
 	err error
 }
 
-// solve runs fn on a worker slot under deadline. The handler returns
-// as soon as the deadline expires even if a non-preemptible mapper
-// stage is still running; the abandoned solve keeps its slot until it
-// finishes (bounding CPU oversubscription) and is then discarded.
-func (s *Server) solve(ctx context.Context, fn func(context.Context) ([]*topomap.MapResult, error)) ([]*topomap.MapResult, error) {
-	release, err := s.acquire(ctx)
+// solve runs fn on `slots` worker slots under deadline. The handler
+// returns as soon as the deadline expires even if a solve stage is
+// still winding down to its next cancellation point; the abandoned
+// solve keeps its slots until it finishes (bounding CPU
+// oversubscription) and is then discarded.
+func (s *Server) solve(ctx context.Context, slots int, fn func(context.Context) ([]*topomap.MapResult, error)) ([]*topomap.MapResult, error) {
+	release, err := s.acquire(ctx, slots)
 	if err != nil {
 		return nil, err
 	}
@@ -224,12 +273,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
-	run := buildRequest(req.Mapper, req.Seed, req.Refine, req.FineRefine, tg)
+	workers := s.parallelism(req.Parallelism)
+	run := buildRequest(req.Mapper, req.Seed, req.Refine, req.FineRefine, workers, tg)
 	// The engine build — the expensive cold path — runs inside the
-	// worker slot and under the deadline, like the solve itself.
+	// worker slots and under the deadline, like the solve itself.
 	var eng *topomap.Engine
 	var hit bool
-	results, err := s.solve(ctx, func(ctx context.Context) ([]*topomap.MapResult, error) {
+	results, err := s.solve(ctx, workers, func(ctx context.Context) ([]*topomap.MapResult, error) {
 		var err error
 		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
 		if err != nil {
@@ -285,20 +335,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	workers := s.parallelism(req.Parallelism)
 	runs := make([]topomap.Request, len(req.Requests))
 	for i, item := range req.Requests {
-		runs[i] = buildRequest(item.Mapper, item.Seed, item.Refine, item.FineRefine, tg)
+		runs[i] = buildRequest(item.Mapper, item.Seed, item.Refine, item.FineRefine, workers, tg)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
-	// A batch occupies one worker slot and runs its items serially
-	// within it — letting the engine pool fan out here would multiply
-	// the Config.Workers CPU bound by GOMAXPROCS. Clients that want
-	// cross-item parallelism issue parallel /v1/map requests, which
-	// share the cached engine anyway.
+	// A batch runs its items serially, each item solving with the
+	// batch's `parallelism` workers, and occupies that many slots for
+	// its whole duration — the pool's accounting stays exact, so a
+	// stream of parallel batches cannot oversubscribe the host.
+	// Clients that want cross-item parallelism issue parallel /v1/map
+	// requests, which share the cached engine anyway.
 	var eng *topomap.Engine
 	var hit bool
-	results, err := s.solve(ctx, func(ctx context.Context) ([]*topomap.MapResult, error) {
+	results, err := s.solve(ctx, workers, func(ctx context.Context) ([]*topomap.MapResult, error) {
 		var err error
 		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
 		if err != nil {
@@ -354,7 +406,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 
 // Status snapshots the live counters.
 func (s *Server) Status() Status {
-	hits, misses := s.cache.Stats()
+	hits, misses, evictions := s.cache.Stats()
 	p50, p90, p99, samples := s.st.quantiles()
 	return Status{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
@@ -364,8 +416,10 @@ func (s *Server) Status() Status {
 		Timeouts:       s.st.timeouts.Load(),
 		InFlight:       s.st.inflight.Load(),
 		Workers:        s.cfg.Workers,
+		MaxParallelism: s.cfg.MaxParallelism,
 		CacheHits:      hits,
 		CacheMisses:    misses,
+		CacheEvictions: evictions,
 		CacheEntries:   s.cache.Len(),
 		CacheCapacity:  s.cache.Cap(),
 		LatencyP50MS:   p50,

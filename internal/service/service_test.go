@@ -544,3 +544,179 @@ func TestOverTheWire(t *testing.T) {
 		t.Fatalf("statusz counters not live: %+v", st)
 	}
 }
+
+// TestParallelismDeterminism: the wire-level parallelism field may
+// change latency only — placements, metrics and the rankfile must be
+// byte-identical to the serial solve, including values far above the
+// server cap (which clamp instead of erroring).
+func TestParallelismDeterminism(t *testing.T) {
+	spec, _ := testTasks(64)
+	c := newClient(t, service.Config{Workers: 4})
+	// A fully occupied allocation (4 nodes x 16 procs = 64 tasks)
+	// keeps every placement rankfile-realizable.
+	req := service.MapRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 4, Seed: 1},
+		Tasks:      spec,
+		Mapper:     "UWH",
+		Refine:     true,
+		Seed:       7,
+		Rankfile:   true,
+	}
+	base, err := c.Map(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 1000} {
+		req.Parallelism = p
+		got, err := c.Map(context.Background(), req)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(got.NodeOf, base.NodeOf) ||
+			!reflect.DeepEqual(got.GroupOf, base.GroupOf) ||
+			got.Rankfile != base.Rankfile {
+			t.Fatalf("parallelism=%d: response diverged from serial", p)
+		}
+	}
+
+	// The full pipeline (partitioned grouping + congestion refinement)
+	// must agree too; UMC placements are compared without a rankfile,
+	// which SMP block filling cannot realize for them here.
+	umc := service.MapRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+		Tasks:      spec,
+		Mapper:     "UMC",
+		Seed:       7,
+	}
+	ubase, err := c.Map(context.Background(), umc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	umc.Parallelism = 4
+	ugot, err := c.Map(context.Background(), umc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ugot.NodeOf, ubase.NodeOf) || !reflect.DeepEqual(ugot.GroupOf, ubase.GroupOf) {
+		t.Fatal("UMC diverged under parallelism")
+	}
+}
+
+// TestParallelismSlotAccounting: concurrent parallel requests on a
+// small pool must all complete (the clamped multi-slot acquisition
+// cannot deadlock) and batches with parallelism keep matching their
+// serial counterparts.
+func TestParallelismSlotAccounting(t *testing.T) {
+	spec, _ := testTasks(64)
+	c := newClient(t, service.Config{Workers: 3, MaxParallelism: 2})
+	base, err := c.Map(context.Background(), service.MapRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+		Tasks:      spec,
+		Mapper:     "UWH",
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	diverged := make([]bool, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Map(context.Background(), service.MapRequest{
+				Topology:    torusSpec(),
+				Allocation:  service.AllocationSpec{SparseNodes: 8, Seed: 1},
+				Tasks:       spec,
+				Mapper:      "UWH",
+				Seed:        3,
+				Parallelism: 2,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			diverged[i] = !reflect.DeepEqual(resp.NodeOf, base.NodeOf)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if diverged[i] {
+			t.Fatalf("request %d diverged under concurrent parallel solves", i)
+		}
+	}
+
+	// Batch with parallelism matches the batch without.
+	items := []service.BatchItem{{Mapper: "UWH", Seed: 3}, {Mapper: "UMC", Seed: 3}}
+	serial, err := c.MapBatch(context.Background(), service.BatchRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+		Tasks:      spec,
+		Requests:   items,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.MapBatch(context.Background(), service.BatchRequest{
+		Topology:    torusSpec(),
+		Allocation:  service.AllocationSpec{SparseNodes: 8, Seed: 1},
+		Tasks:       spec,
+		Requests:    items,
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Results {
+		if !reflect.DeepEqual(par.Results[i].NodeOf, serial.Results[i].NodeOf) {
+			t.Fatalf("batch item %d diverged with parallelism", i)
+		}
+	}
+
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxParallelism != 2 {
+		t.Fatalf("max_parallelism = %d, want 2", st.MaxParallelism)
+	}
+}
+
+// TestStatuszCacheEvictions: churning more engines than the cache
+// holds must surface as a non-zero eviction counter — the operator's
+// signal that the cached-path win is not being realized.
+func TestStatuszCacheEvictions(t *testing.T) {
+	spec, _ := testTasks(32)
+	c := newClient(t, service.Config{CacheSize: 2})
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		if _, err := c.Map(context.Background(), service.MapRequest{
+			Topology:   torusSpec(),
+			Allocation: service.AllocationSpec{SparseNodes: 4, Seed: seed},
+			Tasks:      spec,
+			Mapper:     "DEF",
+			Seed:       1,
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheMisses != 5 {
+		t.Fatalf("cache_misses = %d, want 5", st.CacheMisses)
+	}
+	if st.CacheEvictions != 3 {
+		t.Fatalf("cache_evictions = %d, want 3 (5 builds through 2 slots)", st.CacheEvictions)
+	}
+	if st.CacheEntries != 2 {
+		t.Fatalf("cache_entries = %d, want 2", st.CacheEntries)
+	}
+}

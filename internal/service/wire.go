@@ -62,17 +62,22 @@ func (t TaskGraphSpec) Build() (*topomap.TaskGraph, error) {
 // MapRequest is one mapping job: network, allocation, task graph,
 // mapper, and per-request options. TimeoutMS (0 = the server default)
 // bounds the solve; Rankfile additionally asks for the Cray-style
-// MPICH_RANK_ORDER text realizing the placement.
+// MPICH_RANK_ORDER text realizing the placement. Parallelism asks for
+// that many solver workers for this request (0/1 = serial); the
+// server clamps it to its max_parallelism cap and charges that many
+// worker slots, and the placement is byte-identical at any value —
+// only the latency changes.
 type MapRequest struct {
-	Topology   TopologySpec   `json:"topology"`
-	Allocation AllocationSpec `json:"allocation"`
-	Tasks      TaskGraphSpec  `json:"tasks"`
-	Mapper     string         `json:"mapper"`
-	Seed       int64          `json:"seed"`
-	Refine     bool           `json:"refine,omitempty"`
-	FineRefine bool           `json:"fine_refine,omitempty"`
-	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
-	Rankfile   bool           `json:"rankfile,omitempty"`
+	Topology    TopologySpec   `json:"topology"`
+	Allocation  AllocationSpec `json:"allocation"`
+	Tasks       TaskGraphSpec  `json:"tasks"`
+	Mapper      string         `json:"mapper"`
+	Seed        int64          `json:"seed"`
+	Refine      bool           `json:"refine,omitempty"`
+	FineRefine  bool           `json:"fine_refine,omitempty"`
+	TimeoutMS   int64          `json:"timeout_ms,omitempty"`
+	Rankfile    bool           `json:"rankfile,omitempty"`
+	Parallelism int            `json:"parallelism,omitempty"`
 }
 
 // Metrics is the wire form of the mapping metrics (§II-C).
@@ -125,13 +130,17 @@ type BatchItem struct {
 }
 
 // BatchRequest fans several mapper runs out against one shared
-// engine — the sweep shape of the paper's figures.
+// engine — the sweep shape of the paper's figures. Parallelism gives
+// every item that many solver workers (items still run one after
+// another); the batch occupies that many worker slots for its whole
+// duration.
 type BatchRequest struct {
-	Topology   TopologySpec   `json:"topology"`
-	Allocation AllocationSpec `json:"allocation"`
-	Tasks      TaskGraphSpec  `json:"tasks"`
-	Requests   []BatchItem    `json:"requests"`
-	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
+	Topology    TopologySpec   `json:"topology"`
+	Allocation  AllocationSpec `json:"allocation"`
+	Tasks       TaskGraphSpec  `json:"tasks"`
+	Requests    []BatchItem    `json:"requests"`
+	TimeoutMS   int64          `json:"timeout_ms,omitempty"`
+	Parallelism int            `json:"parallelism,omitempty"`
 }
 
 // BatchResponse carries the per-item results in request order.
@@ -157,8 +166,10 @@ type Status struct {
 	Timeouts       int64   `json:"timeouts"`
 	InFlight       int64   `json:"in_flight"`
 	Workers        int     `json:"workers"`
+	MaxParallelism int     `json:"max_parallelism"`
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
 	CacheEntries   int     `json:"cache_entries"`
 	CacheCapacity  int     `json:"cache_capacity"`
 	LatencyP50MS   float64 `json:"latency_p50_ms"`

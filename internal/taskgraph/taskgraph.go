@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/graph"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
@@ -134,6 +136,17 @@ func GroupBlocks(nTasks int, capacities []int64) ([]int32, error) {
 // §IV-B, so blocks are a strong start) — and the one with the lower
 // inter-group volume wins.
 func GroupTasks(t *TaskGraph, capacities []int64, seed int64) ([]int32, error) {
+	return GroupTasksExec(t, capacities, seed, nil, nil)
+}
+
+// GroupTasksExec is GroupTasks under an execution context: the two
+// grouping candidates run as forked subtasks on the solve's worker
+// pool (the multilevel partition additionally parallelizes its own
+// bisection subtrees on the same pool), and the partitioner borrows
+// its scratch from ar. A nil group/arena runs serial with fresh
+// allocations; the winner — and therefore the grouping — is identical
+// either way.
+func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.Group, ar *arena.Arena) ([]int32, error) {
 	sym := t.Symmetric()
 	// Unit vertex weights: a task occupies one processor.
 	unit := make([]int64, sym.N())
@@ -153,25 +166,47 @@ func GroupTasks(t *TaskGraph, capacities []int64, seed int64) ([]int32, error) {
 		return vol
 	}
 
-	partitioned, err := partition.PartitionTargets(sym, capacities, partition.Options{
-		Seed:      seed,
-		Imbalance: 0.02,
-	})
-	if err != nil {
-		return nil, err
+	// The two candidates are independent: they read the shared
+	// symmetric graph and build their own part vectors.
+	var (
+		partitioned, blocks []int32
+		perr, berr          error
+	)
+	par.Fork(
+		func() {
+			partitioned, perr = partition.PartitionTargets(sym, capacities, partition.Options{
+				Seed:      seed,
+				Imbalance: 0.02,
+				Par:       par,
+				Arena:     ar,
+			})
+			if perr == nil {
+				perr = partition.FixToCapacities(sym, partitioned, capacities)
+			}
+		},
+		func() {
+			blocks, berr = GroupBlocks(sym.N(), capacities)
+			if berr != nil {
+				return
+			}
+			for pass := 0; pass < 4; pass++ {
+				if par.Cancelled() {
+					return
+				}
+				if partition.RefineKWayPass(sym, blocks, capacities) == 0 {
+					break
+				}
+			}
+		},
+	)
+	if perr != nil {
+		return nil, perr
 	}
-	if err := partition.FixToCapacities(sym, partitioned, capacities); err != nil {
-		return nil, err
+	if berr != nil {
+		return nil, berr
 	}
-
-	blocks, err := GroupBlocks(sym.N(), capacities)
-	if err != nil {
+	if err := par.Err(); err != nil {
 		return nil, err
-	}
-	for pass := 0; pass < 4; pass++ {
-		if partition.RefineKWayPass(sym, blocks, capacities) == 0 {
-			break
-		}
 	}
 
 	if interVolume(blocks) < interVolume(partitioned) {

@@ -32,19 +32,20 @@ bench:
 # tracked alongside ns/op — and record them as JSON diffable PR over
 # PR (BENCH_PR<n>.json). The large parallel-solve instances run at a
 # lower iteration count: one solve is ~10^8 ns.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
-	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch)' -benchmem -benchtime=50x -count=1 . > $$tmp; \
+	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch|Portfolio)' -benchmem -benchtime=50x -count=1 . > $$tmp; \
 	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $$tmp
 	@echo "wrote $(BENCH_OUT)"
 
-# Race gate: the engine's concurrent paths (batch pool and
-# intra-request parallelism), the parallel/partition/arena plumbing
-# those are built on, plus the whole mapd service package (concurrent
-# clients, cache churn, cancellation, multi-slot accounting).
+# Race gate: the engine's concurrent paths (batch pool, intra-request
+# parallelism, portfolio racing and the Solve shim equivalence), the
+# parallel/metrics/partition/arena plumbing those are built on, plus
+# the whole mapd service package (concurrent clients, portfolio
+# endpoint, cache churn, cancellation, multi-slot accounting).
 race:
-	$(GO) test -race -run='Engine|Batch' .
-	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/...
+	$(GO) test -race -run='Engine|Batch|Portfolio|Solve' .
+	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/...
 	$(GO) test -race ./internal/service/...

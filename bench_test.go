@@ -10,6 +10,7 @@ package topomap_test
 // and regenerate the full-size outputs with cmd/experiments.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -558,6 +559,45 @@ func BenchmarkEngineRunBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEnginePortfolio measures the objective-driven racing path:
+// a six-candidate portfolio selecting by MC against the winning
+// mapper run alone — the price of discovering the winner at request
+// time instead of hard-coding it (on a multi-core host the portfolio
+// amortizes across the pool; single-CPU hosts pay roughly the sum of
+// the candidates).
+func BenchmarkEnginePortfolio(b *testing.B) {
+	tg, topo, a, _, _ := engineBenchFixture(b)
+	eng, err := topomap.NewEngine(topo, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := make([]topomap.Solve, 0, 6)
+	for _, mp := range []topomap.Mapper{topomap.DEF, topomap.TMAP, topomap.SMAP, topomap.UG, topomap.UWH, topomap.UMC} {
+		cands = append(cands, topomap.Solve{Mapper: mp, Seed: 1})
+	}
+	req := topomap.PortfolioRequest{Tasks: tg, Candidates: cands,
+		Objective: topomap.MinimizeMetric("mc"), Workers: 8}
+	warm, err := eng.RunPortfolio(context.Background(), req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	winner := cands[warm.Winner]
+	b.Run("portfolio6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunPortfolio(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bestSingle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunSolve(context.Background(), tg, winner); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationGrouping compares SMP-style block grouping against

@@ -9,9 +9,10 @@
 //
 //	POST /v1/map        one mapping job
 //	POST /v1/map/batch  several mappers against one shared engine
+//	POST /v1/portfolio  candidate solves raced toward an objective
 //	GET  /v1/mappers    registered mappers with capability flags
 //	GET  /healthz       liveness
-//	GET  /statusz       live counters (requests, cache, latency)
+//	GET  /statusz       live counters (requests, portfolio, cache, latency)
 //
 // Example:
 //
@@ -21,6 +22,13 @@
 //	  "allocation": {"sparse_nodes": 4, "seed": 1},
 //	  "tasks":      {"n": 4, "edges": [[0,1,10],[1,2,10],[2,3,10],[3,0,10]]},
 //	  "mapper":     "UWH"
+//	}'
+//	curl -s localhost:8080/v1/portfolio -d '{
+//	  "topology":   {"kind": "torus", "dims": [8,8,8]},
+//	  "allocation": {"sparse_nodes": 4, "seed": 1},
+//	  "tasks":      {"n": 4, "edges": [[0,1,10],[1,2,10],[2,3,10],[3,0,10]]},
+//	  "candidates": [{"mapper": "UWH"}, {"mapper": "UMC"}, {"mapper": "UG"}],
+//	  "objective":  {"minimize": "mc"}
 //	}'
 package main
 
@@ -44,14 +52,16 @@ func main() {
 	workers := flag.Int("workers", 0, "total solver worker slots; a request with parallelism p holds p slots (0 = GOMAXPROCS)")
 	maxPar := flag.Int("max-parallelism", 0, "cap on a single request's `parallelism` field (0 = GOMAXPROCS, clamped to -workers)")
 	cacheSize := flag.Int("cache", 32, "engine cache entries (topology+allocation pairs)")
+	maxCand := flag.Int("max-candidates", 0, "cap on a portfolio request's explicit candidate list (0 = 16)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		MaxParallelism: *maxPar,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
+		Workers:                *workers,
+		MaxParallelism:         *maxPar,
+		CacheSize:              *cacheSize,
+		MaxPortfolioCandidates: *maxCand,
+		DefaultTimeout:         *timeout,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -14,9 +14,12 @@
 //	mapper -graph app.tgraph -algo UMC -torus 16x12x16
 //	mapper -matrix cagelike -procs 256 -algo UWH -topology fattree -fattree-k 8
 //	mapper -matrix cagelike -procs 256 -algo UMC -topology dragonfly -dragonfly-h 3
+//	mapper -matrix cagelike -procs 256 -portfolio all -objective mc -torus 8x8x8
+//	mapper -graph app.tgraph -portfolio UWH,UMC,UMMC -objective mc:0.7,wh:0.3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	partName := fs.String("partitioner", "PATOH", "partitioner personality for -matrix")
 	procs := fs.Int("procs", 256, "number of MPI processes (with -matrix)")
 	algo := fs.String("algo", "UWH", "mapper: "+mapperList())
+	portfolio := fs.String("portfolio", "", "race a comma-separated mapper portfolio (or 'all' for every compatible mapper) instead of -algo, selecting by -objective")
+	objective := fs.String("objective", "", "portfolio objective: a metric name ("+strings.Join(topomap.ObjectiveMetricNames(), " ")+"; default wh) or weighted metric:weight terms, e.g. mc:0.7,wh:0.3")
 	topoKind := fs.String("topology", "torus", "network family: torus, fattree, dragonfly")
 	torusSpec := fs.String("torus", "8x8x8", "torus dimensions XxYxZ (with -topology torus)")
 	mesh := fs.Bool("mesh", false, "use a mesh (no wraparound) instead of a torus")
@@ -63,11 +68,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// Validate the mapper name before any expensive work, so a typo
-	// fails in microseconds, not after a partitioner run.
+	// Validate mapper and objective names before any expensive work,
+	// so a typo fails in microseconds, not after a partitioner run.
 	mapper := topomap.Mapper(strings.ToUpper(*algo))
-	if !knownMapper(mapper) {
+	if *portfolio == "" && !knownMapper(mapper) {
 		return fail(fmt.Errorf("unknown mapper %q (want one of: %s)", *algo, mapperList()))
+	}
+	obj, err := topomap.ParseObjective(*objective)
+	if err != nil {
+		return fail(err)
+	}
+	if *objective != "" && *portfolio == "" {
+		return fail(fmt.Errorf("-objective only drives -portfolio selection; add -portfolio (or drop -objective)"))
+	}
+	if obj.NeedsSim() {
+		return fail(fmt.Errorf("objective %s needs a simulation spec, which the CLI does not provide; use the library or mapd portfolio API", topomap.SimSecondsMetric))
+	}
+	var candidates []topomap.Mapper
+	if *portfolio != "" && !strings.EqualFold(*portfolio, "all") {
+		seen := map[topomap.Mapper]bool{}
+		for _, name := range strings.Split(*portfolio, ",") {
+			mp := topomap.Mapper(strings.ToUpper(strings.TrimSpace(name)))
+			if !knownMapper(mp) {
+				return fail(fmt.Errorf("unknown portfolio mapper %q (want one of: %s)", name, mapperList()))
+			}
+			// All CLI candidates share -seed, so a repeated mapper is a
+			// duplicate (mapper, seed) — reject before the pipeline runs.
+			if seen[mp] {
+				return fail(fmt.Errorf("duplicate portfolio mapper %s", mp))
+			}
+			seen[mp] = true
+			candidates = append(candidates, mp)
+		}
 	}
 
 	net, err := buildTopology(*topoKind, *torusSpec, *mesh, *ftK, *ftTaper, *dfH)
@@ -139,10 +171,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	res, err := eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed,
-		Options: []topomap.RequestOption{topomap.WithParallelism(*workers)}})
-	if err != nil {
-		return fail(err)
+	var res *topomap.MapResult
+	if *portfolio != "" {
+		var solves []topomap.Solve
+		for _, mp := range candidates {
+			solves = append(solves, topomap.Solve{Mapper: mp, Seed: *seed})
+		}
+		pres, err := eng.RunPortfolio(context.Background(), topomap.PortfolioRequest{
+			Tasks:      tg,
+			Candidates: solves, // nil = all compatible registered mappers
+			Seed:       *seed,
+			Objective:  obj,
+			Workers:    *workers,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		res = pres.Best
+		fmt.Fprintf(stdout, "portfolio: %d candidates, objective %s\n", len(pres.Leaderboard), obj)
+		for rank, entry := range pres.Leaderboard {
+			if entry.Skipped {
+				fmt.Fprintf(stdout, "  #%d %s seed %d: skipped (deadline)\n", rank+1, entry.Solve.Mapper, entry.Solve.Seed)
+				continue
+			}
+			fmt.Fprintf(stdout, "  #%d %s seed %d: score %.6g\n", rank+1, entry.Solve.Mapper, entry.Solve.Seed, entry.Score)
+		}
+		fmt.Fprintf(stdout, "winner: %s\n", res.Mapper)
+		mapper = res.Mapper
+	} else {
+		res, err = eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed,
+			Options: []topomap.RequestOption{topomap.WithParallelism(*workers)}})
+		if err != nil {
+			return fail(err)
+		}
 	}
 	if *rankFile != "" {
 		f, err := os.Create(*rankFile)

@@ -192,3 +192,69 @@ func TestRunWorkersFlag(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPortfolioFlag drives the -portfolio/-objective surface: a
+// portfolio run prints the leaderboard and the winner's metrics, bad
+// candidate and objective names fail fast, and the printed output is
+// identical at any -workers setting.
+func TestRunPortfolioFlag(t *testing.T) {
+	base := []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-torus", "6x6x6"}
+	var stdout, stderr strings.Builder
+	code := run(append([]string{"-portfolio", "DEF,UG,UWH,UMC,UMMC,SMAP", "-objective", "mc"}, base...), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("portfolio run exit %d (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"portfolio: 6 candidates, objective mc", "#1 ", "winner: ", "WH  ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("portfolio output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -portfolio all expands to every compatible registered mapper.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-portfolio", "all"}, base...), &stdout, &stderr); code != 0 {
+		t.Fatalf("-portfolio all exit %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "winner: ") {
+		t.Fatalf("-portfolio all printed no winner:\n%s", stdout.String())
+	}
+
+	// Fail-fast validation, before the matrix pipeline runs.
+	for _, tc := range []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-portfolio", "UWH,NOPE"}, "unknown portfolio mapper"},
+		{[]string{"-portfolio", "all", "-objective", "latency"}, "unknown objective metric"},
+		{[]string{"-portfolio", "all", "-objective", "mc:bad"}, "objective weight"},
+		{[]string{"-portfolio", "UWH,UWH"}, "duplicate"},
+		{[]string{"-portfolio", "all", "-objective", "sim_seconds"}, "simulation spec"},
+		{[]string{"-objective", "mc"}, "add -portfolio"},
+	} {
+		stdout.Reset()
+		stderr.Reset()
+		if code := run(append(tc.args, base...), &stdout, &stderr); code != 1 {
+			t.Fatalf("%v: exit %d, want 1", tc.args, code)
+		}
+		if !strings.Contains(stderr.String(), tc.wantErr) {
+			t.Fatalf("%v: stderr %q does not mention %q", tc.args, stderr.String(), tc.wantErr)
+		}
+	}
+
+	// Deterministic across -workers.
+	outputs := make([]string, 0, 2)
+	for _, w := range []string{"1", "4"} {
+		stdout.Reset()
+		stderr.Reset()
+		args := append([]string{"-workers", w, "-portfolio", "DEF,UG,UWH,UMC", "-objective", "wh"}, base...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("-workers %s: exit %d (stderr: %s)", w, code, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("portfolio output diverged between -workers settings:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}

@@ -22,8 +22,9 @@ import (
 // hierarchical minimal routes — whatever the topology's static
 // routing produces) and serves any number of mapping requests against
 // that cached state. An Engine is immutable after construction and
-// safe for concurrent use; Run may be called from many goroutines and
-// RunBatch fans a request slice out over a worker pool.
+// safe for concurrent use; Run may be called from many goroutines,
+// RunBatch fans a request slice out over a worker pool, and
+// RunPortfolio races a candidate set toward a declared Objective.
 //
 // Mappers are dispatched through the pluggable registry: the eleven
 // built-ins plus anything added with RegisterMapper.
@@ -86,77 +87,6 @@ func (e *Engine) Topology() Topology { return e.topo }
 // Allocation returns the node set the engine maps onto.
 func (e *Engine) Allocation() *Allocation { return e.alloc }
 
-// Request is one mapping job for an Engine: which mapper to run, the
-// task graph to place, the seed driving any randomized choice, and
-// optional per-request behaviour.
-type Request struct {
-	Mapper  Mapper
-	Tasks   *TaskGraph
-	Seed    int64
-	Options []RequestOption
-}
-
-// RequestOption tunes one Request.
-type RequestOption func(*requestConfig)
-
-type requestConfig struct {
-	refine     bool
-	fineRefine bool
-	simulate   bool
-	simBytes   float64
-	simParams  SimParams
-	workers    int // 0 = caller-dependent default (see WithParallelism)
-}
-
-// WithRefinement applies an extra WH swap-refinement pass
-// (Algorithm 2) to the mapper's output — useful to polish baselines
-// such as DEF or a custom registered mapper; the UWH family already
-// ends with it.
-func WithRefinement() RequestOption {
-	return func(c *requestConfig) { c.refine = true }
-}
-
-// WithFineRefine applies the §III-B fine-level refinement after
-// mapping: individual tasks swap groups when that lowers WH without
-// raising the inter-node volume. The gains are reported in
-// MapResult.FineWHGain / FineVolGain. The paper leaves this off by
-// default.
-func WithFineRefine() RequestOption {
-	return func(c *requestConfig) { c.fineRefine = true }
-}
-
-// WithParallelism bounds the worker goroutines of this request's
-// solve: the grouping partitioner forks its bisection subtrees, the
-// greedy mapper runs its two seeded attempts concurrently, and the
-// refinement stages fan candidate scoring out — all on one bounded
-// pool of n workers. The result is byte-identical for every n; only
-// the wall-clock changes. n <= 0 (and the default for Run/RunContext
-// when the option is absent) means parallel.Workers(), i.e. one
-// worker per available CPU. Requests inside RunBatch default to 1
-// worker instead, because the batch pool already fans out across
-// requests; pass WithParallelism explicitly to oversubscribe
-// deliberately.
-func WithParallelism(n int) RequestOption {
-	return func(c *requestConfig) {
-		if n <= 0 {
-			n = parallel.Workers()
-		}
-		c.workers = n
-	}
-}
-
-// WithSimParams additionally runs the communication-only simulator
-// (§IV-C) on the finished mapping and stores the simulated seconds in
-// MapResult.SimSeconds. bytesPerUnit scales task-graph volume units
-// to bytes.
-func WithSimParams(bytesPerUnit float64, p SimParams) RequestOption {
-	return func(c *requestConfig) {
-		c.simulate = true
-		c.simBytes = bytesPerUnit
-		c.simParams = p
-	}
-}
-
 // MapResult bundles the outcome of one mapping request.
 type MapResult struct {
 	// Mapper is the algorithm that produced the result.
@@ -170,11 +100,15 @@ type MapResult struct {
 	// Metrics holds the mapping metrics on the fine task graph.
 	Metrics MapMetrics
 	// FineWHGain and FineVolGain are the WH and volume improvements
-	// of the fine-level refinement (WithFineRefine only).
+	// of the fine-level refinement (Solve.FineRefine only).
 	FineWHGain, FineVolGain int64
-	// SimSeconds is the simulated communication time (WithSimParams
-	// only).
+	// SimSeconds is the simulated communication time; meaningful only
+	// when SimRan is set.
 	SimSeconds float64
+	// SimRan reports whether the communication-only simulator ran for
+	// this solve (Solve.Sim was set) — zero simulated seconds on a
+	// communication-free placement is a result, not an omission.
+	SimRan bool
 }
 
 // Placement returns the task→node composition for the simulator.
@@ -202,36 +136,41 @@ func (e *Engine) Run(req Request) (*MapResult, error) {
 // swap or bisection level, not a whole stage. It returns ctx.Err() as
 // soon as the deadline expires or the caller cancels.
 func (e *Engine) RunContext(ctx context.Context, req Request) (*MapResult, error) {
-	return e.runContext(ctx, req, 0)
+	return e.runSolve(ctx, req.Tasks, req.Solve(), 0)
 }
 
-// runContext implements RunContext. defaultWorkers is the parallelism
-// a request without WithParallelism gets: 0 means parallel.Workers()
-// (direct Run/RunContext calls use the whole host), while RunBatch
-// passes 1 (its pool already fans out across requests).
-func (e *Engine) runContext(ctx context.Context, req Request, defaultWorkers int) (*MapResult, error) {
-	tg := req.Tasks
+// RunSolve executes one declarative Solve spec against the task
+// graph — the same pipeline as RunContext, which is a thin shim
+// lowering Request+RequestOption onto a Solve. An unmarshalled wire
+// Solve and a hand-built Request describing the same job produce
+// byte-identical results.
+func (e *Engine) RunSolve(ctx context.Context, tasks *TaskGraph, s Solve) (*MapResult, error) {
+	return e.runSolve(ctx, tasks, s, 0)
+}
+
+// runSolve implements the solve pipeline. defaultWorkers is the
+// parallelism a Solve with Workers == 0 gets: 0 means
+// parallel.Workers() (direct Run/RunContext/RunSolve calls use the
+// whole host), while RunBatch and RunPortfolio pass 1 (their pools
+// already fan out across requests).
+func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWorkers int) (*MapResult, error) {
 	if tg == nil {
 		return nil, fmt.Errorf("topomap: request carries no task graph")
 	}
 	if tg.K > e.alloc.TotalProcs() {
 		return nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, e.alloc.TotalProcs())
 	}
-	spec, ok := registry.Lookup(string(req.Mapper))
+	spec, ok := registry.Lookup(string(s.Mapper))
 	if !ok {
-		return nil, fmt.Errorf("topomap: unknown mapper %q", req.Mapper)
+		return nil, fmt.Errorf("topomap: unknown mapper %q", s.Mapper)
 	}
 	caps := spec.Caps()
 	if caps.NeedsMultipath {
 		if _, ok := torus.MultipathOf(e.view); !ok {
-			return nil, fmt.Errorf("topomap: mapper %s needs a topology with minimal-route enumeration", req.Mapper)
+			return nil, fmt.Errorf("topomap: mapper %s needs a topology with minimal-route enumeration", s.Mapper)
 		}
 	}
-	var cfg requestConfig
-	for _, opt := range req.Options {
-		opt(&cfg)
-	}
-	workers := cfg.workers
+	workers := s.Workers
 	if workers == 0 {
 		workers = defaultWorkers
 	}
@@ -245,7 +184,7 @@ func (e *Engine) runContext(ctx context.Context, req Request, defaultWorkers int
 	if caps.BlockGrouping {
 		group, err = taskgraph.GroupBlocks(tg.K, e.caps)
 	} else {
-		group, err = taskgraph.GroupTasksExec(tg, e.caps, req.Seed, ex.Par, e.arena)
+		group, err = taskgraph.GroupTasksExec(tg, e.caps, s.Seed, ex.Par, e.arena)
 	}
 	if err != nil {
 		return nil, err
@@ -254,7 +193,7 @@ func (e *Engine) runContext(ctx context.Context, req Request, defaultWorkers int
 		return nil, err
 	}
 	coarse := taskgraph.CoarseGraph(tg, group, e.alloc.NumNodes())
-	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: req.Seed, Exec: ex}
+	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: s.Seed, Exec: ex}
 	if caps.NeedsMessageGraph {
 		in.Msg = taskgraph.CoarseMessageGraph(tg, group, e.alloc.NumNodes())
 	}
@@ -269,7 +208,7 @@ func (e *Engine) runContext(ctx context.Context, req Request, defaultWorkers int
 	// RefineWH swaps whole groups between nodes without weighing
 	// their sizes, so it must never be the last placement-mutating
 	// step on a heterogeneous allocation.
-	if cfg.refine {
+	if s.Refine {
 		core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{Exec: ex})
 	}
 	// Heterogeneous capacities (§III-A): the mappers optimize locality
@@ -287,14 +226,15 @@ func (e *Engine) runContext(ctx context.Context, req Request, defaultWorkers int
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := &MapResult{Mapper: req.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
-	if cfg.fineRefine {
+	res := &MapResult{Mapper: s.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
+	if s.FineRefine {
 		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.Symmetric(), e.view, group, nodeOf, core.RefineOptions{Exec: ex})
 	}
 	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
-	res.Metrics = metrics.Compute(tg.G, e.view, pl)
-	if cfg.simulate {
-		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, cfg.simBytes, cfg.simParams).Seconds
+	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)
+	if s.Sim != nil {
+		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, s.Sim.BytesPerUnit, s.Sim.Params).Seconds
+		res.SimRan = true
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -326,8 +266,8 @@ func (e *Engine) RunBatchContext(ctx context.Context, reqs []Request, workers in
 	err := parallel.ForEach(len(reqs), workers, func(i int) error {
 		// Each request defaults to one worker: the batch pool already
 		// fans out across requests, so per-request parallelism on top
-		// would oversubscribe the host. WithParallelism overrides.
-		res, err := e.runContext(ctx, reqs[i], 1)
+		// would oversubscribe the host. Solve.Workers overrides.
+		res, err := e.runSolve(ctx, reqs[i].Tasks, reqs[i].Solve(), 1)
 		if err != nil {
 			return fmt.Errorf("topomap: request %d (%s): %w", i, reqs[i].Mapper, err)
 		}

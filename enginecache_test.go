@@ -191,6 +191,105 @@ func TestEngineCacheDoesNotCacheFailures(t *testing.T) {
 	}
 }
 
+// TestEngineCacheShardSizing pins the sharding policy: small caches
+// stay single-sharded (exact global LRU, which the tests above rely
+// on), large ones split with per-shard capacities summing exactly to
+// the cap.
+func TestEngineCacheShardSizing(t *testing.T) {
+	for _, tc := range []struct {
+		max, shards int
+	}{
+		{1, 1}, {2, 1}, {15, 1}, {16, 1}, {31, 1}, {32, 2}, {64, 4}, {100, 6}, {200, 8},
+	} {
+		c := NewEngineCache(tc.max)
+		if c.Shards() != tc.shards {
+			t.Fatalf("max=%d: %d shards, want %d", tc.max, c.Shards(), tc.shards)
+		}
+		if c.Cap() != tc.max {
+			t.Fatalf("max=%d: cap %d", tc.max, c.Cap())
+		}
+	}
+}
+
+// TestEngineCacheShardedStats churns many keys through a multi-shard
+// cache: counters must stay exact (hits+misses = lookups, evictions =
+// misses - residents), capacity must hold globally, and resident keys
+// must keep hitting whichever shard they live on.
+func TestEngineCacheShardedStats(t *testing.T) {
+	topo := NewHopperTorus(4, 4, 4)
+	a, err := SparseAllocation(topo, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() (*Engine, error) { return NewEngine(topo, a) }
+	c := NewEngineCache(32)
+	if c.Shards() < 2 {
+		t.Fatalf("want a multi-shard cache, got %d shards", c.Shards())
+	}
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		if _, hit, err := c.GetKeyed(fmt.Sprintf("key-%d", i), build); err != nil || hit {
+			t.Fatalf("key-%d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if c.Len() > c.Cap() {
+		t.Fatalf("cache holds %d engines, cap %d", c.Len(), c.Cap())
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 0 || misses != keys {
+		t.Fatalf("stats = %d hits / %d misses, want 0/%d", hits, misses, keys)
+	}
+	if evictions != int64(keys-c.Len()) {
+		t.Fatalf("evictions = %d, want misses - residents = %d", evictions, keys-c.Len())
+	}
+	// Each shard's residents are its most recently inserted keys, so a
+	// reverse-order pass visits every resident before re-inserting any
+	// evicted key of its shard: it must hit exactly Len() times (a
+	// same-order pass would be the classic LRU sequential-scan worst
+	// case and hit zero).
+	lenBefore := c.Len()
+	resident := 0
+	for i := keys - 1; i >= 0; i-- {
+		if _, hit, err := c.GetKeyed(fmt.Sprintf("key-%d", i), build); err != nil {
+			t.Fatal(err)
+		} else if hit {
+			resident++
+		}
+	}
+	if resident != lenBefore {
+		t.Fatalf("reverse pass hit %d keys, want the %d residents", resident, lenBefore)
+	}
+	hits, misses, _ = c.Stats()
+	if int(hits) != resident {
+		t.Fatalf("reverse pass hit %d times, stats say %d", resident, hits)
+	}
+	if misses != int64(2*keys)-hits {
+		t.Fatalf("misses = %d, want %d", misses, int64(2*keys)-hits)
+	}
+
+	// Concurrent mixed traffic across shards stays consistent: every
+	// lookup lands as exactly one hit or miss.
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, _, err := c.GetKeyed(fmt.Sprintf("key-%d", (g*7+i)%keys), build); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits2, misses2, _ := c.Stats()
+	if hits2+misses2 != hits+misses+goroutines*perG {
+		t.Fatalf("lookup accounting drifted: %d+%d after %d more lookups on %d+%d",
+			hits2, misses2, goroutines*perG, hits, misses)
+	}
+}
+
 func TestNewCachedEngine(t *testing.T) {
 	topo := NewHopperTorus(6, 6, 6)
 	a, err := SparseAllocation(topo, 4, 99)

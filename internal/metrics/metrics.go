@@ -9,6 +9,7 @@ package metrics
 
 import (
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/torus"
 )
 
@@ -44,16 +45,21 @@ func (p *Placement) Node(t int32) int32 {
 	return p.NodeOf[p.GroupOf[t]]
 }
 
-// Compute evaluates all metrics for the directed task graph tg under
-// the placement on topo.
-func Compute(tg *graph.Graph, topo torus.Topology, pl *Placement) MapMetrics {
-	var m MapMetrics
-	msgCong := make([]int64, topo.Links())
-	volCong := make([]int64, topo.Links())
-	recvVol := make(map[int32]int64)
-	recvMsg := make(map[int32]int64)
+// computeState accumulates the per-vertex partial sums of one vertex
+// range. Every field is an integer count, so merging states is exact
+// and order-independent — the property the parallel evaluation's
+// any-worker-count determinism rests on.
+type computeState struct {
+	th, wh, icv, icm int64
+	msgCong, volCong []int64
+	recvVol, recvMsg map[int32]int64
+}
+
+// accumulate walks the out-edges of tasks [lo,hi) under the placement
+// and adds their traffic to st.
+func (st *computeState) accumulate(tg *graph.Graph, topo torus.Topology, pl *Placement, lo, hi int) {
 	var route []int32
-	for t := 0; t < tg.N(); t++ {
+	for t := lo; t < hi; t++ {
 		a := pl.Node(int32(t))
 		for i := tg.Xadj[t]; i < tg.Xadj[t+1]; i++ {
 			u := tg.Adj[i]
@@ -63,31 +69,36 @@ func Compute(tg *graph.Graph, topo torus.Topology, pl *Placement) MapMetrics {
 			}
 			w := tg.EdgeWeight(int(i))
 			hops := int64(topo.HopDist(int(a), int(b)))
-			m.TH += hops
-			m.WH += hops * w
-			m.ICV += w
-			m.ICM++
-			recvVol[b] += w
-			recvMsg[b]++
+			st.th += hops
+			st.wh += hops * w
+			st.icv += w
+			st.icm++
+			st.recvVol[b] += w
+			st.recvMsg[b]++
 			route = topo.Route(int(a), int(b), route[:0])
 			for _, l := range route {
-				msgCong[l]++
-				volCong[l] += w
+				st.msgCong[l]++
+				st.volCong[l] += w
 			}
 		}
 	}
+}
+
+// finalize derives the aggregate metrics from a fully merged state.
+func (st *computeState) finalize(topo torus.Topology) MapMetrics {
+	m := MapMetrics{TH: st.th, WH: st.wh, ICV: st.icv, ICM: st.icm}
 	var sumMsg int64
 	var sumVC float64
-	for l := range msgCong {
-		if msgCong[l] == 0 {
+	for l := range st.msgCong {
+		if st.msgCong[l] == 0 {
 			continue
 		}
 		m.UsedLinks++
-		sumMsg += msgCong[l]
-		if msgCong[l] > m.MMC {
-			m.MMC = msgCong[l]
+		sumMsg += st.msgCong[l]
+		if st.msgCong[l] > m.MMC {
+			m.MMC = st.msgCong[l]
 		}
-		vc := float64(volCong[l]) / topo.LinkBW(l)
+		vc := float64(st.volCong[l]) / topo.LinkBW(l)
 		sumVC += vc
 		if vc > m.MC {
 			m.MC = vc
@@ -97,17 +108,92 @@ func Compute(tg *graph.Graph, topo torus.Topology, pl *Placement) MapMetrics {
 		m.AMC = float64(sumMsg) / float64(m.UsedLinks)
 		m.AC = sumVC / float64(m.UsedLinks)
 	}
-	for _, v := range recvVol {
+	for _, v := range st.recvVol {
 		if v > m.MNRV {
 			m.MNRV = v
 		}
 	}
-	for _, c := range recvMsg {
+	for _, c := range st.recvMsg {
 		if c > m.MNRM {
 			m.MNRM = c
 		}
 	}
 	return m
+}
+
+func newComputeState(links int) computeState {
+	return computeState{
+		msgCong: make([]int64, links),
+		volCong: make([]int64, links),
+		recvVol: make(map[int32]int64),
+		recvMsg: make(map[int32]int64),
+	}
+}
+
+// Compute evaluates all metrics for the directed task graph tg under
+// the placement on topo, serially.
+func Compute(tg *graph.Graph, topo torus.Topology, pl *Placement) MapMetrics {
+	st := newComputeState(topo.Links())
+	st.accumulate(tg, topo, pl, 0, tg.N())
+	return st.finalize(topo)
+}
+
+// parallelComputeMinTasks gates the parallel evaluation: below this
+// many tasks the per-shard link arrays cost more than the edge walk.
+const parallelComputeMinTasks = 512
+
+// ComputePar is Compute with the per-vertex partial sums fanned out
+// over the solve's bounded worker pool and reduced in shard order.
+// Every accumulated quantity is an integer count, so the merged state
+// — and therefore every metric, including the float aggregates
+// derived from it — is identical at any worker count, including the
+// serial path a nil or single-worker group takes.
+func ComputePar(tg *graph.Graph, topo torus.Topology, pl *Placement, par *parallel.Group) MapMetrics {
+	n := tg.N()
+	workers := par.NumWorkers()
+	// Stay serial when the fan-out cannot pay for itself: each shard
+	// allocates and later merges two link-length arrays, so a sparse
+	// graph on a huge topology (edges under one link-array's worth of
+	// work) would spend more on shard state than on the edge walk.
+	if workers <= 1 || n < parallelComputeMinTasks || tg.M() < topo.Links() {
+		return Compute(tg, topo, pl)
+	}
+	shards := workers
+	if shards > n {
+		shards = n
+	}
+	parts := make([]computeState, shards)
+	chunk := (n + shards - 1) / shards
+	par.ForEachIdx(shards, func(s int) {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		parts[s] = newComputeState(topo.Links())
+		parts[s].accumulate(tg, topo, pl, lo, hi)
+	})
+	st := parts[0]
+	for s := 1; s < shards; s++ {
+		p := &parts[s]
+		st.th += p.th
+		st.wh += p.wh
+		st.icv += p.icv
+		st.icm += p.icm
+		for l, c := range p.msgCong {
+			st.msgCong[l] += c
+		}
+		for l, v := range p.volCong {
+			st.volCong[l] += v
+		}
+		for node, v := range p.recvVol {
+			st.recvVol[node] += v
+		}
+		for node, c := range p.recvMsg {
+			st.recvMsg[node] += c
+		}
+	}
+	return st.finalize(topo)
 }
 
 // WeightedHops computes only WH for a symmetric coarse graph mapped

@@ -1,0 +1,51 @@
+package metrics
+
+// Metric field access by canonical name — the resolution layer behind
+// the public Objective type: objectives are declared over the wire
+// with the same lowercase names the JSON metric payload uses, and
+// scored here against the computed MapMetrics.
+
+// metricNames lists every scoreable MapMetrics field in wire order.
+// "sim_seconds" is scoreable too but lives on the solve result, not
+// on MapMetrics; the public Objective layer resolves it.
+var metricNames = []string{
+	"th", "wh", "mmc", "mc", "amc", "ac",
+	"icv", "icm", "mnrv", "mnrm", "used_links",
+}
+
+// MetricNames returns the canonical names MetricValue resolves, in
+// wire order.
+func MetricNames() []string {
+	return append([]string(nil), metricNames...)
+}
+
+// MetricValue returns the named metric of m as a float64. Names are
+// the canonical lowercase wire names ("wh", "mc", ...); unknown names
+// report ok=false.
+func MetricValue(m MapMetrics, name string) (v float64, ok bool) {
+	switch name {
+	case "th":
+		return float64(m.TH), true
+	case "wh":
+		return float64(m.WH), true
+	case "mmc":
+		return float64(m.MMC), true
+	case "mc":
+		return m.MC, true
+	case "amc":
+		return m.AMC, true
+	case "ac":
+		return m.AC, true
+	case "icv":
+		return float64(m.ICV), true
+	case "icm":
+		return float64(m.ICM), true
+	case "mnrv":
+		return float64(m.MNRV), true
+	case "mnrm":
+		return float64(m.MNRM), true
+	case "used_links":
+		return float64(m.UsedLinks), true
+	}
+	return 0, false
+}

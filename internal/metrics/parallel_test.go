@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/torus"
+)
+
+// Parallel-evaluation tests: ComputePar must equal Compute exactly —
+// every integer count and every derived float — at any worker count,
+// above and below the parallel gate.
+
+// parallelFixture builds a random placement big enough to clear the
+// parallel gate: 2048 tasks on a 6x6x6 torus.
+func parallelFixture() (*graph.Graph, *torus.Torus, *Placement) {
+	topo := torus.NewHopper3D(6, 6, 6)
+	tg := graph.RandomConnected(2048, 6*2048, 100, 3)
+	nodeOf := make([]int32, tg.N())
+	// Deterministic scatter over a subset of nodes; some self-loops
+	// (intra-node edges) by construction.
+	for v := range nodeOf {
+		nodeOf[v] = int32((v*31 + 7) % topo.Nodes())
+	}
+	return tg, topo, &Placement{NodeOf: nodeOf}
+}
+
+func TestComputeParMatchesSerial(t *testing.T) {
+	tg, topo, pl := parallelFixture()
+	want := Compute(tg, topo, pl)
+	if want.WH <= 0 || want.UsedLinks == 0 {
+		t.Fatalf("degenerate fixture: %+v", want)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		grp := parallel.NewGroup(context.Background(), workers)
+		got := ComputePar(tg, topo, pl, grp)
+		if got != want {
+			t.Fatalf("workers=%d diverged:\n serial   %+v\n parallel %+v", workers, got, want)
+		}
+	}
+	// A nil group is the serial path.
+	if got := ComputePar(tg, topo, pl, nil); got != want {
+		t.Fatalf("nil group diverged: %+v", got)
+	}
+}
+
+// TestComputeParSmallGraphGate: graphs under the parallel gate take
+// the serial path and still answer identically.
+func TestComputeParSmallGraphGate(t *testing.T) {
+	topo := torus.New([]int{4, 4, 4}, []float64{2, 2, 2})
+	tg := twoTaskGraph(10)
+	pl := &Placement{NodeOf: []int32{int32(topo.NodeAt([]int{0, 0, 0})), int32(topo.NodeAt([]int{2, 0, 0}))}}
+	want := Compute(tg, topo, pl)
+	grp := parallel.NewGroup(context.Background(), 8)
+	if got := ComputePar(tg, topo, pl, grp); got != want {
+		t.Fatalf("gated path diverged: %+v vs %+v", got, want)
+	}
+}

@@ -20,23 +20,25 @@ import (
 )
 
 // Params tunes the cost model; zero fields take Hopper-like defaults.
+// The JSON tags make Params part of the serializable Solve spec (the
+// mapd wire protocol carries it inside a sim block verbatim).
 type Params struct {
 	// LatNear is the one-hop message latency (default 1.27µs, §II-B).
-	LatNear float64
+	LatNear float64 `json:"lat_near,omitempty"`
 	// LatFar is the network-diameter latency (default 3.88µs).
-	LatFar float64
+	LatFar float64 `json:"lat_far,omitempty"`
 	// PerMessageOverhead is the CPU cost to post/receive one message
 	// (default 1µs).
-	PerMessageOverhead float64
+	PerMessageOverhead float64 `json:"per_message_overhead,omitempty"`
 	// ComputeRate is the per-processor SpMV nonzero throughput per
 	// second (default 1e9).
-	ComputeRate float64
+	ComputeRate float64 `json:"compute_rate,omitempty"`
 	// NoiseSigma is the relative standard deviation of the
 	// multiplicative run-to-run noise (default 0.01; the paper
 	// repeats every execution 5 times for the same reason).
-	NoiseSigma float64
+	NoiseSigma float64 `json:"noise_sigma,omitempty"`
 	// Seed drives the noise.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 func (p Params) withDefaults() Params {

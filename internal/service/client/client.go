@@ -134,6 +134,17 @@ func (c *Client) MapBatch(ctx context.Context, req service.BatchRequest) (*servi
 	return &out, nil
 }
 
+// Portfolio races a candidate set against one shared engine toward a
+// declared objective and returns the winner plus the per-candidate
+// leaderboard (POST /v1/portfolio).
+func (c *Client) Portfolio(ctx context.Context, req service.PortfolioRequest) (*service.PortfolioResponse, error) {
+	var out service.PortfolioResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/portfolio", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Mappers lists the registered mappers with their capability flags
 // (GET /v1/mappers).
 func (c *Client) Mappers(ctx context.Context) ([]registry.Info, error) {

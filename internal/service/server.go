@@ -28,6 +28,9 @@ type Config struct {
 	MaxParallelism int
 	// CacheSize bounds the engine LRU cache. Default 32 engines.
 	CacheSize int
+	// MaxPortfolioCandidates caps the explicit candidate list of one
+	// /v1/portfolio request. Default 16.
+	MaxPortfolioCandidates int
 	// DefaultTimeout is the per-request solve deadline when the
 	// request carries no timeout_ms. Default 30s.
 	DefaultTimeout time.Duration
@@ -63,6 +66,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 32
 	}
+	if cfg.MaxPortfolioCandidates <= 0 {
+		cfg.MaxPortfolioCandidates = 16
+	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
 	}
@@ -80,6 +86,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/portfolio", s.handlePortfolio)
 	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
@@ -164,22 +171,6 @@ func (s *Server) acquire(ctx context.Context, n int) (release func(), err error)
 	}, nil
 }
 
-// buildRequest turns wire options into an engine Request. workers is
-// the server-clamped per-request parallelism; it is always set
-// explicitly so the engine's host-wide default cannot bypass the
-// service's slot accounting.
-func buildRequest(mapper string, seed int64, refine, fineRefine bool, workers int, tg *topomap.TaskGraph) topomap.Request {
-	req := topomap.Request{Mapper: topomap.Mapper(strings.ToUpper(mapper)), Tasks: tg, Seed: seed}
-	req.Options = append(req.Options, topomap.WithParallelism(workers))
-	if refine {
-		req.Options = append(req.Options, topomap.WithRefinement())
-	}
-	if fineRefine {
-		req.Options = append(req.Options, topomap.WithFineRefine())
-	}
-	return req
-}
-
 // respond converts an engine result to the wire form, rendering the
 // rankfile text when asked.
 func respond(res *topomap.MapResult, eng *topomap.Engine, hit bool, wantRankfile bool, elapsed time.Duration) (*MapResponse, error) {
@@ -204,33 +195,39 @@ func respond(res *topomap.MapResult, eng *topomap.Engine, hit bool, wantRankfile
 	return out, nil
 }
 
-// solveOutcome carries a solve across the goroutine boundary.
-type solveOutcome struct {
-	res []*topomap.MapResult
-	err error
+// solve runs fn on `slots` worker slots under deadline; fn captures
+// its own result. The handler returns as soon as the deadline expires
+// even if a solve stage is still winding down to its next
+// cancellation point; the abandoned solve keeps its slots until it
+// finishes (bounding CPU oversubscription) and is then discarded.
+func (s *Server) solve(ctx context.Context, slots int, fn func(context.Context) error) error {
+	return s.solveUntil(ctx, ctx, slots, fn)
 }
 
-// solve runs fn on `slots` worker slots under deadline. The handler
-// returns as soon as the deadline expires even if a solve stage is
-// still winding down to its next cancellation point; the abandoned
-// solve keeps its slots until it finishes (bounding CPU
-// oversubscription) and is then discarded.
-func (s *Server) solve(ctx context.Context, slots int, fn func(context.Context) ([]*topomap.MapResult, error)) ([]*topomap.MapResult, error) {
-	release, err := s.acquire(ctx, slots)
+// solveUntil separates the two contexts a solve answers to: fn runs
+// under solveCtx (the per-request deadline — cancelling it is how the
+// deadline reaches the candidates), while the caller waits for fn or
+// for waitCtx, whichever ends first. /v1/map races both on the same
+// context (a dead deadline means the response has no value); the
+// portfolio handler passes the bare client context as waitCtx so an
+// expired deadline cancels the race but the handler still collects
+// the best-so-far result RunPortfolio assembles after it — only a
+// client disconnect abandons the solve outright.
+func (s *Server) solveUntil(waitCtx, solveCtx context.Context, slots int, fn func(context.Context) error) error {
+	release, err := s.acquire(solveCtx, slots)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	done := make(chan solveOutcome, 1)
+	done := make(chan error, 1)
 	go func() {
 		defer release()
-		res, err := fn(ctx)
-		done <- solveOutcome{res: res, err: err}
+		done <- fn(solveCtx)
 	}()
 	select {
-	case out := <-done:
-		return out.res, out.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	case err := <-done:
+		return err
+	case <-waitCtx.Done():
+		return waitCtx.Err()
 	}
 }
 
@@ -274,29 +271,26 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
 	workers := s.parallelism(req.Parallelism)
-	run := buildRequest(req.Mapper, req.Seed, req.Refine, req.FineRefine, workers, tg)
 	// The engine build — the expensive cold path — runs inside the
 	// worker slots and under the deadline, like the solve itself.
 	var eng *topomap.Engine
 	var hit bool
-	results, err := s.solve(ctx, workers, func(ctx context.Context) ([]*topomap.MapResult, error) {
+	var res *topomap.MapResult
+	err = s.solve(ctx, workers, func(ctx context.Context) error {
 		var err error
 		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := eng.RunContext(ctx, run)
-		if err != nil {
-			return nil, err
-		}
-		return []*topomap.MapResult{res}, nil
+		res, err = eng.RunSolve(ctx, tg, req.Solve(workers))
+		return err
 	})
 	if err != nil {
 		s.st.errors.Add(1)
 		writeError(w, s.errStatus(err), err)
 		return
 	}
-	out, err := respond(results[0], eng, hit, req.Rankfile, time.Since(began))
+	out, err := respond(res, eng, hit, req.Rankfile, time.Since(began))
 	if err != nil {
 		s.st.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
@@ -338,7 +332,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	workers := s.parallelism(req.Parallelism)
 	runs := make([]topomap.Request, len(req.Requests))
 	for i, item := range req.Requests {
-		runs[i] = buildRequest(item.Mapper, item.Seed, item.Refine, item.FineRefine, workers, tg)
+		runs[i] = item.Solve(workers).Request(tg)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
@@ -350,13 +344,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// requests, which share the cached engine anyway.
 	var eng *topomap.Engine
 	var hit bool
-	results, err := s.solve(ctx, workers, func(ctx context.Context) ([]*topomap.MapResult, error) {
+	var results []*topomap.MapResult
+	err = s.solve(ctx, workers, func(ctx context.Context) error {
 		var err error
 		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return eng.RunBatchContext(ctx, runs, 1)
+		results, err = eng.RunBatchContext(ctx, runs, 1)
+		return err
 	})
 	if err != nil {
 		s.st.errors.Add(1)
@@ -379,6 +375,87 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Results[i] = *item
 	}
+	s.st.observe(out.ElapsedMS)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePortfolio serves POST /v1/portfolio: a candidate set raced
+// against one shared engine toward a declared objective. The request
+// is validated fail-fast — duplicate candidates, unknown mapper or
+// objective names and the candidate cap all cost a 400 before any
+// slot is held — and then occupies `parallelism` worker slots for the
+// whole race, exactly like a batch.
+func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.st.portfolioRequests.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	var req PortfolioRequest
+	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(s.cfg.MaxPortfolioCandidates); err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	began := time.Now()
+	tg, err := req.Tasks.Build()
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	workers := s.parallelism(req.Parallelism)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	var eng *topomap.Engine
+	var hit bool
+	var pres *topomap.PortfolioResult
+	err = s.solveUntil(r.Context(), ctx, workers, func(ctx context.Context) error {
+		var err error
+		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
+		if err != nil {
+			return err
+		}
+		pres, err = eng.RunPortfolio(ctx, req.engineRequest(tg, workers))
+		return err
+	})
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, s.errStatus(err), err)
+		return
+	}
+	best, err := respond(pres.Best, eng, hit, req.Rankfile, 0)
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := PortfolioResponse{
+		Winner:      pres.Winner,
+		Best:        *best,
+		Leaderboard: make([]LeaderboardEntry, len(pres.Leaderboard)),
+		Skipped:     pres.Skipped,
+		CacheHit:    hit,
+		ElapsedMS:   float64(time.Since(began)) / float64(time.Millisecond),
+	}
+	for i, entry := range pres.Leaderboard {
+		le := LeaderboardEntry{Index: entry.Index, Solve: entry.Solve, Score: entry.Score, Skipped: entry.Skipped}
+		if entry.Result != nil {
+			m := metricsPayload(entry.Result.Metrics)
+			le.Metrics = &m
+			le.SimSeconds = entry.Result.SimSeconds
+		}
+		out.Leaderboard[i] = le
+	}
+	s.st.portfolioCandidates.Add(int64(len(pres.Leaderboard)))
+	s.st.portfolioSkipped.Add(int64(pres.Skipped))
 	s.st.observe(out.ElapsedMS)
 	writeJSON(w, http.StatusOK, out)
 }
@@ -417,15 +494,20 @@ func (s *Server) Status() Status {
 		InFlight:       s.st.inflight.Load(),
 		Workers:        s.cfg.Workers,
 		MaxParallelism: s.cfg.MaxParallelism,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheEntries:   s.cache.Len(),
-		CacheCapacity:  s.cache.Cap(),
-		LatencyP50MS:   p50,
-		LatencyP90MS:   p90,
-		LatencyP99MS:   p99,
-		LatencySamples: samples,
-		Mappers:        len(registry.Names()),
+
+		PortfolioRequests:   s.st.portfolioRequests.Load(),
+		PortfolioCandidates: s.st.portfolioCandidates.Load(),
+		PortfolioSkipped:    s.st.portfolioSkipped.Load(),
+		MaxCandidates:       s.cfg.MaxPortfolioCandidates,
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		CacheEvictions:      evictions,
+		CacheEntries:        s.cache.Len(),
+		CacheCapacity:       s.cache.Cap(),
+		LatencyP50MS:        p50,
+		LatencyP90MS:        p90,
+		LatencyP99MS:        p99,
+		LatencySamples:      samples,
+		Mappers:             len(registry.Names()),
 	}
 }

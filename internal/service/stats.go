@@ -11,11 +11,14 @@ import (
 // and a fixed ring of recent request latencies from which /statusz
 // computes p50/p90/p99.
 type stats struct {
-	requests      atomic.Int64
-	batchRequests atomic.Int64
-	errors        atomic.Int64
-	timeouts      atomic.Int64
-	inflight      atomic.Int64
+	requests            atomic.Int64
+	batchRequests       atomic.Int64
+	portfolioRequests   atomic.Int64
+	portfolioCandidates atomic.Int64
+	portfolioSkipped    atomic.Int64
+	errors              atomic.Int64
+	timeouts            atomic.Int64
+	inflight            atomic.Int64
 
 	mu  sync.Mutex
 	lat []float64 // ms, ring buffer

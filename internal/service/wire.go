@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 
 	topomap "repro"
 	"repro/internal/registry"
@@ -120,6 +121,26 @@ type MapResponse struct {
 	ElapsedMS   float64 `json:"elapsed_ms,omitempty"`
 }
 
+// lowerSolve is the one lowering every wire endpoint shares: mapper
+// names uppercased, workers set explicitly (server-clamped) so the
+// engine's host-wide default cannot bypass the service's slot
+// accounting.
+func lowerSolve(mapper string, seed int64, refine, fineRefine bool, workers int) topomap.Solve {
+	return topomap.Solve{
+		Mapper:     topomap.Mapper(strings.ToUpper(mapper)),
+		Seed:       seed,
+		Refine:     refine,
+		FineRefine: fineRefine,
+		Workers:    workers,
+	}
+}
+
+// Solve lowers the wire request onto the engine's declarative Solve
+// spec.
+func (r MapRequest) Solve(workers int) topomap.Solve {
+	return lowerSolve(r.Mapper, r.Seed, r.Refine, r.FineRefine, workers)
+}
+
 // BatchItem is one mapper run of a batch; the batch's topology,
 // allocation and task graph are shared.
 type BatchItem struct {
@@ -127,6 +148,12 @@ type BatchItem struct {
 	Seed       int64  `json:"seed"`
 	Refine     bool   `json:"refine,omitempty"`
 	FineRefine bool   `json:"fine_refine,omitempty"`
+}
+
+// Solve lowers the batch item onto the engine's Solve spec (see
+// MapRequest.Solve).
+func (it BatchItem) Solve(workers int) topomap.Solve {
+	return lowerSolve(it.Mapper, it.Seed, it.Refine, it.FineRefine, workers)
 }
 
 // BatchRequest fans several mapper runs out against one shared
@@ -150,6 +177,116 @@ type BatchResponse struct {
 	ElapsedMS float64       `json:"elapsed_ms"`
 }
 
+// PortfolioRequest races a candidate set against one engine and
+// selects by a declared objective (POST /v1/portfolio). Candidates
+// are the library's serializable Solve specs verbatim — the wire no
+// longer mirrors option fields — and must differ in (mapper, seed).
+// An empty candidate list expands server-side to every registered
+// mapper compatible with the topology, each at Seed. The objective's
+// zero value minimizes weighted hops. Parallelism is the portfolio's
+// worker-pool width; the request occupies that many worker slots.
+// Per-candidate workers must stay unset on the wire — the pool is the
+// server's to account for.
+type PortfolioRequest struct {
+	Topology    TopologySpec      `json:"topology"`
+	Allocation  AllocationSpec    `json:"allocation"`
+	Tasks       TaskGraphSpec     `json:"tasks"`
+	Candidates  []topomap.Solve   `json:"candidates,omitempty"`
+	Seed        int64             `json:"seed,omitempty"`
+	Objective   topomap.Objective `json:"objective,omitempty"`
+	Sim         *topomap.SimSpec  `json:"sim,omitempty"`
+	TimeoutMS   int64             `json:"timeout_ms,omitempty"`
+	Parallelism int               `json:"parallelism,omitempty"`
+	Rankfile    bool              `json:"rankfile,omitempty"`
+}
+
+// Validate fail-fasts the solve-independent invariants of a portfolio
+// request — duplicate (mapper, seed) candidates, unknown mapper and
+// objective names, wire-set candidate workers, and the server's
+// candidate cap — so a bad request costs a 400, never a solve.
+func (p *PortfolioRequest) Validate(maxCandidates int) error {
+	if len(p.Candidates) > maxCandidates {
+		return fmt.Errorf("portfolio: %d candidates exceed the server's cap of %d", len(p.Candidates), maxCandidates)
+	}
+	type identity struct {
+		mapper string
+		seed   int64
+	}
+	seen := map[identity]int{}
+	for i, c := range p.Candidates {
+		name := strings.ToUpper(string(c.Mapper))
+		if _, ok := registry.Lookup(name); !ok {
+			return fmt.Errorf("portfolio: candidate %d: unknown mapper %q", i, c.Mapper)
+		}
+		if c.Workers != 0 {
+			return fmt.Errorf("portfolio: candidate %d sets workers; per-candidate parallelism is server-controlled, use the portfolio-level parallelism field", i)
+		}
+		id := identity{name, c.Seed}
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("portfolio: candidates %d and %d duplicate (mapper %s, seed %d); candidates must differ in mapper or seed", prev, i, name, c.Seed)
+		}
+		seen[id] = i
+	}
+	if err := p.Objective.Validate(); err != nil {
+		return fmt.Errorf("portfolio: %w", err)
+	}
+	// A sim-scoring objective needs a sim spec somewhere — reject here
+	// so the request never holds worker slots or a cold engine build.
+	if p.Objective.NeedsSim() && p.Sim == nil {
+		if len(p.Candidates) == 0 {
+			return fmt.Errorf("portfolio: objective sim_seconds needs a request-level sim spec when candidates auto-expand")
+		}
+		for i, c := range p.Candidates {
+			if c.Sim == nil {
+				return fmt.Errorf("portfolio: objective sim_seconds needs a sim spec, candidate %d (%s) has none", i, c.Mapper)
+			}
+		}
+	}
+	return nil
+}
+
+// engineRequest converts the validated wire request to the library
+// form, uppercasing mapper names the way every other endpoint does.
+func (p *PortfolioRequest) engineRequest(tg *topomap.TaskGraph, workers int) topomap.PortfolioRequest {
+	cands := make([]topomap.Solve, len(p.Candidates))
+	for i, c := range p.Candidates {
+		c.Mapper = topomap.Mapper(strings.ToUpper(string(c.Mapper)))
+		cands[i] = c
+	}
+	return topomap.PortfolioRequest{
+		Tasks:      tg,
+		Candidates: cands,
+		Seed:       p.Seed,
+		Objective:  p.Objective,
+		Workers:    workers,
+		Sim:        p.Sim,
+	}
+}
+
+// LeaderboardEntry is one candidate's line in the portfolio response.
+// Metrics is omitted for candidates the deadline skipped.
+type LeaderboardEntry struct {
+	Index      int           `json:"index"`
+	Solve      topomap.Solve `json:"solve"`
+	Score      float64       `json:"score"`
+	Metrics    *Metrics      `json:"metrics,omitempty"`
+	SimSeconds float64       `json:"sim_seconds,omitempty"`
+	Skipped    bool          `json:"skipped,omitempty"`
+}
+
+// PortfolioResponse reports the winning candidate (index into the
+// request's expanded candidate list, full result in Best) and the
+// per-candidate leaderboard: completed candidates in ascending score
+// order, then deadline-skipped ones.
+type PortfolioResponse struct {
+	Winner      int                `json:"winner"`
+	Best        MapResponse        `json:"best"`
+	Leaderboard []LeaderboardEntry `json:"leaderboard"`
+	Skipped     int                `json:"skipped,omitempty"`
+	CacheHit    bool               `json:"cache_hit"`
+	ElapsedMS   float64            `json:"elapsed_ms"`
+}
+
 // MappersResponse lists every registered mapper with its capability
 // flags — the registry served over the wire.
 type MappersResponse struct {
@@ -167,16 +304,24 @@ type Status struct {
 	InFlight       int64   `json:"in_flight"`
 	Workers        int     `json:"workers"`
 	MaxParallelism int     `json:"max_parallelism"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEvictions int64   `json:"cache_evictions"`
-	CacheEntries   int     `json:"cache_entries"`
-	CacheCapacity  int     `json:"cache_capacity"`
-	LatencyP50MS   float64 `json:"latency_p50_ms"`
-	LatencyP90MS   float64 `json:"latency_p90_ms"`
-	LatencyP99MS   float64 `json:"latency_p99_ms"`
-	LatencySamples int     `json:"latency_samples"`
-	Mappers        int     `json:"mappers"`
+
+	// Portfolio counters: requests served by /v1/portfolio, total
+	// candidates solved on their behalf, and candidates deadlines cut
+	// off before they finished.
+	PortfolioRequests   int64   `json:"portfolio_requests"`
+	PortfolioCandidates int64   `json:"portfolio_candidates"`
+	PortfolioSkipped    int64   `json:"portfolio_skipped"`
+	MaxCandidates       int     `json:"max_candidates"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	CacheEvictions      int64   `json:"cache_evictions"`
+	CacheEntries        int     `json:"cache_entries"`
+	CacheCapacity       int     `json:"cache_capacity"`
+	LatencyP50MS        float64 `json:"latency_p50_ms"`
+	LatencyP90MS        float64 `json:"latency_p90_ms"`
+	LatencyP99MS        float64 `json:"latency_p99_ms"`
+	LatencySamples      int     `json:"latency_samples"`
+	Mappers             int     `json:"mappers"`
 }
 
 // ErrorResponse is the uniform error payload of every non-2xx

@@ -1,0 +1,198 @@
+package topomap
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// SimSecondsMetric is the objective metric name scoring the simulated
+// communication time of a solve (MapResult.SimSeconds). Unlike the
+// MapMetrics names it requires every scored candidate to carry a
+// SimSpec; portfolio validation enforces that up front.
+const SimSecondsMetric = "sim_seconds"
+
+// Objective declares the outcome a caller wants minimized — the
+// declarative counterpart of picking an algorithm by hand. Either a
+// single metric by canonical name (Minimize) or a weighted
+// combination (Terms); setting both is invalid. The zero value means
+// DefaultObjective, i.e. minimize weighted hops.
+//
+// Metric names are the lowercase wire names of the MapMetrics fields
+// ("th", "wh", "mmc", "mc", "amc", "ac", "icv", "icm", "mnrv",
+// "mnrm", "used_links") plus "sim_seconds"; resolution is
+// case-insensitive.
+type Objective struct {
+	Minimize string          `json:"minimize,omitempty"`
+	Terms    []ObjectiveTerm `json:"terms,omitempty"`
+}
+
+// ObjectiveTerm is one weighted component of a combined objective.
+// Weights must be positive and finite; the combined score is the
+// weighted sum of the component metrics.
+type ObjectiveTerm struct {
+	Metric string  `json:"metric"`
+	Weight float64 `json:"weight"`
+}
+
+// DefaultObjective minimizes weighted hops — the paper's headline
+// metric and what an Objective zero value means.
+func DefaultObjective() Objective { return Objective{Minimize: "wh"} }
+
+// MinimizeMetric returns the objective minimizing one named metric.
+func MinimizeMetric(name string) Objective {
+	return Objective{Minimize: name}
+}
+
+// ObjectiveMetricNames lists every metric name an Objective may
+// reference, in wire order.
+func ObjectiveMetricNames() []string {
+	return append(metrics.MetricNames(), SimSecondsMetric)
+}
+
+// canonicalMetric lowercases and validates one metric name.
+func canonicalMetric(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == SimSecondsMetric {
+		return n, nil
+	}
+	if _, ok := metrics.MetricValue(metrics.MapMetrics{}, n); ok {
+		return n, nil
+	}
+	return "", fmt.Errorf("topomap: unknown objective metric %q (want one of: %s)",
+		name, strings.Join(ObjectiveMetricNames(), " "))
+}
+
+// terms resolves the objective to its canonical weighted-term form,
+// validating every name and weight. The zero value resolves to the
+// default WH objective.
+func (o Objective) terms() ([]ObjectiveTerm, error) {
+	if o.Minimize != "" && len(o.Terms) > 0 {
+		return nil, fmt.Errorf("topomap: objective sets both minimize and terms; pick one")
+	}
+	if o.Minimize == "" && len(o.Terms) == 0 {
+		o = DefaultObjective()
+	}
+	if o.Minimize != "" {
+		name, err := canonicalMetric(o.Minimize)
+		if err != nil {
+			return nil, err
+		}
+		return []ObjectiveTerm{{Metric: name, Weight: 1}}, nil
+	}
+	out := make([]ObjectiveTerm, 0, len(o.Terms))
+	seen := map[string]bool{}
+	for _, t := range o.Terms {
+		name, err := canonicalMetric(t.Metric)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("topomap: objective names metric %q twice", name)
+		}
+		seen[name] = true
+		if !(t.Weight > 0) || math.IsInf(t.Weight, 0) {
+			return nil, fmt.Errorf("topomap: objective weight for %q must be positive and finite, got %g", name, t.Weight)
+		}
+		out = append(out, ObjectiveTerm{Metric: name, Weight: t.Weight})
+	}
+	return out, nil
+}
+
+// Validate reports whether the objective is well-formed: exactly one
+// of Minimize/Terms (or neither, meaning the WH default), every
+// metric name known, every weight positive and finite, no metric
+// named twice.
+func (o Objective) Validate() error {
+	_, err := o.terms()
+	return err
+}
+
+// NeedsSim reports whether scoring the objective requires the
+// simulated time, i.e. whether every scored candidate must carry a
+// SimSpec.
+func (o Objective) NeedsSim() bool {
+	ts, err := o.terms()
+	if err != nil {
+		return false
+	}
+	for _, t := range ts {
+		if t.Metric == SimSecondsMetric {
+			return true
+		}
+	}
+	return false
+}
+
+// Score evaluates the objective on one solve result: the metric value
+// itself for a single-metric objective, the weighted sum for a
+// combined one. Lower is better. Scoring a sim_seconds objective on a
+// result solved without a SimSpec is an error (RunPortfolio validates
+// this before solving).
+func (o Objective) Score(res *MapResult) (float64, error) {
+	ts, err := o.terms()
+	if err != nil {
+		return 0, err
+	}
+	var score float64
+	for _, t := range ts {
+		var v float64
+		if t.Metric == SimSecondsMetric {
+			if !res.SimRan {
+				return 0, fmt.Errorf("topomap: objective %s needs a solve with a sim spec", SimSecondsMetric)
+			}
+			v = res.SimSeconds
+		} else {
+			v, _ = metrics.MetricValue(res.Metrics, t.Metric)
+		}
+		score += t.Weight * v
+	}
+	return score, nil
+}
+
+// String renders the objective the way the CLI -objective flag parses
+// it: "wh", or "mc:0.7,wh:0.3" for a weighted combination.
+func (o Objective) String() string {
+	ts, err := o.terms()
+	if err != nil {
+		return "invalid"
+	}
+	if len(ts) == 1 && ts[0].Weight == 1 {
+		return ts[0].Metric
+	}
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%s:%g", t.Metric, t.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseObjective parses the String form: a bare metric name
+// ("mc"), or comma-separated metric:weight terms ("mc:0.7,wh:0.3").
+// An empty string parses to the zero (default WH) objective.
+func ParseObjective(s string) (Objective, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Objective{}, nil
+	}
+	if !strings.ContainsAny(s, ",:") {
+		o := Objective{Minimize: s}
+		return o, o.Validate()
+	}
+	var o Objective
+	for _, part := range strings.Split(s, ",") {
+		name, weight, found := strings.Cut(part, ":")
+		if !found {
+			return Objective{}, fmt.Errorf("topomap: objective term %q must be metric:weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+		if err != nil {
+			return Objective{}, fmt.Errorf("topomap: objective weight %q: %v", weight, err)
+		}
+		o.Terms = append(o.Terms, ObjectiveTerm{Metric: strings.TrimSpace(name), Weight: w})
+	}
+	return o, o.Validate()
+}

@@ -1,0 +1,167 @@
+package topomap
+
+import (
+	"strings"
+	"testing"
+)
+
+// Objective tests: golden scoring pinned against the MapMetrics
+// fields, the weighted combination arithmetic, the parser behind the
+// CLI flag, and the validation surface.
+
+// goldenResult is a hand-built solve result with one distinct value
+// per metric, so a wrong field resolution cannot score right.
+func goldenResult() *MapResult {
+	return &MapResult{
+		Metrics: MapMetrics{
+			TH: 10, WH: 100, MMC: 5, MC: 2.5, AMC: 1.5, AC: 0.5,
+			ICV: 300, ICM: 40, MNRV: 70, MNRM: 8, UsedLinks: 12,
+		},
+		SimSeconds: 0.25,
+		SimRan:     true,
+	}
+}
+
+// TestObjectiveSimZeroSeconds: zero simulated seconds on a solve that
+// did run the simulator is a score of 0, not a missing-sim error —
+// and a solve that never simulated is the error, whatever its
+// SimSeconds value says.
+func TestObjectiveSimZeroSeconds(t *testing.T) {
+	ran := &MapResult{SimRan: true}
+	if score, err := MinimizeMetric(SimSecondsMetric).Score(ran); err != nil || score != 0 {
+		t.Fatalf("simulated zero-communication solve scored (%g, %v), want (0, nil)", score, err)
+	}
+	if _, err := MinimizeMetric(SimSecondsMetric).Score(&MapResult{SimSeconds: 0.5}); err == nil {
+		t.Fatal("scoring sim_seconds on a solve without a sim spec must fail")
+	}
+}
+
+// TestObjectiveScoreGolden pins every scoreable metric name to the
+// MapMetrics field it must read.
+func TestObjectiveScoreGolden(t *testing.T) {
+	res := goldenResult()
+	golden := map[string]float64{
+		"th": 10, "wh": 100, "mmc": 5, "mc": 2.5, "amc": 1.5, "ac": 0.5,
+		"icv": 300, "icm": 40, "mnrv": 70, "mnrm": 8, "used_links": 12,
+		"sim_seconds": 0.25,
+	}
+	names := ObjectiveMetricNames()
+	if len(names) != len(golden) {
+		t.Fatalf("ObjectiveMetricNames lists %d metrics, golden table has %d", len(names), len(golden))
+	}
+	for _, name := range names {
+		want, ok := golden[name]
+		if !ok {
+			t.Fatalf("no golden value for metric %q", name)
+		}
+		got, err := MinimizeMetric(name).Score(res)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s scored %g, want %g", name, got, want)
+		}
+		// Case-insensitive resolution.
+		if got, _ := MinimizeMetric(strings.ToUpper(name)).Score(res); got != want {
+			t.Fatalf("%s (upper-case) scored %g, want %g", name, got, want)
+		}
+	}
+}
+
+// TestObjectiveWeightedScore pins the weighted-combination sum and
+// the zero value's WH default.
+func TestObjectiveWeightedScore(t *testing.T) {
+	res := goldenResult()
+	combo := Objective{Terms: []ObjectiveTerm{
+		{Metric: "mc", Weight: 2},   // 2 * 2.5 = 5
+		{Metric: "wh", Weight: 0.5}, // 0.5 * 100 = 50
+		{Metric: "mmc", Weight: 3},  // 3 * 5 = 15
+	}}
+	got, err := combo.Score(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("weighted score = %g, want 70", got)
+	}
+	zero, err := Objective{}.Score(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 100 {
+		t.Fatalf("zero-value objective scored %g, want WH = 100", zero)
+	}
+	if def, _ := DefaultObjective().Score(res); def != zero {
+		t.Fatalf("DefaultObjective scored %g, zero value %g", def, zero)
+	}
+}
+
+// TestObjectiveValidate walks the rejection surface.
+func TestObjectiveValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		obj  Objective
+		want string
+	}{
+		{"unknown minimize", MinimizeMetric("latency"), "unknown objective metric"},
+		{"unknown term", Objective{Terms: []ObjectiveTerm{{Metric: "nope", Weight: 1}}}, "unknown objective metric"},
+		{"both forms", Objective{Minimize: "wh", Terms: []ObjectiveTerm{{Metric: "mc", Weight: 1}}}, "pick one"},
+		{"zero weight", Objective{Terms: []ObjectiveTerm{{Metric: "mc", Weight: 0}}}, "positive"},
+		{"negative weight", Objective{Terms: []ObjectiveTerm{{Metric: "mc", Weight: -1}}}, "positive"},
+		{"duplicate metric", Objective{Terms: []ObjectiveTerm{{Metric: "mc", Weight: 1}, {Metric: "MC", Weight: 2}}}, "twice"},
+	}
+	for _, tc := range cases {
+		err := tc.obj.Validate()
+		if err == nil {
+			t.Fatalf("%s: want error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	for _, ok := range []Objective{
+		{},
+		MinimizeMetric("mc"),
+		{Terms: []ObjectiveTerm{{Metric: "mc", Weight: 0.7}, {Metric: "wh", Weight: 0.3}}},
+	} {
+		if err := ok.Validate(); err != nil {
+			t.Fatalf("%+v: unexpected error %v", ok, err)
+		}
+	}
+	if !MinimizeMetric("sim_seconds").NeedsSim() {
+		t.Fatal("sim_seconds objective must report NeedsSim")
+	}
+	if MinimizeMetric("wh").NeedsSim() {
+		t.Fatal("wh objective must not report NeedsSim")
+	}
+}
+
+// TestParseObjective pins the CLI/flag syntax and its round trip
+// through String.
+func TestParseObjective(t *testing.T) {
+	o, err := ParseObjective("mc")
+	if err != nil || o.Minimize != "mc" {
+		t.Fatalf("ParseObjective(mc) = %+v, %v", o, err)
+	}
+	o, err = ParseObjective("mc:0.7,wh:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Terms) != 2 || o.Terms[0] != (ObjectiveTerm{"mc", 0.7}) || o.Terms[1] != (ObjectiveTerm{"wh", 0.3}) {
+		t.Fatalf("ParseObjective(mc:0.7,wh:0.3) = %+v", o)
+	}
+	if s := o.String(); s != "mc:0.7,wh:0.3" {
+		t.Fatalf("String() = %q", s)
+	}
+	if rt, err := ParseObjective(o.String()); err != nil || rt.String() != o.String() {
+		t.Fatalf("String round trip diverged: %+v, %v", rt, err)
+	}
+	if empty, err := ParseObjective(""); err != nil || empty.Minimize != "" || empty.Terms != nil {
+		t.Fatalf("ParseObjective(\"\") = %+v, %v", empty, err)
+	}
+	for _, bad := range []string{"latency", "mc:zero", "mc:", "mc:1,mc:2", "mc,wh"} {
+		if _, err := ParseObjective(bad); err == nil {
+			t.Fatalf("ParseObjective(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package topomap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/torus"
+)
+
+// PortfolioRequest races a set of candidate Solves against one task
+// graph and selects the winner by a declared Objective — the
+// production shape of the paper's "the winning mapper varies by
+// topology and graph" observation: instead of asking for an
+// algorithm, the caller asks for an outcome and the engine tries the
+// portfolio.
+type PortfolioRequest struct {
+	// Tasks is the task graph every candidate places.
+	Tasks *TaskGraph
+	// Candidates are the solves to race. Candidates must differ in
+	// (mapper, seed) — duplicates are rejected up front. Empty means
+	// "every registered mapper compatible with the engine's
+	// topology", each at Seed.
+	Candidates []Solve
+	// Seed is the seed auto-expanded candidates run at (ignored when
+	// Candidates is non-empty).
+	Seed int64
+	// Objective declares what the portfolio minimizes. The zero value
+	// minimizes weighted hops.
+	Objective Objective
+	// Workers bounds the pool the candidates fan out on (0 = all
+	// CPUs). Each candidate solves with one worker by default —
+	// the portfolio pool already fans out — unless its Solve.Workers
+	// says otherwise.
+	Workers int
+	// Sim is the default simulation spec applied to candidates
+	// without their own; required (here or per candidate) when the
+	// objective scores sim_seconds.
+	Sim *SimSpec
+}
+
+// PortfolioEntry is one candidate's line on the leaderboard.
+type PortfolioEntry struct {
+	// Index is the candidate's position in the (expanded) candidate
+	// list — the stable identity tie-breaks and reporting use.
+	Index int
+	// Solve is the candidate spec.
+	Solve Solve
+	// Score is the objective value (lower is better); meaningless
+	// when Skipped.
+	Score float64
+	// Result is the candidate's full solve result; nil when Skipped.
+	Result *MapResult
+	// Skipped reports that the deadline expired before this
+	// candidate finished; the portfolio returned the best of the
+	// rest.
+	Skipped bool
+}
+
+// PortfolioResult is the outcome of a portfolio solve: the winning
+// candidate plus the full per-candidate leaderboard.
+type PortfolioResult struct {
+	// Winner is the candidate index of the winning solve.
+	Winner int
+	// Best is the winning result (same pointer as the winner's
+	// leaderboard entry).
+	Best *MapResult
+	// Leaderboard lists every candidate: completed ones first in
+	// ascending score order (ties broken by candidate index), then
+	// deadline-skipped ones in index order.
+	Leaderboard []PortfolioEntry
+	// Skipped counts the candidates the deadline cut off.
+	Skipped int
+}
+
+// CompatibleMappers returns the registered mappers the engine's
+// topology can dispatch, in registration order — the candidate set a
+// PortfolioRequest with no explicit Candidates expands to. Mappers
+// requiring multipath route enumeration are filtered out on
+// topologies that cannot provide it.
+func (e *Engine) CompatibleMappers() []Mapper {
+	_, multipath := torus.MultipathOf(e.view)
+	var out []Mapper
+	for _, info := range registry.List() {
+		if info.Caps.NeedsMultipath && !multipath {
+			continue
+		}
+		out = append(out, Mapper(info.Name))
+	}
+	return out
+}
+
+// portfolioCandidates expands, defaults and validates the candidate
+// set of req: explicit candidates checked against the registry and
+// the topology, or all compatible mappers at req.Seed; duplicate
+// (mapper, seed) pairs rejected; req.Sim applied to candidates
+// without their own; a sim-scoring objective required to have one
+// everywhere.
+func (e *Engine) portfolioCandidates(req PortfolioRequest) ([]Solve, error) {
+	cands := append([]Solve(nil), req.Candidates...)
+	if len(cands) == 0 {
+		for _, mp := range e.CompatibleMappers() {
+			cands = append(cands, Solve{Mapper: mp, Seed: req.Seed})
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("topomap: portfolio found no registered mapper compatible with the topology")
+		}
+	}
+	_, multipath := torus.MultipathOf(e.view)
+	type identity struct {
+		mapper Mapper
+		seed   int64
+	}
+	seen := map[identity]int{}
+	for i := range cands {
+		c := &cands[i]
+		spec, ok := registry.Lookup(string(c.Mapper))
+		if !ok {
+			return nil, fmt.Errorf("topomap: portfolio candidate %d: unknown mapper %q", i, c.Mapper)
+		}
+		if spec.Caps().NeedsMultipath && !multipath {
+			return nil, fmt.Errorf("topomap: portfolio candidate %d: mapper %s needs a topology with minimal-route enumeration", i, c.Mapper)
+		}
+		id := identity{c.Mapper, c.Seed}
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("topomap: portfolio candidates %d and %d duplicate (mapper %s, seed %d); candidates must differ in mapper or seed", prev, i, c.Mapper, c.Seed)
+		}
+		seen[id] = i
+		if c.Sim == nil {
+			c.Sim = req.Sim
+		}
+		if req.Objective.NeedsSim() && c.Sim == nil {
+			return nil, fmt.Errorf("topomap: objective %s needs a sim spec, candidate %d (%s) has none", SimSecondsMetric, i, c.Mapper)
+		}
+	}
+	return cands, nil
+}
+
+// RunPortfolio fans the candidate set out across a bounded worker
+// pool, scores every finished result against the objective, and
+// returns the winner plus the full leaderboard. Selection is
+// deterministic at any worker count: scores are computed after the
+// fan-out and sorted with a stable tie-break on candidate index.
+// Cancellation is cooperative — when the deadline expires, candidates
+// still solving bail at their next polling point, and the portfolio
+// returns the best of what completed (with the cut-off candidates
+// marked Skipped) instead of failing; only a deadline that beats
+// every candidate surfaces ctx.Err. Any non-cancellation solve
+// failure fails the whole portfolio, lowest candidate index first.
+func (e *Engine) RunPortfolio(ctx context.Context, req PortfolioRequest) (*PortfolioResult, error) {
+	if req.Tasks == nil {
+		return nil, fmt.Errorf("topomap: portfolio carries no task graph")
+	}
+	if err := req.Objective.Validate(); err != nil {
+		return nil, err
+	}
+	cands, err := e.portfolioCandidates(req)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]*MapResult, len(cands))
+	errs := make([]error, len(cands))
+	grp := parallel.NewGroup(ctx, req.Workers)
+	grp.ForEachIdx(len(cands), func(i int) {
+		// One worker per candidate by default: the portfolio pool is
+		// the fan-out. Solve.Workers oversubscribes deliberately.
+		results[i], errs[i] = e.runSolve(ctx, req.Tasks, cands[i], 1)
+	})
+
+	var entries, skipped []PortfolioEntry
+	for i, res := range results {
+		switch {
+		case errs[i] == nil:
+			score, err := req.Objective.Score(res)
+			if err != nil {
+				return nil, fmt.Errorf("topomap: portfolio candidate %d (%s): %w", i, cands[i].Mapper, err)
+			}
+			entries = append(entries, PortfolioEntry{Index: i, Solve: cands[i], Score: score, Result: res})
+		case errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded):
+			skipped = append(skipped, PortfolioEntry{Index: i, Solve: cands[i], Skipped: true})
+		default:
+			return nil, fmt.Errorf("topomap: portfolio candidate %d (%s): %w", i, cands[i].Mapper, errs[i])
+		}
+	}
+	if len(entries) == 0 {
+		// Nothing finished: the deadline beat every candidate.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("topomap: portfolio completed no candidates")
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].Score != entries[b].Score {
+			return entries[a].Score < entries[b].Score
+		}
+		return entries[a].Index < entries[b].Index
+	})
+	return &PortfolioResult{
+		Winner:      entries[0].Index,
+		Best:        entries[0].Result,
+		Leaderboard: append(entries, skipped...),
+		Skipped:     len(skipped),
+	}, nil
+}

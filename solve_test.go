@@ -1,0 +1,129 @@
+package topomap
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Solve-spec tests: the declarative Solve must serialize losslessly,
+// and the legacy Request+RequestOption shim must lower onto it with
+// byte-identical engine behaviour — the API redesign's conservation
+// law.
+
+// TestSolveJSONRoundTrip: a fully populated Solve survives the JSON
+// codec field for field, and a minimal one marshals minimally.
+func TestSolveJSONRoundTrip(t *testing.T) {
+	want := Solve{
+		Mapper:     UMC,
+		Seed:       42,
+		Refine:     true,
+		FineRefine: true,
+		Workers:    4,
+		Sim:        &SimSpec{BytesPerUnit: 4096, Params: SimParams{Seed: 7, NoiseSigma: 0.02}},
+	}
+	buf, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Solve
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n want %+v\n got  %+v", want, got)
+	}
+	// Zero knobs stay off the wire: a minimal solve is a minimal
+	// payload, not a field-by-field mirror of every option.
+	minimal, err := json.Marshal(Solve{Mapper: UWH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(minimal) != `{"mapper":"UWH"}` {
+		t.Fatalf("minimal solve marshals as %s", minimal)
+	}
+}
+
+// TestRequestLowersToSolve pins the lowering: every option mutates
+// exactly the Solve field it documents.
+func TestRequestLowersToSolve(t *testing.T) {
+	req := Request{Mapper: UWH, Seed: 9, Options: []RequestOption{
+		WithRefinement(),
+		WithFineRefine(),
+		WithParallelism(3),
+		WithSimParams(2048, SimParams{Seed: 5}),
+	}}
+	got := req.Solve()
+	want := Solve{Mapper: UWH, Seed: 9, Refine: true, FineRefine: true, Workers: 3,
+		Sim: &SimSpec{BytesPerUnit: 2048, Params: SimParams{Seed: 5}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lowering diverged:\n want %+v\n got  %+v", want, got)
+	}
+	// Solve.Request round-trips back onto the same Solve.
+	if rt := got.Request(nil).Solve(); !reflect.DeepEqual(rt, got) {
+		t.Fatalf("Solve -> Request -> Solve diverged: %+v", rt)
+	}
+}
+
+// TestRunSolveMatchesRequestPath is the compatibility-shim acceptance
+// gate: for every registered mapper and every option combination, a
+// JSON-round-tripped Solve through RunSolve produces byte-identical
+// results to the closure-option Request path.
+func TestRunSolveMatchesRequestPath(t *testing.T) {
+	tg, topo, a := engineFixture(t, 128)
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts []RequestOption
+	}{
+		{"plain", nil},
+		{"refine", []RequestOption{WithRefinement()}},
+		{"fine", []RequestOption{WithFineRefine()}},
+		{"sim", []RequestOption{WithSimParams(4096, SimParams{Seed: 1})}},
+		{"all", []RequestOption{WithRefinement(), WithFineRefine(), WithParallelism(2), WithSimParams(4096, SimParams{Seed: 1})}},
+	}
+	for _, mp := range RegisteredMappers() {
+		if strings.HasPrefix(string(mp), "TEST-") {
+			continue // registered by other tests in this binary
+		}
+		for _, v := range variants {
+			req := Request{Mapper: mp, Tasks: tg, Seed: 3, Options: v.opts}
+			legacy, err := eng.Run(req)
+			if err != nil {
+				t.Fatalf("%s/%s: request path: %v", mp, v.name, err)
+			}
+			// The Solve takes a trip through the JSON codec — the wire
+			// path — before solving.
+			buf, err := json.Marshal(req.Solve())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var s Solve
+			if err := json.Unmarshal(buf, &s); err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.RunSolve(context.Background(), tg, s)
+			if err != nil {
+				t.Fatalf("%s/%s: solve path: %v", mp, v.name, err)
+			}
+			if !reflect.DeepEqual(got.GroupOf, legacy.GroupOf) ||
+				!reflect.DeepEqual(got.NodeOf, legacy.NodeOf) {
+				t.Fatalf("%s/%s: placement diverged between Solve and Request paths", mp, v.name)
+			}
+			if got.Metrics != legacy.Metrics {
+				t.Fatalf("%s/%s: metrics diverged:\n request %+v\n solve   %+v", mp, v.name, legacy.Metrics, got.Metrics)
+			}
+			if got.FineWHGain != legacy.FineWHGain || got.FineVolGain != legacy.FineVolGain {
+				t.Fatalf("%s/%s: fine-refine gains diverged", mp, v.name)
+			}
+			if got.SimSeconds != legacy.SimSeconds {
+				t.Fatalf("%s/%s: sim seconds diverged: %g vs %g", mp, v.name, got.SimSeconds, legacy.SimSeconds)
+			}
+		}
+	}
+}

@@ -39,6 +39,16 @@
 // process-wide LRU keyed by the canonical (topology, allocation)
 // fingerprint; cmd/mapd exposes the same machinery as a resident
 // HTTP service for job-launch-time mapping.
+//
+// Every request lowers onto a declarative, serializable Solve spec
+// (Engine.RunSolve consumes one directly), and callers that want an
+// outcome instead of an algorithm declare an Objective — minimize
+// WH, MC, MMC, simulated seconds, or a weighted combination — and
+// race a candidate portfolio with Engine.RunPortfolio: the engine
+// fans the candidates over a bounded pool, scores every finished
+// result, and returns a deterministic winner plus the per-candidate
+// leaderboard. The winning mapper genuinely varies by topology and
+// graph shape (see examples/portfolio), which is the point.
 package topomap
 
 import (

@@ -3,9 +3,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-json race
+.PHONY: check fmt vet build test bench bench-json race docs
 
-check: fmt vet build test
+# check includes docs, whose recipe runs `go vet ./...` — listing vet
+# here too would vet the module twice per gate.
+check: fmt build test docs
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,6 +24,15 @@ build:
 test:
 	$(GO) test ./...
 
+# Docs gate: every example must build, vet must be clean, and every
+# intra-repo markdown link in the entry-point docs must resolve
+# (cmd/docscheck). Part of `make check`, so CI fails on a dead link or
+# a bit-rotted example before a reader does.
+docs:
+	$(GO) build ./examples/...
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck README.md ROADMAP.md docs/ARCHITECTURE.md
+
 # Bench smoke: one iteration of the engine benchmarks proves the
 # service API's hot path still runs; full numbers via `go test -bench=.`.
 bench:
@@ -30,22 +41,24 @@ bench:
 # Bench tracking: run the engine benchmarks at a stable iteration
 # count — with allocation stats, so the scratch-arena trajectory is
 # tracked alongside ns/op — and record them as JSON diffable PR over
-# PR (BENCH_PR<n>.json). The large parallel-solve instances run at a
-# lower iteration count: one solve is ~10^8 ns.
-BENCH_OUT ?= BENCH_PR4.json
+# PR (BENCH_PR<n>.json). The large parallel-solve and refinement
+# instances run at a lower iteration count: one solve is ~10^8 ns.
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_NOTES ?=
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
 	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch|Portfolio)' -benchmem -benchtime=50x -count=1 . > $$tmp; \
-	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
-	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $$tmp
+	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve|BenchmarkRefineMC' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) $(BENCH_NOTES) < $$tmp
 	@echo "wrote $(BENCH_OUT)"
 
 # Race gate: the engine's concurrent paths (batch pool, intra-request
-# parallelism, portfolio racing and the Solve shim equivalence), the
-# parallel/metrics/partition/arena plumbing those are built on, plus
-# the whole mapd service package (concurrent clients, portfolio
-# endpoint, cache churn, cancellation, multi-slot accounting).
+# parallelism, portfolio racing, the parallel congestion refinement
+# and the Solve shim equivalence), the parallel/metrics/partition/
+# arena/core plumbing those are built on, plus the whole mapd service
+# package (concurrent clients, portfolio endpoint, cache churn,
+# cancellation, multi-slot accounting).
 race:
-	$(GO) test -race -run='Engine|Batch|Portfolio|Solve' .
-	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/...
+	$(GO) test -race -run='Engine|Batch|Portfolio|Solve|RefineMC' .
+	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/... ./internal/core/...
 	$(GO) test -race ./internal/service/...

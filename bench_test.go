@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/dragonfly"
 	"repro/internal/exp"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/parallel"
 	"repro/internal/partitioners"
 	"repro/internal/taskgraph"
 	"repro/internal/torus"
@@ -598,6 +600,35 @@ func BenchmarkEnginePortfolio(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRefineMC measures Algorithm 3 alone — the congestion
+// refinement that dominates large UMC/UMMC solves — at 1 and 8
+// workers on a 512-supertask torus instance above the scoring work
+// gate. The refined mapping is byte-identical across worker counts
+// (TestRefineMCParallelDeterminism); only the wall-clock may differ,
+// and on a single-CPU host the two are expected to tie.
+func BenchmarkRefineMC(b *testing.B) {
+	topo := torus.NewHopper3D(16, 12, 16)
+	a, err := alloc.Generate(topo, 512, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.RandomConnected(512, 2048, 100, 17)
+	base := core.MapUG(g, topo, a.Nodes)
+	ar := arena.New()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("torus/w%d", workers), func(b *testing.B) {
+			grp := parallel.NewGroup(context.Background(), workers)
+			nodeOf := make([]int32, len(base))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(nodeOf, base)
+				core.RefineCongestion(g, topo, a.Nodes, nodeOf, core.VolumeCongestion,
+					core.RefineOptions{Exec: &core.Exec{Par: grp, Arena: ar}})
+			}
+		})
+	}
 }
 
 // BenchmarkAblationGrouping compares SMP-style block grouping against

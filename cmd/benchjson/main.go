@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -32,10 +33,20 @@ type Benchmark struct {
 
 // Report is the emitted document.
 type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// CPUs is the GOMAXPROCS of the run that produced the benchmark
+	// text, parsed from the -N suffix go test stamps on every result
+	// name (falling back to the converting host's CPU count for
+	// suffix-less input). Parallel benchmarks (w1 vs w8
+	// sub-benchmarks) only show a speedup when this exceeds 1 — see
+	// the notes preamble.
+	CPUs int `json:"cpus"`
+	// Notes is the context preamble: -note flags first, then the
+	// automatic environment caveats (e.g. the single-CPU warning).
+	// Read it before comparing numbers across BENCH_PR*.json files.
 	Notes      []string    `json:"notes,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -60,7 +71,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	report.CPUs = recordedCPUs(report.Benchmarks)
 	report.Notes = notes
+	if report.CPUs == 1 {
+		report.Notes = append(report.Notes,
+			"recorded on a 1-CPU host: w1/w8 sub-benchmarks are expected to tie and portfolio solves cost roughly the sum of their candidates; re-record on a multi-core host for the parallel speedups (see docs/ARCHITECTURE.md, Benchmark records)")
+	}
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
@@ -79,6 +95,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// recordedCPUs extracts the GOMAXPROCS of the benchmark run from the
+// -N suffix of the result names ("BenchmarkEngineReuse/torus-8" → 8),
+// so a log recorded on a 1-CPU container keeps its caveat even when
+// converted on a multi-core workstation. go test stamps the suffix on
+// every result whenever GOMAXPROCS > 1; bare names mean 1 unless no
+// line carries a suffix at all, in which case the converting host is
+// the best available answer.
+func recordedCPUs(benchmarks []Benchmark) int {
+	cpus := 0
+	for _, b := range benchmarks {
+		n := 1
+		if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+			if v, err := strconv.Atoi(b.Name[i+1:]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if n > cpus {
+			cpus = n
+		}
+	}
+	if cpus <= 1 && runtime.NumCPU() == 1 {
+		// Suffix-less output is what GOMAXPROCS=1 produces; confirm
+		// against the host rather than trusting absence alone.
+		return 1
+	}
+	if cpus == 0 {
+		return runtime.NumCPU()
+	}
+	return cpus
 }
 
 // parse reads `go test -bench` output: header lines (goos/goarch/pkg/

@@ -1,0 +1,66 @@
+// Command docscheck verifies that the intra-repo markdown links of
+// the given files resolve. It is the `make docs` backstop against
+// documentation rot: a renamed file or a deleted section breaks the
+// build instead of a reader.
+//
+//	go run ./cmd/docscheck README.md ROADMAP.md docs/ARCHITECTURE.md
+//
+// Checked links are the inline [text](target) form. External targets
+// (http/https/mailto) and pure in-page anchors (#section) are skipped;
+// a relative target is resolved against the linking file's directory
+// and must exist (any #fragment is stripped first). Reference-style
+// definitions and autolinks are out of scope — the entry-point docs
+// only use the inline form.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links. The target group stops at the
+// first ')' — none of the checked docs link to paths containing
+// parentheses.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			broken++
+			continue
+		}
+		dir := filepath.Dir(file)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue // external
+				}
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue // in-page anchor
+				}
+				resolved := filepath.Join(dir, target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "docscheck: %s:%d: broken link %q (%s)\n",
+						file, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}

@@ -66,6 +66,123 @@ func TestEngineParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestRefineMCParallelDeterminism pins the parallel Algorithm 3
+// contract through the whole engine pipeline: the congestion-refining
+// mappers (UMC on the volume graph, UMMC on the message graph) must
+// produce byte-identical rankfiles, placements and metrics at
+// workers = 1, 2 and 8 on both a torus and a dragonfly. The instance
+// is dense enough (coarse graph of 64 allocated nodes) that candidate
+// scoring genuinely fans out rather than taking the gated serial
+// path.
+func TestRefineMCParallelDeterminism(t *testing.T) {
+	tg := ringTaskGraph(1024, 6)
+
+	torusTopo := NewHopperTorus(8, 8, 8)
+	ta, err := SparseAllocation(torusTopo, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfTopo, err := NewDragonfly(3, 10e9, 5e9, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := DragonflySparseHosts(dfTopo, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := []struct {
+		name string
+		topo Topology
+		a    *Allocation
+	}{{"torus", torusTopo, ta}, {"dragonfly", dfTopo, da}}
+
+	for _, tc := range topos {
+		eng, err := NewEngine(tc.topo, tc.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mp := range []Mapper{UMC, UMMC} {
+			base, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 7,
+				Options: []RequestOption{WithParallelism(1)}})
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", tc.name, mp, err)
+			}
+			baseRF := rankfileBytes(t, base, tc.a)
+			for _, workers := range []int{2, 8} {
+				got, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 7,
+					Options: []RequestOption{WithParallelism(workers)}})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", tc.name, mp, workers, err)
+				}
+				if !reflect.DeepEqual(got.NodeOf, base.NodeOf) || !reflect.DeepEqual(got.GroupOf, base.GroupOf) {
+					t.Fatalf("%s/%s workers=%d: placement diverged from workers=1", tc.name, mp, workers)
+				}
+				if got.Metrics != base.Metrics {
+					t.Fatalf("%s/%s workers=%d: metrics diverged:\n w1 %+v\n w%d %+v",
+						tc.name, mp, workers, base.Metrics, workers, got.Metrics)
+				}
+				if rf := rankfileBytes(t, got, tc.a); rf != baseRF {
+					t.Fatalf("%s/%s workers=%d: rankfile bytes diverged", tc.name, mp, workers)
+				}
+			}
+		}
+	}
+}
+
+// ringTaskGraph builds a ring of n tasks with deg extra deterministic
+// chords per vertex — a connected, moderately dense task graph with
+// no RNG dependency.
+func ringTaskGraph(n, deg int) *TaskGraph {
+	var us, vs []int32
+	var ws []int64
+	add := func(a, b int32, w int64) {
+		us = append(us, a, b)
+		vs = append(vs, b, a)
+		ws = append(ws, w, w)
+	}
+	for i := 0; i < n; i++ {
+		add(int32(i), int32((i+1)%n), 100)
+		for d := 0; d < deg; d++ {
+			// Deterministic chord pattern: varied strides spread the
+			// volume so congestion refinement has real work.
+			stride := 2 + (i*7+d*13)%(n/2)
+			add(int32(i), int32((i+stride)%n), int64(1+(i+d)%9))
+		}
+	}
+	return &TaskGraph{G: FromEdges(n, us, vs, ws), K: n}
+}
+
+// TestRefineMCCancellationMidRefinement: a deadline that lands inside
+// the congestion-refinement stage of a UMC solve must surface as the
+// context error well before an uncancelled solve would finish.
+func TestRefineMCCancellationMidRefinement(t *testing.T) {
+	tg := ringTaskGraph(1024, 6)
+	topo := NewHopperTorus(8, 8, 8)
+	a, err := SparseAllocation(topo, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm run to measure the instance (and warm the arena).
+	if _, err := eng.Run(Request{Mapper: UMC, Tasks: tg, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	began := time.Now()
+	_, err = eng.RunContext(ctx, Request{Mapper: UMC, Tasks: tg, Seed: 7,
+		Options: []RequestOption{WithParallelism(2)}})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
 // TestEngineParallelDefaultMatchesExplicit: a request without the
 // option (host default) must still match workers=1 — the default may
 // only change speed.

@@ -1,11 +1,12 @@
 package topomap_test
 
-// Godoc examples: compile-checked documentation of the two ways to
+// Godoc examples: compile-checked documentation of the three ways to
 // drive the library — the full paper pipeline through the Engine
-// service API, and the algorithms directly on a hand-built coarse
-// task graph.
+// service API, an objective-driven portfolio race, and the algorithms
+// directly on a hand-built coarse task graph.
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,6 +53,58 @@ func ExampleEngine_Run() {
 	fmt.Println("UWH weighted hops below DEF:", uwh.Metrics.WH <= def.Metrics.WH)
 	// Output:
 	// UWH weighted hops below DEF: true
+}
+
+// ExampleEngine_RunPortfolio declares an outcome instead of an
+// algorithm: race three candidate mappers toward "minimize the
+// maximum link congestion" and let the engine pick the winner. The
+// candidates fan out over one bounded pool, selection is
+// deterministic at any worker count, and the leaderboard reports
+// every candidate's score.
+func ExampleEngine_RunPortfolio() {
+	m, err := topomap.GenerateMatrix("mesh2d-a", topomap.Tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := topomap.NewHopperTorus(6, 6, 6)
+	a, err := topomap.SparseAllocation(topo, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := a.TotalProcs()
+	part, err := topomap.PartitionMatrix(topomap.PATOH, m, procs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tg, err := topomap.BuildTaskGraph(m, part, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := topomap.NewEngine(topo, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.RunPortfolio(context.Background(), topomap.PortfolioRequest{
+		Tasks:     tg,
+		Objective: topomap.MinimizeMetric("mc"),
+		Candidates: []topomap.Solve{
+			{Mapper: topomap.UWH, Seed: 1},
+			{Mapper: topomap.UMC, Seed: 1},
+			{Mapper: topomap.SMAP, Seed: 1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.Leaderboard[0]
+	fmt.Println("candidates raced:", len(res.Leaderboard))
+	fmt.Println("winner heads the leaderboard:", res.Winner == best.Index)
+	fmt.Println("winner has the lowest congestion score:",
+		best.Score <= res.Leaderboard[1].Score && best.Score <= res.Leaderboard[2].Score)
+	// Output:
+	// candidates raced: 3
+	// winner heads the leaderboard: true
+	// winner has the lowest congestion score: true
 }
 
 // ExampleGreedyMap drives the algorithms directly: a hand-built

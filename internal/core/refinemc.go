@@ -196,24 +196,35 @@ func (cs *congState) edgeLoad(i int) int64 {
 // modes differ by a constant factor per mode, which comparisons never
 // see. a != b must hold.
 func (cs *congState) forEachRouteLink(a, b int, fn func(l int32, mult int64)) {
-	if cs.multipath == nil {
-		cs.routeBuf = cs.topo.Route(a, b, cs.routeBuf[:0])
-		for _, l := range cs.routeBuf {
+	cs.routeBuf = routeLinks(cs.topo, cs.multipath, a, b, cs.routeBuf, fn)
+}
+
+// routeLinks is the buffer-explicit core of forEachRouteLink, shared
+// between the congState (commit path) and the concurrent swap scorers:
+// each caller passes its own route buffer, so parallel scoring never
+// shares mutable scratch. It returns the (possibly grown) buffer.
+// Topology Route/ForEachMinimalRoute implementations use call-local
+// state only, so concurrent read-only callers are safe.
+func routeLinks(topo torus.Topology, multipath torus.MultipathTopology, a, b int, buf []int32, fn func(l int32, mult int64)) []int32 {
+	if multipath == nil {
+		buf = topo.Route(a, b, buf[:0])
+		for _, l := range buf {
 			fn(l, 1)
 		}
-		return
+		return buf
 	}
-	p := int64(cs.multipath.NumMinimalRoutes(a, b))
-	scale := cs.multipath.RouteScale()
+	p := int64(multipath.NumMinimalRoutes(a, b))
+	scale := multipath.RouteScale()
 	if p <= 0 || scale%p != 0 {
 		panic("core: topology RouteScale not divisible by its route count")
 	}
 	mult := scale / p
-	cs.multipath.ForEachMinimalRoute(a, b, func(route []int32) {
+	multipath.ForEachMinimalRoute(a, b, func(route []int32) {
 		for _, l := range route {
 			fn(l, mult)
 		}
 	})
+	return buf
 }
 
 // acNum and acDen expose AC = sumKeys/usedLinks as an exact fraction.
@@ -224,15 +235,16 @@ func (cs *congState) ac() (num, den int64) {
 	return cs.sumKeys, int64(cs.usedLinks)
 }
 
-// collectSwapDeltas fills cs.deltaL (per-link load deltas) for
-// swapping tasks a and b, without applying anything.
-func (cs *congState) collectSwapDeltas(a, b int32) {
-	for _, l := range cs.touched {
-		cs.deltaL[l] = 0
-	}
-	cs.touched = cs.touched[:0]
-	cs.linkGen++
-	cs.edgeGen++
+// forEachSwapEdge enumerates every directed edge incident to the
+// swap pair (a, b), deduplicated through the caller's generation
+// marks, handing each to visit with its old and new endpoint
+// placements under the hypothetical a↔b exchange. It is THE single
+// copy of the swap-edge traversal: the commit path (collectSwapDeltas,
+// updateEdgeSets) and the read-only scorers all route through it, so
+// the scorer can never drift from what a commit would do. It reads
+// only shared immutable state plus st.nodeOf; edgeSeen is the
+// caller's scratch, which is what keeps concurrent scorers race-free.
+func (cs *congState) forEachSwapEdge(a, b int32, edgeSeen []int32, edgeGen int32, visit func(i int32, oldA, oldB, newA, newB int32)) {
 	ma, mb := cs.st.nodeOf[a], cs.st.nodeOf[b]
 	newNode := func(t int32) int32 {
 		switch t {
@@ -244,25 +256,12 @@ func (cs *congState) collectSwapDeltas(a, b int32) {
 			return cs.st.nodeOf[t]
 		}
 	}
-	// handleEdge reroutes directed edge i = (src, dst) through the
-	// pre-bound deltaFn visitor (closure allocation here would be one
-	// per edge per evaluated swap).
 	handleEdge := func(i int32, src, dst int32) {
-		if cs.edgeSeen[i] == cs.edgeGen {
+		if edgeSeen[i] == edgeGen {
 			return
 		}
-		cs.edgeSeen[i] = cs.edgeGen
-		w := cs.edgeLoad(int(i))
-		oldA, oldB := cs.st.nodeOf[src], cs.st.nodeOf[dst]
-		if oldA != oldB {
-			cs.curW = -w
-			cs.forEachRouteLink(int(oldA), int(oldB), cs.deltaFn)
-		}
-		nA, nB := newNode(src), newNode(dst)
-		if nA != nB {
-			cs.curW = w
-			cs.forEachRouteLink(int(nA), int(nB), cs.deltaFn)
-		}
+		edgeSeen[i] = edgeGen
+		visit(i, cs.st.nodeOf[src], cs.st.nodeOf[dst], newNode(src), newNode(dst))
 	}
 	for _, t := range [2]int32{a, b} {
 		for i := cs.g.Xadj[t]; i < cs.g.Xadj[t+1]; i++ {
@@ -273,6 +272,30 @@ func (cs *congState) collectSwapDeltas(a, b int32) {
 			}
 		}
 	}
+}
+
+// collectSwapDeltas fills cs.deltaL (per-link load deltas) for
+// swapping tasks a and b, without applying anything. The deltas flow
+// through the pre-bound deltaFn visitor (a closure allocated here
+// would be one per edge per evaluated swap).
+func (cs *congState) collectSwapDeltas(a, b int32) {
+	for _, l := range cs.touched {
+		cs.deltaL[l] = 0
+	}
+	cs.touched = cs.touched[:0]
+	cs.linkGen++
+	cs.edgeGen++
+	cs.forEachSwapEdge(a, b, cs.edgeSeen, cs.edgeGen, func(i, oldA, oldB, newA, newB int32) {
+		w := cs.edgeLoad(int(i))
+		if oldA != oldB {
+			cs.curW = -w
+			cs.forEachRouteLink(int(oldA), int(oldB), cs.deltaFn)
+		}
+		if newA != newB {
+			cs.curW = w
+			cs.forEachRouteLink(int(newA), int(newB), cs.deltaFn)
+		}
+	})
 }
 
 // applyDeltas pushes the collected deltas into the heap and load
@@ -306,55 +329,200 @@ func (cs *congState) applyDeltas(sign int64) {
 func (cs *congState) commitSwap(a, b int32) {
 	ma, mb := cs.st.nodeOf[a], cs.st.nodeOf[b]
 	// Remove memberships for old routes of all incident edges (both
-	// directions), then re-add for new routes.
-	cs.updateEdgeSets(a, b, ma, mb)
+	// directions), then re-add for new routes — before place() flips
+	// the shared nodeOf the traversal reads.
+	cs.updateEdgeSets(a, b)
 	cs.st.place(a, mb)
 	cs.st.place(b, ma)
 }
 
-func (cs *congState) updateEdgeSets(a, b, ma, mb int32) {
-	newNode := func(t int32) int32 {
-		switch t {
-		case a:
-			return mb
-		case b:
-			return ma
-		default:
-			return cs.st.nodeOf[t]
-		}
-	}
+func (cs *congState) updateEdgeSets(a, b int32) {
 	cs.edgeGen++
-	handle := func(i int32, src, dst int32) {
-		if cs.edgeSeen[i] == cs.edgeGen {
-			return
-		}
-		cs.edgeSeen[i] = cs.edgeGen
+	cs.forEachSwapEdge(a, b, cs.edgeSeen, cs.edgeGen, func(i, oldA, oldB, newA, newB int32) {
 		cs.curEdge = int(i)
-		oldA, oldB := cs.st.nodeOf[src], cs.st.nodeOf[dst]
 		if oldA != oldB {
 			cs.forEachRouteLink(int(oldA), int(oldB), cs.delFn)
 		}
-		nA, nB := newNode(src), newNode(dst)
-		if nA != nB {
-			cs.forEachRouteLink(int(nA), int(nB), cs.addFn)
+		if newA != newB {
+			cs.forEachRouteLink(int(newA), int(newB), cs.addFn)
+		}
+	})
+}
+
+// congScore is the outcome a hypothetical swap would commit to: the
+// new maximum congestion key and the new AC value as an exact
+// fraction. Scores are what the deterministic commit rule compares.
+type congScore struct {
+	max   int64
+	acNum int64
+	acDen int64
+}
+
+// better reports whether the score improves on the current state —
+// strictly lower maximum congestion, or equal maximum with strictly
+// lower average congestion: the acceptance rule of Algorithm 3.
+func (s congScore) better(curMax, curACnum, curACden int64) bool {
+	return s.max < curMax || (s.max == curMax && s.acNum*curACden < curACnum*s.acDen)
+}
+
+// beats orders two candidate scores for the commit rule: lower
+// maximum first, then lower AC. A tie keeps the earlier candidate, so
+// selection is deterministic by candidate index.
+func (s congScore) beats(o congScore) bool {
+	return s.max < o.max || (s.max == o.max && s.acNum*o.acDen < o.acNum*s.acDen)
+}
+
+// congScorer evaluates one hypothetical swap read-only: it collects
+// the per-link load deltas into its own scratch and derives the
+// post-swap (max congestion, AC) from the shared congState without
+// touching the state's loads, heap or link-membership sets. Between
+// two commits the shared state is frozen, so one scorer per candidate
+// slot lets candidate evaluation fan out over the solve's worker pool
+// race-free; the chosen swap is then committed serially through the
+// congState. A scorer run serially produces exactly the values the
+// serial apply/peek/revert chain observed, which is what keeps the
+// mapping byte-identical at every worker count.
+type congScorer struct {
+	cs       *congState
+	deltaL   []int64 // scratch: per-link load delta
+	touched  []int32 // links touched by the current evaluation
+	linkSeen []int32 // per-link generation stamp (dedupes touched)
+	linkGen  int32
+	edgeSeen []int32 // per-edge generation stamp
+	edgeGen  int32
+	routeBuf []int32
+
+	// Pre-bound visitor and skip predicate (see congState.deltaFn):
+	// built once per scorer so the per-edge inner loops and the heap
+	// query allocate nothing.
+	curW    int64
+	deltaFn func(l int32, mult int64)
+	skipFn  func(item int) bool
+}
+
+func newCongScorer(cs *congState) *congScorer {
+	ar := cs.st.ex.arenaOf()
+	sc := &congScorer{
+		cs:       cs,
+		deltaL:   ar.Int64s(cs.topo.Links()),
+		linkSeen: ar.Int32s(cs.topo.Links()),
+		edgeSeen: ar.Int32s(cs.g.M()),
+	}
+	sc.deltaFn = func(l int32, mult int64) { sc.addDelta(l, sc.curW*mult) }
+	sc.skipFn = func(item int) bool { return sc.linkSeen[item] == sc.linkGen }
+	return sc
+}
+
+// release returns the scorer's arena-backed buffers.
+func (sc *congScorer) release() {
+	ar := sc.cs.st.ex.arenaOf()
+	ar.PutInt64s(sc.deltaL)
+	ar.PutInt32s(sc.linkSeen)
+	ar.PutInt32s(sc.edgeSeen)
+	sc.deltaL, sc.linkSeen, sc.edgeSeen = nil, nil, nil
+}
+
+func (sc *congScorer) addDelta(l int32, d int64) {
+	if sc.linkSeen[l] != sc.linkGen {
+		sc.linkSeen[l] = sc.linkGen
+		sc.touched = append(sc.touched, l)
+	}
+	sc.deltaL[l] += d
+}
+
+// score evaluates swapping tasks a and b. It mirrors the commit
+// path's collectSwapDeltas + applyDeltas(1) + Peek + ac() + revert,
+// but entirely on the scorer's own scratch: shared state (placements,
+// loads, heap keys, AC sums) is only read.
+func (sc *congScorer) score(a, b int32) congScore {
+	cs := sc.cs
+	for _, l := range sc.touched {
+		sc.deltaL[l] = 0
+	}
+	sc.touched = sc.touched[:0]
+	sc.linkGen++
+	sc.edgeGen++
+	// The traversal is the shared forEachSwapEdge — identical to what
+	// a commit of this swap would walk — with the scorer's own
+	// edgeSeen marks and route buffer, so concurrent scorers only
+	// read the shared state.
+	cs.forEachSwapEdge(a, b, sc.edgeSeen, sc.edgeGen, func(i, oldA, oldB, newA, newB int32) {
+		w := cs.edgeLoad(int(i))
+		if oldA != oldB {
+			sc.curW = -w
+			sc.routeBuf = routeLinks(cs.topo, cs.multipath, int(oldA), int(oldB), sc.routeBuf, sc.deltaFn)
+		}
+		if newA != newB {
+			sc.curW = w
+			sc.routeBuf = routeLinks(cs.topo, cs.multipath, int(newA), int(newB), sc.routeBuf, sc.deltaFn)
+		}
+	})
+	// Post-swap aggregates: untouched links keep their heap keys —
+	// MaxKeyExcept reads them without mutating the shared heap — and
+	// touched links re-key as (load+delta)*scale with the used-link
+	// accounting of applyDeltas.
+	newMax := cs.congHeap.MaxKeyExcept(sc.skipFn)
+	sum := cs.sumKeys
+	used := cs.usedLinks
+	for _, l := range sc.touched {
+		dl := sc.deltaL[l]
+		oldLoad := cs.load[l]
+		newLoad := oldLoad + dl
+		key := newLoad * cs.scale[l]
+		if key > newMax {
+			newMax = key
+		}
+		if dl == 0 {
+			continue
+		}
+		switch {
+		case oldLoad > 0 && newLoad == 0:
+			used--
+			sum -= oldLoad * cs.scale[l]
+		case oldLoad == 0 && newLoad > 0:
+			used++
+			sum += key
+		case oldLoad > 0:
+			sum += key - oldLoad*cs.scale[l]
 		}
 	}
-	for _, t := range [2]int32{a, b} {
-		for i := cs.g.Xadj[t]; i < cs.g.Xadj[t+1]; i++ {
-			u := cs.g.Adj[i]
-			handle(int32(i), t, u)
-			if j := cs.revEdge[i]; j >= 0 {
-				handle(j, u, t)
-			}
-		}
+	if newMax < 0 {
+		newMax = 0 // empty heap corner: nothing routed anywhere
 	}
+	if used == 0 {
+		return congScore{max: newMax, acNum: 0, acDen: 1}
+	}
+	return congScore{max: newMax, acNum: sum, acDen: int64(used)}
+}
+
+// congScoreParMinWork gates the scoring fan-out, in edge-link
+// traversals per candidate evaluation: below it, handing a candidate
+// to the pool costs more than scoring it inline, so small instances
+// keep the serial fast path. The gate depends only on the instance —
+// never on the worker count — and the commit rule is identical on
+// both paths, so it affects wall-clock only, never bytes.
+const congScoreParMinWork = 256
+
+// congScoreWork estimates the edge-link traversals of one candidate
+// evaluation: the two swapped tasks re-route every incident directed
+// edge twice (old and new placement) over routes bounded by half the
+// topology diameter — 2 × average degree × diameter.
+func congScoreWork(g *graph.Graph, topo torus.Topology) int {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * (g.M() / g.N()) * topo.Diameter()
 }
 
 // RefineCongestion runs Algorithm 3 on a complete mapping, mutating
 // nodeOf in place. It repeatedly examines the most congested link and
-// accepts task swaps that lower MC (lexicographically: lower MC, or
-// equal MC with lower AC); it stops when the most congested link
-// cannot be improved. Returns the number of swaps applied.
+// swaps tasks to lower MC (lexicographically: lower MC, or equal MC
+// with lower AC); per task it scores up to Delta BFS-ordered swap
+// candidates — fanned out over opt.Exec's worker pool on instances
+// past the work gate — and commits the best-scoring improving one,
+// ties broken by candidate index. It stops when the most congested
+// link cannot be improved. The mapping is byte-identical at every
+// worker count. Returns the number of swaps applied.
 func RefineCongestion(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []int32, kind CongestionKind, opt RefineOptions) int {
 	return refineCongestion(g, topo, nil, allocNodes, nodeOf, kind, opt)
 }
@@ -382,13 +550,38 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 	cs := newCongState(g, topo, st, kind, multipath)
 	defer cs.release()
 
+	// Candidate scoring is read-only between commits, so it fans out
+	// over the request's worker pool: slot i scores candidate i on its
+	// own scratch, and the commit rule — best score, ties broken by
+	// candidate index — is applied to the same candidate prefix the
+	// serial chain would have examined, so the mapping is
+	// byte-identical at every worker count. The serial path (gated-off
+	// fan-out, or one free worker) scores the same batch inline with
+	// one scorer and commits by the same rule.
+	serialScorer := newCongScorer(cs)
+	defer serialScorer.release()
+	var scorers []*congScorer
+	if ex.par().NumWorkers() > 1 && congScoreWork(g, topo) >= congScoreParMinWork {
+		scorers = make([]*congScorer, opt.Delta)
+		for i := range scorers {
+			scorers[i] = newCongScorer(cs)
+		}
+		defer func() {
+			for _, sc := range scorers {
+				sc.release()
+			}
+		}()
+	}
+	cands := make([]int32, 0, opt.Delta)
+	scores := make([]congScore, opt.Delta)
+
 	swaps := 0
 	maxIters := 4 * topo.Links()
 	seeds := make([]int32, 0, 16)
 	var tasksBuf []int32
 	for iter := 0; iter < maxIters; iter++ {
 		if ex.cancelled() {
-			break
+			break // polled between commit rounds
 		}
 		emc, curMax := cs.congHeap.Peek()
 		if curMax == 0 {
@@ -413,8 +606,9 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 			if len(seeds) == 0 {
 				continue
 			}
-			tried := 0
-			var accepted bool
+			// Collect up to Delta swap partners in BFS order — the
+			// exact prefix the serial chain of Algorithm 3 examines.
+			cands = cands[:0]
 			cs.st.bfs(seeds, func(node, lv int32) bool {
 				if !cs.st.allocated[node] || node == cs.st.nodeOf[tmc] {
 					return true
@@ -423,26 +617,43 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 				if t < 0 || t == tmc {
 					return true
 				}
-				tried++
-				cs.collectSwapDeltas(tmc, t)
-				cs.applyDeltas(1)
-				_, newMax := cs.congHeap.Peek()
-				newACnum, newACden := cs.ac()
-				better := newMax < curMax ||
-					(newMax == curMax && newACnum*curACden < curACnum*newACden)
-				if better {
-					cs.commitSwap(tmc, t)
-					swaps++
-					accepted = true
-					return false
-				}
-				cs.applyDeltas(-1) // revert
-				return tried < opt.Delta
+				cands = append(cands, t)
+				return len(cands) < opt.Delta
 			})
-			if accepted {
-				improvedLink = true
-				break taskLoop
+			if len(cands) == 0 {
+				continue
 			}
+			if scorers != nil && len(cands) > 1 {
+				ex.par().ForEachIdx(len(cands), func(i int) {
+					scores[i] = scorers[i].score(tmc, cands[i])
+				})
+			} else {
+				for i, t := range cands {
+					scores[i] = serialScorer.score(tmc, t)
+				}
+			}
+			chosen := -1
+			for i := range cands {
+				if !scores[i].better(curMax, curACnum, curACden) {
+					continue
+				}
+				if chosen < 0 || scores[i].beats(scores[chosen]) {
+					chosen = i
+				}
+			}
+			if chosen < 0 {
+				continue
+			}
+			// Commit serially on the shared state: re-collect the
+			// winner's deltas, push them into the loads and heap, and
+			// update the link-membership sets.
+			t := cands[chosen]
+			cs.collectSwapDeltas(tmc, t)
+			cs.applyDeltas(1)
+			cs.commitSwap(tmc, t)
+			swaps++
+			improvedLink = true
+			break taskLoop
 		}
 		if !improvedLink {
 			break // the most congested link cannot be improved

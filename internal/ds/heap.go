@@ -5,6 +5,8 @@
 // none of them is safe for concurrent mutation.
 package ds
 
+import "math"
+
 // IndexedMaxHeap is a binary max-heap over the items 0..n-1 keyed by
 // int64 priorities. It supports O(log n) push, pop, removal and
 // arbitrary key updates, which the mapping algorithms need for their
@@ -78,6 +80,33 @@ func (h *IndexedMaxHeap) Peek() (item int, key int64) {
 		panic("ds: Peek of empty heap")
 	}
 	return int(h.heap[0]), h.keys[h.heap[0]]
+}
+
+// MaxKeyExcept returns the maximum key over the items for which skip
+// reports false, or math.MinInt64 when the heap is empty or every item
+// is skipped. It is read-only — safe for any number of concurrent
+// callers as long as nobody mutates the heap — and visits O(k) nodes
+// for k skipped items: the descent only continues below a skipped
+// node, because an unskipped node already bounds its whole subtree.
+// The congestion refinement uses it to score hypothetical swaps
+// without temporarily updating the shared heap.
+func (h *IndexedMaxHeap) MaxKeyExcept(skip func(item int) bool) int64 {
+	return h.maxKeyExcept(0, skip)
+}
+
+func (h *IndexedMaxHeap) maxKeyExcept(i int, skip func(item int) bool) int64 {
+	if i >= len(h.heap) {
+		return math.MinInt64
+	}
+	it := h.heap[i]
+	if !skip(int(it)) {
+		return h.keys[it]
+	}
+	best := h.maxKeyExcept(2*i+1, skip)
+	if r := h.maxKeyExcept(2*i+2, skip); r > best {
+		best = r
+	}
+	return best
 }
 
 // Update sets the key of an item already in the heap.

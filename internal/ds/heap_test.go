@@ -1,6 +1,7 @@
 package ds
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -237,5 +238,46 @@ func TestIndexedMaxHeapClear(t *testing.T) {
 	h.Push(3, 1)
 	if item, _ := h.Peek(); item != 3 {
 		t.Fatal("heap unusable after Clear")
+	}
+}
+
+// TestMaxKeyExcept checks the read-only max query against a brute
+// force over random heaps and random skip sets, including the
+// everything-skipped and empty-heap corners.
+func TestMaxKeyExcept(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(24)
+		h := NewIndexedMaxHeap(n)
+		keys := make(map[int]int64)
+		for item := 0; item < n; item++ {
+			if rng.Intn(4) == 0 {
+				continue // leave some items out of the heap
+			}
+			k := int64(rng.Intn(7)) // narrow range: force key ties
+			h.Push(item, k)
+			keys[item] = k
+		}
+		skip := make(map[int]bool)
+		for item := range keys {
+			if rng.Intn(3) == 0 {
+				skip[item] = true
+			}
+		}
+		want := int64(math.MinInt64)
+		for item, k := range keys {
+			if !skip[item] && k > want {
+				want = k
+			}
+		}
+		got := h.MaxKeyExcept(func(item int) bool { return skip[item] })
+		if got != want {
+			t.Fatalf("trial %d: MaxKeyExcept = %d, want %d (n=%d heap=%d skipped=%d)",
+				trial, got, want, n, h.Len(), len(skip))
+		}
+	}
+	empty := NewIndexedMaxHeap(4)
+	if got := empty.MaxKeyExcept(func(int) bool { return false }); got != math.MinInt64 {
+		t.Fatalf("empty heap MaxKeyExcept = %d, want MinInt64", got)
 	}
 }

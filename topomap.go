@@ -49,6 +49,14 @@
 // result, and returns a deterministic winner plus the per-candidate
 // leaderboard. The winning mapper genuinely varies by topology and
 // graph shape (see examples/portfolio), which is the point.
+//
+// Inside one request, the whole solve pipeline — grouping bisection,
+// greedy construction, WH and congestion refinement, metric
+// evaluation — runs on a single bounded worker pool
+// (WithParallelism / Solve.Workers) with a hard determinism
+// contract: worker count changes wall-clock only, never bytes.
+// docs/ARCHITECTURE.md maps the paper's algorithms onto the packages
+// and diagrams the pipeline and the service layers on top.
 package topomap
 
 import (
@@ -117,19 +125,32 @@ type (
 
 // Dataset tiers.
 const (
-	Tiny  = gen.Tiny
+	// Tiny is the CI-sized tier: seconds-scale figure regeneration.
+	Tiny = gen.Tiny
+	// Small is the intermediate tier for local experimentation.
 	Small = gen.Small
+	// Large approaches the paper's original matrix scales.
 	Large = gen.Large
 )
 
-// Partitioner personalities (§IV-A).
+// Partitioner personalities (§IV-A): the five external tools of the
+// evaluation emulated over the repo's two multilevel partitioners,
+// plus the three UMPA objectives.
 const (
+	// SCOTCH emulates the Scotch graph partitioner personality.
 	SCOTCH = partitioners.SCOTCHP
+	// KAFFPA emulates the KaFFPa graph partitioner personality.
 	KAFFPA = partitioners.KAFFPAP
-	METIS  = partitioners.METISP
-	PATOH  = partitioners.PATOHP
+	// METIS emulates the METIS graph partitioner personality.
+	METIS = partitioners.METISP
+	// PATOH emulates the PaToH hypergraph partitioner personality
+	// (the default of the paper's pipeline).
+	PATOH = partitioners.PATOHP
+	// UMPAMV is UMPA minimizing the maximum send volume.
 	UMPAMV = partitioners.UMPAMV
+	// UMPAMM is UMPA minimizing the maximum send message count.
 	UMPAMM = partitioners.UMPAMM
+	// UMPATM is UMPA minimizing the total message count.
 	UMPATM = partitioners.UMPATM
 )
 
@@ -234,12 +255,29 @@ type Mapper string
 // default, two baselines, four UMPA variants), then the extension
 // variants the paper sketches but does not plot.
 const (
-	DEF  Mapper = "DEF"
+	// DEF is the SMP-style default mapping of Hopper: ranks fill the
+	// allocated nodes in scheduler order, block by block — the
+	// baseline every figure normalizes to.
+	DEF Mapper = "DEF"
+	// TMAP is the LibTopoMap-like baseline: recursive bipartitioning
+	// with MC as its primary metric, falling back to DEF when it
+	// cannot improve on it.
 	TMAP Mapper = "TMAP"
+	// SMAP is the Scotch-like baseline: dual recursive
+	// bipartitioning of the task graph and the allocated nodes.
 	SMAP Mapper = "SMAP"
-	UG   Mapper = "UG"
-	UWH  Mapper = "UWH"
-	UMC  Mapper = "UMC"
+	// UG is the paper's greedy construction alone (Algorithm 1, the
+	// better of NBFS ∈ {0,1}).
+	UG Mapper = "UG"
+	// UWH is UG followed by weighted-hop swap refinement
+	// (Algorithm 2) — the paper's speed/quality sweet spot.
+	UWH Mapper = "UWH"
+	// UMC is UG followed by volume-congestion refinement
+	// (Algorithm 3), minimizing the maximum link congestion MC.
+	UMC Mapper = "UMC"
+	// UMMC is UG followed by message-congestion refinement: the
+	// Algorithm 3 adaptation that counts messages per link (MMC)
+	// instead of volume.
 	UMMC Mapper = "UMMC"
 	// UTH is the TH-objective variant (§III: "adaptation ... trivial").
 	UTH Mapper = "UTH"

@@ -43,22 +43,22 @@ bench:
 # tracked alongside ns/op — and record them as JSON diffable PR over
 # PR (BENCH_PR<n>.json). The large parallel-solve and refinement
 # instances run at a lower iteration count: one solve is ~10^8 ns.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 BENCH_NOTES ?=
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
 	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch|Portfolio)' -benchmem -benchtime=50x -count=1 . > $$tmp; \
-	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve|BenchmarkRefineMC' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
+	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve|BenchmarkRefineMC|BenchmarkRemapVsCold' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) $(BENCH_NOTES) < $$tmp
 	@echo "wrote $(BENCH_OUT)"
 
 # Race gate: the engine's concurrent paths (batch pool, intra-request
-# parallelism, portfolio racing, the parallel congestion refinement
-# and the Solve shim equivalence), the parallel/metrics/partition/
-# arena/core plumbing those are built on, plus the whole mapd service
-# package (concurrent clients, portfolio endpoint, cache churn,
-# cancellation, multi-slot accounting).
+# parallelism, portfolio racing, incremental remapping, the parallel
+# congestion refinement and the Solve shim equivalence), the parallel/
+# metrics/partition/arena/core/remap plumbing those are built on, plus
+# the whole mapd service package (concurrent clients, portfolio and
+# remap endpoints, cache churn, cancellation, multi-slot accounting).
 race:
-	$(GO) test -race -run='Engine|Batch|Portfolio|Solve|RefineMC' .
-	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/... ./internal/core/...
+	$(GO) test -race -run='Engine|Batch|Portfolio|Solve|RefineMC|Remap' .
+	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/... ./internal/core/... ./internal/remap/...
 	$(GO) test -race ./internal/service/...

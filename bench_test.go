@@ -675,6 +675,83 @@ func BenchmarkAblationGrouping(b *testing.B) {
 	})
 }
 
+// BenchmarkRemapVsCold measures the incremental-remap win (PR 6): a
+// single node death on a 4096-task instance, handled warm — route
+// cache patched in place, only the stranded tasks migrated, WH
+// refinement warm-started — against the cold path a naive client pays
+// (rebuild the post-delta engine, re-solve from scratch). The fence
+// is disabled so the remap side times the pure warm pipeline; the
+// pairReuse% metric reports the fraction of per-pair route state the
+// patch reused verbatim (single-node removal keeps every surviving
+// pair, so it reads 100).
+func BenchmarkRemapVsCold(b *testing.B) {
+	tg := parallelBenchInstance(b, 4096)
+	type instance struct {
+		name string
+		topo topomap.Topology
+		a    *alloc.Allocation
+	}
+	var instances []instance
+
+	// 257 allocated nodes x 16 procs leave one node of slack, so a
+	// node death keeps the 4096 tasks feasible.
+	topo := torus.NewHopper3D(16, 12, 16)
+	ta, err := alloc.Generate(topo, 257, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances = append(instances, instance{"torus", topo, ta})
+
+	df, err := dragonfly.New(4, 10e9, 5e9, 4e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	da, err := dragonfly.SparseHosts(df, 257, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances = append(instances, instance{"dragonfly", df, da})
+
+	for _, inst := range instances {
+		eng, err := topomap.NewEngine(inst.topo, inst.a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev, err := eng.RunSolve(context.Background(), tg, topomap.Solve{Mapper: topomap.UWH, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta := topomap.AllocationDelta{Remove: []int32{inst.a.Nodes[len(inst.a.Nodes)/2]}}
+		b.Run(inst.name+"/remap", func(b *testing.B) {
+			var reuse float64
+			for i := 0; i < b.N; i++ {
+				rres, err := eng.RunRemap(context.Background(), tg, prev, delta,
+					topomap.RemapSpec{FenceThreshold: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reuse = float64(rres.PairsReused) / float64(rres.PairsTotal) * 100
+			}
+			b.ReportMetric(reuse, "pairReuse%")
+		})
+		next, err := delta.Apply(inst.topo, inst.a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(inst.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ne, err := topomap.NewEngine(inst.topo, next)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ne.RunSolve(context.Background(), tg, topomap.Solve{Mapper: topomap.UWH, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- parallel solve benchmarks (PR 3) --------------------------------
 
 // parallelBenchInstance builds one large solve instance: a random

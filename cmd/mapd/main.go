@@ -10,6 +10,7 @@
 //	POST /v1/map        one mapping job
 //	POST /v1/map/batch  several mappers against one shared engine
 //	POST /v1/portfolio  candidate solves raced toward an objective
+//	POST /v1/remap      incremental remap of a cached result onto a changed allocation
 //	GET  /v1/mappers    registered mappers with capability flags
 //	GET  /healthz       liveness
 //	GET  /statusz       live counters (requests, portfolio, cache, latency)
@@ -53,6 +54,7 @@ func main() {
 	maxPar := flag.Int("max-parallelism", 0, "cap on a single request's `parallelism` field (0 = GOMAXPROCS, clamped to -workers)")
 	cacheSize := flag.Int("cache", 32, "engine cache entries (topology+allocation pairs)")
 	maxCand := flag.Int("max-candidates", 0, "cap on a portfolio request's explicit candidate list (0 = 16)")
+	results := flag.Int("results", 0, "recent results /v1/remap can reference by fingerprint (0 = 128)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 		MaxParallelism:         *maxPar,
 		CacheSize:              *cacheSize,
 		MaxPortfolioCandidates: *maxCand,
+		ResultCacheSize:        *results,
 		DefaultTimeout:         *timeout,
 	})
 	hs := &http.Server{

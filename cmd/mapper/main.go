@@ -16,10 +16,12 @@
 //	mapper -matrix cagelike -procs 256 -algo UMC -topology dragonfly -dragonfly-h 3
 //	mapper -matrix cagelike -procs 256 -portfolio all -objective mc -torus 8x8x8
 //	mapper -graph app.tgraph -portfolio UWH,UMC,UMMC -objective mc:0.7,wh:0.3
+//	mapper -graph app.tgraph -algo UWH -remap '{"remove":[12],"add":[{"node":40,"procs":16}]}'
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,7 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	procs := fs.Int("procs", 256, "number of MPI processes (with -matrix)")
 	algo := fs.String("algo", "UWH", "mapper: "+mapperList())
 	portfolio := fs.String("portfolio", "", "race a comma-separated mapper portfolio (or 'all' for every compatible mapper) instead of -algo, selecting by -objective")
-	objective := fs.String("objective", "", "portfolio objective: a metric name ("+strings.Join(topomap.ObjectiveMetricNames(), " ")+"; default wh) or weighted metric:weight terms, e.g. mc:0.7,wh:0.3")
+	objective := fs.String("objective", "", "objective: a metric name ("+strings.Join(topomap.ObjectiveMetricNames(), " ")+"; default wh) or weighted metric:weight terms, e.g. mc:0.7,wh:0.3; selects the -portfolio winner or scores the -remap fence")
+	remapDelta := fs.String("remap", "", `after solving, remap incrementally under an allocation-delta JSON, e.g. '{"remove":[12],"add":[{"node":40,"procs":16}]}'`)
+	fence := fs.Float64("fence", 0, "allowed relative objective regression of the warm -remap path before the cold fallback runs (0 = default 5%, negative disables)")
 	topoKind := fs.String("topology", "torus", "network family: torus, fattree, dragonfly")
 	torusSpec := fs.String("torus", "8x8x8", "torus dimensions XxYxZ (with -topology torus)")
 	mesh := fs.Bool("mesh", false, "use a mesh (no wraparound) instead of a torus")
@@ -78,8 +82,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	if *objective != "" && *portfolio == "" {
-		return fail(fmt.Errorf("-objective only drives -portfolio selection; add -portfolio (or drop -objective)"))
+	if *objective != "" && *portfolio == "" && *remapDelta == "" {
+		return fail(fmt.Errorf("-objective drives -portfolio selection or the -remap fence; add -portfolio or -remap (or drop -objective)"))
+	}
+	var delta topomap.AllocationDelta
+	if *remapDelta != "" {
+		dec := json.NewDecoder(strings.NewReader(*remapDelta))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&delta); err != nil {
+			return fail(fmt.Errorf("bad -remap delta: %w", err))
+		}
+		if delta.Empty() {
+			return fail(fmt.Errorf("-remap delta changes nothing"))
+		}
 	}
 	if obj.NeedsSim() {
 		return fail(fmt.Errorf("objective %s needs a simulation spec, which the CLI does not provide; use the library or mapd portfolio API", topomap.SimSecondsMetric))
@@ -204,6 +219,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+	}
+	if *remapDelta != "" {
+		rres, err := eng.RunRemap(context.Background(), tg, res, delta, topomap.RemapSpec{
+			Solve:          topomap.Solve{Seed: *seed, Workers: *workers},
+			Objective:      obj,
+			FenceThreshold: *fence,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "remap: migrated %d tasks, reused %d/%d route pairs\n",
+			rres.MigratedTasks, rres.PairsReused, rres.PairsTotal)
+		switch {
+		case rres.FenceTripped && !rres.Warm:
+			fmt.Fprintf(stdout, "remap: fence tripped (prev %.6g, warm %.6g); cold fallback won at %.6g\n",
+				rres.PrevScore, rres.WarmScore, rres.ColdScore)
+		case rres.FenceTripped:
+			fmt.Fprintf(stdout, "remap: fence tripped (prev %.6g, warm %.6g); warm still beat the cold fallback (%.6g)\n",
+				rres.PrevScore, rres.WarmScore, rres.ColdScore)
+		default:
+			fmt.Fprintf(stdout, "remap: warm result kept (prev %.6g, warm %.6g)\n", rres.PrevScore, rres.WarmScore)
+		}
+		// Downstream output — metrics, rankfile, viz — describes the
+		// post-delta mapping on the post-delta allocation.
+		res, a = rres.Result, rres.Allocation
 	}
 	if *rankFile != "" {
 		f, err := os.Create(*rankFile)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -170,6 +171,91 @@ func TestMapperListDerivedFromRegistry(t *testing.T) {
 		if !strings.Contains(list, string(mp)) {
 			t.Fatalf("mapper list %q missing %s", list, mp)
 		}
+	}
+}
+
+// TestRunRemapFlag drives the -remap surface: a node-swap delta
+// (kill one allocated node, hand over a fresh one) remaps the solved
+// mapping incrementally, printing the migration and route-pair-reuse
+// accounting before the post-delta metrics; malformed and empty
+// deltas fail fast.
+func TestRunRemapFlag(t *testing.T) {
+	base := []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "uwh", "-torus", "6x6x6"}
+	var stdout, stderr strings.Builder
+	if code := run(base, &stdout, &stderr); code != 0 {
+		t.Fatalf("base run exit %d (stderr: %s)", code, stderr.String())
+	}
+	// Recover the allocated node set from the mapping lines, pick one
+	// to kill and one free node to hand over in its place.
+	allocated := map[int]bool{}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		var g, n int
+		if _, err := fmt.Sscanf(line, "group %d -> node %d", &g, &n); err == nil {
+			allocated[n] = true
+		}
+	}
+	if len(allocated) == 0 {
+		t.Fatalf("no mapping lines in base output:\n%s", stdout.String())
+	}
+	dead := -1
+	for n := range allocated {
+		if dead < 0 || n < dead {
+			dead = n
+		}
+	}
+	fresh := 0
+	for allocated[fresh] {
+		fresh++
+	}
+	delta := fmt.Sprintf(`{"remove":[%d],"add":[{"node":%d,"procs":16}]}`, dead, fresh)
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-remap", delta, "-objective", "wh"}, base...), &stdout, &stderr); code != 0 {
+		t.Fatalf("remap run exit %d (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"remap: migrated", "route pairs", "WH  ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("remap output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, fmt.Sprintf("node %d", fresh)) {
+		t.Fatalf("post-delta mapping never uses the added node %d:\n%s", fresh, out)
+	}
+
+	// Fail-fast validation.
+	for _, tc := range []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-remap", "{bad"}, "bad -remap delta"},
+		{[]string{"-remap", "{}"}, "changes nothing"},
+		{[]string{"-remap", `{"remove":[999]}`}, "not allocated"},
+	} {
+		stdout.Reset()
+		stderr.Reset()
+		if code := run(append(tc.args, base...), &stdout, &stderr); code != 1 {
+			t.Fatalf("%v: exit %d, want 1", tc.args, code)
+		}
+		if !strings.Contains(stderr.String(), tc.wantErr) {
+			t.Fatalf("%v: stderr %q does not mention %q", tc.args, stderr.String(), tc.wantErr)
+		}
+	}
+
+	// Identical output at any -workers setting, like every other path.
+	outputs := make([]string, 0, 2)
+	for _, w := range []string{"1", "4"} {
+		stdout.Reset()
+		stderr.Reset()
+		args := append([]string{"-workers", w, "-remap", delta}, base...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("-workers %s: exit %d (stderr: %s)", w, code, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("remap output diverged between -workers settings:\n%s\nvs\n%s", outputs[0], outputs[1])
 	}
 }
 

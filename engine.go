@@ -3,6 +3,7 @@ package topomap
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/core"
@@ -157,6 +158,18 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	if tg == nil {
 		return nil, fmt.Errorf("topomap: request carries no task graph")
 	}
+	if s.TimeoutMS < 0 {
+		return nil, fmt.Errorf("topomap: negative timeout_ms %d", s.TimeoutMS)
+	}
+	if s.TimeoutMS > 0 {
+		// The per-solve budget composes with the caller's ctx:
+		// whichever expires first cancels the pipeline. Enforcing it
+		// here (the single pipeline entry) makes the budget uniform
+		// across RunSolve, RunBatch and portfolio candidates.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(s.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
 	if tg.K > e.alloc.TotalProcs() {
 		return nil, fmt.Errorf("topomap: %d tasks exceed %d allocated processors", tg.K, e.alloc.TotalProcs())
 	}
@@ -192,10 +205,10 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	coarse := taskgraph.CoarseGraph(tg, group, e.alloc.NumNodes())
+	coarse := taskgraph.CoarseGraphArena(e.arena, tg, group, e.alloc.NumNodes())
 	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: s.Seed, Exec: ex}
 	if caps.NeedsMessageGraph {
-		in.Msg = taskgraph.CoarseMessageGraph(tg, group, e.alloc.NumNodes())
+		in.Msg = taskgraph.CoarseMessageGraphArena(e.arena, tg, group, e.alloc.NumNodes())
 	}
 	nodeOf, err := spec.Map(in)
 	if err != nil {
@@ -216,11 +229,12 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	// can land on a small node, so repair any violations with
 	// weight-aware swaps (a no-op on uniform allocations).
 	if !caps.BlockGrouping && !e.uniform {
-		weight := make([]int64, coarse.N())
+		weight := e.arena.Int64s(coarse.N())
 		for _, g := range group {
 			weight[g]++
 		}
 		core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
+		e.arena.PutInt64s(weight)
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -228,7 +242,7 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	}
 	res := &MapResult{Mapper: s.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
 	if s.FineRefine {
-		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.Symmetric(), e.view, group, nodeOf, core.RefineOptions{Exec: ex})
+		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.SymmetricArena(e.arena), e.view, group, nodeOf, core.RefineOptions{Exec: ex})
 	}
 	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
 	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)

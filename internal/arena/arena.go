@@ -28,6 +28,7 @@ type Arena struct {
 	i32    slicePool[int32]
 	i64    slicePool[int64]
 	b      slicePool[bool]
+	edges  slicePool[ds.EdgeTriple]
 	heaps  sync.Pool
 	queues sync.Pool
 }
@@ -156,6 +157,26 @@ func (a *Arena) Bools(n int) []bool {
 func (a *Arena) PutBools(s []bool) {
 	if a != nil {
 		a.b.put(s)
+	}
+}
+
+// Edges borrows a zeroed []ds.EdgeTriple of length n — the staging
+// buffer the CSR graph builders sort and merge before laying out the
+// final arrays (which escape and therefore stay freshly allocated).
+func (a *Arena) Edges(n int) []ds.EdgeTriple {
+	if a != nil {
+		if s, ok := a.edges.take(n); ok {
+			zero(s)
+			return s
+		}
+	}
+	return make([]ds.EdgeTriple, n)
+}
+
+// PutEdges returns a slice borrowed with Edges.
+func (a *Arena) PutEdges(s []ds.EdgeTriple) {
+	if a != nil {
+		a.edges.put(s)
 	}
 }
 

@@ -6,6 +6,9 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/arena"
+	"repro/internal/ds"
 )
 
 // Graph is a weighted graph in CSR form. Vertices are 0..N()-1; the
@@ -128,20 +131,24 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return false
 }
 
-// edgeTriple is a scratch type for the builders.
-type edgeTriple struct {
-	u, v int32
-	w    int64
-}
-
 // FromEdges builds a CSR graph with n vertices from a directed edge
 // list. Parallel edges are merged by summing weights; self loops are
 // dropped. vw may be nil for unit vertex weights.
 func FromEdges(n int, us, vs []int32, ws []int64, vw []int64) *Graph {
+	return FromEdgesArena(nil, n, us, vs, ws, vw)
+}
+
+// FromEdgesArena is FromEdges with the edge-staging buffer borrowed
+// from an arena — the final CSR arrays escape into the result and
+// remain freshly allocated, but the sort-and-merge scratch (the
+// dominant transient of graph construction) is recycled. A nil arena
+// allocates fresh, so the two paths build identical graphs.
+func FromEdgesArena(a *arena.Arena, n int, us, vs []int32, ws []int64, vw []int64) *Graph {
 	if len(us) != len(vs) || (ws != nil && len(ws) != len(us)) {
 		panic("graph: FromEdges length mismatch")
 	}
-	triples := make([]edgeTriple, 0, len(us))
+	triples := a.Edges(len(us))
+	cnt := 0
 	for i := range us {
 		if us[i] == vs[i] {
 			continue
@@ -150,23 +157,30 @@ func FromEdges(n int, us, vs []int32, ws []int64, vw []int64) *Graph {
 		if ws != nil {
 			w = ws[i]
 		}
-		triples = append(triples, edgeTriple{us[i], vs[i], w})
+		triples[cnt] = ds.EdgeTriple{U: us[i], V: vs[i], W: w}
+		cnt++
 	}
-	return fromTriples(n, triples, vw)
+	g := FromTriples(n, triples[:cnt], vw)
+	a.PutEdges(triples)
+	return g
 }
 
-func fromTriples(n int, triples []edgeTriple, vw []int64) *Graph {
+// FromTriples builds a CSR graph with n vertices from staged edge
+// triples, merging parallel edges by summing weights. Self loops must
+// already be filtered out. triples is scratch: it is reordered in
+// place and never retained, so callers may pool it. vw is retained.
+func FromTriples(n int, triples []ds.EdgeTriple, vw []int64) *Graph {
 	sort.Slice(triples, func(i, j int) bool {
-		if triples[i].u != triples[j].u {
-			return triples[i].u < triples[j].u
+		if triples[i].U != triples[j].U {
+			return triples[i].U < triples[j].U
 		}
-		return triples[i].v < triples[j].v
+		return triples[i].V < triples[j].V
 	})
 	// Merge duplicates.
 	out := triples[:0]
 	for _, t := range triples {
-		if len(out) > 0 && out[len(out)-1].u == t.u && out[len(out)-1].v == t.v {
-			out[len(out)-1].w += t.w
+		if len(out) > 0 && out[len(out)-1].U == t.U && out[len(out)-1].V == t.V {
+			out[len(out)-1].W += t.W
 			continue
 		}
 		out = append(out, t)
@@ -178,14 +192,14 @@ func fromTriples(n int, triples []edgeTriple, vw []int64) *Graph {
 		VW:   vw,
 	}
 	for _, t := range out {
-		g.Xadj[t.u+1]++
+		g.Xadj[t.U+1]++
 	}
 	for v := 0; v < n; v++ {
 		g.Xadj[v+1] += g.Xadj[v]
 	}
 	for i, t := range out {
-		g.Adj[i] = t.v
-		g.EW[i] = t.w
+		g.Adj[i] = t.V
+		g.EW[i] = t.W
 	}
 	return g
 }
@@ -195,8 +209,13 @@ func fromTriples(n int, triples []edgeTriple, vw []int64) *Graph {
 // w(u,v)+w(v,u). Vertex weights are preserved. Self loops are dropped.
 // This implements the symmetric-cost view c(t1,t2) the paper's mapping
 // algorithms assume (WH is an undirected metric).
-func (g *Graph) Symmetrize() *Graph {
-	triples := make([]edgeTriple, 0, 2*g.M())
+func (g *Graph) Symmetrize() *Graph { return g.SymmetrizeArena(nil) }
+
+// SymmetrizeArena is Symmetrize with pooled staging scratch (see
+// FromEdgesArena).
+func (g *Graph) SymmetrizeArena(a *arena.Arena) *Graph {
+	triples := a.Edges(2 * g.M())
+	cnt := 0
 	for u := 0; u < g.N(); u++ {
 		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
 			v := g.Adj[i]
@@ -204,20 +223,30 @@ func (g *Graph) Symmetrize() *Graph {
 				continue
 			}
 			w := g.EdgeWeight(int(i))
-			triples = append(triples, edgeTriple{int32(u), v, w}, edgeTriple{v, int32(u), w})
+			triples[cnt] = ds.EdgeTriple{U: int32(u), V: v, W: w}
+			triples[cnt+1] = ds.EdgeTriple{U: v, V: int32(u), W: w}
+			cnt += 2
 		}
 	}
 	var vw []int64
 	if g.VW != nil {
 		vw = append([]int64(nil), g.VW...)
 	}
-	return fromTriples(g.N(), triples, vw)
+	res := FromTriples(g.N(), triples[:cnt], vw)
+	a.PutEdges(triples)
+	return res
 }
 
 // InducedSubgraph returns the subgraph on the given vertices (in the
 // given order) plus the mapping from old ids to new ids (-1 when
 // excluded). Edges with an excluded endpoint are dropped.
 func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32) {
+	return g.InducedSubgraphArena(nil, vertices)
+}
+
+// InducedSubgraphArena is InducedSubgraph with pooled staging scratch
+// (see FromEdgesArena). The returned remap escapes and stays fresh.
+func (g *Graph) InducedSubgraphArena(a *arena.Arena, vertices []int32) (*Graph, []int32) {
 	remap := make([]int32, g.N())
 	for i := range remap {
 		remap[i] = -1
@@ -225,13 +254,19 @@ func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32) {
 	for i, v := range vertices {
 		remap[v] = int32(i)
 	}
-	var triples []edgeTriple
+	bound := 0
+	for _, v := range vertices {
+		bound += g.Degree(int(v))
+	}
+	triples := a.Edges(bound)
+	cnt := 0
 	for _, v := range vertices {
 		nv := remap[v]
 		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
 			u := remap[g.Adj[i]]
 			if u >= 0 {
-				triples = append(triples, edgeTriple{nv, u, g.EdgeWeight(int(i))})
+				triples[cnt] = ds.EdgeTriple{U: nv, V: u, W: g.EdgeWeight(int(i))}
+				cnt++
 			}
 		}
 	}
@@ -242,7 +277,9 @@ func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32) {
 			vw[i] = g.VW[v]
 		}
 	}
-	return fromTriples(len(vertices), triples, vw), remap
+	res := FromTriples(len(vertices), triples[:cnt], vw)
+	a.PutEdges(triples)
+	return res, remap
 }
 
 // Clone returns a deep copy of g.

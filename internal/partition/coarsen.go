@@ -3,6 +3,8 @@ package partition
 import (
 	"math/rand"
 
+	"repro/internal/arena"
+	"repro/internal/ds"
 	"repro/internal/graph"
 )
 
@@ -75,14 +77,15 @@ func matchVertices(g *graph.Graph, policy Matching, rng *rand.Rand) ([]int32, in
 }
 
 // contract builds the coarse graph for a coarse map: vertex weights
-// are summed, parallel edges merged, intra-cluster edges dropped.
-func contract(g *graph.Graph, cmap []int32, nc int) *graph.Graph {
+// are summed, parallel edges merged, intra-cluster edges dropped. The
+// edge-staging scratch is borrowed from ar (nil allocates fresh).
+func contract(g *graph.Graph, cmap []int32, nc int, ar *arena.Arena) *graph.Graph {
 	vw := make([]int64, nc)
 	for v := 0; v < g.N(); v++ {
 		vw[cmap[v]] += g.VertexWeight(v)
 	}
-	var us, vs []int32
-	var ws []int64
+	triples := ar.Edges(g.M())
+	cnt := 0
 	for u := 0; u < g.N(); u++ {
 		cu := cmap[u]
 		for i := g.Xadj[u]; i < g.Xadj[u+1]; i++ {
@@ -90,12 +93,13 @@ func contract(g *graph.Graph, cmap []int32, nc int) *graph.Graph {
 			if cu == cv {
 				continue
 			}
-			us = append(us, cu)
-			vs = append(vs, cv)
-			ws = append(ws, g.EdgeWeight(int(i)))
+			triples[cnt] = ds.EdgeTriple{U: cu, V: cv, W: g.EdgeWeight(int(i))}
+			cnt++
 		}
 	}
-	return graph.FromEdges(nc, us, vs, ws, vw)
+	out := graph.FromTriples(nc, triples[:cnt], vw)
+	ar.PutEdges(triples)
+	return out
 }
 
 // level is one rung of the multilevel hierarchy.
@@ -114,7 +118,7 @@ func coarsen(g *graph.Graph, opt Options, rng *rand.Rand) []level {
 		if float64(nc) > 0.95*float64(cur.N()) {
 			break // diminishing returns (star-like graphs)
 		}
-		next := contract(cur, cmap, nc)
+		next := contract(cur, cmap, nc, opt.Arena)
 		levels[len(levels)-1].cmap = cmap
 		levels = append(levels, level{g: next})
 		cur = next

@@ -1,0 +1,142 @@
+package routecache
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/dragonfly"
+	"repro/internal/torus"
+)
+
+// checkEquivalent verifies the patched view answers HopDist/Route
+// exactly like a cold New build over the same allocation.
+func checkEquivalent(t *testing.T, base torus.Topology, patched torus.Topology, nodes []int32) {
+	t.Helper()
+	cold, err := New(base, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got []int32
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if patched.HopDist(int(a), int(b)) != cold.HopDist(int(a), int(b)) {
+				t.Fatalf("HopDist(%d,%d) diverged from cold build", a, b)
+			}
+			want = cold.Route(int(a), int(b), want[:0])
+			got = patched.Route(int(a), int(b), got[:0])
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("Route(%d,%d) diverged: cold %v patched %v", a, b, want, got)
+			}
+		}
+	}
+	_, coldMP := cold.(torus.MultipathTopology)
+	_, patchMP := patched.(torus.MultipathTopology)
+	if coldMP != patchMP {
+		t.Fatalf("multipath capability diverged: cold %v patched %v", coldMP, patchMP)
+	}
+}
+
+func TestPatchRemoveNode(t *testing.T) {
+	topo := torus.NewHopper3D(6, 6, 6)
+	a, err := alloc.Generate(topo, 16, alloc.Config{Mode: alloc.Sparse, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := New(topo, a.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one node: every surviving pair must be reused.
+	next := append([]int32(nil), a.Nodes[1:]...)
+	view, stats, err := Patch(prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(next)
+	if stats.Total != n*n-n {
+		t.Fatalf("Total = %d, want %d", stats.Total, n*n-n)
+	}
+	if stats.Reused != stats.Total {
+		t.Fatalf("node removal must reuse every surviving pair: reused %d of %d", stats.Reused, stats.Total)
+	}
+	checkEquivalent(t, topo, view, next)
+}
+
+func TestPatchAddNode(t *testing.T) {
+	topo := torus.NewHopper3D(6, 6, 6)
+	a, err := alloc.Generate(topo, 16, alloc.Config{Mode: alloc.Sparse, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := New(topo, a.Nodes[:15])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add one node: only pairs touching it recompute.
+	next := a.Nodes
+	view, stats, err := Patch(prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPairs := 15*15 - 15
+	if stats.Reused != oldPairs {
+		t.Fatalf("adding a node must reuse all %d old pairs, reused %d", oldPairs, stats.Reused)
+	}
+	if stats.Total != 16*16-16 {
+		t.Fatalf("Total = %d, want %d", stats.Total, 16*16-16)
+	}
+	checkEquivalent(t, topo, view, next)
+}
+
+func TestPatchMultipath(t *testing.T) {
+	d, err := dragonfly.New(2, 10e9, 5e9, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dragonfly.SparseHosts(d, 12, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := New(d, a.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := append([]int32(nil), a.Nodes[:len(a.Nodes)-2]...)
+	view, stats, err := Patch(prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != stats.Total {
+		t.Fatalf("shrink must reuse every pair: %d of %d", stats.Reused, stats.Total)
+	}
+	checkEquivalent(t, d, view, next)
+}
+
+func TestPatchRawFallback(t *testing.T) {
+	// A raw (uncached) topology as prev falls back to a cold build.
+	topo := torus.NewHopper3D(4, 4, 4)
+	nodes := []int32{0, 5, 9}
+	view, stats, err := Patch(topo, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != 0 {
+		t.Fatalf("raw fallback must report zero reuse, got %d", stats.Reused)
+	}
+	checkEquivalent(t, topo, view, nodes)
+}
+
+func TestPatchRejectsBadNodes(t *testing.T) {
+	topo := torus.NewHopper3D(4, 4, 4)
+	prev, err := New(topo, []int32{0, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Patch(prev, []int32{0, 64}); err == nil {
+		t.Fatal("out-of-range node must be rejected")
+	}
+	if _, _, err := Patch(prev, []int32{3, 3}); err == nil {
+		t.Fatal("duplicate node must be rejected")
+	}
+}

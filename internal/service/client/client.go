@@ -145,6 +145,19 @@ func (c *Client) Portfolio(ctx context.Context, req service.PortfolioRequest) (*
 	return &out, nil
 }
 
+// Remap incrementally remaps a cached result — referenced by the
+// fingerprint an earlier Map or Remap response returned — onto a
+// changed allocation (POST /v1/remap). The response carries a fresh
+// fingerprint, so allocation deltas chain without re-sending the task
+// graph.
+func (c *Client) Remap(ctx context.Context, req service.RemapRequest) (*service.RemapResponse, error) {
+	var out service.RemapResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/remap", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Mappers lists the registered mappers with their capability flags
 // (GET /v1/mappers).
 func (c *Client) Mappers(ctx context.Context) ([]registry.Info, error) {

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	topomap "repro"
+)
+
+// resultEntry is one finished solve the service keeps around for
+// incremental remapping: the engine that produced it (route state
+// intact), the task graph it placed, and the result itself. The
+// fingerprint is the wire handle POST /v1/remap presents instead of
+// re-sending any of the three.
+type resultEntry struct {
+	fp    string
+	eng   *topomap.Engine
+	tasks *topomap.TaskGraph
+	res   *topomap.MapResult
+}
+
+// resultCache is the bounded LRU of recent results /v1/map (and
+// /v1/remap itself — deltas chain) feeds and /v1/remap resolves
+// fingerprints against. Eviction is by recency: a fingerprint stays
+// valid as long as its result is among the last max solves touched.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent; values are resultEntry
+	idx map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently
+// touched one past capacity.
+func (c *resultCache) put(e resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[e.fp]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.idx[e.fp] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		delete(c.idx, last.Value.(resultEntry).fp)
+		c.ll.Remove(last)
+	}
+}
+
+// get resolves a fingerprint, marking the entry most recently used.
+func (c *resultCache) get(fp string) (resultEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[fp]
+	if !ok {
+		return resultEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(resultEntry), true
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// resultFingerprint derives the content handle of a finished solve:
+// an FNV-1a hash over the engine's canonical (topology, allocation)
+// fingerprint, the task graph's structure, and the placement itself.
+// Identical solves produce identical fingerprints across requests and
+// restarts, so clients may cache them; distinct placements collide
+// only with hash probability.
+func resultFingerprint(eng *topomap.Engine, tg *topomap.TaskGraph, res *topomap.MapResult) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	h.Write([]byte(topomap.EngineFingerprint(eng.Topology(), eng.Allocation())))
+	put(uint64(tg.K))
+	put(uint64(tg.G.N()))
+	for v := 0; v < tg.G.N(); v++ {
+		adj, w := tg.G.Neighbors(v), tg.G.Weights(v)
+		put(uint64(len(adj)))
+		for i, u := range adj {
+			put(uint64(uint32(u)))
+			put(uint64(w[i]))
+		}
+	}
+	h.Write([]byte(res.Mapper))
+	put(uint64(len(res.GroupOf)))
+	for _, g := range res.GroupOf {
+		put(uint64(uint32(g)))
+	}
+	for _, m := range res.NodeOf {
+		put(uint64(uint32(m)))
+	}
+	return "map:" + strconv.FormatUint(h.Sum64(), 16)
+}

@@ -31,6 +31,9 @@ type Config struct {
 	// MaxPortfolioCandidates caps the explicit candidate list of one
 	// /v1/portfolio request. Default 16.
 	MaxPortfolioCandidates int
+	// ResultCacheSize bounds the LRU of recent results /v1/remap
+	// resolves fingerprints against. Default 128 results.
+	ResultCacheSize int
 	// DefaultTimeout is the per-request solve deadline when the
 	// request carries no timeout_ms. Default 30s.
 	DefaultTimeout time.Duration
@@ -43,13 +46,14 @@ type Config struct {
 // mount Handler on any http.Server (cmd/mapd) or drive it in-process
 // through the client package.
 type Server struct {
-	cfg   Config
-	cache *topomap.EngineCache
-	sem   chan struct{}
-	acq   chan struct{} // serializes slot acquisition (multi-slot safe)
-	st    *stats
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *topomap.EngineCache
+	results *resultCache
+	sem     chan struct{}
+	acq     chan struct{} // serializes slot acquisition (multi-slot safe)
+	st      *stats
+	mux     *http.ServeMux
+	start   time.Time
 }
 
 // New returns a ready Server.
@@ -69,6 +73,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxPortfolioCandidates <= 0 {
 		cfg.MaxPortfolioCandidates = 16
 	}
+	if cfg.ResultCacheSize <= 0 {
+		cfg.ResultCacheSize = 128
+	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
 	}
@@ -76,17 +83,19 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 32 << 20
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: topomap.NewEngineCache(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.Workers),
-		acq:   make(chan struct{}, 1),
-		st:    newStats(),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:     cfg,
+		cache:   topomap.NewEngineCache(cfg.CacheSize),
+		results: newResultCache(cfg.ResultCacheSize),
+		sem:     make(chan struct{}, cfg.Workers),
+		acq:     make(chan struct{}, 1),
+		st:      newStats(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
 	}
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/portfolio", s.handlePortfolio)
+	s.mux.HandleFunc("/v1/remap", s.handleRemap)
 	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
@@ -296,8 +305,92 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Feed the result cache so /v1/remap can pick this mapping up by
+	// fingerprint when the allocation changes.
+	out.Fingerprint = resultFingerprint(eng, tg, res)
+	s.results.put(resultEntry{fp: out.Fingerprint, eng: eng, tasks: tg, res: res})
 	s.st.observe(out.ElapsedMS)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRemap serves POST /v1/remap: an incremental remap of a cached
+// result onto a changed allocation. The previous mapping arrives as a
+// fingerprint (404 when unknown or evicted — the client re-solves via
+// /v1/map); only the allocation delta travels. The engine patches its
+// route cache, migrates stranded tasks, warm-starts refinement and
+// guards the shortcut with the quality fence; the response carries a
+// fresh fingerprint so follow-up deltas chain without re-solving.
+func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.st.remapRequests.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	var req RemapRequest
+	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.results.get(req.Fingerprint)
+	if !ok {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Errorf("remap: unknown fingerprint %q; the result may have been evicted — re-solve through /v1/map", req.Fingerprint))
+		return
+	}
+	began := time.Now()
+	workers := s.parallelism(req.Parallelism)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	var rres *topomap.RemapResult
+	err := s.solve(ctx, workers, func(ctx context.Context) error {
+		var err error
+		rres, err = entry.eng.RunRemap(ctx, entry.tasks, entry.res, req.Delta, req.Spec(workers))
+		return err
+	})
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, s.errStatus(err), err)
+		return
+	}
+	// The post-delta engine rides in the new result's cache entry, so
+	// chained deltas keep patching instead of rebuilding. CacheHit is
+	// true by construction: the route state came from a cached result.
+	out, err := respond(rres.Result, rres.Engine, true, req.Rankfile, time.Since(began))
+	if err != nil {
+		s.st.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out.Fingerprint = resultFingerprint(rres.Engine, entry.tasks, rres.Result)
+	s.results.put(resultEntry{fp: out.Fingerprint, eng: rres.Engine, tasks: entry.tasks, res: rres.Result})
+	s.st.remapPairsReused.Add(int64(rres.PairsReused))
+	s.st.remapPairsTotal.Add(int64(rres.PairsTotal))
+	if rres.Warm {
+		s.st.remapWarm.Add(1)
+	}
+	if rres.FenceTripped {
+		s.st.remapFallbacks.Add(1)
+	}
+	s.st.observe(out.ElapsedMS)
+	writeJSON(w, http.StatusOK, RemapResponse{
+		MapResponse:   *out,
+		Warm:          rres.Warm,
+		FenceTripped:  rres.FenceTripped,
+		PrevScore:     rres.PrevScore,
+		WarmScore:     rres.WarmScore,
+		ColdScore:     rres.ColdScore,
+		PairsReused:   rres.PairsReused,
+		PairsTotal:    rres.PairsTotal,
+		MigratedTasks: rres.MigratedTasks,
+	})
 }
 
 // handleBatch serves POST /v1/map/batch: several mapper runs against
@@ -499,6 +592,13 @@ func (s *Server) Status() Status {
 		PortfolioCandidates: s.st.portfolioCandidates.Load(),
 		PortfolioSkipped:    s.st.portfolioSkipped.Load(),
 		MaxCandidates:       s.cfg.MaxPortfolioCandidates,
+		RemapRequests:       s.st.remapRequests.Load(),
+		RemapWarm:           s.st.remapWarm.Load(),
+		RemapFallbacks:      s.st.remapFallbacks.Load(),
+		RemapPairsReused:    s.st.remapPairsReused.Load(),
+		RemapPairsTotal:     s.st.remapPairsTotal.Load(),
+		ResultEntries:       s.results.len(),
+		ResultCapacity:      s.cfg.ResultCacheSize,
 		CacheHits:           hits,
 		CacheMisses:         misses,
 		CacheEvictions:      evictions,

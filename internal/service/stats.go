@@ -16,6 +16,11 @@ type stats struct {
 	portfolioRequests   atomic.Int64
 	portfolioCandidates atomic.Int64
 	portfolioSkipped    atomic.Int64
+	remapRequests       atomic.Int64
+	remapWarm           atomic.Int64
+	remapFallbacks      atomic.Int64
+	remapPairsReused    atomic.Int64
+	remapPairsTotal     atomic.Int64
 	errors              atomic.Int64
 	timeouts            atomic.Int64
 	inflight            atomic.Int64

@@ -119,6 +119,11 @@ type MapResponse struct {
 	Rankfile    string  `json:"rankfile,omitempty"`
 	CacheHit    bool    `json:"cache_hit"`
 	ElapsedMS   float64 `json:"elapsed_ms,omitempty"`
+	// Fingerprint is the content handle of this result in the server's
+	// recent-result cache; POST /v1/remap accepts it as the previous
+	// mapping of an incremental remap. Empty on endpoints that do not
+	// feed the result cache.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // lowerSolve is the one lowering every wire endpoint shares: mapper
@@ -221,6 +226,9 @@ func (p *PortfolioRequest) Validate(maxCandidates int) error {
 		if c.Workers != 0 {
 			return fmt.Errorf("portfolio: candidate %d sets workers; per-candidate parallelism is server-controlled, use the portfolio-level parallelism field", i)
 		}
+		if c.TimeoutMS < 0 {
+			return fmt.Errorf("portfolio: candidate %d: negative timeout_ms %d", i, c.TimeoutMS)
+		}
 		id := identity{name, c.Seed}
 		if prev, dup := seen[id]; dup {
 			return fmt.Errorf("portfolio: candidates %d and %d duplicate (mapper %s, seed %d); candidates must differ in mapper or seed", prev, i, name, c.Seed)
@@ -287,6 +295,93 @@ type PortfolioResponse struct {
 	ElapsedMS   float64            `json:"elapsed_ms"`
 }
 
+// RemapRequest is one incremental remap (POST /v1/remap): the
+// previous mapping is referenced by the fingerprint a /v1/map or
+// /v1/remap response returned — the delta travels, the task graph and
+// placement do not. Solve carries the warm pipeline's knobs and the
+// cold fallback's spec (RemapSpec.Solve verbatim, except Workers and
+// TimeoutMS, which are server-controlled: Parallelism asks for solver
+// workers and TimeoutMS bounds the whole remap, warm and fallback
+// together). An unknown or evicted fingerprint costs a 404; clients
+// recover by re-solving through /v1/map.
+type RemapRequest struct {
+	Fingerprint    string                  `json:"fingerprint"`
+	Delta          topomap.AllocationDelta `json:"delta"`
+	Solve          topomap.Solve           `json:"solve,omitempty"`
+	Objective      topomap.Objective       `json:"objective,omitempty"`
+	FenceThreshold float64                 `json:"fence_threshold,omitempty"`
+	TimeoutMS      int64                   `json:"timeout_ms,omitempty"`
+	Rankfile       bool                    `json:"rankfile,omitempty"`
+	Parallelism    int                     `json:"parallelism,omitempty"`
+}
+
+// Validate fail-fasts the invariants a remap request must satisfy
+// before it is allowed to hold worker slots: a fingerprint, a
+// non-empty delta, server-controlled workers/timeout left unset, a
+// known cold-fallback mapper, and a scoreable objective.
+func (r *RemapRequest) Validate() error {
+	if r.Fingerprint == "" {
+		return fmt.Errorf("remap: missing fingerprint; solve through /v1/map first and present its fingerprint")
+	}
+	if r.Delta.Empty() {
+		return fmt.Errorf("remap: empty delta; a remap needs a change")
+	}
+	if r.Solve.Workers != 0 {
+		return fmt.Errorf("remap: solve.workers is server-controlled, use the parallelism field")
+	}
+	if r.Solve.TimeoutMS != 0 {
+		return fmt.Errorf("remap: solve.timeout_ms is server-controlled, use the request-level timeout_ms field")
+	}
+	if m := strings.ToUpper(string(r.Solve.Mapper)); m != "" {
+		if _, ok := registry.Lookup(m); !ok {
+			return fmt.Errorf("remap: unknown mapper %q", r.Solve.Mapper)
+		}
+	}
+	if err := r.Objective.Validate(); err != nil {
+		return fmt.Errorf("remap: %w", err)
+	}
+	if r.Objective.NeedsSim() && r.Solve.Sim == nil {
+		return fmt.Errorf("remap: objective sim_seconds needs a sim spec in solve.sim")
+	}
+	return nil
+}
+
+// Spec lowers the wire request onto the engine's RemapSpec, clamped
+// to the server's worker grant.
+func (r *RemapRequest) Spec(workers int) topomap.RemapSpec {
+	s := r.Solve
+	s.Mapper = topomap.Mapper(strings.ToUpper(string(s.Mapper)))
+	s.Workers = workers
+	return topomap.RemapSpec{Solve: s, Objective: r.Objective, FenceThreshold: r.FenceThreshold}
+}
+
+// RemapResponse is the outcome of an incremental remap: the winning
+// mapping (with a fresh fingerprint, so deltas chain) plus the
+// warm-vs-cold accounting. CacheHit is always true — by construction
+// the route state was patched from a cached result, never rebuilt.
+type RemapResponse struct {
+	MapResponse
+	// Warm reports that the warm-started result won; false means the
+	// quality fence fell back to a cold solve and the cold result won.
+	Warm bool `json:"warm"`
+	// FenceTripped reports that the warm result regressed past the
+	// threshold and the cold fallback ran.
+	FenceTripped bool `json:"fence_tripped"`
+	// PrevScore, WarmScore and ColdScore are the objective values of
+	// the previous mapping, the warm result, and the cold fallback
+	// (meaningful only when FenceTripped).
+	PrevScore float64 `json:"prev_score"`
+	WarmScore float64 `json:"warm_score"`
+	ColdScore float64 `json:"cold_score,omitempty"`
+	// PairsReused of PairsTotal route-cache pairs survived the delta
+	// verbatim.
+	PairsReused int `json:"pairs_reused"`
+	PairsTotal  int `json:"pairs_total"`
+	// MigratedTasks counts the tasks the delta stranded and the greedy
+	// placement moved.
+	MigratedTasks int `json:"migrated_tasks"`
+}
+
 // MappersResponse lists every registered mapper with its capability
 // flags — the registry served over the wire.
 type MappersResponse struct {
@@ -308,20 +403,35 @@ type Status struct {
 	// Portfolio counters: requests served by /v1/portfolio, total
 	// candidates solved on their behalf, and candidates deadlines cut
 	// off before they finished.
-	PortfolioRequests   int64   `json:"portfolio_requests"`
-	PortfolioCandidates int64   `json:"portfolio_candidates"`
-	PortfolioSkipped    int64   `json:"portfolio_skipped"`
-	MaxCandidates       int     `json:"max_candidates"`
-	CacheHits           int64   `json:"cache_hits"`
-	CacheMisses         int64   `json:"cache_misses"`
-	CacheEvictions      int64   `json:"cache_evictions"`
-	CacheEntries        int     `json:"cache_entries"`
-	CacheCapacity       int     `json:"cache_capacity"`
-	LatencyP50MS        float64 `json:"latency_p50_ms"`
-	LatencyP90MS        float64 `json:"latency_p90_ms"`
-	LatencyP99MS        float64 `json:"latency_p99_ms"`
-	LatencySamples      int     `json:"latency_samples"`
-	Mappers             int     `json:"mappers"`
+	PortfolioRequests   int64 `json:"portfolio_requests"`
+	PortfolioCandidates int64 `json:"portfolio_candidates"`
+	PortfolioSkipped    int64 `json:"portfolio_skipped"`
+	MaxCandidates       int   `json:"max_candidates"`
+
+	// Remap counters: requests served by /v1/remap, how many the warm
+	// path won, how many tripped the quality fence into a cold
+	// fallback, and the cumulative route-cache pair reuse (reused over
+	// total across every patch).
+	RemapRequests    int64 `json:"remap_requests"`
+	RemapWarm        int64 `json:"remap_warm"`
+	RemapFallbacks   int64 `json:"remap_fallbacks"`
+	RemapPairsReused int64 `json:"remap_pairs_reused"`
+	RemapPairsTotal  int64 `json:"remap_pairs_total"`
+	// Result cache occupancy: fingerprints /v1/remap can currently
+	// resolve, and the LRU's capacity.
+	ResultEntries  int `json:"result_entries"`
+	ResultCapacity int `json:"result_capacity"`
+
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP90MS   float64 `json:"latency_p90_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	LatencySamples int     `json:"latency_samples"`
+	Mappers        int     `json:"mappers"`
 }
 
 // ErrorResponse is the uniform error payload of every non-2xx

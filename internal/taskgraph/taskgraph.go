@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/arena"
+	"repro/internal/ds"
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -106,6 +107,11 @@ func (t *TaskGraph) PartitionMetrics() Metrics {
 // (WH is an undirected metric, §III-A).
 func (t *TaskGraph) Symmetric() *graph.Graph { return t.G.Symmetrize() }
 
+// SymmetricArena is Symmetric with pooled staging scratch.
+func (t *TaskGraph) SymmetricArena(ar *arena.Arena) *graph.Graph {
+	return t.G.SymmetrizeArena(ar)
+}
+
 // GroupBlocks groups tasks into consecutive-rank blocks matching the
 // node capacities, exactly how an SMP-style default mapping fills
 // nodes: group g takes capacities[g] consecutive task ids.
@@ -147,7 +153,7 @@ func GroupTasks(t *TaskGraph, capacities []int64, seed int64) ([]int32, error) {
 // allocations; the winner — and therefore the grouping — is identical
 // either way.
 func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.Group, ar *arena.Arena) ([]int32, error) {
-	sym := t.Symmetric()
+	sym := t.SymmetricArena(ar)
 	// Unit vertex weights: a task occupies one processor.
 	unit := make([]int64, sym.N())
 	for i := range unit {
@@ -222,8 +228,15 @@ func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.
 // supertask per allocated node (§III-A, §III-B "we choose to perform
 // only on the coarser task graphs").
 func CoarseGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
-	var us, vs []int32
-	var ws []int64
+	return CoarseGraphArena(nil, t, group, nGroups)
+}
+
+// CoarseGraphArena is CoarseGraph with the edge-staging scratch
+// borrowed from an arena: triples are built directly (no intermediate
+// us/vs/ws slices) and pooled after the CSR layout copies them out.
+func CoarseGraphArena(ar *arena.Arena, t *TaskGraph, group []int32, nGroups int) *graph.Graph {
+	triples := ar.Edges(2 * t.G.M())
+	cnt := 0
 	for u := 0; u < t.G.N(); u++ {
 		gu := group[u]
 		for i := t.G.Xadj[u]; i < t.G.Xadj[u+1]; i++ {
@@ -232,16 +245,18 @@ func CoarseGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
 				continue
 			}
 			w := t.G.EdgeWeight(int(i))
-			us = append(us, gu, gv)
-			vs = append(vs, gv, gu)
-			ws = append(ws, w, w)
+			triples[cnt] = ds.EdgeTriple{U: gu, V: gv, W: w}
+			triples[cnt+1] = ds.EdgeTriple{U: gv, V: gu, W: w}
+			cnt += 2
 		}
 	}
 	vw := make([]int64, nGroups)
 	for u := 0; u < t.G.N(); u++ {
 		vw[group[u]] += t.G.VertexWeight(u)
 	}
-	return graph.FromEdges(nGroups, us, vs, ws, vw)
+	g := graph.FromTriples(nGroups, triples[:cnt], vw)
+	ar.PutEdges(triples)
+	return g
 }
 
 // CoarseMessageGraph aggregates like CoarseGraph but weights each
@@ -250,8 +265,14 @@ func CoarseGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
 // message-congestion (MMC) refinement must see: all fine messages
 // between a group pair follow the same static route.
 func CoarseMessageGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
-	var us, vs []int32
-	var ws []int64
+	return CoarseMessageGraphArena(nil, t, group, nGroups)
+}
+
+// CoarseMessageGraphArena is CoarseMessageGraph with pooled staging
+// scratch (see CoarseGraphArena).
+func CoarseMessageGraphArena(ar *arena.Arena, t *TaskGraph, group []int32, nGroups int) *graph.Graph {
+	triples := ar.Edges(2 * t.G.M())
+	cnt := 0
 	for u := 0; u < t.G.N(); u++ {
 		gu := group[u]
 		for i := t.G.Xadj[u]; i < t.G.Xadj[u+1]; i++ {
@@ -259,16 +280,18 @@ func CoarseMessageGraph(t *TaskGraph, group []int32, nGroups int) *graph.Graph {
 			if gu == gv {
 				continue
 			}
-			us = append(us, gu, gv)
-			vs = append(vs, gv, gu)
-			ws = append(ws, 1, 1)
+			triples[cnt] = ds.EdgeTriple{U: gu, V: gv, W: 1}
+			triples[cnt+1] = ds.EdgeTriple{U: gv, V: gu, W: 1}
+			cnt += 2
 		}
 	}
 	vw := make([]int64, nGroups)
 	for u := 0; u < t.G.N(); u++ {
 		vw[group[u]] += t.G.VertexWeight(u)
 	}
-	return graph.FromEdges(nGroups, us, vs, ws, vw)
+	g := graph.FromTriples(nGroups, triples[:cnt], vw)
+	ar.PutEdges(triples)
+	return g
 }
 
 // MaxSendReceiveVertex returns the task with the maximum total

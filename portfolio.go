@@ -124,6 +124,9 @@ func (e *Engine) portfolioCandidates(req PortfolioRequest) ([]Solve, error) {
 		if spec.Caps().NeedsMultipath && !multipath {
 			return nil, fmt.Errorf("topomap: portfolio candidate %d: mapper %s needs a topology with minimal-route enumeration", i, c.Mapper)
 		}
+		if c.TimeoutMS < 0 {
+			return nil, fmt.Errorf("topomap: portfolio candidate %d (%s): negative timeout_ms %d", i, c.Mapper, c.TimeoutMS)
+		}
 		id := identity{c.Mapper, c.Seed}
 		if prev, dup := seen[id]; dup {
 			return nil, fmt.Errorf("topomap: portfolio candidates %d and %d duplicate (mapper %s, seed %d); candidates must differ in mapper or seed", prev, i, c.Mapper, c.Seed)

@@ -1,0 +1,415 @@
+package topomap
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/parallel"
+	"repro/internal/remap"
+	"repro/internal/routecache"
+	"repro/internal/taskgraph"
+)
+
+// NodeCapacity names one node of an AllocationDelta together with its
+// processor capacity.
+type NodeCapacity struct {
+	Node  int32 `json:"node"`
+	Procs int   `json:"procs"`
+}
+
+// AllocationDelta is a serializable description of how an allocation
+// changed: nodes the scheduler took away, nodes it handed over, and
+// nodes whose usable capacity changed. A node may appear at most once
+// across the three lists. Setting a node's capacity to zero removes
+// it — the wire form of "this node still exists but you may not use
+// it". The delta is the unit POST /v1/remap and cmd/mapper -remap
+// carry; Apply defines its exact semantics.
+type AllocationDelta struct {
+	Remove      []int32        `json:"remove,omitempty"`
+	Add         []NodeCapacity `json:"add,omitempty"`
+	SetCapacity []NodeCapacity `json:"set_capacity,omitempty"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d AllocationDelta) Empty() bool {
+	return len(d.Remove) == 0 && len(d.Add) == 0 && len(d.SetCapacity) == 0
+}
+
+// Apply produces the post-delta allocation: removed and
+// zero-capacity nodes leave, surviving nodes keep their allocation
+// order (with updated capacities), added nodes append in Add order.
+// It validates the delta against the previous allocation — removals
+// and capacity changes must name allocated nodes, additions must name
+// valid topology nodes not already allocated, no node may appear
+// twice — and rejects deltas that change nothing or empty the
+// allocation, so a remap request always has real work and a feasible
+// target.
+func (d AllocationDelta) Apply(topo Topology, prev *Allocation) (*Allocation, error) {
+	if d.Empty() {
+		return nil, fmt.Errorf("topomap: empty allocation delta; a remap needs a change")
+	}
+	idx := make(map[int32]int, prev.NumNodes())
+	for i, m := range prev.Nodes {
+		idx[m] = i
+	}
+	touched := map[int32]bool{}
+	touch := func(m int32) error {
+		if touched[m] {
+			return fmt.Errorf("topomap: delta names node %d twice", m)
+		}
+		touched[m] = true
+		return nil
+	}
+	drop := map[int32]bool{}
+	procs := append([]int(nil), prev.ProcsPerNode...)
+	for _, m := range d.Remove {
+		if err := touch(m); err != nil {
+			return nil, err
+		}
+		if _, ok := idx[m]; !ok {
+			return nil, fmt.Errorf("topomap: delta removes node %d, which is not allocated", m)
+		}
+		drop[m] = true
+	}
+	for _, nc := range d.SetCapacity {
+		if err := touch(nc.Node); err != nil {
+			return nil, err
+		}
+		i, ok := idx[nc.Node]
+		if !ok {
+			return nil, fmt.Errorf("topomap: delta sets capacity of node %d, which is not allocated", nc.Node)
+		}
+		if nc.Procs < 0 {
+			return nil, fmt.Errorf("topomap: delta sets negative capacity %d on node %d", nc.Procs, nc.Node)
+		}
+		if nc.Procs == 0 {
+			drop[nc.Node] = true
+			continue
+		}
+		procs[i] = nc.Procs
+	}
+	next := &Allocation{}
+	for i, m := range prev.Nodes {
+		if drop[m] {
+			continue
+		}
+		next.Nodes = append(next.Nodes, m)
+		next.ProcsPerNode = append(next.ProcsPerNode, procs[i])
+	}
+	for _, nc := range d.Add {
+		if err := touch(nc.Node); err != nil {
+			return nil, err
+		}
+		if _, ok := idx[nc.Node]; ok {
+			return nil, fmt.Errorf("topomap: delta adds node %d, which is already allocated", nc.Node)
+		}
+		if nc.Node < 0 || int(nc.Node) >= topo.Nodes() {
+			return nil, fmt.Errorf("topomap: delta adds node %d outside the topology", nc.Node)
+		}
+		if nc.Procs <= 0 {
+			return nil, fmt.Errorf("topomap: delta adds node %d with capacity %d", nc.Node, nc.Procs)
+		}
+		next.Nodes = append(next.Nodes, nc.Node)
+		next.ProcsPerNode = append(next.ProcsPerNode, nc.Procs)
+	}
+	if next.NumNodes() == 0 {
+		return nil, fmt.Errorf("topomap: delta empties the allocation")
+	}
+	return next, nil
+}
+
+// DefaultFenceThreshold is the quality fence's default allowed
+// relative objective regression of the warm path over the previous
+// mapping: 5% before the engine falls back to a cold solve.
+const DefaultFenceThreshold = 0.05
+
+// RemapSpec is the declarative, serializable form of one remap job:
+// the solve knobs the warm pipeline and any cold fallback share, the
+// objective the quality fence scores, and the fence threshold.
+type RemapSpec struct {
+	// Solve configures the remap: Seed/Workers/FineRefine/Sim/
+	// TimeoutMS apply to the warm pipeline, and the whole Solve is the
+	// cold fallback's spec (Mapper defaults to the previous result's
+	// mapper when empty; Refine is implied — the warm path always ends
+	// in WH refinement).
+	Solve Solve `json:"solve,omitempty"`
+	// Objective is what the quality fence scores (zero value: WH).
+	Objective Objective `json:"objective,omitempty"`
+	// FenceThreshold is the allowed relative regression of the warm
+	// result's objective over the previous mapping before the engine
+	// falls back to a cold solve: 0 means DefaultFenceThreshold,
+	// negative disables the fence entirely.
+	FenceThreshold float64 `json:"fence_threshold,omitempty"`
+}
+
+// RemapOption tunes one Remap call by mutating the RemapSpec it
+// lowers onto.
+type RemapOption func(*RemapSpec)
+
+// WithRemapSolve sets the solve knobs of the remap (see
+// RemapSpec.Solve).
+func WithRemapSolve(s Solve) RemapOption {
+	return func(r *RemapSpec) { r.Solve = s }
+}
+
+// WithRemapObjective sets the objective the quality fence scores.
+func WithRemapObjective(o Objective) RemapOption {
+	return func(r *RemapSpec) { r.Objective = o }
+}
+
+// WithFenceThreshold sets the allowed relative warm-path regression
+// (see RemapSpec.FenceThreshold).
+func WithFenceThreshold(t float64) RemapOption {
+	return func(r *RemapSpec) { r.FenceThreshold = t }
+}
+
+// RemapResult is the outcome of an incremental remap: the winning
+// mapping on the post-delta allocation, the engine serving that
+// allocation (route state patched, not rebuilt — reuse it for
+// follow-on requests), and the warm-vs-cold accounting.
+type RemapResult struct {
+	// Result is the winning mapping in the new allocation's index
+	// space.
+	Result *MapResult
+	// Engine serves the post-delta (topology, allocation) pair.
+	Engine *Engine
+	// Allocation is the post-delta allocation.
+	Allocation *Allocation
+	// Warm reports that the warm-started result won; false means the
+	// fence fell back to a cold solve and the cold result won.
+	Warm bool
+	// FenceTripped reports that the warm result regressed past the
+	// threshold and the cold fallback ran (the winner is still
+	// whichever scored lower).
+	FenceTripped bool
+	// PrevScore, WarmScore and ColdScore are the objective values of
+	// the previous mapping, the warm result, and the cold fallback
+	// (ColdScore is meaningful only when FenceTripped).
+	PrevScore, WarmScore, ColdScore float64
+	// PairsReused of PairsTotal route-cache pairs survived the delta
+	// verbatim.
+	PairsReused, PairsTotal int
+	// MigratedTasks counts the tasks the delta stranded (dead or
+	// over-capacity nodes) and the greedy placement moved.
+	MigratedTasks int
+}
+
+// Remap incrementally remaps a finished result onto a changed
+// allocation: the per-pair route cache is patched in place (only
+// pairs touching changed nodes recompute), tasks stranded on removed
+// or shrunk nodes migrate via cheapest-feasible-node greedy
+// placement, and WH — plus congestion refinement when the objective
+// asks for a congestion metric — warm-starts from the patched
+// placement instead of reconstructing from scratch. A quality fence
+// guards the shortcut: when the warm result's objective regresses
+// more than the configured threshold over prev's score, a cold
+// RunSolve runs and the better result wins. Like every engine
+// entry point, the output is byte-identical at any worker count.
+func (e *Engine) Remap(ctx context.Context, tasks *TaskGraph, prev *MapResult, delta AllocationDelta, opts ...RemapOption) (*RemapResult, error) {
+	var spec RemapSpec
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	return e.RunRemap(ctx, tasks, prev, delta, spec)
+}
+
+// RunRemap is Remap with an explicit declarative spec — the form the
+// wire protocol carries. See Remap.
+func (e *Engine) RunRemap(ctx context.Context, tasks *TaskGraph, prev *MapResult, delta AllocationDelta, spec RemapSpec) (*RemapResult, error) {
+	if tasks == nil {
+		return nil, fmt.Errorf("topomap: remap carries no task graph")
+	}
+	if prev == nil {
+		return nil, fmt.Errorf("topomap: remap carries no previous result")
+	}
+	if len(prev.GroupOf) != tasks.K {
+		return nil, fmt.Errorf("topomap: previous result places %d tasks, task graph has %d", len(prev.GroupOf), tasks.K)
+	}
+	if len(prev.NodeOf) != e.alloc.NumNodes() {
+		return nil, fmt.Errorf("topomap: previous result uses %d nodes, engine's allocation has %d", len(prev.NodeOf), e.alloc.NumNodes())
+	}
+	if err := spec.Objective.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Solve.TimeoutMS < 0 {
+		return nil, fmt.Errorf("topomap: negative timeout_ms %d", spec.Solve.TimeoutMS)
+	}
+	if spec.Solve.TimeoutMS > 0 {
+		// One budget covers the whole remap — warm path plus any cold
+		// fallback — so the fence cannot double the caller's deadline.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.Solve.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	prevScore, err := spec.Objective.Score(prev)
+	if err != nil {
+		return nil, fmt.Errorf("topomap: remap fence cannot score the previous result: %w", err)
+	}
+
+	next, err := delta.Apply(e.topo, e.alloc)
+	if err != nil {
+		return nil, err
+	}
+	if int64(tasks.K) > int64(next.TotalProcs()) {
+		return nil, fmt.Errorf("topomap: %d tasks exceed %d processors after the delta", tasks.K, next.TotalProcs())
+	}
+	view, pstats, err := routecache.Patch(e.view, next.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	ne := newEngineView(e.topo, view, next)
+
+	res := &RemapResult{
+		Engine:      ne,
+		Allocation:  next,
+		PairsReused: pstats.Reused,
+		PairsTotal:  pstats.Total,
+		PrevScore:   prevScore,
+	}
+	warm, err := ne.warmRemap(ctx, tasks, prev, spec)
+	if err != nil {
+		return nil, err
+	}
+	res.Result = warm.res
+	res.MigratedTasks = warm.migrated
+	res.WarmScore, err = spec.Objective.Score(warm.res)
+	if err != nil {
+		return nil, err
+	}
+	res.Warm = true
+
+	threshold := spec.FenceThreshold
+	if threshold == 0 {
+		threshold = DefaultFenceThreshold
+	}
+	if threshold >= 0 && res.WarmScore > prevScore*(1+threshold) {
+		res.FenceTripped = true
+		coldSolve := spec.Solve
+		coldSolve.TimeoutMS = 0 // ctx already carries the budget
+		if coldSolve.Mapper == "" {
+			coldSolve.Mapper = prev.Mapper
+		}
+		cold, err := ne.runSolve(ctx, tasks, coldSolve, 0)
+		if err != nil {
+			return nil, fmt.Errorf("topomap: remap cold fallback: %w", err)
+		}
+		res.ColdScore, err = spec.Objective.Score(cold)
+		if err != nil {
+			return nil, err
+		}
+		// The warm result wins ties: it is the cheaper path and the
+		// smaller migration.
+		if res.ColdScore < res.WarmScore {
+			res.Result = cold
+			res.Warm = false
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// warmResult bundles the warm pipeline's output.
+type warmResult struct {
+	res      *MapResult
+	migrated int
+}
+
+// warmRemap runs the warm pipeline on the post-delta engine: patch
+// the placement (migrating only stranded tasks), rebuild the coarse
+// graph over the patched grouping, then refine — WH always, plus the
+// congestion pass the objective's first congestion metric selects —
+// and evaluate. The pipeline mirrors runSolve's stage order
+// (placement-mutating steps before capacity repair on heterogeneous
+// allocations) so its determinism contract carries over.
+func (e *Engine) warmRemap(ctx context.Context, tg *TaskGraph, prev *MapResult, spec RemapSpec) (*warmResult, error) {
+	workers := spec.Solve.Workers
+	ex := &core.Exec{Par: parallel.NewGroup(ctx, workers), Arena: e.arena}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sym := tg.SymmetricArena(e.arena)
+	caps := make([]int64, e.alloc.NumNodes())
+	for i, p := range e.alloc.ProcsPerNode {
+		caps[i] = int64(p)
+	}
+	plan, err := remap.PatchPlacement(remap.Instance{
+		Sym:        sym,
+		Topo:       e.view,
+		OldGroupOf: prev.GroupOf,
+		OldNodeOf:  prev.NodeOf,
+		NewNodes:   e.alloc.Nodes,
+		NewCaps:    caps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	coarse := taskgraph.CoarseGraphArena(e.arena, tg, plan.GroupOf, e.alloc.NumNodes())
+	nodeOf := plan.NodeOf
+	core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{Exec: ex})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if kind, ok := congestionKind(spec.Objective); ok {
+		g := coarse
+		if kind == core.MessageCongestion {
+			g = taskgraph.CoarseMessageGraphArena(e.arena, tg, plan.GroupOf, e.alloc.NumNodes())
+		}
+		core.RefineCongestion(g, e.view, e.alloc.Nodes, nodeOf, kind, core.RefineOptions{Exec: ex})
+	}
+	if !e.uniform {
+		weight := e.arena.Int64s(coarse.N())
+		for _, g := range plan.GroupOf {
+			weight[g]++
+		}
+		core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
+		e.arena.PutInt64s(weight)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &MapResult{Mapper: prev.Mapper, GroupOf: plan.GroupOf, NodeOf: nodeOf, Coarse: coarse}
+	if spec.Solve.FineRefine {
+		res.FineWHGain, res.FineVolGain = core.RefineWHFine(sym, e.view, plan.GroupOf, nodeOf, core.RefineOptions{Exec: ex})
+	}
+	pl := &metrics.Placement{GroupOf: plan.GroupOf, NodeOf: nodeOf}
+	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)
+	if spec.Solve.Sim != nil {
+		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, spec.Solve.Sim.BytesPerUnit, spec.Solve.Sim.Params).Seconds
+		res.SimRan = true
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &warmResult{res: res, migrated: len(plan.Stranded)}, nil
+}
+
+// congestionKind selects the congestion-refinement pass the warm path
+// runs from the objective: the first congestion metric among its
+// terms wins — "mmc" asks for message congestion, "mc"/"amc"/"ac"
+// for volume congestion. Objectives without a congestion term (WH,
+// hops, sim time) skip the pass; WH refinement already ran.
+func congestionKind(o Objective) (core.CongestionKind, bool) {
+	ts, err := o.terms()
+	if err != nil {
+		return 0, false
+	}
+	for _, t := range ts {
+		switch t.Metric {
+		case "mmc":
+			return core.MessageCongestion, true
+		case "mc", "amc", "ac":
+			return core.VolumeCongestion, true
+		}
+	}
+	return 0, false
+}

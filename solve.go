@@ -1,6 +1,8 @@
 package topomap
 
 import (
+	"time"
+
 	"repro/internal/parallel"
 )
 
@@ -26,6 +28,14 @@ type Solve struct {
 	// FineRefine applies the §III-B fine-level refinement after
 	// mapping; gains land in MapResult.FineWHGain / FineVolGain.
 	FineRefine bool `json:"fine_refine,omitempty"`
+	// TimeoutMS bounds this solve's wall-clock in milliseconds; the
+	// pipeline bails cooperatively (see RunContext) once the budget
+	// expires and surfaces context.DeadlineExceeded. 0 means no
+	// per-solve budget (the caller's ctx still governs); negative is
+	// rejected. Inside RunPortfolio an over-budget candidate is marked
+	// Skipped instead of failing the portfolio — the per-candidate
+	// budget the wire protocol exposes.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Workers bounds the worker goroutines of this solve. 0 means the
 	// caller-dependent default: all CPUs for Run/RunContext/RunSolve,
 	// one worker per request inside RunBatch and per candidate inside
@@ -115,6 +125,19 @@ func WithParallelism(n int) RequestOption {
 			n = parallel.Workers()
 		}
 		s.Workers = n
+	}
+}
+
+// WithTimeout bounds the solve's wall-clock; sub-millisecond values
+// round up to 1ms so a tiny but positive budget never lowers to "no
+// budget". See Solve.TimeoutMS.
+func WithTimeout(d time.Duration) RequestOption {
+	return func(s *Solve) {
+		ms := d.Milliseconds()
+		if ms == 0 && d > 0 {
+			ms = 1
+		}
+		s.TimeoutMS = ms
 	}
 }
 

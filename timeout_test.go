@@ -1,0 +1,105 @@
+package topomap
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Per-solve timeout budgets (Solve.TimeoutMS): central enforcement in
+// the pipeline, rejection of negative values, and the portfolio
+// marking over-budget candidates Skipped instead of failing.
+
+func timeoutFixture(t *testing.T) (*Engine, *TaskGraph) {
+	t.Helper()
+	tg := ringTaskGraph(1024, 6)
+	topo := NewHopperTorus(8, 8, 8)
+	a, err := SparseAllocation(topo, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, tg
+}
+
+// TestSolveTimeoutBudget: a 1ms budget on an instance whose UMC solve
+// takes far longer must surface context.DeadlineExceeded without the
+// caller passing any deadline of its own.
+func TestSolveTimeoutBudget(t *testing.T) {
+	eng, tg := timeoutFixture(t)
+	// Warm run proves the instance is well-formed (and warms the arena).
+	if _, err := eng.RunSolve(context.Background(), tg, Solve{Mapper: UMC, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.RunSolve(context.Background(), tg, Solve{Mapper: UMC, Seed: 7, TimeoutMS: 1})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSolveNegativeTimeoutRejected(t *testing.T) {
+	eng, tg := timeoutFixture(t)
+	_, err := eng.RunSolve(context.Background(), tg, Solve{Mapper: DEF, TimeoutMS: -5})
+	if err == nil || !strings.Contains(err.Error(), "timeout_ms") {
+		t.Fatalf("err = %v, want negative timeout_ms rejection", err)
+	}
+	// The portfolio rejects it during candidate validation, naming the
+	// candidate, before any solve runs.
+	_, err = eng.RunPortfolio(context.Background(), PortfolioRequest{
+		Tasks: tg,
+		Candidates: []Solve{
+			{Mapper: DEF},
+			{Mapper: UMC, TimeoutMS: -1},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "candidate 1") || !strings.Contains(err.Error(), "timeout_ms") {
+		t.Fatalf("err = %v, want candidate-1 timeout_ms rejection", err)
+	}
+}
+
+// TestPortfolioCandidateTimeoutSkipped: an over-budget candidate is
+// marked Skipped and the portfolio still returns the best of the
+// rest — the per-candidate budget must never fail the whole request.
+func TestPortfolioCandidateTimeoutSkipped(t *testing.T) {
+	eng, tg := timeoutFixture(t)
+	res, err := eng.RunPortfolio(context.Background(), PortfolioRequest{
+		Tasks: tg,
+		Candidates: []Solve{
+			{Mapper: DEF, Seed: 1},
+			{Mapper: UMC, Seed: 1, TimeoutMS: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", res.Skipped)
+	}
+	if res.Winner != 0 {
+		t.Fatalf("winner = %d, want the in-budget candidate 0", res.Winner)
+	}
+	last := res.Leaderboard[len(res.Leaderboard)-1]
+	if last.Index != 1 || !last.Skipped || last.Result != nil {
+		t.Fatalf("over-budget candidate not marked Skipped: %+v", last)
+	}
+
+	// A generous budget changes nothing: both candidates finish and the
+	// leaderboard is complete.
+	res2, err := eng.RunPortfolio(context.Background(), PortfolioRequest{
+		Tasks: tg,
+		Candidates: []Solve{
+			{Mapper: DEF, Seed: 1},
+			{Mapper: UMC, Seed: 1, TimeoutMS: time.Minute.Milliseconds()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Skipped != 0 {
+		t.Fatalf("generous budget skipped %d candidates", res2.Skipped)
+	}
+}

@@ -3,11 +3,20 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-json race docs
+.PHONY: check fmt vet build test bench bench-json race docs traceguard
 
 # check includes docs, whose recipe runs `go vet ./...` — listing vet
 # here too would vet the module twice per gate.
-check: fmt build test docs
+check: fmt build test traceguard docs
+
+# Tracing must stay off the hot leaves: internal/ds and internal/graph
+# are the inner-loop data structures, and an internal/trace import
+# there would put span plumbing inside loops that run millions of
+# times per solve. Counter call sites belong at stage boundaries.
+traceguard:
+	@if grep -rn '"repro/internal/trace"' internal/ds internal/graph 2>/dev/null; then \
+		echo "internal/trace must not be imported from internal/ds or internal/graph"; exit 1; \
+	fi
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -43,11 +52,11 @@ bench:
 # tracked alongside ns/op — and record them as JSON diffable PR over
 # PR (BENCH_PR<n>.json). The large parallel-solve and refinement
 # instances run at a lower iteration count: one solve is ~10^8 ns.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 BENCH_NOTES ?=
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
-	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch|Portfolio)' -benchmem -benchtime=50x -count=1 . > $$tmp; \
+	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch|Portfolio)|BenchmarkSolveTraced' -benchmem -benchtime=50x -count=1 . > $$tmp; \
 	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve|BenchmarkRefineMC|BenchmarkRemapVsCold' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) $(BENCH_NOTES) < $$tmp
 	@echo "wrote $(BENCH_OUT)"
@@ -60,5 +69,5 @@ bench-json:
 # remap endpoints, cache churn, cancellation, multi-slot accounting).
 race:
 	$(GO) test -race -run='Engine|Batch|Portfolio|Solve|RefineMC|Remap' .
-	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/... ./internal/core/... ./internal/remap/...
+	$(GO) test -race ./internal/parallel/... ./internal/arena/... ./internal/partition/... ./internal/metrics/... ./internal/core/... ./internal/remap/... ./internal/trace/...
 	$(GO) test -race ./internal/service/...

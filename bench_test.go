@@ -460,6 +460,33 @@ func engineBenchFixture(b *testing.B) (*topomap.TaskGraph, *torus.Torus, *alloc.
 	return tg, topo, a, d, da
 }
 
+// BenchmarkSolveTraced measures the cost of stage tracing against the
+// identical untraced solve: the delta is the tracing overhead the
+// "zero overhead disabled, negligible enabled" contract promises
+// (mapd traces every solve it serves).
+func BenchmarkSolveTraced(b *testing.B) {
+	tg, topo, a, _, _ := engineBenchFixture(b)
+	eng, err := topomap.NewEngine(topo, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, traced := range []bool{false, true} {
+		name := "untraced"
+		if traced {
+			name = "traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol := topomap.Solve{Mapper: topomap.UMC, Seed: 1, Trace: traced}
+				if _, err := eng.RunSolve(context.Background(), tg, sol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineReuse measures the steady state of the service API:
 // one Engine per (topology, allocation), its routing/distance state
 // precomputed once, serving repeated UWH requests. Compare with

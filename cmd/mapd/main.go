@@ -14,6 +14,12 @@
 //	GET  /v1/mappers    registered mappers with capability flags
 //	GET  /healthz       liveness
 //	GET  /statusz       live counters (requests, portfolio, cache, latency)
+//	GET  /metrics       Prometheus text exposition (counters + latency histograms)
+//
+// -log-level enables structured request logging on stderr; -debug-addr
+// serves net/http/pprof on a separate listener, kept off the service
+// port so profiling endpoints are never reachable from the wire the
+// resource manager talks to.
 //
 // Example:
 //
@@ -39,7 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +55,37 @@ import (
 
 	"repro/internal/service"
 )
+
+// logLevel parses the -log-level flag; empty disables request logging
+// (counters and histograms record regardless).
+func logLevel(s string) (slog.Level, bool, error) {
+	switch s {
+	case "":
+		return 0, false, nil
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info":
+		return slog.LevelInfo, true, nil
+	case "warn":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	}
+	return 0, false, fmt.Errorf("mapd: -log-level %q, want debug|info|warn|error", s)
+}
+
+// debugMux is the pprof handler set, mounted only on -debug-addr:
+// profiles expose internals and burn CPU, so they live on their own
+// listener (typically bound to localhost), never the service port.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -56,7 +95,19 @@ func main() {
 	maxCand := flag.Int("max-candidates", 0, "cap on a portfolio request's explicit candidate list (0 = 16)")
 	results := flag.Int("results", 0, "recent results /v1/remap can reference by fingerprint (0 = 128)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof, e.g. localhost:6060 (empty = disabled)")
+	logLvl := flag.String("log-level", "", "structured request logging level: debug|info|warn|error (empty = off)")
 	flag.Parse()
+
+	level, logOn, err := logLevel(*logLvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var logger *slog.Logger
+	if logOn {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
 
 	srv := service.New(service.Config{
 		Workers:                *workers,
@@ -65,7 +116,17 @@ func main() {
 		MaxPortfolioCandidates: *maxCand,
 		ResultCacheSize:        *results,
 		DefaultTimeout:         *timeout,
+		Logger:                 logger,
 	})
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("mapd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				log.Printf("mapd: pprof listener: %v", err)
+			}
+		}()
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -31,6 +31,7 @@ import (
 
 	topomap "repro"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tier := fs.String("tier", "small", "dataset tier with -matrix: tiny, small, large")
 	allocFile := fs.String("allocfile", "", "read the allocation from a node-list file (node [procs] lines) instead of generating one")
 	rankFile := fs.String("rankfile", "", "write a Cray-style MPICH_RANK_ORDER file realizing the mapping")
+	traced := fs.Bool("trace", false, "print the solve's stage timeline: wall time, share, workers and per-stage counters (the mapping is identical with or without)")
 	viz := fs.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -188,9 +190,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var res *topomap.MapResult
 	if *portfolio != "" {
+		if len(candidates) == 0 && *traced {
+			// "all" normally expands inside RunPortfolio; expand here so
+			// the trace request reaches every candidate (the winner's
+			// timeline is the one printed).
+			candidates = eng.CompatibleMappers()
+		}
 		var solves []topomap.Solve
 		for _, mp := range candidates {
-			solves = append(solves, topomap.Solve{Mapper: mp, Seed: *seed})
+			solves = append(solves, topomap.Solve{Mapper: mp, Seed: *seed, Trace: *traced})
 		}
 		pres, err := eng.RunPortfolio(context.Background(), topomap.PortfolioRequest{
 			Tasks:      tg,
@@ -214,15 +222,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "winner: %s\n", res.Mapper)
 		mapper = res.Mapper
 	} else {
-		res, err = eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed,
-			Options: []topomap.RequestOption{topomap.WithParallelism(*workers)}})
+		opts := []topomap.RequestOption{topomap.WithParallelism(*workers)}
+		if *traced {
+			opts = append(opts, topomap.WithTrace())
+		}
+		res, err = eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed, Options: opts})
 		if err != nil {
 			return fail(err)
 		}
 	}
 	if *remapDelta != "" {
 		rres, err := eng.RunRemap(context.Background(), tg, res, delta, topomap.RemapSpec{
-			Solve:          topomap.Solve{Seed: *seed, Workers: *workers},
+			Solve:          topomap.Solve{Seed: *seed, Workers: *workers, Trace: *traced},
 			Objective:      obj,
 			FenceThreshold: *fence,
 		})
@@ -269,6 +280,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "AMC = %.4f\n", m.AMC)
 	fmt.Fprintf(stdout, "AC  = %.6g\n", m.AC)
 	fmt.Fprintf(stdout, "used links = %d\n", m.UsedLinks)
+	if *traced && res.Trace != nil {
+		fmt.Fprintf(stdout, "stages (%.3fms total):\n", res.Trace.TotalMS())
+		fmt.Fprint(stdout, trace.Format(res.Trace.Stages(), res.Trace.TotalMS()))
+	}
 	for g, n := range res.NodeOf {
 		fmt.Fprintf(stdout, "group %d -> node %d\n", g, n)
 		if g > 20 {

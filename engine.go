@@ -14,6 +14,7 @@ import (
 	"repro/internal/routecache"
 	"repro/internal/taskgraph"
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // Engine is the topology-generic mapping service: constructed once
@@ -110,6 +111,10 @@ type MapResult struct {
 	// this solve (Solve.Sim was set) — zero simulated seconds on a
 	// communication-free placement is a result, not an omission.
 	SimRan bool
+	// Trace is the solve's stage timeline, recorded only when
+	// Solve.Trace was set (nil otherwise). Serialize it with
+	// Trace.Stages().
+	Trace *trace.Trace
 }
 
 // Placement returns the task→node composition for the simulator.
@@ -187,30 +192,46 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	if workers == 0 {
 		workers = defaultWorkers
 	}
-	ex := &core.Exec{Par: parallel.NewGroup(ctx, workers), Arena: e.arena}
+	var tr *trace.Trace
+	if s.Trace {
+		tr = trace.New()
+	}
+	ex := &core.Exec{Par: parallel.NewGroup(ctx, workers), Arena: e.arena, Trace: tr}
+	poolWorkers := ex.Par.NumWorkers()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := ex.StartSpan("group")
+	sp.SetWorkers(poolWorkers)
 	var group []int32
 	var err error
 	if caps.BlockGrouping {
 		group, err = taskgraph.GroupBlocks(tg.K, e.caps)
 	} else {
-		group, err = taskgraph.GroupTasksExec(tg, e.caps, s.Seed, ex.Par, e.arena)
+		group, err = taskgraph.GroupTasksExec(tg, e.caps, s.Seed, ex.Par, e.arena, tr)
 	}
+	sp.Add("groups", int64(e.alloc.NumNodes()))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp = ex.StartSpan("coarsen")
 	coarse := taskgraph.CoarseGraphArena(e.arena, tg, group, e.alloc.NumNodes())
 	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: s.Seed, Exec: ex}
 	if caps.NeedsMessageGraph {
 		in.Msg = taskgraph.CoarseMessageGraphArena(e.arena, tg, group, e.alloc.NumNodes())
 	}
+	sp.Add("coarse_vertices", int64(coarse.N()))
+	sp.Add("coarse_edges", int64(coarse.M()))
+	sp.End()
+	sp = ex.StartSpan("map")
+	sp.SetWorkers(poolWorkers)
 	nodeOf, err := spec.Map(in)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -222,33 +243,47 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	// their sizes, so it must never be the last placement-mutating
 	// step on a heterogeneous allocation.
 	if s.Refine {
+		sp = ex.StartSpan("refine_wh")
+		sp.SetWorkers(poolWorkers)
 		core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{Exec: ex})
+		sp.End()
 	}
 	// Heterogeneous capacities (§III-A): the mappers optimize locality
 	// one-to-one; when node capacities are non-uniform a heavy group
 	// can land on a small node, so repair any violations with
 	// weight-aware swaps (a no-op on uniform allocations).
 	if !caps.BlockGrouping && !e.uniform {
+		sp = ex.StartSpan("repair")
 		weight := e.arena.Int64s(coarse.N())
 		for _, g := range group {
 			weight[g]++
 		}
-		core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
+		moves := core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
 		e.arena.PutInt64s(weight)
+		sp.Add("repair_moves", int64(moves))
+		sp.End()
 	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := &MapResult{Mapper: s.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse}
+	res := &MapResult{Mapper: s.Mapper, GroupOf: group, NodeOf: nodeOf, Coarse: coarse, Trace: tr}
 	if s.FineRefine {
+		sp = ex.StartSpan("refine_fine")
+		sp.SetWorkers(poolWorkers)
 		res.FineWHGain, res.FineVolGain = core.RefineWHFine(tg.SymmetricArena(e.arena), e.view, group, nodeOf, core.RefineOptions{Exec: ex})
+		sp.End()
 	}
 	pl := &metrics.Placement{GroupOf: group, NodeOf: nodeOf}
+	sp = ex.StartSpan("metrics")
+	sp.SetWorkers(poolWorkers)
 	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)
+	sp.End()
 	if s.Sim != nil {
+		sp = ex.StartSpan("sim")
 		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, s.Sim.BytesPerUnit, s.Sim.Params).Seconds
 		res.SimRan = true
+		sp.End()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

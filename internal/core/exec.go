@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/arena"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Exec is the execution context of one solve: the bounded fork-join
@@ -20,6 +21,11 @@ type Exec struct {
 	// Arena recycles scratch buffers across solves. Nil allocates
 	// fresh.
 	Arena *arena.Arena
+	// Trace, when non-nil, records the solve's stage timeline and
+	// per-stage counters (Solve{Trace: true}). Nil — the default — is
+	// zero-overhead: every span/counter call below is an immediate
+	// no-op. Tracing never changes a mapping decision.
+	Trace *trace.Trace
 }
 
 // par returns the group, nil-safely.
@@ -43,4 +49,34 @@ func (e *Exec) arenaOf() *arena.Arena {
 // early with structurally valid state; the engine surfaces ctx.Err.
 func (e *Exec) cancelled() bool {
 	return e != nil && e.Par.Cancelled()
+}
+
+// StartSpan opens a named stage span on the solve's trace, nil-safe
+// both ways (nil Exec, nil Trace). The engine wraps its pipeline
+// stages with it; core algorithms report counters into whichever span
+// is open via Count/CountMax.
+func (e *Exec) StartSpan(name string) *trace.Span {
+	if e == nil {
+		return nil
+	}
+	return e.Trace.Start(name)
+}
+
+// Count adds delta to a named counter of the currently open stage
+// span (no-op untraced). Call it at stage boundaries — once per pass
+// or batch, never inside a hot inner loop.
+func (e *Exec) Count(name string, delta int64) {
+	if e == nil {
+		return
+	}
+	e.Trace.Add(name, delta)
+}
+
+// CountMax raises a named counter of the open stage span to v (no-op
+// untraced) — the merge for depth-style counters.
+func (e *Exec) CountMax(name string, v int64) {
+	if e == nil {
+		return
+	}
+	e.Trace.Max(name, v)
 }

@@ -228,6 +228,7 @@ func GreedyBestEx(g *graph.Graph, topo torus.Topology, allocNodes []int32, objec
 		func() { m0 = Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 0, Objective: objective, Exec: ex}) },
 		func() { m1 = Greedy(g, topo, allocNodes, GreedyOptions{NBFS: 1, Objective: objective, Exec: ex}) },
 	)
+	ex.Count("greedy_attempts", 2)
 	if objectiveValue(g, topo, m1, objective) < objectiveValue(g, topo, m0, objective) {
 		return m1
 	}

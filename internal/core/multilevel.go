@@ -659,6 +659,7 @@ func MapUML(g *graph.Graph, topo torus.Topology, allocNodes []int32, opt Multile
 	}
 	levels := mlHierarchy(g, opt.CoarsenTo)
 	L := len(levels) - 1
+	ex.Count("coarse_levels", int64(L))
 	nodeOf := make([]int32, n)
 	if L == 0 {
 		// Graph already at/below the coarsest size: plain UG + WH.

@@ -104,6 +104,7 @@ func RefineWHFine(fine *graph.Graph, topo torus.Topology, group []int32, nodeOf 
 	seeds := make([]int32, 0, 32)
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
+		opt.Exec.Count("fine_passes", 1)
 		passStart := totalWH
 		whHeap.Clear()
 		for t := 0; t < n; t++ {
@@ -140,6 +141,7 @@ func RefineWHFine(fine *graph.Graph, topo torus.Topology, group []int32, nodeOf 
 					}
 				}
 				if best >= 0 {
+					opt.Exec.Count("fine_swaps", 1)
 					ga, gb := group[twh], group[best]
 					group[twh], group[best] = gb, ga
 					moveTask(twh, myNode, node)

@@ -576,6 +576,7 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 	scores := make([]congScore, opt.Delta)
 
 	swaps := 0
+	rounds, scored := int64(0), int64(0)
 	maxIters := 4 * topo.Links()
 	seeds := make([]int32, 0, 16)
 	var tasksBuf []int32
@@ -587,6 +588,7 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 		if curMax == 0 {
 			break // nothing routed at all
 		}
+		rounds++
 		curACnum, curACden := cs.ac()
 		improvedLink := false
 		// Distinct tasks whose messages cross emc.
@@ -623,6 +625,7 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 			if len(cands) == 0 {
 				continue
 			}
+			scored += int64(len(cands))
 			if scorers != nil && len(cands) > 1 {
 				ex.par().ForEachIdx(len(cands), func(i int) {
 					scores[i] = scorers[i].score(tmc, cands[i])
@@ -659,6 +662,9 @@ func refineCongestion(g *graph.Graph, topo torus.Topology, multipath torus.Multi
 			break // the most congested link cannot be improved
 		}
 	}
+	ex.Count("cong_rounds", rounds)
+	ex.Count("cong_candidates_scored", scored)
+	ex.Count("cong_swaps", int64(swaps))
 	return swaps
 }
 

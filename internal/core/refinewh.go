@@ -119,6 +119,7 @@ func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []
 		if ex.cancelled() {
 			break
 		}
+		passSwaps := int64(0)
 		passStartWH := totalWH
 		// Load the heap with each task's incurred WH.
 		whHeap.Clear()
@@ -170,6 +171,7 @@ func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []
 			}
 			if chosen >= 0 {
 				// Perform the swap.
+				passSwaps++
 				t := cands[chosen]
 				ma, mb := st.nodeOf[twh], st.nodeOf[t]
 				st.place(twh, mb)
@@ -192,6 +194,8 @@ func RefineWH(g *graph.Graph, topo torus.Topology, allocNodes []int32, nodeOf []
 				}
 			}
 		}
+		ex.Count("wh_passes", 1)
+		ex.Count("wh_swaps", passSwaps)
 		passGain := passStartWH - totalWH
 		if passStartWH == 0 || float64(passGain) < opt.MinPassGain*float64(passStartWH) {
 			break

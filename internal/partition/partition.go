@@ -9,11 +9,13 @@ package partition
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/arena"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Matching selects the coarsening matching policy.
@@ -60,6 +62,11 @@ type Options struct {
 	// scratch of the bisection pipeline, so steady-state partitioning
 	// allocates almost nothing. A nil Arena allocates fresh buffers.
 	Arena *arena.Arena
+	// Trace, when non-nil, receives per-stage counters (bisections
+	// run, maximum recursion depth) on its open span. Counters are
+	// reported once per bisection subtree — never from an inner loop —
+	// and never influence a partitioning decision.
+	Trace *trace.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -201,6 +208,10 @@ func recursiveBisect(g *graph.Graph, vertices []int32, targets []int64, offset i
 	bisOpt.Imbalance = opt.Imbalance / float64(levels)
 	rng := subtreeRNG(opt.Seed, path)
 	side := bisect(g, [2]int64{twL, twR}, bisOpt, rng)
+	// path doubles per level, so its bit length is the subtree's depth
+	// in the split tree (root 1 = depth 0).
+	opt.Trace.Add("bisections", 1)
+	opt.Trace.Max("bisect_depth", int64(bits.Len64(path)-1))
 
 	ar := opt.Arena
 	nl := 0

@@ -1,0 +1,32 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo reports the running binary's Go version and VCS revision,
+// read once from the module build info. Binaries built outside a
+// checkout (go test, stripped builds) report "unknown" for the
+// revision rather than omitting the series.
+var buildInfo = sync.OnceValues(func() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return
+})

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// durationBuckets are the fixed histogram bucket upper bounds in
+// seconds, shared by the per-endpoint request histograms and the
+// per-stage solve histograms. Fixed buckets keep observation lock-free
+// (one atomic increment) and make scrapes from different mapd
+// instances aggregatable.
+var durationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. Buckets hold
+// per-bucket (non-cumulative) counts — the /metrics writer sums them
+// cumulatively the way the Prometheus exposition format wants. All
+// fields are atomics, so observe is lock-free; the sum is kept in
+// microseconds to stay an integer.
+type histogram struct {
+	buckets   []atomic.Int64 // len(durationBuckets)+1; last is +Inf
+	count     atomic.Int64
+	sumMicros atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Int64, len(durationBuckets)+1)}
+}
+
+// observe records one duration in seconds.
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(durationBuckets, seconds)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMicros.Add(int64(seconds * 1e6))
+}
+
+// histogramVec is a label → histogram map: endpoints (pre-registered,
+// so /metrics shows zeroed series from boot) and solve stages
+// (created on first observation). Lookup takes a read lock only; the
+// histogram itself is lock-free.
+type histogramVec struct {
+	mu sync.RWMutex
+	m  map[string]*histogram
+}
+
+func newHistogramVec(labels ...string) *histogramVec {
+	v := &histogramVec{m: make(map[string]*histogram, len(labels))}
+	for _, l := range labels {
+		v.m[l] = newHistogram()
+	}
+	return v
+}
+
+// get returns the histogram of a label, creating it on first use.
+func (v *histogramVec) get(label string) *histogram {
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[label]; h == nil {
+		h = newHistogram()
+		v.m[label] = h
+	}
+	return h
+}
+
+// labels returns the registered labels sorted, for deterministic
+// scrape output.
+func (v *histogramVec) labels() []string {
+	v.mu.RLock()
+	out := make([]string, 0, len(v.m))
+	for l := range v.m {
+		out = append(out, l)
+	}
+	v.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

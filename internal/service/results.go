@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	topomap "repro"
 )
@@ -30,6 +31,14 @@ type resultCache struct {
 	max int
 	ll  *list.List // front = most recent; values are resultEntry
 	idx map[string]*list.Element
+
+	// Lookup and eviction accounting, surfaced on /statusz and
+	// /metrics: a miss is a remap the client must recover from with a
+	// full re-solve, so the hit rate is the signal operators size the
+	// cache by.
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 func newResultCache(max int) *resultCache {
@@ -51,6 +60,7 @@ func (c *resultCache) put(e resultEntry) {
 		last := c.ll.Back()
 		delete(c.idx, last.Value.(resultEntry).fp)
 		c.ll.Remove(last)
+		c.evictions.Add(1)
 	}
 }
 
@@ -60,10 +70,17 @@ func (c *resultCache) get(fp string) (resultEntry, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.idx[fp]
 	if !ok {
+		c.misses.Add(1)
 		return resultEntry{}, false
 	}
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(resultEntry), true
+}
+
+// stats snapshots the lookup and eviction counters.
+func (c *resultCache) stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
 func (c *resultCache) len() int {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	topomap "repro"
@@ -39,6 +41,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. Default 32 MiB.
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives one structured line per request
+	// (request id, endpoint, mapper, cache hit, outcome, duration).
+	// Nil disables request logging; counters and histograms record
+	// regardless.
+	Logger *slog.Logger
 }
 
 // Server is the mapping service: HTTP handlers over a bounded worker
@@ -54,6 +61,8 @@ type Server struct {
 	st      *stats
 	mux     *http.ServeMux
 	start   time.Time
+	log     *slog.Logger
+	reqID   atomic.Uint64
 }
 
 // New returns a ready Server.
@@ -91,6 +100,7 @@ func New(cfg Config) *Server {
 		st:      newStats(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		log:     cfg.Logger,
 	}
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleBatch)
@@ -99,7 +109,71 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// requestLog accumulates the fields of one request's structured log
+// line; the handler fills them in as they become known and emit
+// writes the line once, from a defer. A nil server logger makes the
+// whole thing a cheap no-op.
+type requestLog struct {
+	s        *Server
+	id       uint64
+	endpoint string
+	mapper   string
+	cacheHit bool
+	status   int
+	errMsg   string
+	began    time.Time
+}
+
+// beginLog opens the log record of one request (status defaults to
+// 200 — error paths overwrite it through fail or error).
+func (s *Server) beginLog(endpoint string) *requestLog {
+	return &requestLog{
+		s: s, id: s.reqID.Add(1), endpoint: endpoint,
+		status: http.StatusOK, began: time.Now(),
+	}
+}
+
+// fail records an error outcome without writing the response.
+func (l *requestLog) fail(status int, err error) {
+	l.status = status
+	if err != nil {
+		l.errMsg = err.Error()
+	}
+}
+
+// error records the outcome, bumps the error counter and writes the
+// wire error — the one call every handler error path makes.
+func (l *requestLog) error(w http.ResponseWriter, status int, err error) {
+	l.s.st.errors.Add(1)
+	l.fail(status, err)
+	writeError(w, status, err)
+}
+
+// emit writes the request's log line: Info for 2xx, Warn otherwise.
+func (l *requestLog) emit() {
+	if l.s.log == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Uint64("req_id", l.id),
+		slog.String("endpoint", l.endpoint),
+		slog.Int("status", l.status),
+		slog.Float64("duration_ms", float64(time.Since(l.began))/float64(time.Millisecond)),
+	}
+	if l.mapper != "" {
+		attrs = append(attrs, slog.String("mapper", l.mapper))
+	}
+	attrs = append(attrs, slog.Bool("cache_hit", l.cacheHit))
+	level := slog.LevelInfo
+	if l.status >= 400 {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.String("error", l.errMsg))
+	}
+	l.s.log.LogAttrs(context.Background(), level, "request", attrs...)
 }
 
 // Handler returns the service's HTTP handler.
@@ -264,22 +338,29 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.st.requests.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointMap)
+	defer lg.emit()
 	var req MapRequest
 	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
+	lg.mapper = req.Mapper
 	began := time.Now()
 	tg, err := req.Tasks.Build()
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
 	workers := s.parallelism(req.Parallelism)
+	// The server traces every solve to feed its per-stage histograms
+	// (tracing is a handful of clock reads; the mapping is
+	// byte-identical either way); req.Trace only decides whether the
+	// breakdown travels back on the wire.
+	sol := req.Solve(workers)
+	sol.Trace = true
 	// The engine build — the expensive cold path — runs inside the
 	// worker slots and under the deadline, like the solve itself.
 	var eng *topomap.Engine
@@ -291,25 +372,28 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		res, err = eng.RunSolve(ctx, tg, req.Solve(workers))
+		res, err = eng.RunSolve(ctx, tg, sol)
 		return err
 	})
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, s.errStatus(err), err)
+		lg.error(w, s.errStatus(err), err)
 		return
 	}
+	lg.cacheHit = hit
 	out, err := respond(res, eng, hit, req.Rankfile, time.Since(began))
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
+	}
+	s.st.observeStages(res.Trace.Stages())
+	if req.Trace {
+		out.Trace = res.Trace.Stages()
 	}
 	// Feed the result cache so /v1/remap can pick this mapping up by
 	// fingerprint when the allocation changes.
 	out.Fingerprint = resultFingerprint(eng, tg, res)
 	s.results.put(resultEntry{fp: out.Fingerprint, eng: eng, tasks: tg, res: res})
-	s.st.observe(out.ElapsedMS)
+	s.st.observe(endpointMap, out.ElapsedMS)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -328,36 +412,40 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 	s.st.remapRequests.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointRemap)
+	defer lg.emit()
 	var req RemapRequest
 	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
+	lg.mapper = string(req.Solve.Mapper)
 	entry, ok := s.results.get(req.Fingerprint)
 	if !ok {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusNotFound, fmt.Errorf("remap: unknown fingerprint %q; the result may have been evicted — re-solve through /v1/map", req.Fingerprint))
+		lg.error(w, http.StatusNotFound, fmt.Errorf("remap: unknown fingerprint %q; the result may have been evicted — re-solve through /v1/map", req.Fingerprint))
 		return
 	}
+	lg.cacheHit = true
 	began := time.Now()
 	workers := s.parallelism(req.Parallelism)
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
+	// Trace every remap server-side (see handleMap); the wire echoes
+	// the breakdown only when the request's solve asked.
+	spec := req.Spec(workers)
+	spec.Solve.Trace = true
 	var rres *topomap.RemapResult
 	err := s.solve(ctx, workers, func(ctx context.Context) error {
 		var err error
-		rres, err = entry.eng.RunRemap(ctx, entry.tasks, entry.res, req.Delta, req.Spec(workers))
+		rres, err = entry.eng.RunRemap(ctx, entry.tasks, entry.res, req.Delta, spec)
 		return err
 	})
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, s.errStatus(err), err)
+		lg.error(w, s.errStatus(err), err)
 		return
 	}
 	// The post-delta engine rides in the new result's cache entry, so
@@ -365,9 +453,12 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 	// true by construction: the route state came from a cached result.
 	out, err := respond(rres.Result, rres.Engine, true, req.Rankfile, time.Since(began))
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
+	}
+	s.st.observeStages(rres.Result.Trace.Stages())
+	if req.Solve.Trace {
+		out.Trace = rres.Result.Trace.Stages()
 	}
 	out.Fingerprint = resultFingerprint(rres.Engine, entry.tasks, rres.Result)
 	s.results.put(resultEntry{fp: out.Fingerprint, eng: rres.Engine, tasks: entry.tasks, res: rres.Result})
@@ -379,7 +470,7 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 	if rres.FenceTripped {
 		s.st.remapFallbacks.Add(1)
 	}
-	s.st.observe(out.ElapsedMS)
+	s.st.observe(endpointRemap, out.ElapsedMS)
 	writeJSON(w, http.StatusOK, RemapResponse{
 		MapResponse:   *out,
 		Warm:          rres.Warm,
@@ -404,22 +495,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.st.batchRequests.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointBatch)
+	defer lg.emit()
 	var req BatchRequest
 	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("batch: empty requests"))
+		lg.error(w, http.StatusBadRequest, fmt.Errorf("batch: empty requests"))
 		return
 	}
 	began := time.Now()
 	tg, err := req.Tasks.Build()
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	workers := s.parallelism(req.Parallelism)
@@ -448,10 +538,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, s.errStatus(err), err)
+		lg.error(w, s.errStatus(err), err)
 		return
 	}
+	lg.cacheHit = hit
 	out := BatchResponse{
 		Results:   make([]MapResponse, len(results)),
 		CacheHit:  hit,
@@ -462,13 +552,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// meaningful, so per-item elapsed_ms is omitted.
 		item, err := respond(res, eng, hit, false, 0)
 		if err != nil {
-			s.st.errors.Add(1)
-			writeError(w, http.StatusBadRequest, err)
+			lg.error(w, http.StatusBadRequest, err)
 			return
+		}
+		// Batch items trace only on request (a sweep's point is bulk
+		// throughput); traced items feed the stage histograms too.
+		if res.Trace != nil {
+			s.st.observeStages(res.Trace.Stages())
+			item.Trace = res.Trace.Stages()
 		}
 		out.Results[i] = *item
 	}
-	s.st.observe(out.ElapsedMS)
+	s.st.observe(endpointBatch, out.ElapsedMS)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -486,22 +581,21 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	s.st.portfolioRequests.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointPortfolio)
+	defer lg.emit()
 	var req PortfolioRequest
 	if err := readJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := req.Validate(s.cfg.MaxPortfolioCandidates); err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	began := time.Now()
 	tg, err := req.Tasks.Build()
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
 	}
 	workers := s.parallelism(req.Parallelism)
@@ -520,15 +614,22 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, s.errStatus(err), err)
+		lg.error(w, s.errStatus(err), err)
 		return
 	}
+	lg.cacheHit = hit
+	lg.mapper = string(pres.Best.Mapper)
 	best, err := respond(pres.Best, eng, hit, req.Rankfile, 0)
 	if err != nil {
-		s.st.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		lg.error(w, http.StatusBadRequest, err)
 		return
+	}
+	// Candidates trace only when their Solve asks (they race — tracing
+	// all of them by default would be pure overhead); traced winners
+	// carry the breakdown out and feed the stage histograms.
+	if pres.Best.Trace != nil {
+		s.st.observeStages(pres.Best.Trace.Stages())
+		best.Trace = pres.Best.Trace.Stages()
 	}
 	out := PortfolioResponse{
 		Winner:      pres.Winner,
@@ -549,7 +650,7 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	}
 	s.st.portfolioCandidates.Add(int64(len(pres.Leaderboard)))
 	s.st.portfolioSkipped.Add(int64(pres.Skipped))
-	s.st.observe(out.ElapsedMS)
+	s.st.observe(endpointPortfolio, out.ElapsedMS)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -577,7 +678,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 // Status snapshots the live counters.
 func (s *Server) Status() Status {
 	hits, misses, evictions := s.cache.Stats()
-	p50, p90, p99, samples := s.st.quantiles()
+	rhits, rmisses, revictions := s.results.stats()
+	p50, p90, p99, samples := s.st.all.quantiles()
+	perEndpoint := make(map[string]LatencySummary, len(solveEndpoints))
+	for _, e := range solveEndpoints {
+		ep50, ep90, ep99, en := s.st.endpoint[e].quantiles()
+		perEndpoint[e] = LatencySummary{P50MS: ep50, P90MS: ep90, P99MS: ep99, Samples: en}
+	}
+	goVersion, revision := buildInfo()
 	return Status{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.st.requests.Load(),
@@ -599,6 +707,9 @@ func (s *Server) Status() Status {
 		RemapPairsTotal:     s.st.remapPairsTotal.Load(),
 		ResultEntries:       s.results.len(),
 		ResultCapacity:      s.cfg.ResultCacheSize,
+		ResultHits:          rhits,
+		ResultMisses:        rmisses,
+		ResultEvictions:     revictions,
 		CacheHits:           hits,
 		CacheMisses:         misses,
 		CacheEvictions:      evictions,
@@ -608,6 +719,9 @@ func (s *Server) Status() Status {
 		LatencyP90MS:        p90,
 		LatencyP99MS:        p99,
 		LatencySamples:      samples,
+		EndpointLatency:     perEndpoint,
 		Mappers:             len(registry.Names()),
+		GoVersion:           goVersion,
+		VCSRevision:         revision,
 	}
 }

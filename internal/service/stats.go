@@ -4,12 +4,27 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
+// Endpoint labels of the solving endpoints — the keys of the
+// per-endpoint latency rings and the `endpoint` label values on
+// /metrics.
+const (
+	endpointMap       = "map"
+	endpointBatch     = "batch"
+	endpointPortfolio = "portfolio"
+	endpointRemap     = "remap"
+)
+
+var solveEndpoints = []string{endpointMap, endpointBatch, endpointPortfolio, endpointRemap}
+
 // stats holds the service's live counters: monotonically increasing
-// request/error/timeout counts (lock-free atomics on the hot path)
-// and a fixed ring of recent request latencies from which /statusz
-// computes p50/p90/p99.
+// request/error/timeout counts (lock-free atomics on the hot path),
+// latency quantile rings — one combined, one per solving endpoint —
+// and the fixed-bucket histograms /metrics exposes per endpoint and
+// per solve stage.
 type stats struct {
 	requests            atomic.Int64
 	batchRequests       atomic.Int64
@@ -25,37 +40,44 @@ type stats struct {
 	timeouts            atomic.Int64
 	inflight            atomic.Int64
 
+	all      latRing
+	endpoint map[string]*latRing // fixed keys, read-only after newStats
+
+	reqHist   *histogramVec // per-endpoint request duration, seconds
+	stageHist *histogramVec // per-stage solve duration, seconds
+}
+
+// latencyWindow bounds each quantile ring: big enough for stable tail
+// estimates, small enough that /statusz snapshots stay cheap.
+const latencyWindow = 2048
+
+// latRing is one fixed ring of recent latencies (milliseconds) from
+// which /statusz computes p50/p90/p99.
+type latRing struct {
 	mu  sync.Mutex
-	lat []float64 // ms, ring buffer
+	lat []float64
 	pos int
 	n   int // filled entries, <= len(lat)
 }
 
-// latencyWindow bounds the quantile ring: big enough for stable tail
-// estimates, small enough that /statusz snapshots stay cheap.
-const latencyWindow = 2048
+func newLatRing() *latRing { return &latRing{lat: make([]float64, latencyWindow)} }
 
-func newStats() *stats {
-	return &stats{lat: make([]float64, latencyWindow)}
-}
-
-// observe records one completed request's latency.
-func (s *stats) observe(ms float64) {
-	s.mu.Lock()
-	s.lat[s.pos] = ms
-	s.pos = (s.pos + 1) % len(s.lat)
-	if s.n < len(s.lat) {
-		s.n++
+func (r *latRing) observe(ms float64) {
+	r.mu.Lock()
+	r.lat[r.pos] = ms
+	r.pos = (r.pos + 1) % len(r.lat)
+	if r.n < len(r.lat) {
+		r.n++
 	}
-	s.mu.Unlock()
+	r.mu.Unlock()
 }
 
 // quantiles returns the p50/p90/p99 of the recorded window (zeros
 // when nothing completed yet).
-func (s *stats) quantiles() (p50, p90, p99 float64, samples int) {
-	s.mu.Lock()
-	snap := append([]float64(nil), s.lat[:s.n]...)
-	s.mu.Unlock()
+func (r *latRing) quantiles() (p50, p90, p99 float64, samples int) {
+	r.mu.Lock()
+	snap := append([]float64(nil), r.lat[:r.n]...)
+	r.mu.Unlock()
 	if len(snap) == 0 {
 		return 0, 0, 0, 0
 	}
@@ -65,4 +87,35 @@ func (s *stats) quantiles() (p50, p90, p99 float64, samples int) {
 		return snap[i]
 	}
 	return at(0.50), at(0.90), at(0.99), len(snap)
+}
+
+func newStats() *stats {
+	s := &stats{
+		all:       latRing{lat: make([]float64, latencyWindow)},
+		endpoint:  make(map[string]*latRing, len(solveEndpoints)),
+		reqHist:   newHistogramVec(solveEndpoints...),
+		stageHist: newHistogramVec(),
+	}
+	for _, e := range solveEndpoints {
+		s.endpoint[e] = newLatRing()
+	}
+	return s
+}
+
+// observe records one completed request's latency against the
+// combined ring, the endpoint's ring, and the endpoint's histogram.
+func (s *stats) observe(endpoint string, ms float64) {
+	s.all.observe(ms)
+	if r := s.endpoint[endpoint]; r != nil {
+		r.observe(ms)
+	}
+	s.reqHist.get(endpoint).observe(ms / 1e3)
+}
+
+// observeStages feeds a finished solve's stage timeline into the
+// per-stage histograms.
+func (s *stats) observeStages(stages []trace.Stage) {
+	for _, st := range stages {
+		s.stageHist.get(st.Name).observe(st.DurMS / 1e3)
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	topomap "repro"
 	"repro/internal/registry"
+	"repro/internal/trace"
 )
 
 // TaskGraphSpec is the wire form of a task graph: n tasks and a
@@ -79,6 +80,10 @@ type MapRequest struct {
 	TimeoutMS   int64          `json:"timeout_ms,omitempty"`
 	Rankfile    bool           `json:"rankfile,omitempty"`
 	Parallelism int            `json:"parallelism,omitempty"`
+	// Trace asks for the solve's stage timeline in the response. The
+	// server traces every solve for its own histograms regardless; this
+	// flag only controls whether the breakdown travels back.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Metrics is the wire form of the mapping metrics (§II-C).
@@ -124,18 +129,22 @@ type MapResponse struct {
 	// mapping of an incremental remap. Empty on endpoints that do not
 	// feed the result cache.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Trace is the solve's stage timeline (wall time, workers,
+	// per-stage counters), present when the request asked for it.
+	Trace []trace.Stage `json:"trace,omitempty"`
 }
 
 // lowerSolve is the one lowering every wire endpoint shares: mapper
 // names uppercased, workers set explicitly (server-clamped) so the
 // engine's host-wide default cannot bypass the service's slot
 // accounting.
-func lowerSolve(mapper string, seed int64, refine, fineRefine bool, workers int) topomap.Solve {
+func lowerSolve(mapper string, seed int64, refine, fineRefine, traced bool, workers int) topomap.Solve {
 	return topomap.Solve{
 		Mapper:     topomap.Mapper(strings.ToUpper(mapper)),
 		Seed:       seed,
 		Refine:     refine,
 		FineRefine: fineRefine,
+		Trace:      traced,
 		Workers:    workers,
 	}
 }
@@ -143,22 +152,24 @@ func lowerSolve(mapper string, seed int64, refine, fineRefine bool, workers int)
 // Solve lowers the wire request onto the engine's declarative Solve
 // spec.
 func (r MapRequest) Solve(workers int) topomap.Solve {
-	return lowerSolve(r.Mapper, r.Seed, r.Refine, r.FineRefine, workers)
+	return lowerSolve(r.Mapper, r.Seed, r.Refine, r.FineRefine, r.Trace, workers)
 }
 
 // BatchItem is one mapper run of a batch; the batch's topology,
-// allocation and task graph are shared.
+// allocation and task graph are shared. Trace asks for that item's
+// stage timeline in its result.
 type BatchItem struct {
 	Mapper     string `json:"mapper"`
 	Seed       int64  `json:"seed"`
 	Refine     bool   `json:"refine,omitempty"`
 	FineRefine bool   `json:"fine_refine,omitempty"`
+	Trace      bool   `json:"trace,omitempty"`
 }
 
 // Solve lowers the batch item onto the engine's Solve spec (see
 // MapRequest.Solve).
 func (it BatchItem) Solve(workers int) topomap.Solve {
-	return lowerSolve(it.Mapper, it.Seed, it.Refine, it.FineRefine, workers)
+	return lowerSolve(it.Mapper, it.Seed, it.Refine, it.FineRefine, it.Trace, workers)
 }
 
 // BatchRequest fans several mapper runs out against one shared
@@ -417,10 +428,15 @@ type Status struct {
 	RemapFallbacks   int64 `json:"remap_fallbacks"`
 	RemapPairsReused int64 `json:"remap_pairs_reused"`
 	RemapPairsTotal  int64 `json:"remap_pairs_total"`
-	// Result cache occupancy: fingerprints /v1/remap can currently
-	// resolve, and the LRU's capacity.
-	ResultEntries  int `json:"result_entries"`
-	ResultCapacity int `json:"result_capacity"`
+	// Result cache occupancy and accounting: fingerprints /v1/remap
+	// can currently resolve, the LRU's capacity, and the lookup
+	// hit/miss/eviction counters (a miss forces the client back to a
+	// full /v1/map solve).
+	ResultEntries   int   `json:"result_entries"`
+	ResultCapacity  int   `json:"result_capacity"`
+	ResultHits      int64 `json:"result_hits"`
+	ResultMisses    int64 `json:"result_misses"`
+	ResultEvictions int64 `json:"result_evictions"`
 
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
@@ -431,7 +447,25 @@ type Status struct {
 	LatencyP90MS   float64 `json:"latency_p90_ms"`
 	LatencyP99MS   float64 `json:"latency_p99_ms"`
 	LatencySamples int     `json:"latency_samples"`
-	Mappers        int     `json:"mappers"`
+	// EndpointLatency breaks the quantiles down per solving endpoint
+	// (map, batch, portfolio, remap); the flat fields above stay the
+	// combined view.
+	EndpointLatency map[string]LatencySummary `json:"endpoint_latency"`
+	Mappers         int                       `json:"mappers"`
+
+	// Build identity of the running binary: the Go toolchain and the
+	// VCS revision it was built from ("unknown" outside a checkout).
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision"`
+}
+
+// LatencySummary is one endpoint's recent-latency quantile block in
+// the /statusz payload.
+type LatencySummary struct {
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	Samples int     `json:"samples"`
 }
 
 // ErrorResponse is the uniform error payload of every non-2xx

@@ -17,6 +17,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 // TaskGraph is a directed MPI task graph: vertex t sends w(t,u) units
@@ -142,17 +143,18 @@ func GroupBlocks(nTasks int, capacities []int64) ([]int32, error) {
 // §IV-B, so blocks are a strong start) — and the one with the lower
 // inter-group volume wins.
 func GroupTasks(t *TaskGraph, capacities []int64, seed int64) ([]int32, error) {
-	return GroupTasksExec(t, capacities, seed, nil, nil)
+	return GroupTasksExec(t, capacities, seed, nil, nil, nil)
 }
 
 // GroupTasksExec is GroupTasks under an execution context: the two
 // grouping candidates run as forked subtasks on the solve's worker
 // pool (the multilevel partition additionally parallelizes its own
-// bisection subtrees on the same pool), and the partitioner borrows
-// its scratch from ar. A nil group/arena runs serial with fresh
-// allocations; the winner — and therefore the grouping — is identical
-// either way.
-func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.Group, ar *arena.Arena) ([]int32, error) {
+// bisection subtrees on the same pool), the partitioner borrows its
+// scratch from ar, and tr — when tracing — receives the stage's
+// counters (bisections, recursion depth, which candidate won). A nil
+// group/arena/trace runs serial with fresh allocations, untraced; the
+// winner — and therefore the grouping — is identical either way.
+func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.Group, ar *arena.Arena, tr *trace.Trace) ([]int32, error) {
 	sym := t.SymmetricArena(ar)
 	// Unit vertex weights: a task occupies one processor.
 	unit := make([]int64, sym.N())
@@ -185,6 +187,7 @@ func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.
 				Imbalance: 0.02,
 				Par:       par,
 				Arena:     ar,
+				Trace:     tr,
 			})
 			if perr == nil {
 				perr = partition.FixToCapacities(sym, partitioned, capacities)
@@ -216,6 +219,7 @@ func GroupTasksExec(t *TaskGraph, capacities []int64, seed int64, par *parallel.
 	}
 
 	if interVolume(blocks) < interVolume(partitioned) {
+		tr.Add("group_blocks_won", 1)
 		return blocks, nil
 	}
 	return partitioned, nil

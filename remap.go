@@ -12,6 +12,7 @@ import (
 	"repro/internal/remap"
 	"repro/internal/routecache"
 	"repro/internal/taskgraph"
+	"repro/internal/trace"
 )
 
 // NodeCapacity names one node of an AllocationDelta together with its
@@ -257,7 +258,18 @@ func (e *Engine) RunRemap(ctx context.Context, tasks *TaskGraph, prev *MapResult
 	if int64(tasks.K) > int64(next.TotalProcs()) {
 		return nil, fmt.Errorf("topomap: %d tasks exceed %d processors after the delta", tasks.K, next.TotalProcs())
 	}
+	// The warm path's trace starts here: the route-cache patch is the
+	// remap's first real stage, and its reuse counters are exactly what
+	// an operator reads the trace for.
+	var tr *trace.Trace
+	if spec.Solve.Trace {
+		tr = trace.New()
+	}
+	sp := tr.Start("route_patch")
 	view, pstats, err := routecache.Patch(e.view, next.Nodes)
+	sp.Add("pairs_reused", int64(pstats.Reused))
+	sp.Add("pairs_total", int64(pstats.Total))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +282,7 @@ func (e *Engine) RunRemap(ctx context.Context, tasks *TaskGraph, prev *MapResult
 		PairsTotal:  pstats.Total,
 		PrevScore:   prevScore,
 	}
-	warm, err := ne.warmRemap(ctx, tasks, prev, spec)
+	warm, err := ne.warmRemap(ctx, tasks, prev, spec, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -326,14 +338,18 @@ type warmResult struct {
 // congestion pass the objective's first congestion metric selects —
 // and evaluate. The pipeline mirrors runSolve's stage order
 // (placement-mutating steps before capacity repair on heterogeneous
-// allocations) so its determinism contract carries over.
-func (e *Engine) warmRemap(ctx context.Context, tg *TaskGraph, prev *MapResult, spec RemapSpec) (*warmResult, error) {
+// allocations) so its determinism contract carries over. tr (nil
+// untraced) continues the stage timeline RunRemap opened with the
+// route-cache patch.
+func (e *Engine) warmRemap(ctx context.Context, tg *TaskGraph, prev *MapResult, spec RemapSpec, tr *trace.Trace) (*warmResult, error) {
 	workers := spec.Solve.Workers
-	ex := &core.Exec{Par: parallel.NewGroup(ctx, workers), Arena: e.arena}
+	ex := &core.Exec{Par: parallel.NewGroup(ctx, workers), Arena: e.arena, Trace: tr}
+	poolWorkers := ex.Par.NumWorkers()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := ex.StartSpan("patch_placement")
 	sym := tg.SymmetricArena(e.arena)
 	caps := make([]int64, e.alloc.NumNodes())
 	for i, p := range e.alloc.ProcsPerNode {
@@ -348,44 +364,68 @@ func (e *Engine) warmRemap(ctx context.Context, tg *TaskGraph, prev *MapResult, 
 		NewCaps:    caps,
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Add("migrated_tasks", int64(len(plan.Stranded)))
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp = ex.StartSpan("coarsen")
 	coarse := taskgraph.CoarseGraphArena(e.arena, tg, plan.GroupOf, e.alloc.NumNodes())
+	sp.Add("coarse_vertices", int64(coarse.N()))
+	sp.Add("coarse_edges", int64(coarse.M()))
+	sp.End()
 	nodeOf := plan.NodeOf
+	sp = ex.StartSpan("refine_wh")
+	sp.SetWorkers(poolWorkers)
 	core.RefineWH(coarse, e.view, e.alloc.Nodes, nodeOf, core.RefineOptions{Exec: ex})
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if kind, ok := congestionKind(spec.Objective); ok {
+		sp = ex.StartSpan("refine_congestion")
+		sp.SetWorkers(poolWorkers)
 		g := coarse
 		if kind == core.MessageCongestion {
 			g = taskgraph.CoarseMessageGraphArena(e.arena, tg, plan.GroupOf, e.alloc.NumNodes())
 		}
 		core.RefineCongestion(g, e.view, e.alloc.Nodes, nodeOf, kind, core.RefineOptions{Exec: ex})
+		sp.End()
 	}
 	if !e.uniform {
+		sp = ex.StartSpan("repair")
 		weight := e.arena.Int64s(coarse.N())
 		for _, g := range plan.GroupOf {
 			weight[g]++
 		}
-		core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
+		moves := core.RepairCapacities(coarse, e.view, nodeOf, weight, e.capOfNode)
 		e.arena.PutInt64s(weight)
+		sp.Add("repair_moves", int64(moves))
+		sp.End()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := &MapResult{Mapper: prev.Mapper, GroupOf: plan.GroupOf, NodeOf: nodeOf, Coarse: coarse}
+	res := &MapResult{Mapper: prev.Mapper, GroupOf: plan.GroupOf, NodeOf: nodeOf, Coarse: coarse, Trace: tr}
 	if spec.Solve.FineRefine {
+		sp = ex.StartSpan("refine_fine")
+		sp.SetWorkers(poolWorkers)
 		res.FineWHGain, res.FineVolGain = core.RefineWHFine(sym, e.view, plan.GroupOf, nodeOf, core.RefineOptions{Exec: ex})
+		sp.End()
 	}
 	pl := &metrics.Placement{GroupOf: plan.GroupOf, NodeOf: nodeOf}
+	sp = ex.StartSpan("metrics")
+	sp.SetWorkers(poolWorkers)
 	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)
+	sp.End()
 	if spec.Solve.Sim != nil {
+		sp = ex.StartSpan("sim")
 		res.SimSeconds = netsim.CommOnly(tg.G, e.view, pl, spec.Solve.Sim.BytesPerUnit, spec.Solve.Sim.Params).Seconds
 		res.SimRan = true
+		sp.End()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

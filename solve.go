@@ -46,6 +46,13 @@ type Solve struct {
 	// simulator (§IV-C) on the finished mapping and stores the result
 	// in MapResult.SimSeconds.
 	Sim *SimSpec `json:"sim,omitempty"`
+	// Trace records the solve's stage timeline — wall time, workers
+	// and per-stage counters for grouping, coarsening, the mapper,
+	// every refinement pass and metric evaluation — in
+	// MapResult.Trace. Tracing never changes the mapping: a traced and
+	// an untraced solve are byte-identical; disabled (the default) it
+	// costs nothing.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SimSpec configures the post-solve communication-only simulation of
@@ -126,6 +133,13 @@ func WithParallelism(n int) RequestOption {
 		}
 		s.Workers = n
 	}
+}
+
+// WithTrace records the solve's stage timeline in MapResult.Trace
+// (see Solve.Trace). The mapping itself is byte-identical traced or
+// not.
+func WithTrace() RequestOption {
+	return func(s *Solve) { s.Trace = true }
 }
 
 // WithTimeout bounds the solve's wall-clock; sub-millisecond values

@@ -22,6 +22,7 @@ func TestSolveJSONRoundTrip(t *testing.T) {
 		Refine:     true,
 		FineRefine: true,
 		Workers:    4,
+		Trace:      true,
 		Sim:        &SimSpec{BytesPerUnit: 4096, Params: SimParams{Seed: 7, NoiseSigma: 0.02}},
 	}
 	buf, err := json.Marshal(want)

@@ -3,11 +3,22 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench bench-json race docs traceguard
+.PHONY: check fmt vet build test bench bench-json race docs traceguard fuzz-smoke
 
 # check includes docs, whose recipe runs `go vet ./...` — listing vet
 # here too would vet the module twice per gate.
-check: fmt build test traceguard docs
+check: fmt build test traceguard fuzz-smoke docs
+
+# Fuzz smoke: a few hundred executions of each binary-frame fuzz
+# target — enough for the seed corpus plus mutations to walk every
+# decoder, cheap enough for every `make check`. Go allows one -fuzz
+# pattern per invocation, hence the loop. Longer runs: raise
+# -fuzztime (e.g. `go test ./internal/wirebin -fuzz=FuzzFrameDecoders
+# -fuzztime=60s`).
+fuzz-smoke:
+	@set -e; for f in FuzzFrameDecoders FuzzParseTasks FuzzDecodeTopology FuzzDecodeAllocation; do \
+		$(GO) test ./internal/wirebin -run='^$$' -fuzz="^$$f$$" -fuzztime=300x >/dev/null || exit 1; \
+	done; echo "fuzz-smoke: 4 targets clean"
 
 # Tracing must stay off the hot leaves: internal/ds and internal/graph
 # are the inner-loop data structures, and an internal/trace import
@@ -52,12 +63,13 @@ bench:
 # tracked alongside ns/op — and record them as JSON diffable PR over
 # PR (BENCH_PR<n>.json). The large parallel-solve and refinement
 # instances run at a lower iteration count: one solve is ~10^8 ns.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 BENCH_NOTES ?=
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f '$$tmp EXIT; \
 	$(GO) test -run='^$$' -bench='BenchmarkEngine(Reuse|ColdStart|CacheHit|RunBatch|Portfolio)|BenchmarkSolveTraced' -benchmem -benchtime=50x -count=1 . > $$tmp; \
 	$(GO) test -run='^$$' -bench='BenchmarkEngineParallelSolve|BenchmarkRefineMC|BenchmarkRemapVsCold' -benchmem -benchtime=5x -count=1 . >> $$tmp; \
+	$(GO) test -run='^$$' -bench='BenchmarkServeParallel' -benchmem -benchtime=200x -count=1 ./internal/service >> $$tmp; \
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) $(BENCH_NOTES) < $$tmp
 	@echo "wrote $(BENCH_OUT)"
 

@@ -94,6 +94,7 @@ func main() {
 	cacheSize := flag.Int("cache", 32, "engine cache entries (topology+allocation pairs)")
 	maxCand := flag.Int("max-candidates", 0, "cap on a portfolio request's explicit candidate list (0 = 16)")
 	results := flag.Int("results", 0, "recent results /v1/remap can reference by fingerprint (0 = 128)")
+	intern := flag.Int("intern", 0, "interned request sections /v2 clients can reference by fingerprint (0 = 512)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof, e.g. localhost:6060 (empty = disabled)")
 	logLvl := flag.String("log-level", "", "structured request logging level: debug|info|warn|error (empty = off)")
@@ -115,6 +116,7 @@ func main() {
 		CacheSize:              *cacheSize,
 		MaxPortfolioCandidates: *maxCand,
 		ResultCacheSize:        *results,
+		InternTableSize:        *intern,
 		DefaultTimeout:         *timeout,
 		Logger:                 logger,
 	})

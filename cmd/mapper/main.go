@@ -31,6 +31,7 @@ import (
 
 	topomap "repro"
 	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/trace"
 )
 
@@ -66,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rankFile := fs.String("rankfile", "", "write a Cray-style MPICH_RANK_ORDER file realizing the mapping")
 	traced := fs.Bool("trace", false, "print the solve's stage timeline: wall time, share, workers and per-stage counters (the mapping is identical with or without)")
 	viz := fs.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
+	binaryWire := fs.Bool("binary", false, "solve through an in-process mapd over the /v2 binary frame protocol instead of driving the engine directly — same mapping, same output (incompatible with -portfolio and -viz)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +102,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if obj.NeedsSim() {
 		return fail(fmt.Errorf("objective %s needs a simulation spec, which the CLI does not provide; use the library or mapd portfolio API", topomap.SimSecondsMetric))
+	}
+	if *binaryWire && *portfolio != "" {
+		return fail(fmt.Errorf("-binary drives one /v2 map frame; portfolio racing has no frame endpoint — drop -binary or -portfolio"))
+	}
+	if *binaryWire && *viz {
+		return fail(fmt.Errorf("-viz renders from in-process coarsening state, which does not travel over the wire; drop -binary or -viz"))
 	}
 	var candidates []topomap.Mapper
 	if *portfolio != "" && !strings.EqualFold(*portfolio, "all") {
@@ -182,6 +190,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+	}
+
+	if *binaryWire {
+		tspec, err := topoSpec(*topoKind, *torusSpec, *mesh, *ftK, *ftTaper, *dfH)
+		if err != nil {
+			return fail(err)
+		}
+		job := binaryJob{
+			net: net, topo: tspec, tg: tg, alloc: a,
+			mapper: mapper, seed: *seed, workers: *workers,
+			traced: *traced, rankFile: *rankFile, obj: obj, fence: *fence,
+		}
+		if *remapDelta != "" {
+			job.delta = &delta
+		}
+		if err := runBinary(stdout, job); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	eng, err := topomap.NewEngine(net.Topo, a)
@@ -312,15 +339,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// buildTopology translates the CLI flags into the service's wire-level
-// topology spec — one construction path shared with cmd/mapd.
-func buildTopology(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, dfH int) (*service.Network, error) {
+// topoSpec translates the CLI flags into the service's wire-level
+// topology spec; the server (or buildTopology here) normalizes it.
+func topoSpec(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, dfH int) (service.TopologySpec, error) {
 	spec := service.TopologySpec{Kind: strings.ToLower(kind)}
 	switch spec.Kind {
 	case "torus":
 		dims, err := parseDims(torusSpec)
 		if err != nil {
-			return nil, err
+			return service.TopologySpec{}, err
 		}
 		spec.Dims = dims[:]
 		if mesh {
@@ -332,11 +359,148 @@ func buildTopology(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, 
 	case "dragonfly":
 		spec.H = dfH
 	}
-	spec, err := spec.Normalize()
+	return spec, nil
+}
+
+// buildTopology builds the network from the CLI flags — one
+// construction path shared with cmd/mapd.
+func buildTopology(kind, torusSpec string, mesh bool, ftK int, ftTaper float64, dfH int) (*service.Network, error) {
+	spec, err := topoSpec(kind, torusSpec, mesh, ftK, ftTaper, dfH)
+	if err != nil {
+		return nil, err
+	}
+	spec, err = spec.Normalize()
 	if err != nil {
 		return nil, err
 	}
 	return spec.Build()
+}
+
+// binaryJob is what the -binary path needs from the flag pipeline:
+// the already-built network and inputs (shared with the direct path,
+// so both modes solve the identical instance) plus the solve knobs.
+type binaryJob struct {
+	net      *service.Network
+	topo     service.TopologySpec
+	tg       *topomap.TaskGraph
+	alloc    *topomap.Allocation
+	mapper   topomap.Mapper
+	seed     int64
+	workers  int
+	traced   bool
+	rankFile string
+	delta    *topomap.AllocationDelta // nil = no -remap
+	obj      topomap.Objective
+	fence    float64
+}
+
+// taskSpec re-encodes the in-memory task graph as the wire edge list.
+// The CSR is directed (mappers symmetrize downstream), so every
+// stored arc is emitted verbatim; the server's FromEdges then
+// rebuilds the identical CSR — parallel arcs were already merged and
+// self loops dropped when this graph was constructed.
+func taskSpec(tg *topomap.TaskGraph) service.TaskGraphSpec {
+	spec := service.TaskGraphSpec{N: tg.G.N()}
+	for v := 0; v < tg.G.N(); v++ {
+		adj, w := tg.G.Neighbors(v), tg.G.Weights(v)
+		for i, u := range adj {
+			spec.Edges = append(spec.Edges, [3]int64{int64(v), int64(u), w[i]})
+		}
+	}
+	return spec
+}
+
+// runBinary is the -binary pipeline tail: spin an in-process mapd,
+// route the solve (and the optional remap) through /v2 binary frames,
+// and print the same report the direct path prints. The rankfile is
+// rendered server-side and written here; the trace is the stage
+// timeline echoed over the wire.
+func runBinary(stdout io.Writer, job binaryJob) error {
+	// The wire task graph carries unit task weights only (see
+	// TaskGraphSpec); a graph with per-task loads would silently solve
+	// a different instance, so refuse it rather than diverge.
+	if job.tg.G.VW != nil || job.tg.K != job.tg.G.N() {
+		return fmt.Errorf("-binary: the wire protocol assumes unit task weights, but this task graph carries per-task loads (-matrix partitions, '# load' graph lines); drop -binary to drive the engine directly")
+	}
+	srv := service.New(service.Config{})
+	cl := client.InProcess(srv.Handler(), client.WithProtocol(client.ProtoBinary))
+	ctx := context.Background()
+	resp, err := cl.Map(ctx, service.MapRequest{
+		Topology:    job.topo,
+		Allocation:  service.AllocationSpec{Nodes: job.alloc.Nodes, ProcsPerNode: job.alloc.ProcsPerNode},
+		Tasks:       taskSpec(job.tg),
+		Mapper:      string(job.mapper),
+		Seed:        job.seed,
+		Rankfile:    job.rankFile != "" && job.delta == nil,
+		Parallelism: job.workers,
+		Trace:       job.traced,
+	})
+	if err != nil {
+		return err
+	}
+	allocNodes := resp.AllocNodes
+	if job.delta != nil {
+		rres, err := cl.Remap(ctx, service.RemapRequest{
+			Fingerprint:    resp.Fingerprint,
+			Delta:          *job.delta,
+			Solve:          topomap.Solve{Seed: job.seed, Trace: job.traced},
+			Objective:      job.obj,
+			FenceThreshold: job.fence,
+			Rankfile:       job.rankFile != "",
+			Parallelism:    job.workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "remap: migrated %d tasks, reused %d/%d route pairs\n",
+			rres.MigratedTasks, rres.PairsReused, rres.PairsTotal)
+		switch {
+		case rres.FenceTripped && !rres.Warm:
+			fmt.Fprintf(stdout, "remap: fence tripped (prev %.6g, warm %.6g); cold fallback won at %.6g\n",
+				rres.PrevScore, rres.WarmScore, rres.ColdScore)
+		case rres.FenceTripped:
+			fmt.Fprintf(stdout, "remap: fence tripped (prev %.6g, warm %.6g); warm still beat the cold fallback (%.6g)\n",
+				rres.PrevScore, rres.WarmScore, rres.ColdScore)
+		default:
+			fmt.Fprintf(stdout, "remap: warm result kept (prev %.6g, warm %.6g)\n", rres.PrevScore, rres.WarmScore)
+		}
+		resp = &rres.MapResponse
+		allocNodes = rres.AllocNodes
+	}
+	if job.rankFile != "" {
+		if err := os.WriteFile(job.rankFile, []byte(resp.Rankfile), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote rank order to %s\n", job.rankFile)
+	}
+	m := resp.Metrics
+	fmt.Fprintf(stdout, "tasks: %d   nodes: %d   network: %s\n", job.tg.K, len(allocNodes), job.net.Label)
+	fmt.Fprintf(stdout, "mapper: %s\n", job.mapper)
+	fmt.Fprintf(stdout, "TH  = %d\n", m.TH)
+	fmt.Fprintf(stdout, "WH  = %d\n", m.WH)
+	fmt.Fprintf(stdout, "MMC = %d\n", m.MMC)
+	fmt.Fprintf(stdout, "MC  = %.6g\n", m.MC)
+	fmt.Fprintf(stdout, "AMC = %.4f\n", m.AMC)
+	fmt.Fprintf(stdout, "AC  = %.6g\n", m.AC)
+	fmt.Fprintf(stdout, "used links = %d\n", m.UsedLinks)
+	if job.traced && len(resp.Trace) > 0 {
+		total := 0.0
+		for _, st := range resp.Trace {
+			if end := st.StartMS + st.DurMS; end > total {
+				total = end
+			}
+		}
+		fmt.Fprintf(stdout, "stages (%.3fms total):\n", total)
+		fmt.Fprint(stdout, trace.Format(resp.Trace, total))
+	}
+	for g, n := range resp.NodeOf {
+		fmt.Fprintf(stdout, "group %d -> node %d\n", g, n)
+		if g > 20 {
+			fmt.Fprintf(stdout, "... (%d more)\n", len(resp.NodeOf)-g-1)
+			break
+		}
+	}
+	return nil
 }
 
 // knownMapper reports whether the registry dispatches name.

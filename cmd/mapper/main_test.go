@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -256,6 +258,125 @@ func TestRunRemapFlag(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] {
 		t.Fatalf("remap output diverged between -workers settings:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestRunBinaryFlag pins the -binary contract: routing the solve (and
+// remap) through an in-process mapd over /v2 binary frames prints
+// byte-identical output to driving the engine directly — mapping,
+// metrics, remap accounting and the rankfile all survive the wire —
+// while the combinations the wire cannot express fail fast.
+func TestRunBinaryFlag(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "ring.tgraph")
+	var gb strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&gb, "%d %d %d\n", i, (i+1)%64, (i%7)+2)
+	}
+	gb.WriteString("0 32 9\n")
+	if err := os.WriteFile(gpath, []byte(gb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-graph", gpath, "-algo", "uwh", "-torus", "6x6x6"}
+
+	runArgs := func(args ...string) (int, string, string) {
+		var stdout, stderr strings.Builder
+		code := run(append(args, base...), &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+
+	code, direct, errOut := runArgs()
+	if code != 0 {
+		t.Fatalf("direct run exit %d (stderr: %s)", code, errOut)
+	}
+	code, wired, errOut := runArgs("-binary")
+	if code != 0 {
+		t.Fatalf("-binary run exit %d (stderr: %s)", code, errOut)
+	}
+	if wired != direct {
+		t.Fatalf("-binary output diverged from the direct path:\n%s\nvs\n%s", direct, wired)
+	}
+
+	// Remap + rankfile round trip: recover an allocated node from the
+	// mapping lines, swap it for a free one, and compare both the
+	// printed report (rankfile paths normalized) and the rankfile text.
+	allocated := map[int]bool{}
+	for _, line := range strings.Split(direct, "\n") {
+		var g, n int
+		if _, err := fmt.Sscanf(line, "group %d -> node %d", &g, &n); err == nil {
+			allocated[n] = true
+		}
+	}
+	if len(allocated) == 0 {
+		t.Fatalf("no mapping lines in direct output:\n%s", direct)
+	}
+	dead := -1
+	for n := range allocated {
+		if dead < 0 || n < dead {
+			dead = n
+		}
+	}
+	fresh := 0
+	for allocated[fresh] {
+		fresh++
+	}
+	delta := fmt.Sprintf(`{"remove":[%d],"add":[{"node":%d,"procs":16}]}`, dead, fresh)
+	outputs := make([]string, 0, 2)
+	ranks := make([]string, 0, 2)
+	for _, mode := range [][]string{nil, {"-binary"}} {
+		rf := filepath.Join(dir, fmt.Sprintf("rank%d", len(outputs)))
+		args := append([]string{"-remap", delta, "-objective", "wh", "-rankfile", rf}, mode...)
+		code, out, errOut := runArgs(args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d (stderr: %s)", args, code, errOut)
+		}
+		outputs = append(outputs, strings.ReplaceAll(out, rf, "RANKFILE"))
+		rank, err := os.ReadFile(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks = append(ranks, string(rank))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-binary remap output diverged:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	if ranks[0] != ranks[1] {
+		t.Fatalf("-binary rankfile diverged:\n%s\nvs\n%s", ranks[0], ranks[1])
+	}
+
+	// The trace travels back over the wire as the same stage timeline.
+	if code, out, errOut := runArgs("-binary", "-trace"); code != 0 || !strings.Contains(out, "stages (") {
+		t.Fatalf("-binary -trace: exit %d, output:\n%s\nstderr: %s", code, out, errOut)
+	}
+
+	// Fail fast on what the wire cannot express: portfolio racing, the
+	// viz renderings, and non-unit task weights (-matrix loads).
+	for _, tc := range []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-binary", "-portfolio", "all"}, "drop -binary or -portfolio"},
+		{[]string{"-binary", "-viz"}, "drop -binary or -viz"},
+		{nil, "unit task weights"},
+	} {
+		args := tc.args
+		if tc.wantErr == "unit task weights" {
+			args = []string{"-binary", "-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "uwh", "-torus", "6x6x6"}
+			var stdout, stderr strings.Builder
+			if code := run(args, &stdout, &stderr); code != 1 {
+				t.Fatalf("%v: exit %d, want 1", args, code)
+			} else if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("%v: stderr %q does not mention %q", args, stderr.String(), tc.wantErr)
+			}
+			continue
+		}
+		code, _, errOut := runArgs(args...)
+		if code != 1 {
+			t.Fatalf("%v: exit %d, want 1", args, code)
+		}
+		if !strings.Contains(errOut, tc.wantErr) {
+			t.Fatalf("%v: stderr %q does not mention %q", args, errOut, tc.wantErr)
+		}
 	}
 }
 

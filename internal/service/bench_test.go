@@ -1,0 +1,85 @@
+package service_test
+
+// BenchmarkServeParallel measures the steady-state request path of a
+// warm mapd — engine and result caches hot, intern table and client
+// section memos populated — so what's left on the clock is exactly
+// what this protocol work targets: request decode, cache lookup and
+// response encode. JSON and binary variants run the same workload at
+// 1, 8 and 64 concurrent clients; `make bench-json` records the
+// allocs/op gap to BENCH_PR<n>.json.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func benchServe(b *testing.B, proto client.Protocol, clients int) {
+	// DEF is a block assignment, so the solve contributes almost
+	// nothing and the clock measures the wire layer — which is the
+	// point: a 1024-task spec that JSON re-parses on every request
+	// travels as three 16-byte refs once the intern table is warm.
+	spec, _ := testTasks(1024)
+	req := service.MapRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 64, Seed: 1},
+		Tasks:      spec,
+		Mapper:     "DEF",
+		Seed:       7,
+	}
+	srv := service.New(service.Config{Workers: clients})
+	h := srv.Handler()
+
+	// One client per goroutine: section memos and protocol pinning
+	// are per-client state, and 64 clients is the scenario the intern
+	// table exists for. The warm-up request pins the protocol, fills
+	// the engine and result caches, and interns the sections, so the
+	// timed region never solves.
+	cs := make([]*client.Client, clients)
+	for i := range cs {
+		cs[i] = client.InProcess(h, client.WithProtocol(proto))
+		if _, err := cs[i].Map(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if _, err := c.Map(context.Background(), req); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeParallel(b *testing.B) {
+	protos := []struct {
+		name  string
+		proto client.Protocol
+	}{
+		{"json", client.ProtoJSON},
+		{"binary", client.ProtoBinary},
+	}
+	for _, p := range protos {
+		for _, n := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/c%d", p.name, n), func(b *testing.B) {
+				benchServe(b, p.proto, n)
+			})
+		}
+	}
+}

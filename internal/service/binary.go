@@ -1,0 +1,568 @@
+package service
+
+// The binary protocol endpoints: POST /v2/map, /v2/map/batch and
+// /v2/remap speak length-prefixed wirebin frames instead of JSON.
+// Same engine cache, same worker-slot accounting, same solve pipeline
+// and same result fingerprints as the /v1 handlers — only the
+// envelope differs. The request path is allocation-lean by design:
+// the frame body lands in a pooled buffer, the CSR task graph is
+// staged through an arena, interned sections skip decode entirely,
+// and the response frame streams out of a pooled writer without an
+// intermediate response struct tree.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	topomap "repro"
+	"repro/internal/wirebin"
+)
+
+// frameBufPool recycles request-body buffers: one Get per binary
+// request, returned as soon as the handler is done with the decoded
+// views into it.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// readFrame reads the whole request body into a pooled buffer. The
+// returned release puts the buffer back; every slice decoded out of
+// the frame (section views, CSR views) dies with it.
+func (s *Server) readFrame(w http.ResponseWriter, r *http.Request) (frame []byte, release func(), err error) {
+	limit := s.cfg.MaxBodyBytes + wirebin.HeaderLen
+	body := http.MaxBytesReader(w, r.Body, limit)
+	bp := frameBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	if n := r.ContentLength; n > 0 && n <= limit && int64(cap(buf)) < n {
+		buf = make([]byte, 0, n)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, rerr := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			*bp = buf
+			frameBufPool.Put(bp)
+			return nil, nil, rerr
+		}
+	}
+	*bp = buf
+	return buf, func() { frameBufPool.Put(bp) }, nil
+}
+
+// writeFrame sends one encoded frame.
+func writeFrame(w http.ResponseWriter, code int, fw *wirebin.Writer) {
+	w.Header().Set("Content-Type", wirebin.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(fw.Len()))
+	w.WriteHeader(code)
+	w.Write(fw.Bytes())
+}
+
+// binError is the binary twin of requestLog.error: counts the error,
+// records the outcome, and sends an Error frame. missing carries the
+// intern-miss bitmask (zero otherwise).
+func (s *Server) binError(w http.ResponseWriter, lg *requestLog, code int, missing byte, err error) {
+	s.st.errors.Add(1)
+	lg.fail(code, err)
+	fw := wirebin.GetWriter()
+	defer wirebin.PutWriter(fw)
+	wirebin.EncodeError(fw, &wirebin.ErrorFrame{Status: uint16(code), Missing: missing, Message: err.Error()})
+	writeFrame(w, code, fw)
+}
+
+// decodeFrame reads and validates the frame envelope of one request,
+// checking the message type. On failure the error response has
+// already been written.
+func (s *Server) decodeFrame(w http.ResponseWriter, r *http.Request, lg *requestLog, wantType byte) (payload []byte, release func(), ok bool) {
+	if r.Method != http.MethodPost {
+		s.binError(w, lg, http.StatusMethodNotAllowed, 0, fmt.Errorf("use POST"))
+		return nil, nil, false
+	}
+	frame, release, err := s.readFrame(w, r)
+	if err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return nil, nil, false
+	}
+	msgType, payload, err := wirebin.DecodeHeader(frame, int(s.cfg.MaxBodyBytes))
+	if err != nil {
+		release()
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return nil, nil, false
+	}
+	if msgType != wantType {
+		release()
+		s.binError(w, lg, http.StatusBadRequest, 0, fmt.Errorf("wirebin: message type %d on this endpoint, want %d", msgType, wantType))
+		return nil, nil, false
+	}
+	return payload, release, true
+}
+
+// binSections is the resolved form of a binary request's three big
+// sections, carrying the canonical cache keys alongside so the engine
+// lookup never recomputes them.
+type binSections struct {
+	topo     TopologySpec
+	topoKey  string
+	alloc    AllocationSpec
+	allocKey string
+	tasks    *topomap.TaskGraph
+}
+
+// resolveSections turns the mode-tagged wire sections into specs and
+// a built task graph, consulting the intern table for references and
+// feeding it from full bodies. A non-zero missing bitmask means
+// unresolvable references: the caller sends a 404 Error frame and the
+// client resends those sections in full.
+func (s *Server) resolveSections(topoSec, allocSec, tasksSec wirebin.Section) (*binSections, byte, error) {
+	out := &binSections{}
+	var missing byte
+
+	if id, isRef := topoSec.IsRef(); isRef {
+		if v, hit := s.intern.get(id); hit && v.kind == wirebin.SecTopology {
+			out.topo, out.topoKey = v.topo, v.topoKey
+		} else {
+			missing |= wirebin.SecTopology
+		}
+	} else {
+		if topoSec.Mode == wirebin.SectionResend {
+			s.intern.resends.Add(1)
+		}
+		bt, err := wirebin.DecodeTopology(topoSec.Body)
+		if err != nil {
+			return nil, 0, err
+		}
+		ts, err := topoSpecFromBinary(bt)
+		if err != nil {
+			return nil, 0, err
+		}
+		out.topo, out.topoKey = ts, ts.Key()
+		s.intern.put(wirebin.Fingerprint(topoSec.Body),
+			internVal{kind: wirebin.SecTopology, topo: ts, topoKey: out.topoKey})
+	}
+
+	if id, isRef := allocSec.IsRef(); isRef {
+		if v, hit := s.intern.get(id); hit && v.kind == wirebin.SecAllocation {
+			out.alloc, out.allocKey = v.alloc, v.allocKey
+		} else {
+			missing |= wirebin.SecAllocation
+		}
+	} else {
+		if allocSec.Mode == wirebin.SectionResend {
+			s.intern.resends.Add(1)
+		}
+		ba, err := wirebin.DecodeAllocation(allocSec.Body)
+		if err != nil {
+			return nil, 0, err
+		}
+		as, err := allocSpecFromBinary(ba)
+		if err != nil {
+			return nil, 0, err
+		}
+		key, err := as.Key()
+		if err != nil {
+			return nil, 0, err
+		}
+		out.alloc, out.allocKey = as, key
+		s.intern.put(wirebin.Fingerprint(allocSec.Body),
+			internVal{kind: wirebin.SecAllocation, alloc: as, allocKey: key})
+	}
+
+	if id, isRef := tasksSec.IsRef(); isRef {
+		if v, hit := s.intern.get(id); hit && v.kind == wirebin.SecTasks {
+			out.tasks = v.tasks
+		} else {
+			missing |= wirebin.SecTasks
+		}
+	} else {
+		if tasksSec.Mode == wirebin.SectionResend {
+			s.intern.resends.Add(1)
+		}
+		view, err := wirebin.ParseTasks(tasksSec.Body)
+		if err != nil {
+			return nil, 0, err
+		}
+		tg, err := taskGraphFromCSR(view)
+		if err != nil {
+			return nil, 0, err
+		}
+		out.tasks = tg
+		s.intern.put(wirebin.Fingerprint(tasksSec.Body),
+			internVal{kind: wirebin.SecTasks, tasks: tg})
+	}
+
+	if missing != 0 {
+		return nil, missing, fmt.Errorf("intern: unresolved section reference(s); resend the flagged sections in full")
+	}
+	return out, 0, nil
+}
+
+// engineForKeys is engineFor with the canonical keys already in hand
+// (the binary path computes or interns them during section
+// resolution, so re-deriving them per request would be pure waste).
+func (s *Server) engineForKeys(sec *binSections) (*topomap.Engine, bool, error) {
+	return s.cache.GetKeyed(sec.topoKey+"|"+sec.allocKey, func() (*topomap.Engine, error) {
+		net, err := sec.topo.Build()
+		if err != nil {
+			return nil, err
+		}
+		a, err := sec.alloc.Build(net)
+		if err != nil {
+			return nil, err
+		}
+		return topomap.NewEngine(net.Topo, a)
+	})
+}
+
+// binMapResp fills a result frame's map-response body from the engine
+// result: the placement slices alias the result arrays (the frame
+// writer copies them straight into the output buffer), the rankfile
+// renders on demand, and the trace echo rides as a JSON blob when the
+// request opted in.
+func binMapResp(res *topomap.MapResult, eng *topomap.Engine, hit, wantRank, wantTrace bool, elapsed time.Duration, fp string) (wirebin.MapResp, error) {
+	met := res.Metrics
+	m := wirebin.MapResp{
+		Mapper:     string(res.Mapper),
+		GroupOf:    res.GroupOf,
+		NodeOf:     res.NodeOf,
+		AllocNodes: eng.Allocation().Nodes,
+		Metrics: wirebin.Metrics{
+			TH: met.TH, WH: met.WH, MMC: met.MMC, MC: met.MC, AMC: met.AMC, AC: met.AC,
+			ICV: met.ICV, ICM: met.ICM, MNRV: met.MNRV, MNRM: met.MNRM,
+			UsedLinks: uint32(met.UsedLinks),
+		},
+		FineWHGain:  res.FineWHGain,
+		FineVolGain: res.FineVolGain,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+		Fingerprint: fp,
+	}
+	if hit {
+		m.Flags |= wirebin.RespCacheHit
+	}
+	if wantRank {
+		var buf bytes.Buffer
+		if err := topomap.WriteRankOrder(&buf, res.Placement(), eng.Allocation()); err != nil {
+			return m, err // already prefixed "rankfile:"
+		}
+		m.Rankfile = buf.Bytes()
+	}
+	if wantTrace && res.Trace != nil {
+		blob, err := json.Marshal(res.Trace.Stages())
+		if err != nil {
+			return m, err
+		}
+		m.TraceJSON = blob
+	}
+	return m, nil
+}
+
+// handleMapBin serves POST /v2/map: one mapping job over the binary
+// protocol — the frame twin of handleMap.
+func (s *Server) handleMapBin(w http.ResponseWriter, r *http.Request) {
+	s.st.requests.Add(1)
+	s.st.protoBinary.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointMap)
+	defer lg.emit()
+	payload, release, ok := s.decodeFrame(w, r, lg, wirebin.MsgMapRequest)
+	if !ok {
+		return
+	}
+	defer release()
+	req, err := wirebin.DecodeMapReq(payload)
+	if err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return
+	}
+	lg.mapper = req.Mapper
+	began := time.Now()
+	sec, missing, err := s.resolveSections(req.Topo, req.Alloc, req.Tasks)
+	if err != nil {
+		code := http.StatusBadRequest
+		if missing != 0 {
+			code = http.StatusNotFound
+		}
+		s.binError(w, lg, code, missing, err)
+		return
+	}
+	// Solve memo, shared with /v1/map: the interned sections already
+	// carry canonical keys and the built graph, so a warm repeat is a
+	// hash and a cache read — no spec parse, no graph build, no solve.
+	memoKey := solveMemoKey(sec.topoKey+"|"+sec.allocKey, req.Mapper, req.Seed,
+		req.Flags&wirebin.FlagRefine != 0, req.Flags&wirebin.FlagFineRefine != 0, sec.tasks)
+	if ent, ok := s.results.getReq(memoKey); ok {
+		lg.cacheHit = true
+		m, err := binMapResp(ent.res, ent.eng, true,
+			req.Flags&wirebin.FlagRankfile != 0, req.Flags&wirebin.FlagTrace != 0,
+			time.Since(began), ent.fp)
+		if err != nil {
+			s.binError(w, lg, http.StatusBadRequest, 0, err)
+			return
+		}
+		s.st.observe(endpointMap, m.ElapsedMS)
+		fw := wirebin.GetWriter()
+		defer wirebin.PutWriter(fw)
+		wirebin.EncodeMapResp(fw, &m)
+		writeFrame(w, http.StatusOK, fw)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	workers := s.parallelism(int(req.Parallelism))
+	// Server-side tracing is always on (stage histograms); the flag
+	// only gates the wire echo — same contract as /v1/map.
+	sol := lowerSolve(req.Mapper, req.Seed,
+		req.Flags&wirebin.FlagRefine != 0, req.Flags&wirebin.FlagFineRefine != 0,
+		true, workers)
+	var eng *topomap.Engine
+	var hit bool
+	var res *topomap.MapResult
+	err = s.solve(ctx, workers, func(ctx context.Context) error {
+		var err error
+		eng, hit, err = s.engineForKeys(sec)
+		if err != nil {
+			return err
+		}
+		res, err = eng.RunSolve(ctx, sec.tasks, sol)
+		return err
+	})
+	if err != nil {
+		s.binError(w, lg, s.errStatus(err), 0, err)
+		return
+	}
+	lg.cacheHit = hit
+	s.st.observeStages(res.Trace.Stages())
+	fp := resultFingerprint(eng, sec.tasks, res)
+	s.results.putReq(memoKey, resultEntry{fp: fp, eng: eng, tasks: sec.tasks, res: res})
+	m, err := binMapResp(res, eng, hit,
+		req.Flags&wirebin.FlagRankfile != 0, req.Flags&wirebin.FlagTrace != 0,
+		time.Since(began), fp)
+	if err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return
+	}
+	s.st.observe(endpointMap, m.ElapsedMS)
+	fw := wirebin.GetWriter()
+	defer wirebin.PutWriter(fw)
+	wirebin.EncodeMapResp(fw, &m)
+	writeFrame(w, http.StatusOK, fw)
+}
+
+// handleBatchBin serves POST /v2/map/batch: several mapper runs
+// against one shared engine — the frame twin of handleBatch.
+func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
+	s.st.batchRequests.Add(1)
+	s.st.protoBinary.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointBatch)
+	defer lg.emit()
+	payload, release, ok := s.decodeFrame(w, r, lg, wirebin.MsgBatchRequest)
+	if !ok {
+		return
+	}
+	defer release()
+	req, err := wirebin.DecodeBatchReq(payload)
+	if err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.binError(w, lg, http.StatusBadRequest, 0, fmt.Errorf("batch: empty requests"))
+		return
+	}
+	began := time.Now()
+	sec, missing, err := s.resolveSections(req.Topo, req.Alloc, req.Tasks)
+	if err != nil {
+		code := http.StatusBadRequest
+		if missing != 0 {
+			code = http.StatusNotFound
+		}
+		s.binError(w, lg, code, missing, err)
+		return
+	}
+	workers := s.parallelism(int(req.Parallelism))
+	runs := make([]topomap.Request, len(req.Items))
+	for i, it := range req.Items {
+		runs[i] = lowerSolve(it.Mapper, it.Seed,
+			it.Flags&wirebin.FlagRefine != 0, it.Flags&wirebin.FlagFineRefine != 0,
+			it.Flags&wirebin.FlagTrace != 0, workers).Request(sec.tasks)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	var eng *topomap.Engine
+	var hit bool
+	var results []*topomap.MapResult
+	err = s.solve(ctx, workers, func(ctx context.Context) error {
+		var err error
+		eng, hit, err = s.engineForKeys(sec)
+		if err != nil {
+			return err
+		}
+		results, err = eng.RunBatchContext(ctx, runs, 1)
+		return err
+	})
+	if err != nil {
+		s.binError(w, lg, s.errStatus(err), 0, err)
+		return
+	}
+	lg.cacheHit = hit
+	out := wirebin.BatchResp{
+		ElapsedMS: float64(time.Since(began)) / float64(time.Millisecond),
+		Results:   make([]wirebin.MapResp, len(results)),
+	}
+	if hit {
+		out.Flags |= wirebin.RespCacheHit
+	}
+	for i, res := range results {
+		traced := res.Trace != nil
+		if traced {
+			s.st.observeStages(res.Trace.Stages())
+		}
+		// Like /v1: items share one engine run, per-item elapsed and
+		// fingerprints are omitted, and only opted-in items echo traces.
+		m, err := binMapResp(res, eng, hit, false, traced, 0, "")
+		if err != nil {
+			s.binError(w, lg, http.StatusBadRequest, 0, err)
+			return
+		}
+		out.Results[i] = m
+	}
+	s.st.observe(endpointBatch, out.ElapsedMS)
+	fw := wirebin.GetWriter()
+	defer wirebin.PutWriter(fw)
+	wirebin.EncodeBatchResp(fw, &out)
+	writeFrame(w, http.StatusOK, fw)
+}
+
+// handleRemapBin serves POST /v2/remap: an incremental remap over the
+// binary protocol — the frame twin of handleRemap. The request
+// converts onto the JSON wire's RemapRequest so validation and
+// lowering stay single-sourced.
+func (s *Server) handleRemapBin(w http.ResponseWriter, r *http.Request) {
+	s.st.remapRequests.Add(1)
+	s.st.protoBinary.Add(1)
+	s.st.inflight.Add(1)
+	defer s.st.inflight.Add(-1)
+	lg := s.beginLog(endpointRemap)
+	defer lg.emit()
+	payload, release, ok := s.decodeFrame(w, r, lg, wirebin.MsgRemapRequest)
+	if !ok {
+		return
+	}
+	defer release()
+	breq, err := wirebin.DecodeRemapReq(payload)
+	if err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return
+	}
+	req := RemapRequest{
+		Fingerprint: breq.Fingerprint,
+		Solve: topomap.Solve{
+			Mapper:     topomap.Mapper(breq.Mapper),
+			Seed:       breq.Seed,
+			Refine:     breq.Flags&wirebin.FlagRefine != 0,
+			FineRefine: breq.Flags&wirebin.FlagFineRefine != 0,
+			Trace:      breq.Flags&wirebin.FlagTrace != 0,
+		},
+		FenceThreshold: breq.FenceThreshold,
+		TimeoutMS:      breq.TimeoutMS,
+		Rankfile:       breq.Flags&wirebin.FlagRankfile != 0,
+		Parallelism:    int(breq.Parallelism),
+		Delta:          topomap.AllocationDelta{Remove: breq.Remove},
+	}
+	for _, c := range breq.Add {
+		req.Delta.Add = append(req.Delta.Add, topomap.NodeCapacity{Node: c.Node, Procs: int(c.Procs)})
+	}
+	for _, c := range breq.SetCapacity {
+		req.Delta.SetCapacity = append(req.Delta.SetCapacity, topomap.NodeCapacity{Node: c.Node, Procs: int(c.Procs)})
+	}
+	if len(breq.Objective) > 0 {
+		if err := json.Unmarshal(breq.Objective, &req.Objective); err != nil {
+			s.binError(w, lg, http.StatusBadRequest, 0, fmt.Errorf("remap: objective blob: %w", err))
+			return
+		}
+	}
+	if len(breq.Sim) > 0 {
+		if err := json.Unmarshal(breq.Sim, &req.Solve.Sim); err != nil {
+			s.binError(w, lg, http.StatusBadRequest, 0, fmt.Errorf("remap: sim blob: %w", err))
+			return
+		}
+	}
+	if err := req.Validate(); err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return
+	}
+	lg.mapper = string(req.Solve.Mapper)
+	entry, found := s.results.get(req.Fingerprint)
+	if !found {
+		s.binError(w, lg, http.StatusNotFound, 0, fmt.Errorf("remap: unknown fingerprint %q; the result may have been evicted — re-solve through /v2/map", req.Fingerprint))
+		return
+	}
+	lg.cacheHit = true
+	began := time.Now()
+	workers := s.parallelism(req.Parallelism)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	spec := req.Spec(workers)
+	spec.Solve.Trace = true
+	var rres *topomap.RemapResult
+	err = s.solve(ctx, workers, func(ctx context.Context) error {
+		var err error
+		rres, err = entry.eng.RunRemap(ctx, entry.tasks, entry.res, req.Delta, spec)
+		return err
+	})
+	if err != nil {
+		s.binError(w, lg, s.errStatus(err), 0, err)
+		return
+	}
+	s.st.observeStages(rres.Result.Trace.Stages())
+	fp := resultFingerprint(rres.Engine, entry.tasks, rres.Result)
+	s.results.put(resultEntry{fp: fp, eng: rres.Engine, tasks: entry.tasks, res: rres.Result})
+	s.st.remapPairsReused.Add(int64(rres.PairsReused))
+	s.st.remapPairsTotal.Add(int64(rres.PairsTotal))
+	if rres.Warm {
+		s.st.remapWarm.Add(1)
+	}
+	if rres.FenceTripped {
+		s.st.remapFallbacks.Add(1)
+	}
+	m, err := binMapResp(rres.Result, rres.Engine, true, req.Rankfile, req.Solve.Trace, time.Since(began), fp)
+	if err != nil {
+		s.binError(w, lg, http.StatusBadRequest, 0, err)
+		return
+	}
+	if rres.Warm {
+		m.Flags |= wirebin.RespWarm
+	}
+	if rres.FenceTripped {
+		m.Flags |= wirebin.RespFenceTripped
+	}
+	out := wirebin.RemapResp{
+		MapResp:       m,
+		PrevScore:     rres.PrevScore,
+		WarmScore:     rres.WarmScore,
+		ColdScore:     rres.ColdScore,
+		PairsReused:   uint32(rres.PairsReused),
+		PairsTotal:    uint32(rres.PairsTotal),
+		MigratedTasks: uint32(rres.MigratedTasks),
+	}
+	s.st.observe(endpointRemap, m.ElapsedMS)
+	fw := wirebin.GetWriter()
+	defer wirebin.PutWriter(fw)
+	wirebin.EncodeRemapResp(fw, &out)
+	writeFrame(w, http.StatusOK, fw)
+}

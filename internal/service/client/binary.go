@@ -1,0 +1,589 @@
+package client
+
+// The binary protocol side of the client: transparent negotiation
+// (try /v2 frames, fall back to /v1 JSON against servers that don't
+// speak them), a client-side intern memo so warm requests send
+// 16-byte section references instead of full bodies, and the
+// miss-resend recovery loop — a server that lost an interned section
+// answers 404 with a bitmask, the client resends those sections in
+// full, once.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	topomap "repro"
+	"repro/internal/service"
+	"repro/internal/trace"
+	"repro/internal/wirebin"
+)
+
+// Protocol selects the client's wire protocol.
+type Protocol int
+
+const (
+	// ProtoAuto (the default) tries the binary protocol and pins
+	// whichever the server speaks — one extra round-trip against an
+	// old server, zero against a current one.
+	ProtoAuto Protocol = iota
+	// ProtoJSON forces the /v1 JSON envelope.
+	ProtoJSON
+	// ProtoBinary forces /v2 frames; a server without them is an
+	// error.
+	ProtoBinary
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithProtocol pins the client's wire protocol.
+func WithProtocol(p Protocol) Option {
+	return func(c *Client) { c.proto = p }
+}
+
+// pinned states of the auto negotiation.
+const (
+	pinNone int32 = iota
+	pinJSON
+	pinBinary
+)
+
+// useBinary reports whether the next request should try the binary
+// protocol.
+func (c *Client) useBinary() bool {
+	switch c.proto {
+	case ProtoJSON:
+		return false
+	case ProtoBinary:
+		return true
+	}
+	return c.pinned.Load() != pinJSON
+}
+
+// memoEntry caches one encoded section: its intern fingerprint, the
+// body bytes (kept for miss recovery), and whether a response has
+// confirmed the server interned it — only then does the client dare
+// send the bare reference.
+type memoEntry struct {
+	id   [wirebin.FingerprintLen]byte
+	body []byte
+	// known flips outside the memo lock (confirm runs after the
+	// response while other goroutines are already building requests),
+	// so it is atomic; id and body are write-once before publication.
+	known atomic.Bool
+}
+
+// sectionMemo is the client-side twin of the server's intern table,
+// keyed by cheap spec identities (no body encode needed to look up).
+type sectionMemo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+// memoCap bounds the memo; past it the map resets wholesale (a client
+// cycling through hundreds of distinct specs gets no interning
+// benefit anyway).
+const memoCap = 256
+
+func (m *sectionMemo) get(key string) (*memoEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+func (m *sectionMemo) put(key string, e *memoEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil || len(m.entries) >= memoCap {
+		m.entries = make(map[string]*memoEntry)
+	}
+	m.entries[key] = e
+}
+
+// tasksMemoKey is the cheap identity of a task-graph spec: an FNV-1a
+// hash over the raw edge list. It only keys the client's own memo
+// (the wire fingerprint is over the canonical encoded body), so a
+// hash collision costs a wrong ref at worst — which the server's
+// content-addressed table turns into a different spec's solve only if
+// the full bodies collided too, i.e. never in practice for 64+128
+// bits.
+func tasksMemoKey(ts service.TaskGraphSpec) string {
+	h := wirebin.Hash64Init
+	h = h.U64(uint64(ts.N))
+	h = h.U64(uint64(len(ts.Edges)))
+	for _, e := range ts.Edges {
+		h = h.U64(uint64(e[0]))
+		h = h.U64(uint64(e[1]))
+		h = h.U64(uint64(e[2]))
+	}
+	return "g|" + strconv.FormatUint(uint64(h), 16)
+}
+
+// section prepares one request section: a bare reference when the
+// memo says the server has it, the full body otherwise. encode runs
+// only on first sight of a spec; resend forces the full body in
+// resend mode (after a reported miss).
+func (c *Client) section(key string, resend bool, encode func(*wirebin.Writer) error) (wirebin.Section, string, error) {
+	if e, ok := c.memo.get(key); ok {
+		switch {
+		case resend:
+			return wirebin.ResendSection(e.body), key, nil
+		case e.known.Load():
+			return wirebin.RefSection(e.id), key, nil
+		default:
+			return wirebin.FullSection(e.body), key, nil
+		}
+	}
+	w := wirebin.GetWriter()
+	defer wirebin.PutWriter(w)
+	if err := encode(w); err != nil {
+		return wirebin.Section{}, "", err
+	}
+	body := append([]byte(nil), w.Bytes()...)
+	e := &memoEntry{id: wirebin.Fingerprint(body), body: body}
+	c.memo.put(key, e)
+	return wirebin.FullSection(body), key, nil
+}
+
+// confirm marks memo entries as server-known (after a non-miss
+// response) or unknown (the sections a miss frame flagged).
+func (c *Client) confirm(keys []string, known bool) {
+	for _, k := range keys {
+		if e, ok := c.memo.get(k); ok {
+			e.known.Store(known)
+		}
+	}
+}
+
+// respBufPool recycles response-body buffers.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+// errNotBinary marks a response that is not a wirebin frame — an old
+// server or a proxy. Auto-negotiating clients pin JSON and retry.
+var errNotBinary = fmt.Errorf("mapd: server does not speak the binary protocol")
+
+// doBinary posts one frame and returns the response frame's message
+// type and payload inside a pooled buffer (release it when done with
+// every decoded view). An Error frame with a miss bitmask comes back
+// as *missError so callers can resend.
+func (c *Client) doBinary(ctx context.Context, path string, fw *wirebin.Writer) (msgType byte, payload []byte, release func(), err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(fw.Bytes()))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", wirebin.ContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Content-Type") != wirebin.ContentType {
+		io.Copy(io.Discard, resp.Body)
+		return 0, nil, nil, errNotBinary
+	}
+	bp := respBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, rerr := resp.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			*bp = buf
+			respBufPool.Put(bp)
+			return 0, nil, nil, rerr
+		}
+	}
+	*bp = buf
+	release = func() { respBufPool.Put(bp) }
+	msgType, payload, err = wirebin.DecodeHeader(buf, 64<<20)
+	if err != nil {
+		release()
+		return 0, nil, nil, err
+	}
+	if msgType == wirebin.MsgError {
+		ef, derr := wirebin.DecodeError(payload)
+		release()
+		if derr != nil {
+			return 0, nil, nil, derr
+		}
+		if ef.Missing != 0 {
+			return 0, nil, nil, &missError{missing: ef.Missing, msg: ef.Message}
+		}
+		return 0, nil, nil, fmt.Errorf("mapd: %s (HTTP %d)", ef.Message, ef.Status)
+	}
+	return msgType, payload, release, nil
+}
+
+// missError is a 404 intern-miss frame: the bitmask names the
+// sections to resend in full.
+type missError struct {
+	missing byte
+	msg     string
+}
+
+func (e *missError) Error() string { return "mapd: intern miss: " + e.msg }
+
+// mapRespFromBin lifts a decoded result frame onto the JSON wire's
+// response struct, so callers see one shape regardless of protocol.
+func mapRespFromBin(m *wirebin.MapResp) (*service.MapResponse, error) {
+	out := &service.MapResponse{
+		Mapper:     m.Mapper,
+		GroupOf:    m.GroupOf,
+		NodeOf:     m.NodeOf,
+		AllocNodes: m.AllocNodes,
+		Metrics: service.Metrics{
+			TH: m.Metrics.TH, WH: m.Metrics.WH, MMC: m.Metrics.MMC,
+			MC: m.Metrics.MC, AMC: m.Metrics.AMC, AC: m.Metrics.AC,
+			ICV: m.Metrics.ICV, ICM: m.Metrics.ICM, MNRV: m.Metrics.MNRV, MNRM: m.Metrics.MNRM,
+			UsedLinks: int(m.Metrics.UsedLinks),
+		},
+		FineWHGain:  m.FineWHGain,
+		FineVolGain: m.FineVolGain,
+		Rankfile:    string(m.Rankfile),
+		CacheHit:    m.Flags&wirebin.RespCacheHit != 0,
+		ElapsedMS:   m.ElapsedMS,
+		Fingerprint: m.Fingerprint,
+	}
+	if len(m.TraceJSON) > 0 {
+		var stages []trace.Stage
+		if err := json.Unmarshal(m.TraceJSON, &stages); err != nil {
+			return nil, fmt.Errorf("mapd: trace blob: %w", err)
+		}
+		out.Trace = stages
+	}
+	return out, nil
+}
+
+// solveFlags folds the request's solve options into the frame flag
+// word.
+func solveFlags(refine, fineRefine, traced, rankfile bool) uint16 {
+	var f uint16
+	if refine {
+		f |= wirebin.FlagRefine
+	}
+	if fineRefine {
+		f |= wirebin.FlagFineRefine
+	}
+	if traced {
+		f |= wirebin.FlagTrace
+	}
+	if rankfile {
+		f |= wirebin.FlagRankfile
+	}
+	return f
+}
+
+// mapBinary runs one Map over the binary protocol, driving the
+// miss-resend recovery loop (at most one resend round).
+func (c *Client) mapBinary(ctx context.Context, req service.MapRequest) (*service.MapResponse, error) {
+	var resend byte
+	for attempt := 0; ; attempt++ {
+		topoSec, topoKey, err := c.section("t|"+mustTopoKey(req.Topology), resend&wirebin.SecTopology != 0,
+			func(w *wirebin.Writer) error { return service.AppendTopologySection(w, req.Topology) })
+		if err != nil {
+			return nil, err
+		}
+		allocSec, allocKey, err := c.section("a|"+mustAllocKey(req.Allocation), resend&wirebin.SecAllocation != 0,
+			func(w *wirebin.Writer) error { return service.AppendAllocationSection(w, req.Allocation) })
+		if err != nil {
+			return nil, err
+		}
+		tasksSec, tasksKey, err := c.section(tasksMemoKey(req.Tasks), resend&wirebin.SecTasks != 0,
+			func(w *wirebin.Writer) error { return service.AppendTasksSection(w, req.Tasks) })
+		if err != nil {
+			return nil, err
+		}
+		keys := []string{topoKey, allocKey, tasksKey}
+
+		fw := wirebin.GetWriter()
+		wirebin.EncodeMapReq(fw, &wirebin.MapReq{
+			Mapper:      req.Mapper,
+			Seed:        req.Seed,
+			Flags:       solveFlags(req.Refine, req.FineRefine, req.Trace, req.Rankfile),
+			TimeoutMS:   req.TimeoutMS,
+			Parallelism: uint32(req.Parallelism),
+			Topo:        topoSec,
+			Alloc:       allocSec,
+			Tasks:       tasksSec,
+		})
+		msgType, payload, release, err := c.doBinary(ctx, "/v2/map", fw)
+		wirebin.PutWriter(fw)
+		if miss, retry := c.handleMiss(err, keys, &resend, attempt); retry {
+			continue
+		} else if miss != nil {
+			return nil, miss
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if msgType != wirebin.MsgMapResponse {
+			return nil, fmt.Errorf("mapd: unexpected frame type %d", msgType)
+		}
+		m, err := wirebin.DecodeMapResp(payload)
+		if err != nil {
+			return nil, err
+		}
+		c.confirm(keys, true)
+		return mapRespFromBin(m)
+	}
+}
+
+// handleMiss interprets a doBinary error: on the first intern miss it
+// flags the sections for resend and asks the caller to retry; a
+// second miss (or any other error) is final.
+func (c *Client) handleMiss(err error, keys []string, resend *byte, attempt int) (final error, retry bool) {
+	me, ok := err.(*missError)
+	if !ok {
+		return nil, false
+	}
+	if attempt > 0 {
+		return fmt.Errorf("mapd: intern miss persisted after resend: %s", me.msg), false
+	}
+	*resend = me.missing
+	// The server forgot them; stop sending references until the
+	// resend is confirmed.
+	var lost []string
+	if me.missing&wirebin.SecTopology != 0 {
+		lost = append(lost, keys[0])
+	}
+	if me.missing&wirebin.SecAllocation != 0 {
+		lost = append(lost, keys[1])
+	}
+	if me.missing&wirebin.SecTasks != 0 {
+		lost = append(lost, keys[2])
+	}
+	c.confirm(lost, false)
+	return nil, true
+}
+
+// batchBinary runs one MapBatch over the binary protocol.
+func (c *Client) batchBinary(ctx context.Context, req service.BatchRequest) (*service.BatchResponse, error) {
+	var resend byte
+	for attempt := 0; ; attempt++ {
+		topoSec, topoKey, err := c.section("t|"+mustTopoKey(req.Topology), resend&wirebin.SecTopology != 0,
+			func(w *wirebin.Writer) error { return service.AppendTopologySection(w, req.Topology) })
+		if err != nil {
+			return nil, err
+		}
+		allocSec, allocKey, err := c.section("a|"+mustAllocKey(req.Allocation), resend&wirebin.SecAllocation != 0,
+			func(w *wirebin.Writer) error { return service.AppendAllocationSection(w, req.Allocation) })
+		if err != nil {
+			return nil, err
+		}
+		tasksSec, tasksKey, err := c.section(tasksMemoKey(req.Tasks), resend&wirebin.SecTasks != 0,
+			func(w *wirebin.Writer) error { return service.AppendTasksSection(w, req.Tasks) })
+		if err != nil {
+			return nil, err
+		}
+		keys := []string{topoKey, allocKey, tasksKey}
+
+		items := make([]wirebin.BatchItem, len(req.Requests))
+		for i, it := range req.Requests {
+			items[i] = wirebin.BatchItem{
+				Mapper: it.Mapper,
+				Seed:   it.Seed,
+				Flags:  solveFlags(it.Refine, it.FineRefine, it.Trace, false),
+			}
+		}
+		fw := wirebin.GetWriter()
+		wirebin.EncodeBatchReq(fw, &wirebin.BatchReq{
+			TimeoutMS:   req.TimeoutMS,
+			Parallelism: uint32(req.Parallelism),
+			Topo:        topoSec,
+			Alloc:       allocSec,
+			Tasks:       tasksSec,
+			Items:       items,
+		})
+		msgType, payload, release, err := c.doBinary(ctx, "/v2/map/batch", fw)
+		wirebin.PutWriter(fw)
+		if miss, retry := c.handleMiss(err, keys, &resend, attempt); retry {
+			continue
+		} else if miss != nil {
+			return nil, miss
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if msgType != wirebin.MsgBatchResponse {
+			return nil, fmt.Errorf("mapd: unexpected frame type %d", msgType)
+		}
+		bin, err := wirebin.DecodeBatchResp(payload)
+		if err != nil {
+			return nil, err
+		}
+		c.confirm(keys, true)
+		out := &service.BatchResponse{
+			Results:   make([]service.MapResponse, len(bin.Results)),
+			CacheHit:  bin.Flags&wirebin.RespCacheHit != 0,
+			ElapsedMS: bin.ElapsedMS,
+		}
+		for i := range bin.Results {
+			r, err := mapRespFromBin(&bin.Results[i])
+			if err != nil {
+				return nil, err
+			}
+			out.Results[i] = *r
+		}
+		return out, nil
+	}
+}
+
+// remapBinary runs one Remap over the binary protocol. No sections
+// travel — the previous result is a fingerprint, the delta is plain
+// arrays — so there is no miss-resend loop; an unknown result
+// fingerprint surfaces as the same HTTP 404 error the JSON path
+// returns.
+func (c *Client) remapBinary(ctx context.Context, req service.RemapRequest) (*service.RemapResponse, error) {
+	// The frame deliberately has no slots for the server-controlled
+	// solve fields; reject them with the server's own words instead of
+	// silently dropping what the JSON path would 400.
+	if req.Solve.Workers != 0 {
+		return nil, fmt.Errorf("mapd: remap: solve.workers is server-controlled, use the parallelism field")
+	}
+	if req.Solve.TimeoutMS != 0 {
+		return nil, fmt.Errorf("mapd: remap: solve.timeout_ms is server-controlled, use the request-level timeout_ms field")
+	}
+	breq := wirebin.RemapReq{
+		Fingerprint: req.Fingerprint,
+		Mapper:      string(req.Solve.Mapper),
+		Seed:        req.Solve.Seed,
+		Flags: solveFlags(req.Solve.Refine, req.Solve.FineRefine,
+			req.Solve.Trace, req.Rankfile),
+		FenceThreshold: req.FenceThreshold,
+		TimeoutMS:      req.TimeoutMS,
+		Parallelism:    uint32(req.Parallelism),
+		Remove:         req.Delta.Remove,
+	}
+	for _, nc := range req.Delta.Add {
+		breq.Add = append(breq.Add, wirebin.NodeCap{Node: nc.Node, Procs: uint32(nc.Procs)})
+	}
+	for _, nc := range req.Delta.SetCapacity {
+		breq.SetCapacity = append(breq.SetCapacity, wirebin.NodeCap{Node: nc.Node, Procs: uint32(nc.Procs)})
+	}
+	if !objectiveIsZero(req.Objective) {
+		blob, err := json.Marshal(req.Objective)
+		if err != nil {
+			return nil, err
+		}
+		breq.Objective = blob
+	}
+	if req.Solve.Sim != nil {
+		blob, err := json.Marshal(req.Solve.Sim)
+		if err != nil {
+			return nil, err
+		}
+		breq.Sim = blob
+	}
+	fw := wirebin.GetWriter()
+	wirebin.EncodeRemapReq(fw, &breq)
+	msgType, payload, release, err := c.doBinary(ctx, "/v2/remap", fw)
+	wirebin.PutWriter(fw)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if msgType != wirebin.MsgRemapResponse {
+		return nil, fmt.Errorf("mapd: unexpected frame type %d", msgType)
+	}
+	bin, err := wirebin.DecodeRemapResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapRespFromBin(&bin.MapResp)
+	if err != nil {
+		return nil, err
+	}
+	return &service.RemapResponse{
+		MapResponse:   *m,
+		Warm:          bin.Flags&wirebin.RespWarm != 0,
+		FenceTripped:  bin.Flags&wirebin.RespFenceTripped != 0,
+		PrevScore:     bin.PrevScore,
+		WarmScore:     bin.WarmScore,
+		ColdScore:     bin.ColdScore,
+		PairsReused:   int(bin.PairsReused),
+		PairsTotal:    int(bin.PairsTotal),
+		MigratedTasks: int(bin.MigratedTasks),
+	}, nil
+}
+
+// objectiveIsZero reports whether an objective is the zero value (in
+// which case it stays off the wire, like the JSON path's omitempty).
+func objectiveIsZero(o topomap.Objective) bool {
+	return o.Minimize == "" && len(o.Terms) == 0
+}
+
+// mustTopoKey / mustAllocKey derive the memo identity of a spec: an
+// FNV-1a hash over every field, same collision argument as
+// tasksMemoKey (the memo maps identity → wire fingerprint; a 64-bit
+// collision would have to be matched by a 128-bit body collision to
+// misroute a request). Hashing raw fields — not the canonical
+// Normalize/Key form — keeps the warm path alloc-free; two spellings
+// of one topology just occupy two memo slots. An invalid spec hashes
+// like any other: the real error surfaces from the encode (or the
+// server), never from the memo.
+func mustTopoKey(ts service.TopologySpec) string {
+	h := wirebin.Hash64Init
+	h = h.Str(ts.Kind)
+	h = h.U64(uint64(len(ts.Dims)))
+	for _, d := range ts.Dims {
+		h = h.U64(uint64(d))
+	}
+	h = h.U64(uint64(len(ts.BW)))
+	for _, bw := range ts.BW {
+		h = h.U64(math.Float64bits(bw))
+	}
+	h = h.U64(uint64(ts.K))
+	h = h.U64(math.Float64bits(ts.BWHost))
+	h = h.U64(math.Float64bits(ts.Taper))
+	h = h.U64(uint64(ts.H))
+	h = h.U64(math.Float64bits(ts.BWLocal))
+	h = h.U64(math.Float64bits(ts.BWGlobal))
+	return strconv.FormatUint(uint64(h), 16)
+}
+
+func mustAllocKey(as service.AllocationSpec) string {
+	h := wirebin.Hash64Init
+	h = h.U64(uint64(len(as.Nodes)))
+	for _, n := range as.Nodes {
+		h = h.U64(uint64(uint32(n)))
+	}
+	h = h.U64(uint64(len(as.ProcsPerNode)))
+	for _, p := range as.ProcsPerNode {
+		h = h.U64(uint64(p))
+	}
+	h = h.U64(uint64(as.SparseNodes))
+	h = h.U64(uint64(as.Seed))
+	return strconv.FormatUint(uint64(h), 16)
+}
+
+// binFallback decides what to do with a binary-path error under auto
+// negotiation: pin JSON and retry there when the server doesn't speak
+// frames, give up otherwise.
+func (c *Client) binFallback(err error) bool {
+	if err == errNotBinary {
+		if c.proto == ProtoAuto {
+			c.pinned.Store(pinJSON)
+			return true
+		}
+	}
+	return false
+}

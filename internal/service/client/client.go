@@ -12,31 +12,44 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 
 	"repro/internal/registry"
 	"repro/internal/service"
 )
 
-// Client calls a mapd server.
+// Client calls a mapd server. By default it negotiates the wire
+// protocol transparently: the first solving call tries the binary
+// frame protocol (POST /v2/*) and pins whichever the server speaks,
+// falling back to the JSON envelope (/v1/*) against servers that
+// predate the frames. See WithProtocol to force either.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	proto  Protocol     // configured (ProtoAuto by default)
+	pinned atomic.Int32 // negotiated: pinNone / pinJSON / pinBinary
+	memo   sectionMemo  // client-side intern memo (binary protocol)
 }
 
 // New returns a client for a server at baseURL (e.g.
 // "http://localhost:8080"). hc may be nil for http.DefaultClient.
-func New(baseURL string, hc *http.Client) *Client {
+func New(baseURL string, hc *http.Client, opts ...Option) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: baseURL, hc: hc}
+	c := &Client{base: baseURL, hc: hc}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // InProcess returns a client that dispatches straight into the
 // handler — same codecs, same routes, no socket. Use it to embed the
 // service in the experiment harness or in tests.
-func InProcess(h http.Handler) *Client {
-	return &Client{base: "http://mapd.inprocess", hc: &http.Client{Transport: handlerTransport{h: h}}}
+func InProcess(h http.Handler, opts ...Option) *Client {
+	return New("http://mapd.inprocess", &http.Client{Transport: handlerTransport{h: h}}, opts...)
 }
 
 // handlerTransport adapts an http.Handler to a RoundTripper.
@@ -115,8 +128,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Map runs one mapping job (POST /v1/map).
+// Map runs one mapping job (POST /v2/map when the server speaks the
+// binary protocol, POST /v1/map otherwise).
 func (c *Client) Map(ctx context.Context, req service.MapRequest) (*service.MapResponse, error) {
+	if c.useBinary() {
+		out, err := c.mapBinary(ctx, req)
+		if err == nil {
+			c.pinned.CompareAndSwap(pinNone, pinBinary)
+			return out, nil
+		}
+		if !c.binFallback(err) {
+			return nil, err
+		}
+	}
 	var out service.MapResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/map", req, &out); err != nil {
 		return nil, err
@@ -125,8 +149,18 @@ func (c *Client) Map(ctx context.Context, req service.MapRequest) (*service.MapR
 }
 
 // MapBatch runs several mapper runs against one shared engine
-// (POST /v1/map/batch).
+// (POST /v2/map/batch, falling back to /v1/map/batch).
 func (c *Client) MapBatch(ctx context.Context, req service.BatchRequest) (*service.BatchResponse, error) {
+	if c.useBinary() {
+		out, err := c.batchBinary(ctx, req)
+		if err == nil {
+			c.pinned.CompareAndSwap(pinNone, pinBinary)
+			return out, nil
+		}
+		if !c.binFallback(err) {
+			return nil, err
+		}
+	}
 	var out service.BatchResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/map/batch", req, &out); err != nil {
 		return nil, err
@@ -151,6 +185,16 @@ func (c *Client) Portfolio(ctx context.Context, req service.PortfolioRequest) (*
 // fingerprint, so allocation deltas chain without re-sending the task
 // graph.
 func (c *Client) Remap(ctx context.Context, req service.RemapRequest) (*service.RemapResponse, error) {
+	if c.useBinary() {
+		out, err := c.remapBinary(ctx, req)
+		if err == nil {
+			c.pinned.CompareAndSwap(pinNone, pinBinary)
+			return out, nil
+		}
+		if !c.binFallback(err) {
+			return nil, err
+		}
+	}
 	var out service.RemapResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/remap", req, &out); err != nil {
 		return nil, err

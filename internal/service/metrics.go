@@ -54,6 +54,11 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 		}
 		fmt.Fprintf(b, "mapd_requests_total{endpoint=%q} %d\n", e, v)
 	}
+	// Per-protocol split of the same traffic: JSON envelopes vs binary
+	// frames.
+	fmt.Fprintf(b, "# HELP mapd_protocol_requests_total Solving requests received per wire protocol.\n# TYPE mapd_protocol_requests_total counter\n")
+	fmt.Fprintf(b, "mapd_protocol_requests_total{protocol=%q} %d\n", protoJSONLabel, s.st.protoJSON.Load())
+	fmt.Fprintf(b, "mapd_protocol_requests_total{protocol=%q} %d\n", protoBinaryLabel, s.st.protoBinary.Load())
 	counter("mapd_errors_total", "Requests that failed (bad input, solve error, timeout).", s.st.errors.Load())
 	counter("mapd_timeouts_total", "Requests that exceeded their solve deadline.", s.st.timeouts.Load())
 	gauge("mapd_inflight_requests", "Requests currently being served.", strconv.FormatInt(s.st.inflight.Load(), 10))
@@ -80,6 +85,17 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	counter("mapd_result_cache_misses_total", "Result-cache fingerprint lookups that missed (unknown or evicted).", rmisses)
 	counter("mapd_result_cache_evictions_total", "Results evicted from the LRU.", revictions)
 	gauge("mapd_result_cache_entries", "Results currently cached.", strconv.Itoa(s.results.len()))
+	mhits, mmisses := s.results.memoStats()
+	counter("mapd_solve_memo_hits_total", "Map requests answered from the result cache without solving (identical repeat request).", mhits)
+	counter("mapd_solve_memo_misses_total", "Map requests that solved (no identical prior request cached).", mmisses)
+
+	// Intern table (binary-protocol 16-byte section references).
+	ihits, imisses, ievictions, iresends := s.intern.stats()
+	counter("mapd_intern_hits_total", "Interned section references that resolved.", ihits)
+	counter("mapd_intern_misses_total", "Interned section references the table could not resolve (client must resend).", imisses)
+	counter("mapd_intern_evictions_total", "Sections evicted from the intern table.", ievictions)
+	counter("mapd_intern_resends_total", "Full sections resent after a reported intern miss.", iresends)
+	gauge("mapd_intern_entries", "Sections currently interned.", strconv.Itoa(s.intern.len()))
 
 	writeHistogramVec(b, "mapd_request_duration_seconds",
 		"Wall time of completed requests by endpoint.", "endpoint", s.st.reqHist)

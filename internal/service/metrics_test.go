@@ -79,6 +79,7 @@ func TestMetricsExposition(t *testing.T) {
 	// the server grows them — the test pins the set both ways.
 	wantFamilies := []string{
 		"mapd_requests_total",
+		"mapd_protocol_requests_total",
 		"mapd_errors_total",
 		"mapd_timeouts_total",
 		"mapd_inflight_requests",
@@ -97,6 +98,13 @@ func TestMetricsExposition(t *testing.T) {
 		"mapd_result_cache_misses_total",
 		"mapd_result_cache_evictions_total",
 		"mapd_result_cache_entries",
+		"mapd_solve_memo_hits_total",
+		"mapd_solve_memo_misses_total",
+		"mapd_intern_hits_total",
+		"mapd_intern_misses_total",
+		"mapd_intern_evictions_total",
+		"mapd_intern_resends_total",
+		"mapd_intern_entries",
 		"mapd_request_duration_seconds",
 		"mapd_stage_duration_seconds",
 		"mapd_build_info",
@@ -128,6 +136,9 @@ func TestMetricsExposition(t *testing.T) {
 
 	mustContain := []string{
 		`mapd_requests_total{endpoint="map"} 1`,
+		`mapd_protocol_requests_total{protocol="json"} 1`,
+		`mapd_protocol_requests_total{protocol="binary"} 0`,
+		"mapd_intern_entries 0",
 		`mapd_requests_total{endpoint="batch"} 0`,
 		`mapd_requests_total{endpoint="portfolio"} 0`,
 		`mapd_requests_total{endpoint="remap"} 0`,

@@ -2,12 +2,13 @@ package service
 
 import (
 	"container/list"
-	"hash/fnv"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	topomap "repro"
+	"repro/internal/wirebin"
 )
 
 // resultEntry is one finished solve the service keeps around for
@@ -22,49 +23,186 @@ type resultEntry struct {
 	res   *topomap.MapResult
 }
 
-// resultCache is the bounded LRU of recent results /v1/map (and
-// /v1/remap itself — deltas chain) feeds and /v1/remap resolves
-// fingerprints against. Eviction is by recency: a fingerprint stays
-// valid as long as its result is among the last max solves touched.
+// resultNode wraps an entry with its retention accounting: when it
+// entered the cache and how many remaps have resolved it since. The
+// remap count is the "heat" eviction weighs — an allocation that is
+// being remapped over and over is exactly the one whose route state
+// must not be churned out by a burst of one-shot solves.
+type resultNode struct {
+	entry   resultEntry
+	created time.Time
+	remaps  int64
+	// reqKey is the solve-memo index of the request that produced this
+	// entry ("" for entries fed by remap deltas): a repeat of the
+	// identical map request — solves are deterministic — is answered
+	// from here without touching a worker slot.
+	reqKey string
+}
+
+// resultEvictionWindow bounds the eviction scan: past capacity, the
+// cache examines this many entries from the cold (LRU) end and evicts
+// the one with the fewest remap resolutions, ties going to the
+// colder entry. Plain LRU is the window=1 special case; a small
+// window keeps eviction O(1)-ish while letting remap-hot entries
+// survive recency churn.
+const resultEvictionWindow = 8
+
+// Age buckets of the result-cache hit/eviction counters on /statusz:
+// an upper bound per bucket, the last unbounded. Evictions landing in
+// the young buckets mean the cache is thrashing below the remap
+// interval; hits landing in the old buckets mean long-lived
+// allocations are being remapped, the workload retention is for.
+const resultAgeBuckets = 5
+
+var (
+	resultAgeBounds = [resultAgeBuckets - 1]time.Duration{time.Second, 10 * time.Second, time.Minute, 10 * time.Minute}
+	resultAgeLabels = [resultAgeBuckets]string{"lt_1s", "lt_10s", "lt_1m", "lt_10m", "ge_10m"}
+)
+
+func resultAgeBucket(age time.Duration) int {
+	for i, b := range resultAgeBounds {
+		if age < b {
+			return i
+		}
+	}
+	return len(resultAgeBounds)
+}
+
+// resultCache is the bounded cache of recent results /v1/map (and
+// /v1/remap itself — deltas chain) feeds and the remap endpoints
+// resolve fingerprints against. Retention is recency-ordered but
+// remap-frequency-weighted: see resultEvictionWindow.
 type resultCache struct {
 	mu  sync.Mutex
 	max int
-	ll  *list.List // front = most recent; values are resultEntry
+	ll  *list.List // front = most recent; values are *resultNode
 	idx map[string]*list.Element
+	// byReq is the solve-memo index: request key → the entry that
+	// request produced. Entries enter it via putReq (the map
+	// handlers); remap-fed entries are not memoized — their result
+	// depends on the chain of deltas, not on one request.
+	byReq map[string]*list.Element
 
 	// Lookup and eviction accounting, surfaced on /statusz and
 	// /metrics: a miss is a remap the client must recover from with a
 	// full re-solve, so the hit rate is the signal operators size the
-	// cache by.
+	// cache by. The by-age breakdowns index resultAgeLabels.
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	// Solve-memo counters: a memo hit is an identical repeat request
+	// served without a solve — the steady-state the binary protocol's
+	// interned refs are built for.
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+
+	hitsByAge      [resultAgeBuckets]atomic.Int64
+	evictionsByAge [resultAgeBuckets]atomic.Int64
 }
 
 func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, ll: list.New(), idx: make(map[string]*list.Element)}
+	return &resultCache{max: max, ll: list.New(), idx: make(map[string]*list.Element), byReq: make(map[string]*list.Element)}
 }
 
-// put inserts (or refreshes) an entry, evicting the least recently
-// touched one past capacity.
+// put inserts (or refreshes) an entry; past capacity it evicts the
+// least-remapped entry among the resultEvictionWindow coldest.
 func (c *resultCache) put(e resultEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.idx[e.fp]; ok {
+		// Same fingerprint means the same placement re-derived; the
+		// entry keeps its age and heat, only the payload refreshes.
 		c.ll.MoveToFront(el)
-		el.Value = e
+		el.Value.(*resultNode).entry = e
 		return
 	}
-	c.idx[e.fp] = c.ll.PushFront(e)
+	c.idx[e.fp] = c.ll.PushFront(&resultNode{entry: e, created: time.Now()})
 	for c.ll.Len() > c.max {
-		last := c.ll.Back()
-		delete(c.idx, last.Value.(resultEntry).fp)
-		c.ll.Remove(last)
-		c.evictions.Add(1)
+		c.evictOne()
 	}
 }
 
-// get resolves a fingerprint, marking the entry most recently used.
+// evictOne removes the coldest low-heat entry: scan up to
+// resultEvictionWindow entries from the back, victim = fewest remap
+// resolutions, ties to the colder one. The front (most recent) entry
+// is never a victim — it is the result the handler is about to hand
+// out a fingerprint for, and evicting it would turn every immediate
+// remap into a miss. Called with c.mu held.
+func (c *resultCache) evictOne() {
+	victim := c.ll.Back()
+	if victim == nil || victim == c.ll.Front() {
+		return
+	}
+	best := victim.Value.(*resultNode).remaps
+	el := victim
+	for i := 1; i < resultEvictionWindow && best > 0; i++ {
+		el = el.Prev()
+		if el == nil || el == c.ll.Front() {
+			break
+		}
+		if n := el.Value.(*resultNode); n.remaps < best {
+			victim, best = el, n.remaps
+		}
+	}
+	n := victim.Value.(*resultNode)
+	delete(c.idx, n.entry.fp)
+	if n.reqKey != "" {
+		delete(c.byReq, n.reqKey)
+	}
+	c.ll.Remove(victim)
+	c.evictions.Add(1)
+	c.evictionsByAge[resultAgeBucket(time.Since(n.created))].Add(1)
+}
+
+// putReq is put plus solve-memo indexing: the entry is additionally
+// reachable by the request key that produced it, so an identical
+// repeat request skips the solve entirely.
+func (c *resultCache) putReq(reqKey string, e resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[e.fp]; ok {
+		c.ll.MoveToFront(el)
+		n := el.Value.(*resultNode)
+		n.entry = e
+		if n.reqKey == "" {
+			n.reqKey = reqKey
+			c.byReq[reqKey] = el
+		}
+		return
+	}
+	if old, ok := c.byReq[reqKey]; ok {
+		// A new fingerprint under an old request key can only mean the
+		// solve stopped being deterministic — don't leave the stale
+		// index dangling, but keep the old entry remap-resolvable.
+		old.Value.(*resultNode).reqKey = ""
+	}
+	el := c.ll.PushFront(&resultNode{entry: e, created: time.Now(), reqKey: reqKey})
+	c.idx[e.fp] = el
+	c.byReq[reqKey] = el
+	for c.ll.Len() > c.max {
+		c.evictOne()
+	}
+}
+
+// getReq resolves a request key — a solve-memo lookup. A hit refreshes
+// recency but is deliberately not remap heat: repeat solves and remap
+// chains are different retention signals.
+func (c *resultCache) getReq(reqKey string) (resultEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byReq[reqKey]
+	if !ok {
+		c.memoMisses.Add(1)
+		return resultEntry{}, false
+	}
+	c.memoHits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*resultNode).entry, true
+}
+
+// get resolves a fingerprint, marking the entry most recently used
+// and counting the resolution as remap heat.
 func (c *resultCache) get(fp string) (resultEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -74,13 +212,33 @@ func (c *resultCache) get(fp string) (resultEntry, bool) {
 		return resultEntry{}, false
 	}
 	c.hits.Add(1)
+	n := el.Value.(*resultNode)
+	n.remaps++
+	c.hitsByAge[resultAgeBucket(time.Since(n.created))].Add(1)
 	c.ll.MoveToFront(el)
-	return el.Value.(resultEntry), true
+	return n.entry, true
 }
 
 // stats snapshots the lookup and eviction counters.
 func (c *resultCache) stats() (hits, misses, evictions int64) {
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// memoStats snapshots the solve-memo counters.
+func (c *resultCache) memoStats() (hits, misses int64) {
+	return c.memoHits.Load(), c.memoMisses.Load()
+}
+
+// byAge snapshots the per-entry-age hit and eviction counters, keyed
+// by resultAgeLabels.
+func (c *resultCache) byAge() (hits, evictions map[string]int64) {
+	hits = make(map[string]int64, len(resultAgeLabels))
+	evictions = make(map[string]int64, len(resultAgeLabels))
+	for i, l := range resultAgeLabels {
+		hits[l] = c.hitsByAge[i].Load()
+		evictions[l] = c.evictionsByAge[i].Load()
+	}
+	return hits, evictions
 }
 
 func (c *resultCache) len() int {
@@ -96,32 +254,56 @@ func (c *resultCache) len() int {
 // restarts, so clients may cache them; distinct placements collide
 // only with hash probability.
 func resultFingerprint(eng *topomap.Engine, tg *topomap.TaskGraph, res *topomap.MapResult) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	h.Write([]byte(topomap.EngineFingerprint(eng.Topology(), eng.Allocation())))
-	put(uint64(tg.K))
-	put(uint64(tg.G.N()))
-	for v := 0; v < tg.G.N(); v++ {
-		adj, w := tg.G.Neighbors(v), tg.G.Weights(v)
-		put(uint64(len(adj)))
-		for i, u := range adj {
-			put(uint64(uint32(u)))
-			put(uint64(w[i]))
-		}
-	}
-	h.Write([]byte(res.Mapper))
-	put(uint64(len(res.GroupOf)))
+	h := wirebin.Hash64Init
+	h = h.Str(topomap.EngineFingerprint(eng.Topology(), eng.Allocation()))
+	h = hashTaskGraph(h, tg)
+	h = h.Str(string(res.Mapper))
+	h = h.U64(uint64(len(res.GroupOf)))
 	for _, g := range res.GroupOf {
-		put(uint64(uint32(g)))
+		h = h.U64(uint64(uint32(g)))
 	}
 	for _, m := range res.NodeOf {
-		put(uint64(uint32(m)))
+		h = h.U64(uint64(uint32(m)))
 	}
-	return "map:" + strconv.FormatUint(h.Sum64(), 16)
+	return "map:" + strconv.FormatUint(uint64(h), 16)
+}
+
+// hashTaskGraph folds the task graph's structure — coarsening factor,
+// adjacency and edge volumes — into h, alloc-free.
+func hashTaskGraph(h wirebin.Hash64, tg *topomap.TaskGraph) wirebin.Hash64 {
+	h = h.U64(uint64(tg.K))
+	h = h.U64(uint64(tg.G.N()))
+	for v := 0; v < tg.G.N(); v++ {
+		adj, w := tg.G.Neighbors(v), tg.G.Weights(v)
+		h = h.U64(uint64(len(adj)))
+		for i, u := range adj {
+			h = h.U64(uint64(uint32(u)))
+			h = h.U64(uint64(w[i]))
+		}
+	}
+	return h
+}
+
+// solveMemoKey identifies a map job up to response framing: the
+// engine cache key (canonical topology + allocation), every solve
+// knob that can change the placement, and the task graph structure.
+// Both protocols derive it the same way, so a JSON solve warms the
+// memo for binary repeats and vice versa. Response-only options
+// (rankfile, trace echo) stay out — they re-render per response.
+func solveMemoKey(engineKey, mapper string, seed int64, refine, fineRefine bool, tg *topomap.TaskGraph) string {
+	h := wirebin.Hash64Init
+	h = h.Str(engineKey)
+	h = h.U64(0) // domain separator between the key and the knobs
+	h = h.Str(mapper)
+	h = h.U64(uint64(seed))
+	var flags uint64
+	if refine {
+		flags |= 1
+	}
+	if fineRefine {
+		flags |= 2
+	}
+	h = h.U64(flags)
+	h = hashTaskGraph(h, tg)
+	return "req:" + strconv.FormatUint(uint64(h), 16)
 }

@@ -36,6 +36,10 @@ type Config struct {
 	// ResultCacheSize bounds the LRU of recent results /v1/remap
 	// resolves fingerprints against. Default 128 results.
 	ResultCacheSize int
+	// InternTableSize bounds the LRU of interned request sections the
+	// binary protocol's 16-byte references resolve against. Default
+	// 512 sections.
+	InternTableSize int
 	// DefaultTimeout is the per-request solve deadline when the
 	// request carries no timeout_ms. Default 30s.
 	DefaultTimeout time.Duration
@@ -56,6 +60,7 @@ type Server struct {
 	cfg     Config
 	cache   *topomap.EngineCache
 	results *resultCache
+	intern  *internTable
 	sem     chan struct{}
 	acq     chan struct{} // serializes slot acquisition (multi-slot safe)
 	st      *stats
@@ -85,6 +90,9 @@ func New(cfg Config) *Server {
 	if cfg.ResultCacheSize <= 0 {
 		cfg.ResultCacheSize = 128
 	}
+	if cfg.InternTableSize <= 0 {
+		cfg.InternTableSize = 512
+	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
 	}
@@ -95,6 +103,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		cache:   topomap.NewEngineCache(cfg.CacheSize),
 		results: newResultCache(cfg.ResultCacheSize),
+		intern:  newInternTable(cfg.InternTableSize),
 		sem:     make(chan struct{}, cfg.Workers),
 		acq:     make(chan struct{}, 1),
 		st:      newStats(),
@@ -107,6 +116,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/portfolio", s.handlePortfolio)
 	s.mux.HandleFunc("/v1/remap", s.handleRemap)
 	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
+	s.mux.HandleFunc("/v2/map", s.handleMapBin)
+	s.mux.HandleFunc("/v2/map/batch", s.handleBatchBin)
+	s.mux.HandleFunc("/v2/remap", s.handleRemapBin)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -184,15 +196,33 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // specs alone, so a hit skips building the topology, the allocation
 // and — the expensive part — the engine's pairwise routing state.
 func (s *Server) engineFor(ts TopologySpec, as AllocationSpec) (*topomap.Engine, bool, error) {
-	ts, err := ts.Normalize()
+	ts, key, err := s.engineKey(ts, as)
 	if err != nil {
 		return nil, false, err
+	}
+	return s.engineNormalized(key, ts, as)
+}
+
+// engineKey derives the engine cache key of a spec pair — the
+// normalized topology key joined with the allocation key — returning
+// the normalized topology so the caller can build from it.
+func (s *Server) engineKey(ts TopologySpec, as AllocationSpec) (TopologySpec, string, error) {
+	ts, err := ts.Normalize()
+	if err != nil {
+		return ts, "", err
 	}
 	allocKey, err := as.Key()
 	if err != nil {
-		return nil, false, err
+		return ts, "", err
 	}
-	return s.cache.GetKeyed(ts.Key()+"|"+allocKey, func() (*topomap.Engine, error) {
+	return ts, ts.Key() + "|" + allocKey, nil
+}
+
+// engineNormalized is engineFor with the normalization and keying
+// already done — the map handler derives the key early for its
+// solve-memo lookup and must not pay for it twice.
+func (s *Server) engineNormalized(key string, ts TopologySpec, as AllocationSpec) (*topomap.Engine, bool, error) {
+	return s.cache.GetKeyed(key, func() (*topomap.Engine, error) {
 		net, err := ts.Build()
 		if err != nil {
 			return nil, err
@@ -336,6 +366,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.requests.Add(1)
+	s.st.protoJSON.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
 	lg := s.beginLog(endpointMap)
@@ -350,6 +381,31 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	tg, err := req.Tasks.Build()
 	if err != nil {
 		lg.error(w, http.StatusBadRequest, err)
+		return
+	}
+	ts, engineKey, err := s.engineKey(req.Topology, req.Allocation)
+	if err != nil {
+		lg.error(w, http.StatusBadRequest, err)
+		return
+	}
+	// Solve memo: an identical repeat request — solves are
+	// deterministic — is answered from the result cache without
+	// touching a worker slot; only response framing (rankfile, trace
+	// echo) re-renders. Stage histograms count real solves only.
+	memoKey := solveMemoKey(engineKey, req.Mapper, req.Seed, req.Refine, req.FineRefine, tg)
+	if ent, ok := s.results.getReq(memoKey); ok {
+		lg.cacheHit = true
+		out, err := respond(ent.res, ent.eng, true, req.Rankfile, time.Since(began))
+		if err != nil {
+			lg.error(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Trace {
+			out.Trace = ent.res.Trace.Stages()
+		}
+		out.Fingerprint = ent.fp
+		s.st.observe(endpointMap, out.ElapsedMS)
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
@@ -368,7 +424,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	var res *topomap.MapResult
 	err = s.solve(ctx, workers, func(ctx context.Context) error {
 		var err error
-		eng, hit, err = s.engineFor(req.Topology, req.Allocation)
+		eng, hit, err = s.engineNormalized(engineKey, ts, req.Allocation)
 		if err != nil {
 			return err
 		}
@@ -390,9 +446,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		out.Trace = res.Trace.Stages()
 	}
 	// Feed the result cache so /v1/remap can pick this mapping up by
-	// fingerprint when the allocation changes.
+	// fingerprint when the allocation changes, and the solve memo so
+	// a repeat of this exact request skips the solve.
 	out.Fingerprint = resultFingerprint(eng, tg, res)
-	s.results.put(resultEntry{fp: out.Fingerprint, eng: eng, tasks: tg, res: res})
+	s.results.putReq(memoKey, resultEntry{fp: out.Fingerprint, eng: eng, tasks: tg, res: res})
 	s.st.observe(endpointMap, out.ElapsedMS)
 	writeJSON(w, http.StatusOK, out)
 }
@@ -410,6 +467,7 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.remapRequests.Add(1)
+	s.st.protoJSON.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
 	lg := s.beginLog(endpointRemap)
@@ -493,6 +551,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.batchRequests.Add(1)
+	s.st.protoJSON.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
 	lg := s.beginLog(endpointBatch)
@@ -579,6 +638,7 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.portfolioRequests.Add(1)
+	s.st.protoJSON.Add(1)
 	s.st.inflight.Add(1)
 	defer s.st.inflight.Add(-1)
 	lg := s.beginLog(endpointPortfolio)
@@ -679,6 +739,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Status() Status {
 	hits, misses, evictions := s.cache.Stats()
 	rhits, rmisses, revictions := s.results.stats()
+	hitsByAge, evictionsByAge := s.results.byAge()
+	mhits, mmisses := s.results.memoStats()
+	ihits, imisses, ievictions, iresends := s.intern.stats()
 	p50, p90, p99, samples := s.st.all.quantiles()
 	perEndpoint := make(map[string]LatencySummary, len(solveEndpoints))
 	for _, e := range solveEndpoints {
@@ -696,32 +759,46 @@ func (s *Server) Status() Status {
 		Workers:        s.cfg.Workers,
 		MaxParallelism: s.cfg.MaxParallelism,
 
-		PortfolioRequests:   s.st.portfolioRequests.Load(),
-		PortfolioCandidates: s.st.portfolioCandidates.Load(),
-		PortfolioSkipped:    s.st.portfolioSkipped.Load(),
-		MaxCandidates:       s.cfg.MaxPortfolioCandidates,
-		RemapRequests:       s.st.remapRequests.Load(),
-		RemapWarm:           s.st.remapWarm.Load(),
-		RemapFallbacks:      s.st.remapFallbacks.Load(),
-		RemapPairsReused:    s.st.remapPairsReused.Load(),
-		RemapPairsTotal:     s.st.remapPairsTotal.Load(),
-		ResultEntries:       s.results.len(),
-		ResultCapacity:      s.cfg.ResultCacheSize,
-		ResultHits:          rhits,
-		ResultMisses:        rmisses,
-		ResultEvictions:     revictions,
-		CacheHits:           hits,
-		CacheMisses:         misses,
-		CacheEvictions:      evictions,
-		CacheEntries:        s.cache.Len(),
-		CacheCapacity:       s.cache.Cap(),
-		LatencyP50MS:        p50,
-		LatencyP90MS:        p90,
-		LatencyP99MS:        p99,
-		LatencySamples:      samples,
-		EndpointLatency:     perEndpoint,
-		Mappers:             len(registry.Names()),
-		GoVersion:           goVersion,
-		VCSRevision:         revision,
+		PortfolioRequests:    s.st.portfolioRequests.Load(),
+		PortfolioCandidates:  s.st.portfolioCandidates.Load(),
+		PortfolioSkipped:     s.st.portfolioSkipped.Load(),
+		MaxCandidates:        s.cfg.MaxPortfolioCandidates,
+		RemapRequests:        s.st.remapRequests.Load(),
+		RemapWarm:            s.st.remapWarm.Load(),
+		RemapFallbacks:       s.st.remapFallbacks.Load(),
+		RemapPairsReused:     s.st.remapPairsReused.Load(),
+		RemapPairsTotal:      s.st.remapPairsTotal.Load(),
+		ResultEntries:        s.results.len(),
+		ResultCapacity:       s.cfg.ResultCacheSize,
+		ResultHits:           rhits,
+		ResultMisses:         rmisses,
+		ResultEvictions:      revictions,
+		ResultHitsByAge:      hitsByAge,
+		ResultEvictionsByAge: evictionsByAge,
+		SolveMemoHits:        mhits,
+		SolveMemoMisses:      mmisses,
+		ProtocolRequests: map[string]int64{
+			protoJSONLabel:   s.st.protoJSON.Load(),
+			protoBinaryLabel: s.st.protoBinary.Load(),
+		},
+		InternEntries:   s.intern.len(),
+		InternCapacity:  s.cfg.InternTableSize,
+		InternHits:      ihits,
+		InternMisses:    imisses,
+		InternEvictions: ievictions,
+		InternResends:   iresends,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		CacheEntries:    s.cache.Len(),
+		CacheCapacity:   s.cache.Cap(),
+		LatencyP50MS:    p50,
+		LatencyP90MS:    p90,
+		LatencyP99MS:    p99,
+		LatencySamples:  samples,
+		EndpointLatency: perEndpoint,
+		Mappers:         len(registry.Names()),
+		GoVersion:       goVersion,
+		VCSRevision:     revision,
 	}
 }

@@ -253,7 +253,9 @@ func TestConcurrentClients(t *testing.T) {
 
 // TestCacheChurn cycles more (topology, allocation) pairs than the
 // cache holds: every request must still answer correctly, and
-// revisiting a resident pair must hit.
+// revisiting a resident pair must hit. Every churn request carries a
+// distinct solver seed — an identical repeat would be answered by the
+// solve memo without consulting the engine cache at all.
 func TestCacheChurn(t *testing.T) {
 	spec, _ := testTasks(32)
 	c := newClient(t, service.Config{CacheSize: 2})
@@ -265,7 +267,7 @@ func TestCacheChurn(t *testing.T) {
 				Allocation: service.AllocationSpec{SparseNodes: 4, Seed: seed},
 				Tasks:      spec,
 				Mapper:     "UWH",
-				Seed:       1,
+				Seed:       int64(10*round) + seed,
 			})
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)

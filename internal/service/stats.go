@@ -20,6 +20,13 @@ const (
 
 var solveEndpoints = []string{endpointMap, endpointBatch, endpointPortfolio, endpointRemap}
 
+// Protocol labels of the per-protocol request counters: every solving
+// request is either a /v1 JSON envelope or a /v2 binary frame.
+const (
+	protoJSONLabel   = "json"
+	protoBinaryLabel = "binary"
+)
+
 // stats holds the service's live counters: monotonically increasing
 // request/error/timeout counts (lock-free atomics on the hot path),
 // latency quantile rings — one combined, one per solving endpoint —
@@ -39,6 +46,11 @@ type stats struct {
 	errors              atomic.Int64
 	timeouts            atomic.Int64
 	inflight            atomic.Int64
+
+	// Per-protocol request counters: how much of the solving traffic
+	// arrives as /v1 JSON envelopes vs /v2 binary frames.
+	protoJSON   atomic.Int64
+	protoBinary atomic.Int64
 
 	all      latRing
 	endpoint map[string]*latRing // fixed keys, read-only after newStats

@@ -437,6 +437,31 @@ type Status struct {
 	ResultHits      int64 `json:"result_hits"`
 	ResultMisses    int64 `json:"result_misses"`
 	ResultEvictions int64 `json:"result_evictions"`
+	// ResultHitsByAge / ResultEvictionsByAge break the result-cache
+	// counters down by entry age at the event (buckets lt_1s … ge_10m):
+	// young evictions mean the cache thrashes below the remap interval,
+	// old hits mean retention is carrying long-lived allocations.
+	ResultHitsByAge      map[string]int64 `json:"result_hits_by_age"`
+	ResultEvictionsByAge map[string]int64 `json:"result_evictions_by_age"`
+	// Solve-memo accounting: map requests answered straight from the
+	// result cache because an identical request was solved before
+	// (solves are deterministic). Misses are requests that solved.
+	SolveMemoHits   int64 `json:"solve_memo_hits"`
+	SolveMemoMisses int64 `json:"solve_memo_misses"`
+
+	// ProtocolRequests splits the solving traffic by envelope: "json"
+	// (/v1) vs "binary" (/v2 frames).
+	ProtocolRequests map[string]int64 `json:"protocol_requests"`
+	// Intern-table accounting of the binary protocol's 16-byte section
+	// references: hits resolve without the section traveling, a miss
+	// costs the client one resend round-trip (counted in
+	// InternResends when the full section arrives back).
+	InternEntries   int   `json:"intern_entries"`
+	InternCapacity  int   `json:"intern_capacity"`
+	InternHits      int64 `json:"intern_hits"`
+	InternMisses    int64 `json:"intern_misses"`
+	InternEvictions int64 `json:"intern_evictions"`
+	InternResends   int64 `json:"intern_resends"`
 
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`

@@ -1,0 +1,343 @@
+package wirebin
+
+// Fuzz targets for the frame decoders: every decoder must reject
+// truncated, oversized, version-skewed and garbage frames with an
+// error — never a panic, an out-of-bounds read, or an allocation
+// larger than a small constant factor of the input. The allocation
+// bound is checked structurally: every decoded slice was read element
+// by element out of the payload, so its length can never exceed the
+// payload size.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzMaxPayload caps the declared payload length during fuzzing, the
+// same way the service caps request bodies.
+const fuzzMaxPayload = 1 << 20
+
+// boundSlice fails the fuzz run if a decoded slice claims more
+// elements than the payload could possibly have carried — the
+// over-allocation guard the Count bound exists for.
+func boundSlice(t *testing.T, what string, n, elemSize, payload int) {
+	t.Helper()
+	if n*elemSize > payload {
+		t.Fatalf("%s: %d elements x %d bytes decoded out of a %d-byte payload", what, n, elemSize, payload)
+	}
+}
+
+// seedFrames returns one valid frame per message type, so the fuzzer
+// starts from the interesting part of the input space.
+func seedFrames() [][]byte {
+	var frames [][]byte
+	add := func(encode func(*Writer)) {
+		w := GetWriter()
+		encode(w)
+		frames = append(frames, append([]byte(nil), w.Bytes()...))
+		PutWriter(w)
+	}
+
+	topoBody := func() []byte {
+		w := GetWriter()
+		defer PutWriter(w)
+		AppendTopology(w, &Topology{Kind: TopoTorus, Dims: []int32{4, 4, 4}, BW: []float64{1e9, 1e9, 1e9}})
+		return append([]byte(nil), w.Bytes()...)
+	}()
+	allocBody := func() []byte {
+		w := GetWriter()
+		defer PutWriter(w)
+		AppendAllocation(w, &Allocation{Form: AllocExplicit, Nodes: []int32{1, 5, 9}, CapsForm: CapsUniform, UniformProcs: 16})
+		return append([]byte(nil), w.Bytes()...)
+	}()
+	tasksBody := func() []byte {
+		w := GetWriter()
+		defer PutWriter(w)
+		AppendTasksCSR(w, []int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3})
+		return append([]byte(nil), w.Bytes()...)
+	}()
+
+	add(func(w *Writer) {
+		EncodeMapReq(w, &MapReq{
+			Mapper: "UWH", Seed: 7, Flags: FlagRankfile, TimeoutMS: 500, Parallelism: 2,
+			Topo:  FullSection(topoBody),
+			Alloc: RefSection(Fingerprint(allocBody)),
+			Tasks: ResendSection(tasksBody),
+		})
+	})
+	add(func(w *Writer) {
+		EncodeBatchReq(w, &BatchReq{
+			Topo: FullSection(topoBody), Alloc: FullSection(allocBody), Tasks: FullSection(tasksBody),
+			Items: []BatchItem{{Mapper: "UWH", Seed: 1}, {Mapper: "UMC", Seed: 2, Flags: FlagRefine}},
+		})
+	})
+	add(func(w *Writer) {
+		EncodeRemapReq(w, &RemapReq{
+			Fingerprint: "map:abc", Mapper: "UWH", Seed: 1, FenceThreshold: 0.05,
+			Remove:    []int32{3},
+			Add:       []NodeCap{{Node: 9, Procs: 16}},
+			Objective: []byte(`{"minimize":"mc"}`),
+		})
+	})
+	add(func(w *Writer) {
+		EncodeMapResp(w, &MapResp{
+			Mapper: "UWH", GroupOf: []int32{0, 1}, NodeOf: []int32{5, 9}, AllocNodes: []int32{5, 9},
+			Metrics: Metrics{TH: 10, WH: 20, MC: 1.5, UsedLinks: 4}, Fingerprint: "map:abc",
+			Rankfile: []byte("# MPICH_RANK_ORDER\n0,1\n"),
+		})
+	})
+	add(func(w *Writer) {
+		EncodeBatchResp(w, &BatchResp{ElapsedMS: 1.25, Results: []MapResp{{Mapper: "UWH", GroupOf: []int32{0}}}})
+	})
+	add(func(w *Writer) {
+		EncodeRemapResp(w, &RemapResp{
+			MapResp:   MapResp{Mapper: "UWH", Flags: RespWarm, GroupOf: []int32{0}},
+			PrevScore: 1, WarmScore: 2, ColdScore: 3, PairsReused: 4, PairsTotal: 5, MigratedTasks: 6,
+		})
+	})
+	add(func(w *Writer) {
+		EncodeError(w, &ErrorFrame{Status: 404, Missing: SecTopology | SecTasks, Message: "intern miss"})
+	})
+	return frames
+}
+
+// FuzzFrameDecoders drives every message decoder through the shared
+// header check: whatever survives DecodeHeader must decode cleanly or
+// error — and on success, every decoded slice stays bounded by the
+// payload that carried it.
+func FuzzFrameDecoders(f *testing.F) {
+	for _, frame := range seedFrames() {
+		f.Add(frame)
+		// Mutated variants: truncated payload, corrupted version byte,
+		// inflated declared length.
+		if len(frame) > HeaderLen+2 {
+			f.Add(frame[:len(frame)-2])
+		}
+		skew := append([]byte(nil), frame...)
+		skew[4] = 0xFF
+		f.Add(skew)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgType, payload, err := DecodeHeader(data, fuzzMaxPayload)
+		if err != nil {
+			return
+		}
+		p := len(payload)
+		switch msgType {
+		case MsgMapRequest:
+			m, err := DecodeMapReq(payload)
+			if err != nil {
+				return
+			}
+			for _, s := range []Section{m.Topo, m.Alloc, m.Tasks} {
+				boundSlice(t, "section body", len(s.Body), 1, p)
+			}
+		case MsgBatchRequest:
+			b, err := DecodeBatchReq(payload)
+			if err != nil {
+				return
+			}
+			if len(b.Items) > maxBatchItems {
+				t.Fatalf("decoded %d batch items past the %d cap", len(b.Items), maxBatchItems)
+			}
+			boundSlice(t, "batch items", len(b.Items), 11, p)
+		case MsgRemapRequest:
+			m, err := DecodeRemapReq(payload)
+			if err != nil {
+				return
+			}
+			boundSlice(t, "remove", len(m.Remove), 4, p)
+			boundSlice(t, "add", len(m.Add), 8, p)
+			boundSlice(t, "set_capacity", len(m.SetCapacity), 8, p)
+		case MsgMapResponse:
+			m, err := DecodeMapResp(payload)
+			if err != nil {
+				return
+			}
+			boundMapResp(t, m, p)
+		case MsgBatchResponse:
+			b, err := DecodeBatchResp(payload)
+			if err != nil {
+				return
+			}
+			boundSlice(t, "batch results", len(b.Results), 64, p)
+			for i := range b.Results {
+				boundMapResp(t, &b.Results[i], p)
+			}
+		case MsgRemapResponse:
+			m, err := DecodeRemapResp(payload)
+			if err != nil {
+				return
+			}
+			boundMapResp(t, &m.MapResp, p)
+		case MsgError:
+			e, err := DecodeError(payload)
+			if err != nil {
+				return
+			}
+			boundSlice(t, "error message", len(e.Message), 1, p)
+		}
+	})
+}
+
+func boundMapResp(t *testing.T, m *MapResp, payload int) {
+	t.Helper()
+	boundSlice(t, "group_of", len(m.GroupOf), 4, payload)
+	boundSlice(t, "node_of", len(m.NodeOf), 4, payload)
+	boundSlice(t, "alloc_nodes", len(m.AllocNodes), 4, payload)
+	boundSlice(t, "rankfile", len(m.Rankfile), 1, payload)
+	boundSlice(t, "trace", len(m.TraceJSON), 1, payload)
+}
+
+// FuzzParseTasks hammers the zero-copy CSR validator: a body that
+// parses must be fully walkable through the accessors — every row
+// monotone, every edge slot reachable — because the hot path indexes
+// them without bounds checks afterwards.
+func FuzzParseTasks(f *testing.F) {
+	valid := func(xadj, adj []int32, ew []int64) []byte {
+		w := GetWriter()
+		defer PutWriter(w)
+		AppendTasksCSR(w, xadj, adj, ew)
+		return append([]byte(nil), w.Bytes()...)
+	}
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}))
+	f.Add(valid([]int32{0, 0}, nil, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		view, err := ParseTasks(body)
+		if err != nil {
+			return
+		}
+		if 4*(view.N+1)+12*view.M > len(body)+8 {
+			t.Fatalf("n=%d m=%d view claims more than the %d-byte body", view.N, view.M, len(body))
+		}
+		edges := 0
+		for v := 0; v < view.N; v++ {
+			lo, hi := view.Xadj(v), view.Xadj(v+1)
+			if lo < 0 || hi < lo || hi > view.M {
+				t.Fatalf("row %d: [%d,%d) escapes m=%d after validation", v, lo, hi, view.M)
+			}
+			for j := lo; j < hi; j++ {
+				_ = view.Adj(j)
+				_ = view.EW(j)
+				edges++
+			}
+		}
+		if edges != view.M {
+			t.Fatalf("rows cover %d edge slots, header says %d", edges, view.M)
+		}
+	})
+}
+
+// FuzzDecodeTopology exercises the topology section decoder.
+func FuzzDecodeTopology(f *testing.F) {
+	for _, topo := range []Topology{
+		{Kind: TopoTorus, Dims: []int32{8, 8, 8}, BW: []float64{1e9, 1e9, 1e9}},
+		{Kind: TopoMesh, Dims: []int32{4, 4}, BW: []float64{1e9, 2e9}},
+		{Kind: TopoFatTree, K: 8, BWHost: 5e9, Taper: 2},
+		{Kind: TopoDragonfly, H: 3, BWHost: 5e9, BWLocal: 5e9, BWGlobal: 1e9},
+	} {
+		w := GetWriter()
+		AppendTopology(w, &topo)
+		f.Add(append([]byte(nil), w.Bytes()...))
+		PutWriter(w)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		tp, err := DecodeTopology(body)
+		if err != nil {
+			return
+		}
+		if len(tp.Dims)*4 > len(body) || len(tp.BW)*8 > len(body) {
+			t.Fatalf("dims=%d bw=%d decoded out of a %d-byte body", len(tp.Dims), len(tp.BW), len(body))
+		}
+	})
+}
+
+// FuzzDecodeAllocation exercises the allocation section decoder.
+func FuzzDecodeAllocation(f *testing.F) {
+	for _, alloc := range []Allocation{
+		{Form: AllocExplicit, Nodes: []int32{1, 2, 3}, CapsForm: CapsDefault},
+		{Form: AllocExplicit, Nodes: []int32{4}, CapsForm: CapsUniform, UniformProcs: 16},
+		{Form: AllocExplicit, Nodes: []int32{7, 9}, CapsForm: CapsPerNode, ProcsPerNode: []int32{8, 16}},
+		{Form: AllocSparse, SparseNodes: 32, Seed: 9},
+	} {
+		w := GetWriter()
+		AppendAllocation(w, &alloc)
+		f.Add(append([]byte(nil), w.Bytes()...))
+		PutWriter(w)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		a, err := DecodeAllocation(body)
+		if err != nil {
+			return
+		}
+		if len(a.Nodes)*4 > len(body) || len(a.ProcsPerNode)*4 > len(body) {
+			t.Fatalf("nodes=%d caps=%d decoded out of a %d-byte body", len(a.Nodes), len(a.ProcsPerNode), len(body))
+		}
+		if a.Form == AllocExplicit && a.CapsForm == CapsPerNode && len(a.ProcsPerNode) != len(a.Nodes) {
+			t.Fatalf("per-node capacities %d != nodes %d after validation", len(a.ProcsPerNode), len(a.Nodes))
+		}
+	})
+}
+
+// TestSeedFramesRoundTrip keeps the fuzz seeds honest: every seed
+// must decode back to a frame whose re-encoding is byte-identical —
+// a corrupted seed would quietly shrink fuzz coverage.
+func TestSeedFramesRoundTrip(t *testing.T) {
+	for i, frame := range seedFrames() {
+		msgType, payload, err := DecodeHeader(frame, fuzzMaxPayload)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		w := GetWriter()
+		switch msgType {
+		case MsgMapRequest:
+			m, err := DecodeMapReq(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeMapReq(w, m)
+		case MsgBatchRequest:
+			m, err := DecodeBatchReq(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeBatchReq(w, m)
+		case MsgRemapRequest:
+			m, err := DecodeRemapReq(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeRemapReq(w, m)
+		case MsgMapResponse:
+			m, err := DecodeMapResp(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeMapResp(w, m)
+		case MsgBatchResponse:
+			m, err := DecodeBatchResp(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeBatchResp(w, m)
+		case MsgRemapResponse:
+			m, err := DecodeRemapResp(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeRemapResp(w, m)
+		case MsgError:
+			m, err := DecodeError(payload)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			EncodeError(w, m)
+		}
+		if !bytes.Equal(w.Bytes(), frame) {
+			t.Fatalf("seed %d (type %d): re-encode diverged", i, msgType)
+		}
+		PutWriter(w)
+	}
+}

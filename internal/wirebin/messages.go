@@ -1,0 +1,492 @@
+package wirebin
+
+// Message payloads. The structs here mirror the concepts of the JSON
+// wire (internal/service) but hold the hot arrays directly: slices in
+// a decoded message alias the frame buffer where views are possible
+// (CSR task graphs) and are fresh minimal copies otherwise; slices in
+// a message being encoded are written verbatim and never copied. The
+// service converts only the cold, tiny parts (topology parameters,
+// objective blobs) to its spec structs — the canonicalization and
+// cache-key derivation stay shared with the JSON path, which is what
+// makes the two protocols provably equivalent.
+
+// Request flag bits (shared by map requests, batch items, and remap
+// requests).
+const (
+	FlagRefine     uint16 = 1 << 0
+	FlagFineRefine uint16 = 1 << 1
+	FlagTrace      uint16 = 1 << 2
+	FlagRankfile   uint16 = 1 << 3
+	// FlagObjective / FlagSim mark the optional JSON blobs of a remap
+	// request as present.
+	FlagObjective uint16 = 1 << 4
+	FlagSim       uint16 = 1 << 5
+)
+
+// Response flag bits.
+const (
+	RespCacheHit     uint16 = 1 << 0
+	RespRankfile     uint16 = 1 << 1
+	RespTrace        uint16 = 1 << 2
+	RespWarm         uint16 = 1 << 3
+	RespFenceTripped uint16 = 1 << 4
+)
+
+// MapReq is the binary form of a POST /v2/map request. The three big
+// sections travel mode-tagged (full body or intern fingerprint).
+type MapReq struct {
+	Mapper      string
+	Seed        int64
+	Flags       uint16
+	TimeoutMS   int64
+	Parallelism uint32
+	Topo        Section
+	Alloc       Section
+	Tasks       Section
+}
+
+// EncodeMapReq appends the request as one complete frame.
+func EncodeMapReq(w *Writer, r *MapReq) {
+	w.BeginFrame(MsgMapRequest)
+	w.Str8(r.Mapper)
+	w.I64(r.Seed)
+	w.U16(r.Flags)
+	w.I64(r.TimeoutMS)
+	w.U32(r.Parallelism)
+	w.writeSection2(r.Topo)
+	w.writeSection2(r.Alloc)
+	w.writeSection2(r.Tasks)
+	w.EndFrame()
+}
+
+// DecodeMapReq parses a MsgMapRequest payload.
+func DecodeMapReq(payload []byte) (*MapReq, error) {
+	r := NewReader(payload)
+	m := &MapReq{
+		Mapper:      r.Str8("mapper"),
+		Seed:        r.I64(),
+		Flags:       r.U16(),
+		TimeoutMS:   r.I64(),
+		Parallelism: r.U32(),
+		Topo:        r.readSection("topology"),
+		Alloc:       r.readSection("allocation"),
+		Tasks:       r.readSection("tasks"),
+	}
+	return m, r.finish("map request")
+}
+
+// BatchItem is one mapper run of a binary batch request.
+type BatchItem struct {
+	Mapper string
+	Seed   int64
+	Flags  uint16
+}
+
+// BatchReq is the binary form of a POST /v2/map/batch request.
+type BatchReq struct {
+	TimeoutMS   int64
+	Parallelism uint32
+	Topo        Section
+	Alloc       Section
+	Tasks       Section
+	Items       []BatchItem
+}
+
+// maxBatchItems bounds the item count of one batch frame; each item
+// is a full solve, so the count must not be attacker-elastic.
+const maxBatchItems = 4096
+
+// EncodeBatchReq appends the request as one complete frame.
+func EncodeBatchReq(w *Writer, r *BatchReq) {
+	w.BeginFrame(MsgBatchRequest)
+	w.I64(r.TimeoutMS)
+	w.U32(r.Parallelism)
+	w.writeSection2(r.Topo)
+	w.writeSection2(r.Alloc)
+	w.writeSection2(r.Tasks)
+	w.U32(uint32(len(r.Items)))
+	for _, it := range r.Items {
+		w.Str8(it.Mapper)
+		w.I64(it.Seed)
+		w.U16(it.Flags)
+	}
+	w.EndFrame()
+}
+
+// DecodeBatchReq parses a MsgBatchRequest payload.
+func DecodeBatchReq(payload []byte) (*BatchReq, error) {
+	r := NewReader(payload)
+	b := &BatchReq{
+		TimeoutMS:   r.I64(),
+		Parallelism: r.U32(),
+		Topo:        r.readSection("topology"),
+		Alloc:       r.readSection("allocation"),
+		Tasks:       r.readSection("tasks"),
+	}
+	n := r.Count(11, "batch items") // 1 len byte + 8 seed + 2 flags minimum per item
+	if r.err == nil && n > maxBatchItems {
+		r.fail("batch items %d exceed the %d-item frame limit", n, maxBatchItems)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		b.Items = append(b.Items, BatchItem{
+			Mapper: r.Str8("item mapper"),
+			Seed:   r.I64(),
+			Flags:  r.U16(),
+		})
+	}
+	return b, r.finish("batch request")
+}
+
+// NodeCap is one (node, capacity) pair of an allocation delta.
+type NodeCap struct {
+	Node  int32
+	Procs uint32
+}
+
+// RemapReq is the binary form of a POST /v2/remap request: the
+// previous result travels as its fingerprint, the delta as verbatim
+// arrays, and the rarely-set objective/sim specs as JSON blobs — they
+// are cold configuration, not hot data.
+type RemapReq struct {
+	Fingerprint    string
+	Mapper         string
+	Seed           int64
+	Flags          uint16
+	FenceThreshold float64
+	TimeoutMS      int64
+	Parallelism    uint32
+	Remove         []int32
+	Add            []NodeCap
+	SetCapacity    []NodeCap
+	Objective      []byte
+	Sim            []byte
+}
+
+func (w *Writer) nodeCaps(s []NodeCap) {
+	w.U32(uint32(len(s)))
+	for _, c := range s {
+		w.U32(uint32(c.Node))
+		w.U32(c.Procs)
+	}
+}
+
+func (r *Reader) nodeCaps(what string) []NodeCap {
+	n := r.Count(8, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]NodeCap, n)
+	for i := range out {
+		out[i] = NodeCap{Node: int32(r.U32()), Procs: r.U32()}
+	}
+	return out
+}
+
+// EncodeRemapReq appends the request as one complete frame.
+func EncodeRemapReq(w *Writer, r *RemapReq) {
+	w.BeginFrame(MsgRemapRequest)
+	w.Str8(r.Fingerprint)
+	w.Str8(r.Mapper)
+	w.I64(r.Seed)
+	flags := r.Flags
+	if len(r.Objective) > 0 {
+		flags |= FlagObjective
+	}
+	if len(r.Sim) > 0 {
+		flags |= FlagSim
+	}
+	w.U16(flags)
+	w.F64(r.FenceThreshold)
+	w.I64(r.TimeoutMS)
+	w.U32(r.Parallelism)
+	w.I32s(r.Remove)
+	w.nodeCaps(r.Add)
+	w.nodeCaps(r.SetCapacity)
+	if flags&FlagObjective != 0 {
+		w.Blob(r.Objective)
+	}
+	if flags&FlagSim != 0 {
+		w.Blob(r.Sim)
+	}
+	w.EndFrame()
+}
+
+// DecodeRemapReq parses a MsgRemapRequest payload.
+func DecodeRemapReq(payload []byte) (*RemapReq, error) {
+	r := NewReader(payload)
+	m := &RemapReq{
+		Fingerprint: r.Str8("fingerprint"),
+		Mapper:      r.Str8("mapper"),
+		Seed:        r.I64(),
+		Flags:       r.U16(),
+	}
+	m.FenceThreshold = r.F64()
+	m.TimeoutMS = r.I64()
+	m.Parallelism = r.U32()
+	m.Remove = r.I32s("delta remove")
+	m.Add = r.nodeCaps("delta add")
+	m.SetCapacity = r.nodeCaps("delta set_capacity")
+	if m.Flags&FlagObjective != 0 {
+		m.Objective = r.Blob("objective")
+	}
+	if m.Flags&FlagSim != 0 {
+		m.Sim = r.Blob("sim")
+	}
+	return m, r.finish("remap request")
+}
+
+// Metrics is the fixed-width metrics block of a result frame,
+// mirroring the JSON wire's metrics object field for field.
+type Metrics struct {
+	TH, WH, MMC          int64
+	MC, AMC, AC          float64
+	ICV, ICM, MNRV, MNRM int64
+	UsedLinks            uint32
+}
+
+func (w *Writer) metrics(m *Metrics) {
+	w.I64(m.TH)
+	w.I64(m.WH)
+	w.I64(m.MMC)
+	w.F64(m.MC)
+	w.F64(m.AMC)
+	w.F64(m.AC)
+	w.I64(m.ICV)
+	w.I64(m.ICM)
+	w.I64(m.MNRV)
+	w.I64(m.MNRM)
+	w.U32(m.UsedLinks)
+}
+
+func (r *Reader) metrics() (m Metrics) {
+	m.TH = r.I64()
+	m.WH = r.I64()
+	m.MMC = r.I64()
+	m.MC = r.F64()
+	m.AMC = r.F64()
+	m.AC = r.F64()
+	m.ICV = r.I64()
+	m.ICM = r.I64()
+	m.MNRV = r.I64()
+	m.MNRM = r.I64()
+	m.UsedLinks = r.U32()
+	return m
+}
+
+// MapResp is the binary form of one mapping result. On the encode
+// side the slices alias engine-owned result arrays — the frame writer
+// copies them into the output buffer directly, with no intermediate
+// response struct of its own. TraceJSON is the stage timeline as a
+// JSON blob (trace echo is an opt-in debugging path, not hot data).
+type MapResp struct {
+	Mapper      string
+	Flags       uint16
+	GroupOf     []int32
+	NodeOf      []int32
+	AllocNodes  []int32
+	Metrics     Metrics
+	FineWHGain  int64
+	FineVolGain int64
+	ElapsedMS   float64
+	Fingerprint string
+	Rankfile    []byte
+	TraceJSON   []byte
+}
+
+// appendMapResp writes the body shared by map, batch-item and remap
+// results.
+func (w *Writer) appendMapResp(m *MapResp) {
+	flags := m.Flags
+	if len(m.Rankfile) > 0 {
+		flags |= RespRankfile
+	}
+	if len(m.TraceJSON) > 0 {
+		flags |= RespTrace
+	}
+	w.Str8(m.Mapper)
+	w.U16(flags)
+	w.I32s(m.GroupOf)
+	w.I32s(m.NodeOf)
+	w.I32s(m.AllocNodes)
+	w.metrics(&m.Metrics)
+	w.I64(m.FineWHGain)
+	w.I64(m.FineVolGain)
+	w.F64(m.ElapsedMS)
+	w.Str8(m.Fingerprint)
+	if flags&RespRankfile != 0 {
+		w.Blob(m.Rankfile)
+	}
+	if flags&RespTrace != 0 {
+		w.Blob(m.TraceJSON)
+	}
+}
+
+func (r *Reader) mapResp() (m MapResp) {
+	m.Mapper = r.Str8("mapper")
+	m.Flags = r.U16()
+	m.GroupOf = r.I32s("group_of")
+	m.NodeOf = r.I32s("node_of")
+	m.AllocNodes = r.I32s("alloc_nodes")
+	m.Metrics = r.metrics()
+	m.FineWHGain = r.I64()
+	m.FineVolGain = r.I64()
+	m.ElapsedMS = r.F64()
+	m.Fingerprint = r.Str8("fingerprint")
+	if m.Flags&RespRankfile != 0 {
+		m.Rankfile = r.Blob("rankfile")
+	}
+	if m.Flags&RespTrace != 0 {
+		m.TraceJSON = r.Blob("trace")
+	}
+	return m
+}
+
+// EncodeMapResp appends the result as one complete frame.
+func EncodeMapResp(w *Writer, m *MapResp) {
+	w.BeginFrame(MsgMapResponse)
+	w.appendMapResp(m)
+	w.EndFrame()
+}
+
+// DecodeMapResp parses a MsgMapResponse payload.
+func DecodeMapResp(payload []byte) (*MapResp, error) {
+	r := NewReader(payload)
+	m := r.mapResp()
+	return &m, r.finish("map response")
+}
+
+// BatchResp is the binary form of a batch result: the per-item
+// results inline, in request order.
+type BatchResp struct {
+	Flags     uint16
+	ElapsedMS float64
+	Results   []MapResp
+}
+
+// EncodeBatchResp appends the batch result as one complete frame.
+func EncodeBatchResp(w *Writer, b *BatchResp) {
+	w.BeginFrame(MsgBatchResponse)
+	w.U16(b.Flags)
+	w.F64(b.ElapsedMS)
+	w.U32(uint32(len(b.Results)))
+	for i := range b.Results {
+		w.appendMapResp(&b.Results[i])
+	}
+	w.EndFrame()
+}
+
+// DecodeBatchResp parses a MsgBatchResponse payload.
+func DecodeBatchResp(payload []byte) (*BatchResp, error) {
+	r := NewReader(payload)
+	b := &BatchResp{Flags: r.U16(), ElapsedMS: r.F64()}
+	// An item result is ≥ 90 bytes (three array lengths, the metrics
+	// block, two length bytes); 64 is a safe per-item floor for the
+	// count bound.
+	n := r.Count(64, "batch results")
+	for i := 0; i < n && r.err == nil; i++ {
+		b.Results = append(b.Results, r.mapResp())
+	}
+	return b, r.finish("batch response")
+}
+
+// RemapResp is the binary form of an incremental-remap result: the
+// winning mapping plus the warm-vs-cold accounting.
+type RemapResp struct {
+	MapResp
+	PrevScore     float64
+	WarmScore     float64
+	ColdScore     float64
+	PairsReused   uint32
+	PairsTotal    uint32
+	MigratedTasks uint32
+}
+
+// EncodeRemapResp appends the remap result as one complete frame.
+// Warm/fence-tripped travel in MapResp.Flags (RespWarm,
+// RespFenceTripped).
+func EncodeRemapResp(w *Writer, m *RemapResp) {
+	w.BeginFrame(MsgRemapResponse)
+	w.appendMapResp(&m.MapResp)
+	w.F64(m.PrevScore)
+	w.F64(m.WarmScore)
+	w.F64(m.ColdScore)
+	w.U32(m.PairsReused)
+	w.U32(m.PairsTotal)
+	w.U32(m.MigratedTasks)
+	w.EndFrame()
+}
+
+// DecodeRemapResp parses a MsgRemapResponse payload.
+func DecodeRemapResp(payload []byte) (*RemapResp, error) {
+	r := NewReader(payload)
+	m := &RemapResp{MapResp: r.mapResp()}
+	m.PrevScore = r.F64()
+	m.WarmScore = r.F64()
+	m.ColdScore = r.F64()
+	m.PairsReused = r.U32()
+	m.PairsTotal = r.U32()
+	m.MigratedTasks = r.U32()
+	return m, r.finish("remap response")
+}
+
+// ErrorFrame is the binary form of a non-2xx outcome: the HTTP status
+// the JSON path would have used, a bitmask naming the interned
+// sections the server could not resolve (SecTopology | SecAllocation
+// | SecTasks — non-zero means "resend those sections in full"), and
+// the human-readable message.
+type ErrorFrame struct {
+	Status  uint16
+	Missing byte
+	Message string
+}
+
+// EncodeError appends the error as one complete frame.
+func EncodeError(w *Writer, e *ErrorFrame) {
+	w.BeginFrame(MsgError)
+	w.U16(e.Status)
+	w.U8(e.Missing)
+	w.Blob([]byte(e.Message))
+	w.EndFrame()
+}
+
+// DecodeError parses a MsgError payload.
+func DecodeError(payload []byte) (*ErrorFrame, error) {
+	r := NewReader(payload)
+	e := &ErrorFrame{Status: r.U16(), Missing: r.U8()}
+	e.Message = string(r.Blob("message"))
+	return e, r.finish("error frame")
+}
+
+// finish closes a message decode: the payload must be fully consumed,
+// so trailing garbage is an error rather than silently ignored bytes.
+func (r *Reader) finish(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		r.fail("%s: %d trailing bytes", what, len(r.b)-r.off)
+	}
+	return r.err
+}
+
+// writeSection2 emits a section in whatever mode it carries.
+func (w *Writer) writeSection2(s Section) {
+	switch s.Mode {
+	case SectionRef:
+		w.U8(SectionRef)
+		w.b = append(w.b, s.Body...)
+	default:
+		w.writeSection(s.Mode, s.Body)
+	}
+}
+
+// FullSection wraps an encoded body as a full-mode section.
+func FullSection(body []byte) Section { return Section{Mode: SectionFull, Body: body} }
+
+// ResendSection wraps an encoded body as a resend-mode section.
+func ResendSection(body []byte) Section { return Section{Mode: SectionResend, Body: body} }
+
+// RefSection wraps a fingerprint as a reference-mode section.
+func RefSection(id [FingerprintLen]byte) Section {
+	return Section{Mode: SectionRef, Body: append([]byte(nil), id[:]...)}
+}

@@ -1,0 +1,243 @@
+package wirebin
+
+// Section bodies: the encodings of the three big, internable request
+// parts. Bodies are encoded standalone (not inline in a frame) so the
+// client can fingerprint the exact bytes it would send and switch to
+// a 16-byte reference once the server has seen them.
+
+import "encoding/binary"
+
+// Topology family kinds.
+const (
+	TopoTorus byte = iota + 1
+	TopoMesh
+	TopoFatTree
+	TopoDragonfly
+)
+
+// Topology is the binary form of a network spec. Encode it from a
+// NORMALIZED spec (defaults filled): normalization is what makes the
+// body — and therefore its intern fingerprint — canonical for a given
+// network.
+type Topology struct {
+	Kind byte
+	// Dims and BW parameterize torus/mesh.
+	Dims []int32
+	BW   []float64
+	// K/BWHost/Taper parameterize the fat tree; H/BWHost/BWLocal/
+	// BWGlobal the dragonfly.
+	K        uint32
+	H        uint32
+	BWHost   float64
+	Taper    float64
+	BWLocal  float64
+	BWGlobal float64
+}
+
+// AppendTopology encodes the body onto w.
+func AppendTopology(w *Writer, t *Topology) {
+	w.U8(t.Kind)
+	switch t.Kind {
+	case TopoTorus, TopoMesh:
+		w.I32s(t.Dims)
+		w.F64s(t.BW)
+	case TopoFatTree:
+		w.U32(t.K)
+		w.F64(t.BWHost)
+		w.F64(t.Taper)
+	case TopoDragonfly:
+		w.U32(t.H)
+		w.F64(t.BWHost)
+		w.F64(t.BWLocal)
+		w.F64(t.BWGlobal)
+	}
+}
+
+// DecodeTopology parses a topology section body.
+func DecodeTopology(body []byte) (*Topology, error) {
+	r := NewReader(body)
+	t := &Topology{Kind: r.U8()}
+	switch t.Kind {
+	case TopoTorus, TopoMesh:
+		t.Dims = r.I32s("dims")
+		t.BW = r.F64s("bw")
+	case TopoFatTree:
+		t.K = r.U32()
+		t.BWHost = r.F64()
+		t.Taper = r.F64()
+	case TopoDragonfly:
+		t.H = r.U32()
+		t.BWHost = r.F64()
+		t.BWLocal = r.F64()
+		t.BWGlobal = r.F64()
+	default:
+		r.fail("topology: unknown kind %d", t.Kind)
+	}
+	return t, r.finish("topology")
+}
+
+// Allocation forms.
+const (
+	AllocExplicit byte = 1
+	AllocSparse   byte = 2
+)
+
+// Per-node capacity forms of an explicit allocation.
+const (
+	CapsDefault byte = 0 // server default procs-per-node
+	CapsUniform byte = 1 // one u32 for every node
+	CapsPerNode byte = 2 // one u32 per node, in node order
+)
+
+// Allocation is the binary form of an allocation spec: the explicit
+// node set a scheduler handed out (with its capacity vector) or the
+// parameters of a server-generated sparse allocation.
+type Allocation struct {
+	Form         byte
+	Nodes        []int32
+	CapsForm     byte
+	UniformProcs uint32
+	ProcsPerNode []int32
+	SparseNodes  uint32
+	Seed         int64
+}
+
+// AppendAllocation encodes the body onto w.
+func AppendAllocation(w *Writer, a *Allocation) {
+	w.U8(a.Form)
+	switch a.Form {
+	case AllocExplicit:
+		w.I32s(a.Nodes)
+		w.U8(a.CapsForm)
+		switch a.CapsForm {
+		case CapsUniform:
+			w.U32(a.UniformProcs)
+		case CapsPerNode:
+			w.I32s(a.ProcsPerNode)
+		}
+	case AllocSparse:
+		w.U32(a.SparseNodes)
+		w.I64(a.Seed)
+	}
+}
+
+// DecodeAllocation parses an allocation section body.
+func DecodeAllocation(body []byte) (*Allocation, error) {
+	r := NewReader(body)
+	a := &Allocation{Form: r.U8()}
+	switch a.Form {
+	case AllocExplicit:
+		a.Nodes = r.I32s("alloc nodes")
+		a.CapsForm = r.U8()
+		switch a.CapsForm {
+		case CapsDefault:
+		case CapsUniform:
+			a.UniformProcs = r.U32()
+		case CapsPerNode:
+			a.ProcsPerNode = r.I32s("procs_per_node")
+			if r.err == nil && len(a.ProcsPerNode) != len(a.Nodes) {
+				r.fail("allocation: %d nodes but %d capacities", len(a.Nodes), len(a.ProcsPerNode))
+			}
+		default:
+			r.fail("allocation: unknown capacity form %d", a.CapsForm)
+		}
+	case AllocSparse:
+		a.SparseNodes = r.U32()
+		a.Seed = r.I64()
+	default:
+		r.fail("allocation: unknown form %d", a.Form)
+	}
+	return a, r.finish("allocation")
+}
+
+// AppendTasksCSR encodes a task graph body from its CSR arrays
+// verbatim: n, m, xadj (n+1 × u32), adj (m × i32), ew (m × i64).
+// Encode from a canonical graph (graph.FromEdges / FromTriples
+// output: adjacency sorted, self loops dropped, parallel edges
+// merged) so the body fingerprints deterministically.
+func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64) {
+	n := len(xadj) - 1
+	w.U32(uint32(n))
+	w.U32(uint32(len(adj)))
+	for _, v := range xadj {
+		w.U32(uint32(v))
+	}
+	for _, v := range adj {
+		w.U32(uint32(v))
+	}
+	for _, v := range ew {
+		w.U64(uint64(v))
+	}
+}
+
+// TasksCSR is a zero-copy view over a task-graph section body: the
+// accessors index straight into the frame bytes, so building the
+// engine's graph needs no intermediate edge-list allocation at all.
+// The view is only valid while the underlying frame buffer is.
+type TasksCSR struct {
+	N, M int
+	xadj []byte
+	adj  []byte
+	ew   []byte
+}
+
+// ParseTasks validates the structural invariants of a task-graph body
+// (counts fit the body exactly, xadj is a monotone 0→m row index) and
+// returns the view. Semantic limits (task-count cap) belong to the
+// caller.
+func ParseTasks(body []byte) (TasksCSR, error) {
+	r := NewReader(body)
+	var t TasksCSR
+	n := int64(r.U32())
+	m := int64(r.U32())
+	if r.err != nil {
+		return t, r.err
+	}
+	need := 4*(n+1) + 4*m + 8*m
+	if n < 0 || m < 0 || need != int64(r.Remaining()) {
+		r.fail("tasks: n=%d m=%d needs %d body bytes, have %d", n, m, need, r.Remaining())
+		return t, r.err
+	}
+	t.N, t.M = int(n), int(m)
+	t.xadj = r.take(4 * (t.N + 1))
+	t.adj = r.take(4 * t.M)
+	t.ew = r.take(8 * t.M)
+	if err := r.finish("tasks"); err != nil {
+		return t, err
+	}
+	// xadj must be a valid row index: starts at 0, non-decreasing,
+	// ends at m. One pass here keeps every later accessor
+	// bounds-check-free.
+	prev := t.Xadj(0)
+	if prev != 0 {
+		r.fail("tasks: xadj[0] = %d, want 0", prev)
+		return t, r.err
+	}
+	for i := 1; i <= t.N; i++ {
+		x := t.Xadj(i)
+		if x < prev || x > t.M {
+			r.fail("tasks: xadj[%d] = %d not monotone in [0,%d]", i, x, t.M)
+			return t, r.err
+		}
+		prev = x
+	}
+	if prev != t.M {
+		r.fail("tasks: xadj[%d] = %d, want m=%d", t.N, prev, t.M)
+	}
+	return t, r.err
+}
+
+// Xadj returns row pointer i (0 ≤ i ≤ N).
+func (t TasksCSR) Xadj(i int) int {
+	return int(int32(binary.LittleEndian.Uint32(t.xadj[4*i:])))
+}
+
+// Adj returns the destination of edge slot j (0 ≤ j < M).
+func (t TasksCSR) Adj(j int) int32 {
+	return int32(binary.LittleEndian.Uint32(t.adj[4*j:]))
+}
+
+// EW returns the weight of edge slot j (0 ≤ j < M).
+func (t TasksCSR) EW(j int) int64 {
+	return int64(binary.LittleEndian.Uint64(t.ew[8*j:]))
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fattree"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/hetero"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/parallel"
@@ -777,6 +778,77 @@ func BenchmarkRemapVsCold(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkHeteroSolve measures the heterogeneous pipeline on a
+// 4096-task inference-pipeline graph (64 stages x 64 branches, skewed
+// per-task loads) over a sparse torus allocation where every third
+// node is a 4x accelerator. The hetero-aware side runs HET with the
+// makespan load-repair stage, loads and speeds visible; the blind side
+// runs UWH with both stripped — the pre-heterogeneity engine — and is
+// then scored under the true loads and speeds. Both report the
+// makespan they actually achieve, so the JSON record tracks the win,
+// not just the wall-clock.
+func BenchmarkHeteroSolve(b *testing.B) {
+	tg, err := taskgraph.MLPipe(64, 64, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := torus.NewHopper3D(16, 12, 16)
+	a, err := alloc.Generate(topo, 256, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Speeds = make([]float64, len(a.Nodes))
+	for i := range a.Speeds {
+		a.Speeds[i] = 1
+		if i%3 == 0 {
+			a.Speeds[i] = 4
+		}
+	}
+	dense := make([]float64, topo.Nodes())
+	for i, n := range a.Nodes {
+		dense[n] = a.Speeds[i]
+	}
+
+	b.Run("heteroAware", func(b *testing.B) {
+		eng, err := topomap.NewEngine(topo, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var makespan float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(topomap.Request{Mapper: topomap.HET, Tasks: tg, Seed: 1,
+				Options: []topomap.RequestOption{topomap.WithBalance()}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			makespan = res.Metrics.Makespan
+		}
+		b.ReportMetric(makespan, "makespan")
+	})
+	b.Run("heteroBlind", func(b *testing.B) {
+		blindG := *tg.G
+		blindG.VW = nil
+		blindTG := &topomap.TaskGraph{G: &blindG, K: tg.K}
+		aBlind := *a
+		aBlind.Speeds = nil
+		eng, err := topomap.NewEngine(topo, &aBlind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var makespan float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(topomap.Request{Mapper: topomap.UWH, Tasks: blindTG, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			makespan, _ = hetero.Summary(tg.G, res.GroupOf, res.NodeOf, dense)
+		}
+		b.ReportMetric(makespan, "makespan")
+	})
 }
 
 // --- parallel solve benchmarks (PR 3) --------------------------------

@@ -6,6 +6,7 @@
 //
 //	genmat -out /tmp/dataset -tier tiny
 //	genmat -out /tmp/dataset -only cagelike,rgg
+//	genmat -out /tmp/dataset -mlpipe 24x16 -seed 7
 package main
 
 import (
@@ -13,17 +14,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/taskgraph"
 )
 
 func main() {
 	out := flag.String("out", "dataset", "output directory")
 	tier := flag.String("tier", "tiny", "size tier: tiny, small, large")
 	only := flag.String("only", "", "comma-separated subset of matrix names")
+	mlpipe := flag.String("mlpipe", "", "emit an inference-pipeline task graph (stages x width, e.g. 24x16) with skewed per-task loads instead of the matrix dataset")
+	seed := flag.Int64("seed", 1, "load-jitter seed for -mlpipe")
 	flag.Parse()
+
+	if *mlpipe != "" {
+		if err := writeMLPipe(*out, *mlpipe, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var t gen.Tier
 	switch strings.ToLower(*tier) {
@@ -64,6 +76,43 @@ func main() {
 		fmt.Printf("%-16s %-22s %8d rows %10d nnz  -> %s\n",
 			spec.Name, spec.Class, m.Rows, m.NNZ(), path)
 	}
+}
+
+// writeMLPipe generates the stage-parallel inference-pipeline task
+// graph and writes it in the text edge-list format (with "# load"
+// lines) cmd/mapper -graph reads back.
+func writeMLPipe(out, spec string, seed int64) error {
+	parts := strings.Split(strings.ToLower(spec), "x")
+	if len(parts) != 2 {
+		return fmt.Errorf("-mlpipe spec %q must be STAGESxWIDTH", spec)
+	}
+	stages, err1 := strconv.Atoi(parts[0])
+	width, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("-mlpipe spec %q must be STAGESxWIDTH", spec)
+	}
+	tg, err := taskgraph.MLPipe(stages, width, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(out, fmt.Sprintf("mlpipe_%dx%d.tgraph", stages, width))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tg.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-22s %8d tasks %10d edges -> %s\n",
+		fmt.Sprintf("mlpipe_%dx%d", stages, width), "inference pipeline", tg.K, tg.G.M(), path)
+	return nil
 }
 
 func fail(err error) {

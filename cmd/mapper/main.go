@@ -68,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traced := fs.Bool("trace", false, "print the solve's stage timeline: wall time, share, workers and per-stage counters (the mapping is identical with or without)")
 	viz := fs.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
 	binaryWire := fs.Bool("binary", false, "solve through an in-process mapd over the /v2 binary frame protocol instead of driving the engine directly — same mapping, same output (incompatible with -portfolio and -viz)")
+	loadsSpec := fs.String("loads", "", "per-task compute loads as comma-separated value[xCount] terms, e.g. 8x16,1x48 (total = task count); overrides loads carried by -graph or -matrix")
+	speedsSpec := fs.String("speeds", "", "per-node speed factors as comma-separated value[xCount] terms, e.g. 4x4,1x12 (a single value broadcasts; total = allocation nodes)")
+	balance := fs.Bool("balance", false, "run the makespan-aware load-repair stage after mapping (automatic when -speeds is non-unit)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -167,6 +170,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		return fail(fmt.Errorf("need -graph or -matrix"))
 	}
+	if *loadsSpec != "" {
+		loads, err := parseLoads(*loadsSpec)
+		if err != nil {
+			return fail(err)
+		}
+		if len(loads) != tg.G.N() {
+			return fail(fmt.Errorf("-loads lists %d tasks, the graph has %d", len(loads), tg.G.N()))
+		}
+		// Unit loads canonicalize to the absent vector, same as every
+		// wire boundary, so -loads 1xN is exactly a homogeneous run.
+		tg.G.VW = loads
+		unit := true
+		for _, l := range loads {
+			if l != 1 {
+				unit = false
+				break
+			}
+		}
+		if unit {
+			tg.G.VW = nil
+		}
+	}
 
 	var a *topomap.Allocation
 	if *allocFile != "" {
@@ -191,6 +216,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	if *speedsSpec != "" {
+		speeds, err := parseSpeeds(*speedsSpec)
+		if err != nil {
+			return fail(err)
+		}
+		if len(speeds) == 1 && a.NumNodes() > 1 {
+			one := speeds[0]
+			speeds = make([]float64, a.NumNodes())
+			for i := range speeds {
+				speeds[i] = one
+			}
+		}
+		if len(speeds) != a.NumNodes() {
+			return fail(fmt.Errorf("-speeds lists %d nodes, the allocation has %d", len(speeds), a.NumNodes()))
+		}
+		a.Speeds = speeds
+		a.CanonicalizeSpeeds()
+	}
 
 	if *binaryWire {
 		tspec, err := topoSpec(*topoKind, *torusSpec, *mesh, *ftK, *ftTaper, *dfH)
@@ -201,6 +244,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			net: net, topo: tspec, tg: tg, alloc: a,
 			mapper: mapper, seed: *seed, workers: *workers,
 			traced: *traced, rankFile: *rankFile, obj: obj, fence: *fence,
+			balance: *balance,
 		}
 		if *remapDelta != "" {
 			job.delta = &delta
@@ -225,7 +269,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		var solves []topomap.Solve
 		for _, mp := range candidates {
-			solves = append(solves, topomap.Solve{Mapper: mp, Seed: *seed, Trace: *traced})
+			solves = append(solves, topomap.Solve{Mapper: mp, Seed: *seed, Trace: *traced, Balance: *balance})
 		}
 		pres, err := eng.RunPortfolio(context.Background(), topomap.PortfolioRequest{
 			Tasks:      tg,
@@ -253,6 +297,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *traced {
 			opts = append(opts, topomap.WithTrace())
 		}
+		if *balance {
+			opts = append(opts, topomap.WithBalance())
+		}
 		res, err = eng.Run(topomap.Request{Mapper: mapper, Tasks: tg, Seed: *seed, Options: opts})
 		if err != nil {
 			return fail(err)
@@ -260,7 +307,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *remapDelta != "" {
 		rres, err := eng.RunRemap(context.Background(), tg, res, delta, topomap.RemapSpec{
-			Solve:          topomap.Solve{Seed: *seed, Workers: *workers, Trace: *traced},
+			Solve:          topomap.Solve{Seed: *seed, Workers: *workers, Trace: *traced, Balance: *balance},
 			Objective:      obj,
 			FenceThreshold: *fence,
 		})
@@ -307,6 +354,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "AMC = %.4f\n", m.AMC)
 	fmt.Fprintf(stdout, "AC  = %.6g\n", m.AC)
 	fmt.Fprintf(stdout, "used links = %d\n", m.UsedLinks)
+	if tg.G.VW != nil || !a.UnitSpeeds() || *balance {
+		fmt.Fprintf(stdout, "makespan = %.6g\n", m.Makespan)
+		fmt.Fprintf(stdout, "load imbalance = %.4f\n", m.LoadImbalance)
+	}
 	if *traced && res.Trace != nil {
 		fmt.Fprintf(stdout, "stages (%.3fms total):\n", res.Trace.TotalMS())
 		fmt.Fprint(stdout, trace.Format(res.Trace.Stages(), res.Trace.TotalMS()))
@@ -392,6 +443,7 @@ type binaryJob struct {
 	delta    *topomap.AllocationDelta // nil = no -remap
 	obj      topomap.Objective
 	fence    float64
+	balance  bool
 }
 
 // taskSpec re-encodes the in-memory task graph as the wire edge list.
@@ -407,6 +459,9 @@ func taskSpec(tg *topomap.TaskGraph) service.TaskGraphSpec {
 			spec.Edges = append(spec.Edges, [3]int64{int64(v), int64(u), w[i]})
 		}
 	}
+	if tg.G.VW != nil {
+		spec.Loads = append([]int64(nil), tg.G.VW...)
+	}
 	return spec
 }
 
@@ -416,24 +471,25 @@ func taskSpec(tg *topomap.TaskGraph) service.TaskGraphSpec {
 // rendered server-side and written here; the trace is the stage
 // timeline echoed over the wire.
 func runBinary(stdout io.Writer, job binaryJob) error {
-	// The wire task graph carries unit task weights only (see
-	// TaskGraphSpec); a graph with per-task loads would silently solve
-	// a different instance, so refuse it rather than diverge.
-	if job.tg.G.VW != nil || job.tg.K != job.tg.G.N() {
-		return fmt.Errorf("-binary: the wire protocol assumes unit task weights, but this task graph carries per-task loads (-matrix partitions, '# load' graph lines); drop -binary to drive the engine directly")
+	// The wire task graph addresses tasks by graph vertex, so a graph
+	// whose coarsening factor diverged from its vertex count cannot
+	// travel; both CLI construction paths produce K == N graphs.
+	if job.tg.K != job.tg.G.N() {
+		return fmt.Errorf("-binary: the wire protocol cannot express a pre-coarsened task graph (K=%d over %d vertices); drop -binary to drive the engine directly", job.tg.K, job.tg.G.N())
 	}
 	srv := service.New(service.Config{})
 	cl := client.InProcess(srv.Handler(), client.WithProtocol(client.ProtoBinary))
 	ctx := context.Background()
 	resp, err := cl.Map(ctx, service.MapRequest{
 		Topology:    job.topo,
-		Allocation:  service.AllocationSpec{Nodes: job.alloc.Nodes, ProcsPerNode: job.alloc.ProcsPerNode},
+		Allocation:  service.AllocationSpec{Nodes: job.alloc.Nodes, ProcsPerNode: job.alloc.ProcsPerNode, Speeds: job.alloc.Speeds},
 		Tasks:       taskSpec(job.tg),
 		Mapper:      string(job.mapper),
 		Seed:        job.seed,
 		Rankfile:    job.rankFile != "" && job.delta == nil,
 		Parallelism: job.workers,
 		Trace:       job.traced,
+		Balance:     job.balance,
 	})
 	if err != nil {
 		return err
@@ -443,7 +499,7 @@ func runBinary(stdout io.Writer, job binaryJob) error {
 		rres, err := cl.Remap(ctx, service.RemapRequest{
 			Fingerprint:    resp.Fingerprint,
 			Delta:          *job.delta,
-			Solve:          topomap.Solve{Seed: job.seed, Trace: job.traced},
+			Solve:          topomap.Solve{Seed: job.seed, Trace: job.traced, Balance: job.balance},
 			Objective:      job.obj,
 			FenceThreshold: job.fence,
 			Rankfile:       job.rankFile != "",
@@ -483,6 +539,10 @@ func runBinary(stdout io.Writer, job binaryJob) error {
 	fmt.Fprintf(stdout, "AMC = %.4f\n", m.AMC)
 	fmt.Fprintf(stdout, "AC  = %.6g\n", m.AC)
 	fmt.Fprintf(stdout, "used links = %d\n", m.UsedLinks)
+	if job.tg.G.VW != nil || !job.alloc.UnitSpeeds() || job.balance {
+		fmt.Fprintf(stdout, "makespan = %.6g\n", m.Makespan)
+		fmt.Fprintf(stdout, "load imbalance = %.4f\n", m.LoadImbalance)
+	}
 	if job.traced && len(resp.Trace) > 0 {
 		total := 0.0
 		for _, st := range resp.Trace {
@@ -522,6 +582,65 @@ func mapperList() string {
 		out[i] = string(n)
 	}
 	return strings.Join(out, " ")
+}
+
+// expandRunList parses comma-separated "value" or "valuexCount" terms
+// (e.g. "8x16,1x48") into the expanded value list.
+func expandRunList(s, flagName string) ([]string, error) {
+	var out []string
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return nil, fmt.Errorf("%s: empty term", flagName)
+		}
+		val, count := term, 1
+		if i := strings.LastIndexByte(term, 'x'); i >= 0 {
+			c, err := strconv.Atoi(term[i+1:])
+			if err != nil || c < 1 {
+				return nil, fmt.Errorf("%s: bad repeat count in term %q", flagName, term)
+			}
+			val, count = term[:i], c
+		}
+		for j := 0; j < count; j++ {
+			out = append(out, val)
+		}
+	}
+	return out, nil
+}
+
+// parseLoads expands a -loads run list into the per-task load vector.
+func parseLoads(s string) ([]int64, error) {
+	vals, err := expandRunList(s, "-loads")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		l, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || l < 0 {
+			return nil, fmt.Errorf("-loads: bad load %q (want a non-negative integer)", v)
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+// parseSpeeds expands a -speeds run list into the per-node speed
+// vector.
+func parseSpeeds(s string) ([]float64, error) {
+	vals, err := expandRunList(s, "-speeds")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("-speeds: bad speed %q (want a positive number)", v)
+		}
+		out[i] = f
+	}
+	return out, nil
 }
 
 func parseDims(s string) ([3]int, error) {

@@ -349,33 +349,41 @@ func TestRunBinaryFlag(t *testing.T) {
 		t.Fatalf("-binary -trace: exit %d, output:\n%s\nstderr: %s", code, out, errOut)
 	}
 
-	// Fail fast on what the wire cannot express: portfolio racing, the
-	// viz renderings, and non-unit task weights (-matrix loads).
+	// Per-task loads travel over the wire now: a -matrix graph (non-unit
+	// loads from the partition) prints byte-identical output through
+	// -binary, makespan lines included.
+	matArgs := []string{"-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "uwh", "-torus", "6x6x6"}
+	matOutputs := make([]string, 0, 2)
+	for _, mode := range [][]string{nil, {"-binary"}} {
+		var stdout, stderr strings.Builder
+		args := append(append([]string(nil), mode...), matArgs...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("%v: exit %d (stderr: %s)", args, code, stderr.String())
+		}
+		matOutputs = append(matOutputs, stdout.String())
+	}
+	if matOutputs[0] != matOutputs[1] {
+		t.Fatalf("-binary -matrix output diverged from the direct path:\n%s\nvs\n%s", matOutputs[0], matOutputs[1])
+	}
+	if !strings.Contains(matOutputs[0], "makespan = ") {
+		t.Fatalf("-matrix run (non-unit loads) did not report makespan:\n%s", matOutputs[0])
+	}
+
+	// Fail fast on what the wire cannot express: portfolio racing and
+	// the viz renderings.
 	for _, tc := range []struct {
 		args    []string
 		wantErr string
 	}{
 		{[]string{"-binary", "-portfolio", "all"}, "drop -binary or -portfolio"},
 		{[]string{"-binary", "-viz"}, "drop -binary or -viz"},
-		{nil, "unit task weights"},
 	} {
-		args := tc.args
-		if tc.wantErr == "unit task weights" {
-			args = []string{"-binary", "-matrix", "cagelike", "-tier", "tiny", "-procs", "64", "-algo", "uwh", "-torus", "6x6x6"}
-			var stdout, stderr strings.Builder
-			if code := run(args, &stdout, &stderr); code != 1 {
-				t.Fatalf("%v: exit %d, want 1", args, code)
-			} else if !strings.Contains(stderr.String(), tc.wantErr) {
-				t.Fatalf("%v: stderr %q does not mention %q", args, stderr.String(), tc.wantErr)
-			}
-			continue
-		}
-		code, _, errOut := runArgs(args...)
+		code, _, errOut := runArgs(tc.args...)
 		if code != 1 {
-			t.Fatalf("%v: exit %d, want 1", args, code)
+			t.Fatalf("%v: exit %d, want 1", tc.args, code)
 		}
 		if !strings.Contains(errOut, tc.wantErr) {
-			t.Fatalf("%v: stderr %q does not mention %q", args, errOut, tc.wantErr)
+			t.Fatalf("%v: stderr %q does not mention %q", tc.args, errOut, tc.wantErr)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/core"
+	"repro/internal/hetero"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/parallel"
@@ -37,6 +38,13 @@ type Engine struct {
 	caps      []int64 // per-allocated-node capacities, allocation order
 	capOfNode []int64 // node id -> capacity (repair accounting)
 	uniform   bool
+
+	// speedOfNode is the dense node id -> speed factor vector of a
+	// heterogeneous allocation (nil on unit speeds), and unitSpeeds its
+	// gate: when set, every node computes at the same rate and the
+	// makespan-aware balance stage only runs on request (Solve.Balance).
+	speedOfNode []float64
+	unitSpeeds  bool
 
 	// arena recycles per-solve scratch (BFS marks, gain buffers,
 	// heaps, queues) across requests, so the steady state of a
@@ -79,6 +87,13 @@ func newEngineView(topo, view Topology, a *Allocation) *Engine {
 	for i, p := range a.ProcsPerNode {
 		e.caps[i] = int64(p)
 		e.capOfNode[a.Nodes[i]] = int64(p)
+	}
+	e.unitSpeeds = a.UnitSpeeds()
+	if !e.unitSpeeds {
+		e.speedOfNode = make([]float64, topo.Nodes())
+		for i, m := range a.Nodes {
+			e.speedOfNode[m] = a.Speeds[i]
+		}
 	}
 	return e
 }
@@ -263,6 +278,18 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 		sp.Add("repair_moves", int64(moves))
 		sp.End()
 	}
+	// Makespan-aware load repair (heterogeneous processors): migrate
+	// the costliest tasks off the bottleneck node — per-task loads over
+	// per-node speeds — onto the cheapest feasible node. Runs whenever
+	// the allocation declares non-unit speeds, or on request
+	// (Solve.Balance) for loads-only jobs; block-grouping mappers pin
+	// tasks to rank blocks and are exempt, like capacity repair.
+	if !caps.BlockGrouping && (s.Balance || !e.unitSpeeds) {
+		sp = ex.StartSpan("balance")
+		moves := hetero.RepairLoad(tg.G, coarse, group, nodeOf, e.speedOfNode, e.capOfNode)
+		sp.Add("balance_moves", int64(moves))
+		sp.End()
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -278,6 +305,11 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	sp = ex.StartSpan("metrics")
 	sp.SetWorkers(poolWorkers)
 	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)
+	// ComputePar fills the unit-speed makespan; a heterogeneous
+	// allocation overwrites it with the speed-aware finish times.
+	if !e.unitSpeeds {
+		res.Metrics.Makespan, res.Metrics.LoadImbalance = hetero.Summary(tg.G, group, nodeOf, e.speedOfNode)
+	}
 	sp.End()
 	if s.Sim != nil {
 		sp = ex.StartSpan("sim")

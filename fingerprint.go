@@ -44,6 +44,15 @@ func AllocationFingerprint(a *Allocation) string {
 	for _, p := range a.ProcsPerNode {
 		put(uint64(p))
 	}
+	// Per-node speeds fold in only when heterogeneous: a unit speed
+	// vector is semantically the nil default, and keeping it out of the
+	// hash keeps every pre-heterogeneity fingerprint stable.
+	if !a.UnitSpeeds() {
+		put(uint64(len(a.Speeds)))
+		for _, s := range a.Speeds {
+			put(math.Float64bits(s))
+		}
+	}
 	return "alloc:" + strconv.Itoa(len(a.Nodes)) + ":" + strconv.FormatUint(h.Sum64(), 16)
 }
 

@@ -10,6 +10,7 @@ package alloc
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/sfc"
@@ -19,14 +20,48 @@ import (
 // Allocation is the node set Va reserved for the application, in
 // allocation order (the order the scheduler assigned them, which the
 // DEF mapping follows). ProcsPerNode holds the computation capacity
-// w(m) of each allocated node.
+// w(m) of each allocated node. Speeds optionally holds per-node speed
+// factors for heterogeneous machines (a node with speed s finishes a
+// compute load L in L/s time units); nil means every node runs at
+// unit speed — the homogeneous setting of the paper.
 type Allocation struct {
 	Nodes        []int32
 	ProcsPerNode []int
+	Speeds       []float64
 }
 
 // NumNodes returns |Va|.
 func (a *Allocation) NumNodes() int { return len(a.Nodes) }
+
+// Speed returns the speed factor of the i-th allocated node,
+// defaulting to 1 when Speeds is nil.
+func (a *Allocation) Speed(i int) float64 {
+	if a.Speeds == nil {
+		return 1
+	}
+	return a.Speeds[i]
+}
+
+// UnitSpeeds reports whether the allocation is homogeneous: no speed
+// vector, or one where every factor is exactly 1.
+func (a *Allocation) UnitSpeeds() bool {
+	for _, s := range a.Speeds {
+		if s != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalizeSpeeds drops an all-unit speed vector, so a
+// heterogeneous spec that spells out the homogeneous default
+// fingerprints — and therefore caches and solves — identically to one
+// that omits it.
+func (a *Allocation) CanonicalizeSpeeds() {
+	if a.Speeds != nil && a.UnitSpeeds() {
+		a.Speeds = nil
+	}
+}
 
 // TotalProcs returns the total number of allocated processors.
 func (a *Allocation) TotalProcs() int {
@@ -53,6 +88,16 @@ func (a *Allocation) Validate(topo torus.Topology) error {
 		seen[m] = true
 		if a.ProcsPerNode[i] <= 0 {
 			return fmt.Errorf("alloc: node %d has capacity %d", m, a.ProcsPerNode[i])
+		}
+	}
+	if a.Speeds != nil {
+		if len(a.Speeds) != len(a.Nodes) {
+			return fmt.Errorf("alloc: %d nodes but %d speeds", len(a.Nodes), len(a.Speeds))
+		}
+		for i, s := range a.Speeds {
+			if !(s > 0) || math.IsInf(s, 1) {
+				return fmt.Errorf("alloc: node %d has speed %g (need a positive finite factor)", a.Nodes[i], s)
+			}
 		}
 	}
 	return nil

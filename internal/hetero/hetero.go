@@ -1,0 +1,243 @@
+// Package hetero is the heterogeneous-processor subsystem: per-task
+// execution costs (task-graph vertex weights) crossed with per-node
+// speed factors. It computes per-node finish times and the compute
+// makespan they imply, provides a makespan-aware load-repair stage
+// (greedy migration of the costliest tasks off the bottleneck node
+// onto the cheapest feasible node, deterministic tie-breaks — the
+// CPU/GPU greedy-migration scheme the heterogeneous-mapping
+// literature converges on), and a hetero-aware greedy construction
+// mapper (HET) that places the heaviest supertask groups onto the
+// fastest nodes first, breaking ties toward communication locality.
+//
+// Everything here is exactly neutral on homogeneous inputs: with unit
+// loads and unit speeds the finish time of a node is its task count,
+// the repair stage finds no improving move beyond capacity balance,
+// and the engine never invokes it unless asked — which is what keeps
+// every pre-heterogeneity golden byte-identical.
+package hetero
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// speedOf reads a dense per-node speed vector, defaulting to unit
+// speed for a nil vector or an unset (zero) entry — unallocated nodes
+// hold 0 and are never hosts, but a defensive 1 keeps the math sane.
+func speedOf(speeds []float64, node int32) float64 {
+	if speeds == nil {
+		return 1
+	}
+	if s := speeds[node]; s > 0 {
+		return s
+	}
+	return 1
+}
+
+// FinishTimes returns the per-group compute finish times of a
+// placement: group g's summed task load divided by the speed of the
+// node hosting it. g is the FINE task graph (VW = per-task loads, nil
+// meaning unit), group maps task→group, nodeOf group→node, and speeds
+// is a dense per-node speed vector (nil = homogeneous). The returned
+// slice is freshly allocated, one entry per group.
+func FinishTimes(g *graph.Graph, group, nodeOf []int32, speeds []float64) []float64 {
+	load := make([]int64, len(nodeOf))
+	for t := 0; t < g.N(); t++ {
+		load[group[t]] += g.VertexWeight(t)
+	}
+	finish := make([]float64, len(nodeOf))
+	for gi := range finish {
+		finish[gi] = float64(load[gi]) / speedOf(speeds, nodeOf[gi])
+	}
+	return finish
+}
+
+// Summary computes the makespan (max per-node finish time) and the
+// load imbalance (max/mean of the finish times; 1 is perfectly
+// balanced, 0 when nothing computes) of a placement. It reads the
+// fine task graph, so it is exact after task-level migration and
+// fine-level refinement, not just after grouping.
+func Summary(g *graph.Graph, group, nodeOf []int32, speeds []float64) (makespan, imbalance float64) {
+	finish := FinishTimes(g, group, nodeOf, speeds)
+	var sum float64
+	for _, f := range finish {
+		sum += f
+		if f > makespan {
+			makespan = f
+		}
+	}
+	if len(finish) > 0 && sum > 0 {
+		imbalance = makespan * float64(len(finish)) / sum
+	}
+	return makespan, imbalance
+}
+
+// RepairLoad is the makespan-aware load-repair stage: while some node
+// finishes strictly later than the rest, migrate that node's
+// costliest task to the feasible node (a free processor slot) whose
+// resulting finish time is lowest. Each accepted move strictly lowers
+// the (makespan, nodes-at-makespan) pair, so the pass terminates; all
+// choices have deterministic tie-breaks (bottleneck: lower group
+// index; task: heavier load then lower task id; target: lower
+// resulting finish, then faster node, then lower group index), so the
+// result is byte-identical at any worker count.
+//
+// group is mutated in place; coarse.VW (per-group summed loads), when
+// non-nil, is kept in sync so later stages see the migrated loads.
+// capacity is the dense per-node processor-count vector (unallocated
+// nodes hold 0). Returns the number of tasks migrated.
+func RepairLoad(g *graph.Graph, coarse *graph.Graph, group, nodeOf []int32, speeds []float64, capacity []int64) int {
+	nGroups := len(nodeOf)
+	load := make([]int64, nGroups)
+	count := make([]int64, nGroups)
+	for t := 0; t < g.N(); t++ {
+		load[group[t]] += g.VertexWeight(t)
+		count[group[t]]++
+	}
+	finish := func(gi int32) float64 {
+		return float64(load[gi]) / speedOf(speeds, nodeOf[gi])
+	}
+
+	// tasksByLoad(g) enumerates a group's tasks heaviest first (ties to
+	// the lower task id). Rebuilt per bottleneck visit — the bottleneck
+	// set shrinks monotonically, so this stays far off any hot path.
+	tasksByLoad := func(gi int32) []int32 {
+		var ts []int32
+		for t := 0; t < g.N(); t++ {
+			if group[t] == gi {
+				ts = append(ts, int32(t))
+			}
+		}
+		sort.Slice(ts, func(a, b int) bool {
+			wa, wb := g.VertexWeight(int(ts[a])), g.VertexWeight(int(ts[b]))
+			if wa != wb {
+				return wa > wb
+			}
+			return ts[a] < ts[b]
+		})
+		return ts
+	}
+
+	moves := 0
+	for {
+		// Bottleneck: the latest-finishing group, ties to the lower
+		// index.
+		var worst int32
+		worstFinish := finish(0)
+		for gi := int32(1); gi < int32(nGroups); gi++ {
+			if f := finish(gi); f > worstFinish {
+				worst, worstFinish = gi, f
+			}
+		}
+		if worstFinish == 0 {
+			return moves // nothing computes anywhere
+		}
+
+		moved := false
+		for _, t := range tasksByLoad(worst) {
+			w := g.VertexWeight(int(t))
+			if w <= 0 {
+				break // zero-load tasks cannot lower any finish time
+			}
+			newSrc := float64(load[worst]-w) / speedOf(speeds, nodeOf[worst])
+			if newSrc >= worstFinish {
+				continue
+			}
+			// Cheapest feasible target: free slot, lowest resulting
+			// finish; ties to the faster node, then the lower index.
+			var best int32 = -1
+			var bestFinish, bestSpeed float64
+			for gi := int32(0); gi < int32(nGroups); gi++ {
+				if gi == worst || count[gi] >= capacity[nodeOf[gi]] {
+					continue
+				}
+				sp := speedOf(speeds, nodeOf[gi])
+				nf := float64(load[gi]+w) / sp
+				if best < 0 || nf < bestFinish || (nf == bestFinish && sp > bestSpeed) {
+					best, bestFinish, bestSpeed = gi, nf, sp
+				}
+			}
+			if best < 0 || bestFinish >= worstFinish {
+				continue // this task cannot come off without a new bottleneck
+			}
+			group[t] = best
+			load[worst] -= w
+			load[best] += w
+			count[worst]--
+			count[best]++
+			if coarse != nil && coarse.VW != nil {
+				coarse.VW[worst] -= w
+				coarse.VW[best] += w
+			}
+			moves++
+			moved = true
+			break
+		}
+		if !moved {
+			return moves
+		}
+	}
+}
+
+// Map is the hetero-aware greedy construction mapper (HET): supertask
+// groups in descending load order (ties to the lower index) each take
+// the unassigned allocated node minimizing the group's compute finish
+// time load/speed, breaking ties toward the node with the lowest
+// weighted-hop cost to the group's already-placed neighbors, then
+// toward allocation order. On a homogeneous allocation the finish
+// times all tie and the mapper degrades to a pure communication-
+// locality greedy — still a valid (if simple) construction.
+func Map(coarse *graph.Graph, topo torus.Topology, a *alloc.Allocation) []int32 {
+	n := coarse.N()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := coarse.VertexWeight(int(order[i])), coarse.VertexWeight(int(order[j]))
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+
+	nodeOf := make([]int32, n)
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	taken := make([]bool, len(a.Nodes))
+	for _, gi := range order {
+		w := coarse.VertexWeight(int(gi))
+		var best = -1
+		var bestCost, bestAff float64
+		for ai, node := range a.Nodes {
+			if taken[ai] {
+				continue
+			}
+			cost := float64(w) / a.Speed(ai)
+			if best >= 0 && cost > bestCost {
+				continue
+			}
+			// Affinity: weighted hops from this node to the group's
+			// already-placed neighbors (lower is better).
+			var aff float64
+			for i := coarse.Xadj[gi]; i < coarse.Xadj[gi+1]; i++ {
+				u := coarse.Adj[i]
+				if nodeOf[u] < 0 {
+					continue
+				}
+				aff += float64(coarse.EdgeWeight(int(i))) *
+					float64(topo.HopDist(int(node), int(nodeOf[u])))
+			}
+			if best < 0 || cost < bestCost || (cost == bestCost && aff < bestAff) {
+				best, bestCost, bestAff = ai, cost, aff
+			}
+		}
+		nodeOf[gi] = a.Nodes[best]
+		taken[best] = true
+	}
+	return nodeOf
+}

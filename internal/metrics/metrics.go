@@ -28,6 +28,14 @@ type MapMetrics struct {
 	MNRM int64 // max messages received by a node
 
 	UsedLinks int // |E_tm|: links carrying at least one message
+
+	// Heterogeneous-processor metrics (per-task loads × per-node
+	// speeds): the compute makespan max over nodes of load/speed, and
+	// the load imbalance max/mean of the same per-node finish times.
+	// On homogeneous inputs (unit loads, unit speeds) makespan is the
+	// largest group size — still well defined, just capacity-shaped.
+	Makespan      float64
+	LoadImbalance float64
 }
 
 // Placement maps fine tasks to nodes: node(t) = NodeOf[GroupOf[t]]
@@ -130,12 +138,46 @@ func newComputeState(links int) computeState {
 	}
 }
 
+// loadSummary computes the unit-speed heterogeneous metrics of a
+// placement: per-group summed task loads (vertex weights), their
+// maximum (the makespan at unit speed) and max/mean (the load
+// imbalance). Placement-only evaluation has no speed vector, so unit
+// speeds are the contract here; the engine overwrites both fields
+// with speed-aware values when its allocation is heterogeneous.
+func loadSummary(tg *graph.Graph, pl *Placement) (makespan, imbalance float64) {
+	n := len(pl.NodeOf)
+	if n == 0 {
+		return 0, 0
+	}
+	load := make([]int64, n)
+	for t := 0; t < tg.N(); t++ {
+		g := int32(t)
+		if pl.GroupOf != nil {
+			g = pl.GroupOf[t]
+		}
+		load[g] += tg.VertexWeight(t)
+	}
+	var max, sum int64
+	for _, l := range load {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum > 0 {
+		imbalance = float64(max) * float64(n) / float64(sum)
+	}
+	return float64(max), imbalance
+}
+
 // Compute evaluates all metrics for the directed task graph tg under
 // the placement on topo, serially.
 func Compute(tg *graph.Graph, topo torus.Topology, pl *Placement) MapMetrics {
 	st := newComputeState(topo.Links())
 	st.accumulate(tg, topo, pl, 0, tg.N())
-	return st.finalize(topo)
+	m := st.finalize(topo)
+	m.Makespan, m.LoadImbalance = loadSummary(tg, pl)
+	return m
 }
 
 // parallelComputeMinTasks gates the parallel evaluation: below this
@@ -193,7 +235,9 @@ func ComputePar(tg *graph.Graph, topo torus.Topology, pl *Placement, par *parall
 			st.recvMsg[node] += c
 		}
 	}
-	return st.finalize(topo)
+	m := st.finalize(topo)
+	m.Makespan, m.LoadImbalance = loadSummary(tg, pl)
+	return m
 }
 
 // WeightedHops computes only WH for a symmetric coarse graph mapped

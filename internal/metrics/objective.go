@@ -11,6 +11,7 @@ package metrics
 var metricNames = []string{
 	"th", "wh", "mmc", "mc", "amc", "ac",
 	"icv", "icm", "mnrv", "mnrm", "used_links",
+	"makespan", "load_imbalance",
 }
 
 // MetricNames returns the canonical names MetricValue resolves, in
@@ -46,6 +47,10 @@ func MetricValue(m MapMetrics, name string) (v float64, ok bool) {
 		return float64(m.MNRM), true
 	case "used_links":
 		return float64(m.UsedLinks), true
+	case "makespan":
+		return m.Makespan, true
+	case "load_imbalance":
+		return m.LoadImbalance, true
 	}
 	return 0, false
 }

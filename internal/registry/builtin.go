@@ -6,12 +6,14 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hetero"
 	"repro/internal/torus"
 )
 
-// The eleven built-in mappers: the seven of the paper's figures (DEF,
+// The twelve built-in mappers: the seven of the paper's figures (DEF,
 // the TMAP/SMAP baselines, the four UMPA variants), then the
-// extension variants the paper sketches but does not plot. All are
+// extension variants the paper sketches but does not plot, and the
+// hetero-aware greedy construction HET. All are
 // topology-generic — the WH family runs on anything implementing
 // torus.Topology (§III: the algorithms "can be applied to various
 // topologies"), the baselines degrade their geometric node split to
@@ -52,6 +54,9 @@ func init() {
 			return nil, fmt.Errorf("registry: mapper UMCA needs a multipath topology")
 		}
 		return core.MapUMCAEx(in.Coarse, withMultipath{in.Topo, mp}, in.Alloc.Nodes, in.Exec), nil
+	}))
+	MustRegister(NewFunc("HET", Caps{}, func(in Input) ([]int32, error) {
+		return hetero.Map(in.Coarse, in.Topo, in.Alloc), nil
 	}))
 }
 

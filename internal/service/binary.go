@@ -242,6 +242,7 @@ func binMapResp(res *topomap.MapResult, eng *topomap.Engine, hit, wantRank, want
 			TH: met.TH, WH: met.WH, MMC: met.MMC, MC: met.MC, AMC: met.AMC, AC: met.AC,
 			ICV: met.ICV, ICM: met.ICM, MNRV: met.MNRV, MNRM: met.MNRM,
 			UsedLinks: uint32(met.UsedLinks),
+			Makespan:  met.Makespan, LoadImbalance: met.LoadImbalance,
 		},
 		FineWHGain:  res.FineWHGain,
 		FineVolGain: res.FineVolGain,
@@ -302,7 +303,8 @@ func (s *Server) handleMapBin(w http.ResponseWriter, r *http.Request) {
 	// carry canonical keys and the built graph, so a warm repeat is a
 	// hash and a cache read — no spec parse, no graph build, no solve.
 	memoKey := solveMemoKey(sec.topoKey+"|"+sec.allocKey, req.Mapper, req.Seed,
-		req.Flags&wirebin.FlagRefine != 0, req.Flags&wirebin.FlagFineRefine != 0, sec.tasks)
+		req.Flags&wirebin.FlagRefine != 0, req.Flags&wirebin.FlagFineRefine != 0,
+		req.Flags&wirebin.FlagBalance != 0, sec.tasks)
 	if ent, ok := s.results.getReq(memoKey); ok {
 		lg.cacheHit = true
 		m, err := binMapResp(ent.res, ent.eng, true,
@@ -326,7 +328,7 @@ func (s *Server) handleMapBin(w http.ResponseWriter, r *http.Request) {
 	// only gates the wire echo — same contract as /v1/map.
 	sol := lowerSolve(req.Mapper, req.Seed,
 		req.Flags&wirebin.FlagRefine != 0, req.Flags&wirebin.FlagFineRefine != 0,
-		true, workers)
+		true, req.Flags&wirebin.FlagBalance != 0, workers)
 	var eng *topomap.Engine
 	var hit bool
 	var res *topomap.MapResult
@@ -345,6 +347,7 @@ func (s *Server) handleMapBin(w http.ResponseWriter, r *http.Request) {
 	}
 	lg.cacheHit = hit
 	s.st.observeStages(res.Trace.Stages())
+	s.st.observeResult(res.Metrics.Makespan, res.Metrics.LoadImbalance)
 	fp := resultFingerprint(eng, sec.tasks, res)
 	s.results.putReq(memoKey, resultEntry{fp: fp, eng: eng, tasks: sec.tasks, res: res})
 	m, err := binMapResp(res, eng, hit,
@@ -399,7 +402,7 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
 	for i, it := range req.Items {
 		runs[i] = lowerSolve(it.Mapper, it.Seed,
 			it.Flags&wirebin.FlagRefine != 0, it.Flags&wirebin.FlagFineRefine != 0,
-			it.Flags&wirebin.FlagTrace != 0, workers).Request(sec.tasks)
+			it.Flags&wirebin.FlagTrace != 0, it.Flags&wirebin.FlagBalance != 0, workers).Request(sec.tasks)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
@@ -432,6 +435,7 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
 		if traced {
 			s.st.observeStages(res.Trace.Stages())
 		}
+		s.st.observeResult(res.Metrics.Makespan, res.Metrics.LoadImbalance)
 		// Like /v1: items share one engine run, per-item elapsed and
 		// fingerprints are omitted, and only opted-in items echo traces.
 		m, err := binMapResp(res, eng, hit, false, traced, 0, "")
@@ -477,6 +481,7 @@ func (s *Server) handleRemapBin(w http.ResponseWriter, r *http.Request) {
 			Refine:     breq.Flags&wirebin.FlagRefine != 0,
 			FineRefine: breq.Flags&wirebin.FlagFineRefine != 0,
 			Trace:      breq.Flags&wirebin.FlagTrace != 0,
+			Balance:    breq.Flags&wirebin.FlagBalance != 0,
 		},
 		FenceThreshold: breq.FenceThreshold,
 		TimeoutMS:      breq.TimeoutMS,
@@ -530,6 +535,7 @@ func (s *Server) handleRemapBin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.observeStages(rres.Result.Trace.Stages())
+	s.st.observeResult(rres.Result.Metrics.Makespan, rres.Result.Metrics.LoadImbalance)
 	fp := resultFingerprint(rres.Engine, entry.tasks, rres.Result)
 	s.results.put(resultEntry{fp: fp, eng: rres.Engine, tasks: entry.tasks, res: rres.Result})
 	s.st.remapPairsReused.Add(int64(rres.PairsReused))

@@ -116,6 +116,16 @@ func AppendAllocationSection(w *wirebin.Writer, as AllocationSpec) error {
 	default:
 		return fmt.Errorf("allocation: %d nodes but %d capacities", len(as.Nodes), len(as.ProcsPerNode))
 	}
+	// Speeds resolve through the same canonicalization as the JSON
+	// path: a single factor broadcasts, a unit vector drops to the
+	// absent (legacy) encoding so the body fingerprint never splits.
+	if len(as.Speeds) > 0 {
+		r, err := as.resolve()
+		if err != nil {
+			return err
+		}
+		ba.Speeds = r.Speeds
+	}
 	wirebin.AppendAllocation(w, &ba)
 	return nil
 }
@@ -131,7 +141,7 @@ func allocSpecFromBinary(ba *wirebin.Allocation) (AllocationSpec, error) {
 		}
 		return AllocationSpec{SparseNodes: int(ba.SparseNodes), Seed: ba.Seed}, nil
 	case wirebin.AllocExplicit:
-		as := AllocationSpec{Nodes: ba.Nodes}
+		as := AllocationSpec{Nodes: ba.Nodes, Speeds: ba.Speeds}
 		switch ba.CapsForm {
 		case wirebin.CapsDefault:
 		case wirebin.CapsUniform:
@@ -156,7 +166,9 @@ func AppendTasksSection(w *wirebin.Writer, ts TaskGraphSpec) error {
 	if err != nil {
 		return err
 	}
-	wirebin.AppendTasksCSR(w, tg.G.Xadj, tg.G.Adj, tg.G.EW)
+	// Build canonicalized unit loads to a nil VW, so homogeneous graphs
+	// keep the legacy (loads-free) body bytes.
+	wirebin.AppendTasksCSR(w, tg.G.Xadj, tg.G.Adj, tg.G.EW, tg.G.VW)
 	return nil
 }
 
@@ -198,5 +210,25 @@ func taskGraphFromCSR(t wirebin.TasksCSR) (*topomap.TaskGraph, error) {
 			cnt++
 		}
 	}
-	return &topomap.TaskGraph{G: graph.FromTriples(t.N, tri[:cnt], nil), K: t.N}, nil
+	var loads []int64
+	if t.HasLoads() {
+		unit := true
+		loads = make([]int64, t.N)
+		for i := range loads {
+			l := t.Load(i)
+			if l < 0 {
+				return nil, fmt.Errorf("tasks: task %d has negative load %d", i, l)
+			}
+			if l != 1 {
+				unit = false
+			}
+			loads[i] = l
+		}
+		// Match TaskGraphSpec.Build: a unit loads vector canonicalizes
+		// to absent, so both protocols hash and memo identically.
+		if unit {
+			loads = nil
+		}
+	}
+	return &topomap.TaskGraph{G: graph.FromTriples(t.N, tri[:cnt], loads), K: t.N}, nil
 }

@@ -125,6 +125,10 @@ func tasksMemoKey(ts service.TaskGraphSpec) string {
 		h = h.U64(uint64(e[1]))
 		h = h.U64(uint64(e[2]))
 	}
+	h = h.U64(uint64(len(ts.Loads)))
+	for _, l := range ts.Loads {
+		h = h.U64(uint64(l))
+	}
 	return "g|" + strconv.FormatUint(uint64(h), 16)
 }
 
@@ -253,6 +257,7 @@ func mapRespFromBin(m *wirebin.MapResp) (*service.MapResponse, error) {
 			MC: m.Metrics.MC, AMC: m.Metrics.AMC, AC: m.Metrics.AC,
 			ICV: m.Metrics.ICV, ICM: m.Metrics.ICM, MNRV: m.Metrics.MNRV, MNRM: m.Metrics.MNRM,
 			UsedLinks: int(m.Metrics.UsedLinks),
+			Makespan:  m.Metrics.Makespan, LoadImbalance: m.Metrics.LoadImbalance,
 		},
 		FineWHGain:  m.FineWHGain,
 		FineVolGain: m.FineVolGain,
@@ -273,7 +278,7 @@ func mapRespFromBin(m *wirebin.MapResp) (*service.MapResponse, error) {
 
 // solveFlags folds the request's solve options into the frame flag
 // word.
-func solveFlags(refine, fineRefine, traced, rankfile bool) uint16 {
+func solveFlags(refine, fineRefine, traced, rankfile, balance bool) uint16 {
 	var f uint16
 	if refine {
 		f |= wirebin.FlagRefine
@@ -286,6 +291,9 @@ func solveFlags(refine, fineRefine, traced, rankfile bool) uint16 {
 	}
 	if rankfile {
 		f |= wirebin.FlagRankfile
+	}
+	if balance {
+		f |= wirebin.FlagBalance
 	}
 	return f
 }
@@ -316,7 +324,7 @@ func (c *Client) mapBinary(ctx context.Context, req service.MapRequest) (*servic
 		wirebin.EncodeMapReq(fw, &wirebin.MapReq{
 			Mapper:      req.Mapper,
 			Seed:        req.Seed,
-			Flags:       solveFlags(req.Refine, req.FineRefine, req.Trace, req.Rankfile),
+			Flags:       solveFlags(req.Refine, req.FineRefine, req.Trace, req.Rankfile, req.Balance),
 			TimeoutMS:   req.TimeoutMS,
 			Parallelism: uint32(req.Parallelism),
 			Topo:        topoSec,
@@ -400,7 +408,7 @@ func (c *Client) batchBinary(ctx context.Context, req service.BatchRequest) (*se
 			items[i] = wirebin.BatchItem{
 				Mapper: it.Mapper,
 				Seed:   it.Seed,
-				Flags:  solveFlags(it.Refine, it.FineRefine, it.Trace, false),
+				Flags:  solveFlags(it.Refine, it.FineRefine, it.Trace, false, it.Balance),
 			}
 		}
 		fw := wirebin.GetWriter()
@@ -467,7 +475,7 @@ func (c *Client) remapBinary(ctx context.Context, req service.RemapRequest) (*se
 		Mapper:      string(req.Solve.Mapper),
 		Seed:        req.Solve.Seed,
 		Flags: solveFlags(req.Solve.Refine, req.Solve.FineRefine,
-			req.Solve.Trace, req.Rankfile),
+			req.Solve.Trace, req.Rankfile, req.Solve.Balance),
 		FenceThreshold: req.FenceThreshold,
 		TimeoutMS:      req.TimeoutMS,
 		Parallelism:    uint32(req.Parallelism),
@@ -569,6 +577,10 @@ func mustAllocKey(as service.AllocationSpec) string {
 	h = h.U64(uint64(len(as.ProcsPerNode)))
 	for _, p := range as.ProcsPerNode {
 		h = h.U64(uint64(p))
+	}
+	h = h.U64(uint64(len(as.Speeds)))
+	for _, sp := range as.Speeds {
+		h = h.U64(math.Float64bits(sp))
 	}
 	h = h.U64(uint64(as.SparseNodes))
 	h = h.U64(uint64(as.Seed))

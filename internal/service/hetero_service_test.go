@@ -1,0 +1,129 @@
+package service_test
+
+// Heterogeneous-processor wire tests: `makespan` must be servable as
+// an objective on both protocols — /v1 races portfolios toward it,
+// and a /v2 remap chain scores its quality fence with it, agreeing
+// byte-for-byte with the JSON envelope.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	topomap "repro"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// heteroSpec returns the shared wheel graph with skewed per-task
+// loads and an explicit allocation (speeds need explicit nodes) where
+// every third node is a 4x accelerator.
+func heteroSpec() (service.TaskGraphSpec, service.AllocationSpec) {
+	spec, _ := testTasks(64)
+	spec.Loads = make([]int64, spec.N)
+	for i := range spec.Loads {
+		spec.Loads[i] = 2
+		if i%8 == 0 {
+			spec.Loads[i] = 64
+		}
+	}
+	nodes := []int32{3, 17, 41, 90, 107, 128, 163, 201}
+	speeds := make([]float64, len(nodes))
+	for i := range speeds {
+		speeds[i] = 1
+		if i%3 == 0 {
+			speeds[i] = 4
+		}
+	}
+	return spec, service.AllocationSpec{Nodes: nodes, ProcsPerNode: []int{16}, Speeds: speeds}
+}
+
+// TestMakespanObjectiveV1 races a /v1/portfolio toward
+// minimize:makespan: every candidate's score must be its makespan
+// metric, ranked ascending, and the winner's makespan rides out in
+// Best.
+func TestMakespanObjectiveV1(t *testing.T) {
+	spec, alloc := heteroSpec()
+	c := newClient(t, service.Config{})
+	resp, err := c.Portfolio(context.Background(), service.PortfolioRequest{
+		Topology:   torusSpec(),
+		Allocation: alloc,
+		Tasks:      spec,
+		Candidates: []topomap.Solve{
+			{Mapper: topomap.UWH, Seed: 1},
+			{Mapper: topomap.HET, Seed: 1, Balance: true},
+			{Mapper: topomap.UMC, Seed: 1},
+		},
+		Objective: topomap.MinimizeMetric("makespan"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, entry := range resp.Leaderboard {
+		if entry.Metrics == nil {
+			t.Fatalf("rank %d (%s) has no metrics", i, entry.Solve.Mapper)
+		}
+		if entry.Score <= 0 || entry.Score != entry.Metrics.Makespan {
+			t.Fatalf("rank %d: score %g != makespan %g", i, entry.Score, entry.Metrics.Makespan)
+		}
+		if i > 0 && entry.Score < resp.Leaderboard[i-1].Score {
+			t.Fatalf("leaderboard not ascending at rank %d", i)
+		}
+	}
+	if resp.Best.Metrics.Makespan != resp.Leaderboard[0].Metrics.Makespan {
+		t.Fatalf("best makespan %g != leaderboard head %g",
+			resp.Best.Metrics.Makespan, resp.Leaderboard[0].Metrics.Makespan)
+	}
+}
+
+// TestMakespanObjectiveV2 drives a heterogeneous map + remap chain —
+// the remap's quality fence scoring a weighted mc/makespan combo —
+// over both the /v2 binary frames and the /v1 JSON envelope; the two
+// protocols must return identical responses.
+func TestMakespanObjectiveV2(t *testing.T) {
+	spec, alloc := heteroSpec()
+	_, cj := protoClient(service.Config{}, client.ProtoJSON)
+	_, cb := protoClient(service.Config{}, client.ProtoBinary)
+
+	run := func(c *client.Client, label string) *service.RemapResponse {
+		t.Helper()
+		mapped, err := c.Map(context.Background(), service.MapRequest{
+			Topology:   torusSpec(),
+			Allocation: alloc,
+			Tasks:      spec,
+			Mapper:     "HET",
+			Seed:       1,
+			Balance:    true,
+		})
+		if err != nil {
+			t.Fatalf("%s: map: %v", label, err)
+		}
+		if mapped.Metrics.Makespan <= 0 {
+			t.Fatalf("%s: heterogeneous map reported makespan %g", label, mapped.Metrics.Makespan)
+		}
+		rr, err := c.Remap(context.Background(), service.RemapRequest{
+			Fingerprint: mapped.Fingerprint,
+			Delta:       topomap.AllocationDelta{Remove: []int32{mapped.AllocNodes[3]}},
+			Solve:       topomap.Solve{Mapper: topomap.HET, Seed: 1, Balance: true},
+			Objective: topomap.Objective{Terms: []topomap.ObjectiveTerm{
+				{Metric: "mc", Weight: 1}, {Metric: "makespan", Weight: 2}}},
+		})
+		if err != nil {
+			t.Fatalf("%s: remap: %v", label, err)
+		}
+		return rr
+	}
+	jr := run(cj, "json")
+	br := run(cb, "binary")
+	if jr.Fingerprint == "" || br.Fingerprint != jr.Fingerprint {
+		t.Fatalf("remap fingerprint diverged: json %q, binary %q", jr.Fingerprint, br.Fingerprint)
+	}
+	if jr.Metrics.Makespan <= 0 {
+		t.Fatalf("remap lost the makespan metric: %+v", jr.Metrics)
+	}
+	scrubMap(&jr.MapResponse)
+	scrubMap(&br.MapResponse)
+	if !reflect.DeepEqual(jr, br) {
+		t.Fatalf("remap responses diverged:\n json   %+v\n binary %+v", jr, br)
+	}
+}

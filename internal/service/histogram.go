@@ -16,27 +16,39 @@ var durationBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram. Buckets hold
-// per-bucket (non-cumulative) counts — the /metrics writer sums them
-// cumulatively the way the Prometheus exposition format wants. All
-// fields are atomics, so observe is lock-free; the sum is kept in
-// microseconds to stay an integer.
+// makespanBuckets are the bucket upper bounds of the solve-makespan
+// histogram. Makespan is in load/speed units, not seconds, so the
+// bounds are exponential: unit-load coarse graphs land at the low
+// end, million-unit pipelines at the top.
+var makespanBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+}
+
+// histogram is a fixed-bucket histogram. Buckets hold per-bucket
+// (non-cumulative) counts — the /metrics writer sums them cumulatively
+// the way the Prometheus exposition format wants. All fields are
+// atomics, so observe is lock-free; the sum is kept scaled by 1e6 to
+// stay an integer.
 type histogram struct {
-	buckets   []atomic.Int64 // len(durationBuckets)+1; last is +Inf
+	bounds    []float64
+	buckets   []atomic.Int64 // len(bounds)+1; last is +Inf
 	count     atomic.Int64
 	sumMicros atomic.Int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{buckets: make([]atomic.Int64, len(durationBuckets)+1)}
+func newHistogram() *histogram { return newHistogramWith(durationBuckets) }
+
+func newHistogramWith(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
 }
 
-// observe records one duration in seconds.
-func (h *histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(durationBuckets, seconds)
+// observe records one value (seconds for the duration histograms,
+// load/speed units for the makespan histogram).
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
-	h.sumMicros.Add(int64(seconds * 1e6))
+	h.sumMicros.Add(int64(v * 1e6))
 }
 
 // histogramVec is a label → histogram map: endpoints (pre-registered,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -100,7 +101,15 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	writeHistogramVec(b, "mapd_request_duration_seconds",
 		"Wall time of completed requests by endpoint.", "endpoint", s.st.reqHist)
 	writeHistogramVec(b, "mapd_stage_duration_seconds",
-		"Wall time of solve pipeline stages (grouping, coarsening, mapping, refinement, metrics).", "stage", s.st.stageHist)
+		"Wall time of solve pipeline stages (grouping, coarsening, mapping, refinement, balance, metrics).", "stage", s.st.stageHist)
+
+	// Heterogeneous-solve observability: the makespan each completed
+	// solve achieved (bottleneck-node finish time, load/speed units)
+	// and the load imbalance of the most recent one.
+	writeHistogram(b, "mapd_solve_makespan",
+		"Makespan (bottleneck-node finish time, load/speed units) of completed solves.", s.st.makespanHist)
+	gauge("mapd_load_imbalance", "Load imbalance (makespan over mean node finish time) of the most recent solve.",
+		fmtFloat(math.Float64frombits(s.st.lastImbalance.Load())))
 
 	// Build identity, the standard *_build_info shape.
 	gov, rev := buildInfo()
@@ -114,13 +123,28 @@ func writeHistogramVec(b *strings.Builder, name, help, label string, v *histogra
 	for _, l := range v.labels() {
 		h := v.get(l)
 		var cum int64
-		for i, ub := range durationBuckets {
+		for i, ub := range h.bounds {
 			cum += h.buckets[i].Load()
 			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", name, label, l, fmtFloat(ub), cum)
 		}
-		cum += h.buckets[len(durationBuckets)].Load()
+		cum += h.buckets[len(h.bounds)].Load()
 		fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, l, cum)
 		fmt.Fprintf(b, "%s_sum{%s=%q} %s\n", name, label, l, fmtFloat(float64(h.sumMicros.Load())/1e6))
 		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, label, l, h.count.Load())
 	}
+}
+
+// writeHistogram renders one unlabeled histogram family with
+// cumulative buckets.
+func writeHistogram(b *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmtFloat(ub), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(float64(h.sumMicros.Load())/1e6))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count.Load())
 }

@@ -107,6 +107,8 @@ func TestMetricsExposition(t *testing.T) {
 		"mapd_intern_entries",
 		"mapd_request_duration_seconds",
 		"mapd_stage_duration_seconds",
+		"mapd_solve_makespan",
+		"mapd_load_imbalance",
 		"mapd_build_info",
 	}
 	var gotFamilies []string
@@ -146,6 +148,10 @@ func TestMetricsExposition(t *testing.T) {
 		"mapd_engine_cache_misses_total 1",
 		"mapd_result_cache_entries 1",
 		`mapd_request_duration_seconds_count{endpoint="map"} 1`,
+		// The solved coarse graph reports a makespan, so one solve
+		// lands in the makespan histogram and sets the gauge.
+		"mapd_solve_makespan_count 1",
+		"mapd_load_imbalance ",
 		`mapd_build_info{go_version="go`,
 	}
 	for _, want := range mustContain {

@@ -269,7 +269,10 @@ func resultFingerprint(eng *topomap.Engine, tg *topomap.TaskGraph, res *topomap.
 }
 
 // hashTaskGraph folds the task graph's structure — coarsening factor,
-// adjacency and edge volumes — into h, alloc-free.
+// adjacency, edge volumes and (when heterogeneous) per-task loads —
+// into h, alloc-free. Unit loads are canonically nil (TaskGraphSpec
+// and the binary decoder both canonicalize), so pre-heterogeneity
+// hashes are unchanged.
 func hashTaskGraph(h wirebin.Hash64, tg *topomap.TaskGraph) wirebin.Hash64 {
 	h = h.U64(uint64(tg.K))
 	h = h.U64(uint64(tg.G.N()))
@@ -281,6 +284,12 @@ func hashTaskGraph(h wirebin.Hash64, tg *topomap.TaskGraph) wirebin.Hash64 {
 			h = h.U64(uint64(w[i]))
 		}
 	}
+	if tg.G.VW != nil {
+		h = h.U64(^uint64(0)) // domain separator: loads follow
+		for _, l := range tg.G.VW {
+			h = h.U64(uint64(l))
+		}
+	}
 	return h
 }
 
@@ -290,7 +299,7 @@ func hashTaskGraph(h wirebin.Hash64, tg *topomap.TaskGraph) wirebin.Hash64 {
 // Both protocols derive it the same way, so a JSON solve warms the
 // memo for binary repeats and vice versa. Response-only options
 // (rankfile, trace echo) stay out — they re-render per response.
-func solveMemoKey(engineKey, mapper string, seed int64, refine, fineRefine bool, tg *topomap.TaskGraph) string {
+func solveMemoKey(engineKey, mapper string, seed int64, refine, fineRefine, balance bool, tg *topomap.TaskGraph) string {
 	h := wirebin.Hash64Init
 	h = h.Str(engineKey)
 	h = h.U64(0) // domain separator between the key and the knobs
@@ -302,6 +311,9 @@ func solveMemoKey(engineKey, mapper string, seed int64, refine, fineRefine bool,
 	}
 	if fineRefine {
 		flags |= 2
+	}
+	if balance {
+		flags |= 4
 	}
 	h = h.U64(flags)
 	h = hashTaskGraph(h, tg)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -392,7 +393,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	// deterministic — is answered from the result cache without
 	// touching a worker slot; only response framing (rankfile, trace
 	// echo) re-renders. Stage histograms count real solves only.
-	memoKey := solveMemoKey(engineKey, req.Mapper, req.Seed, req.Refine, req.FineRefine, tg)
+	memoKey := solveMemoKey(engineKey, req.Mapper, req.Seed, req.Refine, req.FineRefine, req.Balance, tg)
 	if ent, ok := s.results.getReq(memoKey); ok {
 		lg.cacheHit = true
 		out, err := respond(ent.res, ent.eng, true, req.Rankfile, time.Since(began))
@@ -442,6 +443,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.observeStages(res.Trace.Stages())
+	s.st.observeResult(res.Metrics.Makespan, res.Metrics.LoadImbalance)
 	if req.Trace {
 		out.Trace = res.Trace.Stages()
 	}
@@ -515,6 +517,7 @@ func (s *Server) handleRemap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.st.observeStages(rres.Result.Trace.Stages())
+	s.st.observeResult(rres.Result.Metrics.Makespan, rres.Result.Metrics.LoadImbalance)
 	if req.Solve.Trace {
 		out.Trace = rres.Result.Trace.Stages()
 	}
@@ -620,6 +623,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.st.observeStages(res.Trace.Stages())
 			item.Trace = res.Trace.Stages()
 		}
+		s.st.observeResult(res.Metrics.Makespan, res.Metrics.LoadImbalance)
 		out.Results[i] = *item
 	}
 	s.st.observe(endpointBatch, out.ElapsedMS)
@@ -691,6 +695,7 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 		s.st.observeStages(pres.Best.Trace.Stages())
 		best.Trace = pres.Best.Trace.Stages()
 	}
+	s.st.observeResult(pres.Best.Metrics.Makespan, pres.Best.Metrics.LoadImbalance)
 	out := PortfolioResponse{
 		Winner:      pres.Winner,
 		Best:        *best,
@@ -798,6 +803,9 @@ func (s *Server) Status() Status {
 		LatencySamples:  samples,
 		EndpointLatency: perEndpoint,
 		Mappers:         len(registry.Names()),
+		MakespanSolves:  s.st.makespanHist.count.Load(),
+		MakespanSum:     float64(s.st.makespanHist.sumMicros.Load()) / 1e6,
+		LoadImbalance:   math.Float64frombits(s.st.lastImbalance.Load()),
 		GoVersion:       goVersion,
 		VCSRevision:     revision,
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,12 @@ type stats struct {
 
 	reqHist   *histogramVec // per-endpoint request duration, seconds
 	stageHist *histogramVec // per-stage solve duration, seconds
+
+	// Heterogeneous-solve observability: the makespan distribution of
+	// completed solves (load/speed units) and the load imbalance of
+	// the most recent one (Float64bits, so the gauge stays an atomic).
+	makespanHist  *histogram
+	lastImbalance atomic.Uint64
 }
 
 // latencyWindow bounds each quantile ring: big enough for stable tail
@@ -103,10 +110,11 @@ func (r *latRing) quantiles() (p50, p90, p99 float64, samples int) {
 
 func newStats() *stats {
 	s := &stats{
-		all:       latRing{lat: make([]float64, latencyWindow)},
-		endpoint:  make(map[string]*latRing, len(solveEndpoints)),
-		reqHist:   newHistogramVec(solveEndpoints...),
-		stageHist: newHistogramVec(),
+		all:          latRing{lat: make([]float64, latencyWindow)},
+		endpoint:     make(map[string]*latRing, len(solveEndpoints)),
+		reqHist:      newHistogramVec(solveEndpoints...),
+		stageHist:    newHistogramVec(),
+		makespanHist: newHistogramWith(makespanBuckets),
 	}
 	for _, e := range solveEndpoints {
 		s.endpoint[e] = newLatRing()
@@ -130,4 +138,16 @@ func (s *stats) observeStages(stages []trace.Stage) {
 	for _, st := range stages {
 		s.stageHist.get(st.Name).observe(st.DurMS / 1e3)
 	}
+}
+
+// observeResult feeds one completed solve's load summary into the
+// makespan histogram and the latest-imbalance gauge. Solves that
+// predate the metric (or failed to compute one) report zero and are
+// skipped.
+func (s *stats) observeResult(makespan, imbalance float64) {
+	if makespan <= 0 {
+		return
+	}
+	s.makespanHist.observe(makespan)
+	s.lastImbalance.Store(math.Float64bits(imbalance))
 }

@@ -236,13 +236,17 @@ func (s TopologySpec) Build() (*Network, error) {
 // AllocationSpec is the wire form of an allocation: either the
 // explicit node set the scheduler handed out (Nodes, with
 // ProcsPerNode empty for the default 16, one entry for a uniform
-// capacity, or one entry per node), or SparseNodes+Seed asking the
-// server to generate a busy-scheduler sparse allocation.
+// capacity, or one entry per node; Speeds likewise empty for unit
+// speed, one entry for a uniform factor, or one entry per node), or
+// SparseNodes+Seed asking the server to generate a busy-scheduler
+// sparse allocation (always unit speed — heterogeneous node sets come
+// from a real scheduler, explicitly).
 type AllocationSpec struct {
-	Nodes        []int32 `json:"nodes,omitempty"`
-	ProcsPerNode []int   `json:"procs_per_node,omitempty"`
-	SparseNodes  int     `json:"sparse_nodes,omitempty"`
-	Seed         int64   `json:"seed,omitempty"`
+	Nodes        []int32   `json:"nodes,omitempty"`
+	ProcsPerNode []int     `json:"procs_per_node,omitempty"`
+	Speeds       []float64 `json:"speeds,omitempty"`
+	SparseNodes  int       `json:"sparse_nodes,omitempty"`
+	Seed         int64     `json:"seed,omitempty"`
 }
 
 // resolve expands the explicit form into a full Allocation (node
@@ -263,7 +267,24 @@ func (a AllocationSpec) resolve() (*topomap.Allocation, error) {
 	default:
 		return nil, fmt.Errorf("allocation: %d nodes but %d capacities", len(a.Nodes), len(a.ProcsPerNode))
 	}
-	return &topomap.Allocation{Nodes: append([]int32(nil), a.Nodes...), ProcsPerNode: procs}, nil
+	r := &topomap.Allocation{Nodes: append([]int32(nil), a.Nodes...), ProcsPerNode: procs}
+	switch len(a.Speeds) {
+	case 0:
+	case 1:
+		r.Speeds = make([]float64, len(a.Nodes))
+		for i := range r.Speeds {
+			r.Speeds[i] = a.Speeds[0]
+		}
+	case len(a.Nodes):
+		r.Speeds = append([]float64(nil), a.Speeds...)
+	default:
+		return nil, fmt.Errorf("allocation: %d nodes but %d speeds", len(a.Nodes), len(a.Speeds))
+	}
+	// A unit speed vector is the nil default — canonicalizing here keeps
+	// the fingerprint (and so the engine cache key and solve memo) of
+	// an explicit speeds=[1,...] spec identical to an absent one.
+	r.CanonicalizeSpeeds()
+	return r, nil
 }
 
 // Key returns the allocation part of the engine cache key: the
@@ -280,6 +301,9 @@ func (a AllocationSpec) Key() (string, error) {
 		}
 		return topomap.AllocationFingerprint(r), nil
 	case a.SparseNodes > 0:
+		if len(a.Speeds) > 0 {
+			return "", fmt.Errorf("allocation: speeds need explicit nodes, not sparse_nodes")
+		}
 		return "gen:" + strconv.Itoa(a.SparseNodes) + ":" + strconv.FormatInt(a.Seed, 10), nil
 	}
 	return "", fmt.Errorf("allocation: need nodes or sparse_nodes")
@@ -295,6 +319,9 @@ func (a AllocationSpec) Build(net *Network) (*topomap.Allocation, error) {
 	case len(a.Nodes) == 0 && a.SparseNodes <= 0:
 		return nil, fmt.Errorf("allocation: need nodes or sparse_nodes")
 	case a.SparseNodes > 0:
+		if len(a.Speeds) > 0 {
+			return nil, fmt.Errorf("allocation: speeds need explicit nodes, not sparse_nodes")
+		}
 		return net.SparseAlloc(a.SparseNodes, a.Seed)
 	}
 	r, err := a.resolve()

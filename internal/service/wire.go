@@ -22,12 +22,15 @@ import (
 	"repro/internal/trace"
 )
 
-// TaskGraphSpec is the wire form of a task graph: n tasks and a
-// directed weighted edge list (the same "src dst volume" triples the
-// CLI's -graph files carry).
+// TaskGraphSpec is the wire form of a task graph: n tasks, a directed
+// weighted edge list (the same "src dst volume" triples the CLI's
+// -graph files carry), and optionally one compute load per task for
+// heterogeneous-processor jobs. An absent Loads field — or an all-ones
+// one, which canonicalizes to absent — means unit loads.
 type TaskGraphSpec struct {
 	N     int        `json:"n"`
 	Edges [][3]int64 `json:"edges"`
+	Loads []int64    `json:"loads,omitempty"`
 }
 
 // maxTasks bounds wire task graphs: n is a bare integer whose cost
@@ -35,7 +38,7 @@ type TaskGraphSpec struct {
 const maxTasks = 1 << 20
 
 // Build constructs the task graph (parallel edges merged, self loops
-// dropped, unit task weights).
+// dropped, unit task weights unless Loads says otherwise).
 func (t TaskGraphSpec) Build() (*topomap.TaskGraph, error) {
 	if t.N <= 0 {
 		return nil, fmt.Errorf("tasks: need n > 0, got %d", t.N)
@@ -58,7 +61,27 @@ func (t TaskGraphSpec) Build() (*topomap.TaskGraph, error) {
 		vs = append(vs, int32(dst))
 		ws = append(ws, vol)
 	}
-	return &topomap.TaskGraph{G: topomap.FromEdges(t.N, us, vs, ws), K: t.N}, nil
+	g := topomap.FromEdges(t.N, us, vs, ws)
+	if t.Loads != nil {
+		if len(t.Loads) != t.N {
+			return nil, fmt.Errorf("tasks: %d loads for %d tasks", len(t.Loads), t.N)
+		}
+		unit := true
+		for i, l := range t.Loads {
+			if l < 0 {
+				return nil, fmt.Errorf("tasks: task %d has negative load %d", i, l)
+			}
+			if l != 1 {
+				unit = false
+			}
+		}
+		// Unit loads canonicalize to the absent form so the graph hash,
+		// the solve memo and the binary sections all see one encoding.
+		if !unit {
+			g.VW = append([]int64(nil), t.Loads...)
+		}
+	}
+	return &topomap.TaskGraph{G: g, K: t.N}, nil
 }
 
 // MapRequest is one mapping job: network, allocation, task graph,
@@ -84,6 +107,10 @@ type MapRequest struct {
 	// server traces every solve for its own histograms regardless; this
 	// flag only controls whether the breakdown travels back.
 	Trace bool `json:"trace,omitempty"`
+	// Balance runs the makespan-aware load-repair stage after mapping
+	// (see topomap.Solve.Balance); allocations with non-unit speeds get
+	// the stage automatically.
+	Balance bool `json:"balance,omitempty"`
 }
 
 // Metrics is the wire form of the mapping metrics (§II-C).
@@ -99,12 +126,18 @@ type Metrics struct {
 	MNRV      int64   `json:"mnrv"`
 	MNRM      int64   `json:"mnrm"`
 	UsedLinks int     `json:"used_links"`
+	// Heterogeneous-processor metrics: the compute makespan (max over
+	// nodes of load/speed) and the load imbalance (max/mean of the
+	// per-node finish times).
+	Makespan      float64 `json:"makespan"`
+	LoadImbalance float64 `json:"load_imbalance"`
 }
 
 func metricsPayload(m topomap.MapMetrics) Metrics {
 	return Metrics{
 		TH: m.TH, WH: m.WH, MMC: m.MMC, MC: m.MC, AMC: m.AMC, AC: m.AC,
 		ICV: m.ICV, ICM: m.ICM, MNRV: m.MNRV, MNRM: m.MNRM, UsedLinks: m.UsedLinks,
+		Makespan: m.Makespan, LoadImbalance: m.LoadImbalance,
 	}
 }
 
@@ -138,13 +171,14 @@ type MapResponse struct {
 // names uppercased, workers set explicitly (server-clamped) so the
 // engine's host-wide default cannot bypass the service's slot
 // accounting.
-func lowerSolve(mapper string, seed int64, refine, fineRefine, traced bool, workers int) topomap.Solve {
+func lowerSolve(mapper string, seed int64, refine, fineRefine, traced, balance bool, workers int) topomap.Solve {
 	return topomap.Solve{
 		Mapper:     topomap.Mapper(strings.ToUpper(mapper)),
 		Seed:       seed,
 		Refine:     refine,
 		FineRefine: fineRefine,
 		Trace:      traced,
+		Balance:    balance,
 		Workers:    workers,
 	}
 }
@@ -152,7 +186,7 @@ func lowerSolve(mapper string, seed int64, refine, fineRefine, traced bool, work
 // Solve lowers the wire request onto the engine's declarative Solve
 // spec.
 func (r MapRequest) Solve(workers int) topomap.Solve {
-	return lowerSolve(r.Mapper, r.Seed, r.Refine, r.FineRefine, r.Trace, workers)
+	return lowerSolve(r.Mapper, r.Seed, r.Refine, r.FineRefine, r.Trace, r.Balance, workers)
 }
 
 // BatchItem is one mapper run of a batch; the batch's topology,
@@ -164,12 +198,13 @@ type BatchItem struct {
 	Refine     bool   `json:"refine,omitempty"`
 	FineRefine bool   `json:"fine_refine,omitempty"`
 	Trace      bool   `json:"trace,omitempty"`
+	Balance    bool   `json:"balance,omitempty"`
 }
 
 // Solve lowers the batch item onto the engine's Solve spec (see
 // MapRequest.Solve).
 func (it BatchItem) Solve(workers int) topomap.Solve {
-	return lowerSolve(it.Mapper, it.Seed, it.Refine, it.FineRefine, it.Trace, workers)
+	return lowerSolve(it.Mapper, it.Seed, it.Refine, it.FineRefine, it.Trace, it.Balance, workers)
 }
 
 // BatchRequest fans several mapper runs out against one shared
@@ -477,6 +512,13 @@ type Status struct {
 	// combined view.
 	EndpointLatency map[string]LatencySummary `json:"endpoint_latency"`
 	Mappers         int                       `json:"mappers"`
+
+	// Heterogeneous-solve observability: how many completed solves
+	// recorded a makespan, their cumulative makespan (load/speed
+	// units), and the load imbalance of the most recent solve.
+	MakespanSolves int64   `json:"makespan_solves"`
+	MakespanSum    float64 `json:"makespan_sum"`
+	LoadImbalance  float64 `json:"load_imbalance"`
 
 	// Build identity of the running binary: the Go toolchain and the
 	// VCS revision it was built from ("unknown" outside a checkout).

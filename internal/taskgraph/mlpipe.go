@@ -1,0 +1,70 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// MLPipe generates a stage-parallel inference-pipeline task graph:
+// `stages` consecutive layers of `width` parallel branches. Each task
+// streams activations to its same-branch successor, exchanges a
+// smaller shuffle volume with the neighboring branch of the next
+// stage, and syncs along a ring within its own stage. Per-task compute
+// loads are deliberately skewed — every fourth stage is a heavy
+// (conv-like) block, the rest are light glue ops, with per-branch
+// jitter from seed — so the graph exercises the heterogeneous
+// makespan path: a communication-only mapper packs heavy tasks
+// together and pays for it, a load-aware one spreads them.
+//
+// The generator is deterministic in (stages, width, seed): volumes
+// are fixed by structure, only the load jitter draws from the seeded
+// generator, in task order.
+func MLPipe(stages, width int, seed int64) (*TaskGraph, error) {
+	if stages < 1 || width < 1 {
+		return nil, fmt.Errorf("taskgraph: mlpipe needs stages >= 1 and width >= 1, got %dx%d", stages, width)
+	}
+	n := stages * width
+	id := func(s, b int) int32 { return int32(s*width + b) }
+
+	var us, vs []int32
+	var ws []int64
+	for s := 0; s < stages; s++ {
+		for b := 0; b < width; b++ {
+			if s+1 < stages {
+				// Activation stream to the same branch downstream.
+				us = append(us, id(s, b))
+				vs = append(vs, id(s+1, b))
+				ws = append(ws, 16)
+				if width > 1 {
+					// Shuffle traffic into the neighboring branch.
+					us = append(us, id(s, b))
+					vs = append(vs, id(s+1, (b+1)%width))
+					ws = append(ws, 4)
+				}
+			}
+			if width > 2 || (width == 2 && b == 0) {
+				// Intra-stage sync ring (allreduce-style, light).
+				us = append(us, id(s, b))
+				vs = append(vs, id(s, (b+1)%width))
+				ws = append(ws, 2)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	loads := make([]int64, n)
+	for s := 0; s < stages; s++ {
+		base := int64(2)
+		if s%4 == 0 {
+			base = 64
+		}
+		for b := 0; b < width; b++ {
+			loads[id(s, b)] = base * int64(1+rng.Intn(8))
+		}
+	}
+
+	g := graph.FromEdges(n, us, vs, ws, loads)
+	return &TaskGraph{G: g, K: n}, nil
+}

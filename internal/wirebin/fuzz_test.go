@@ -53,7 +53,7 @@ func seedFrames() [][]byte {
 	tasksBody := func() []byte {
 		w := GetWriter()
 		defer PutWriter(w)
-		AppendTasksCSR(w, []int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3})
+		AppendTasksCSR(w, []int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512})
 		return append([]byte(nil), w.Bytes()...)
 	}()
 
@@ -191,17 +191,30 @@ func boundMapResp(t *testing.T, m *MapResp, payload int) {
 
 // FuzzParseTasks hammers the zero-copy CSR validator: a body that
 // parses must be fully walkable through the accessors — every row
-// monotone, every edge slot reachable — because the hot path indexes
-// them without bounds checks afterwards.
+// monotone, every edge slot reachable, every load readable when the
+// optional loads block is present — because the hot path indexes them
+// without bounds checks afterwards. Whatever parses must also
+// re-encode byte-identically from the decoded view, so the legacy and
+// loads-extended forms stay canonical on the wire.
 func FuzzParseTasks(f *testing.F) {
-	valid := func(xadj, adj []int32, ew []int64) []byte {
+	valid := func(xadj, adj []int32, ew, loads []int64) []byte {
 		w := GetWriter()
 		defer PutWriter(w)
-		AppendTasksCSR(w, xadj, adj, ew)
+		AppendTasksCSR(w, xadj, adj, ew, loads)
 		return append([]byte(nil), w.Bytes()...)
 	}
-	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}))
-	f.Add(valid([]int32{0, 0}, nil, nil))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, nil))
+	f.Add(valid([]int32{0, 0}, nil, nil, nil))
+	// Loads-extended bodies: skewed, all-unit, and single-task.
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{1, 1, 1}))
+	f.Add(valid([]int32{0, 0}, nil, nil, []int64{7}))
+	// A truncated loads block and a corrupted trailing tag byte.
+	full := valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512})
+	f.Add(full[:len(full)-3])
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-25] = 0x7F
+	f.Add(bad)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -226,6 +239,35 @@ func FuzzParseTasks(f *testing.F) {
 		}
 		if edges != view.M {
 			t.Fatalf("rows cover %d edge slots, header says %d", edges, view.M)
+		}
+		if view.HasLoads() && 8*view.N > len(body) {
+			t.Fatalf("n=%d loads decoded out of a %d-byte body", view.N, len(body))
+		}
+		// Round-trip: rebuild the CSR arrays through the accessors and
+		// re-encode. Any accepted body is canonical, so the bytes must
+		// match exactly — including the presence, order, and values of
+		// the optional loads block.
+		xadj := make([]int32, view.N+1)
+		for i := range xadj {
+			xadj[i] = int32(view.Xadj(i))
+		}
+		adj := make([]int32, view.M)
+		ew := make([]int64, view.M)
+		for j := 0; j < view.M; j++ {
+			adj[j], ew[j] = view.Adj(j), view.EW(j)
+		}
+		var loads []int64
+		if view.HasLoads() {
+			loads = make([]int64, view.N)
+			for i := range loads {
+				loads[i] = view.Load(i)
+			}
+		}
+		w := GetWriter()
+		defer PutWriter(w)
+		AppendTasksCSR(w, xadj, adj, ew, loads)
+		if !bytes.Equal(w.Bytes(), body) {
+			t.Fatalf("re-encode diverged: %d bytes in, %d out (loads=%v)", len(body), w.Len(), view.HasLoads())
 		}
 	})
 }

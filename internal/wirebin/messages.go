@@ -21,6 +21,9 @@ const (
 	// request as present.
 	FlagObjective uint16 = 1 << 4
 	FlagSim       uint16 = 1 << 5
+	// FlagBalance asks for the makespan-aware load-repair stage
+	// (topomap.Solve.Balance).
+	FlagBalance uint16 = 1 << 6
 )
 
 // Response flag bits.
@@ -242,6 +245,9 @@ type Metrics struct {
 	MC, AMC, AC          float64
 	ICV, ICM, MNRV, MNRM int64
 	UsedLinks            uint32
+	// Heterogeneous-processor metrics (compute makespan, load
+	// imbalance); see topomap.MapMetrics.
+	Makespan, LoadImbalance float64
 }
 
 func (w *Writer) metrics(m *Metrics) {
@@ -256,6 +262,8 @@ func (w *Writer) metrics(m *Metrics) {
 	w.I64(m.MNRV)
 	w.I64(m.MNRM)
 	w.U32(m.UsedLinks)
+	w.F64(m.Makespan)
+	w.F64(m.LoadImbalance)
 }
 
 func (r *Reader) metrics() (m Metrics) {
@@ -270,6 +278,8 @@ func (r *Reader) metrics() (m Metrics) {
 	m.MNRV = r.I64()
 	m.MNRM = r.I64()
 	m.UsedLinks = r.U32()
+	m.Makespan = r.F64()
+	m.LoadImbalance = r.F64()
 	return m
 }
 

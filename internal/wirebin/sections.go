@@ -89,15 +89,24 @@ const (
 	CapsPerNode byte = 2 // one u32 per node, in node order
 )
 
+// AllocSpeedsPerNode tags the optional trailing speeds block of an
+// explicit allocation body: one f64 speed factor per node, in node
+// order. Unit-speed allocations omit the block entirely — that keeps
+// every pre-heterogeneity body (and its intern fingerprint)
+// byte-identical.
+const AllocSpeedsPerNode byte = 1
+
 // Allocation is the binary form of an allocation spec: the explicit
-// node set a scheduler handed out (with its capacity vector) or the
-// parameters of a server-generated sparse allocation.
+// node set a scheduler handed out (with its capacity vector and
+// optionally per-node speed factors) or the parameters of a
+// server-generated sparse allocation.
 type Allocation struct {
 	Form         byte
 	Nodes        []int32
 	CapsForm     byte
 	UniformProcs uint32
 	ProcsPerNode []int32
+	Speeds       []float64
 	SparseNodes  uint32
 	Seed         int64
 }
@@ -114,6 +123,10 @@ func AppendAllocation(w *Writer, a *Allocation) {
 			w.U32(a.UniformProcs)
 		case CapsPerNode:
 			w.I32s(a.ProcsPerNode)
+		}
+		if len(a.Speeds) > 0 {
+			w.U8(AllocSpeedsPerNode)
+			w.F64s(a.Speeds)
 		}
 	case AllocSparse:
 		w.U32(a.SparseNodes)
@@ -141,6 +154,16 @@ func DecodeAllocation(body []byte) (*Allocation, error) {
 		default:
 			r.fail("allocation: unknown capacity form %d", a.CapsForm)
 		}
+		// Optional trailing speeds block; a legacy body ends here.
+		if r.err == nil && r.Remaining() > 0 {
+			if tag := r.U8(); tag != AllocSpeedsPerNode {
+				r.fail("allocation: unknown trailing block %d", tag)
+			}
+			a.Speeds = r.F64s("speeds")
+			if r.err == nil && len(a.Speeds) != len(a.Nodes) {
+				r.fail("allocation: %d nodes but %d speeds", len(a.Nodes), len(a.Speeds))
+			}
+		}
 	case AllocSparse:
 		a.SparseNodes = r.U32()
 		a.Seed = r.I64()
@@ -150,12 +173,20 @@ func DecodeAllocation(body []byte) (*Allocation, error) {
 	return a, r.finish("allocation")
 }
 
+// TasksLoadsPerTask tags the optional trailing loads block of a
+// task-graph body: one u64 compute load per task, in task order.
+// Unit-load graphs omit the block — legacy bodies stay byte-identical
+// and keep their intern fingerprints.
+const TasksLoadsPerTask byte = 1
+
 // AppendTasksCSR encodes a task graph body from its CSR arrays
-// verbatim: n, m, xadj (n+1 × u32), adj (m × i32), ew (m × i64).
+// verbatim: n, m, xadj (n+1 × u32), adj (m × i32), ew (m × i64), and
+// — when loads is non-nil — a tag byte plus one u64 load per task.
 // Encode from a canonical graph (graph.FromEdges / FromTriples
 // output: adjacency sorted, self loops dropped, parallel edges
-// merged) so the body fingerprints deterministically.
-func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64) {
+// merged, unit loads as a nil vector) so the body fingerprints
+// deterministically.
+func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64, loads []int64) {
 	n := len(xadj) - 1
 	w.U32(uint32(n))
 	w.U32(uint32(len(adj)))
@@ -168,6 +199,12 @@ func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64) {
 	for _, v := range ew {
 		w.U64(uint64(v))
 	}
+	if loads != nil {
+		w.U8(TasksLoadsPerTask)
+		for _, v := range loads {
+			w.U64(uint64(v))
+		}
+	}
 }
 
 // TasksCSR is a zero-copy view over a task-graph section body: the
@@ -179,12 +216,15 @@ type TasksCSR struct {
 	xadj []byte
 	adj  []byte
 	ew   []byte
+	// loads is the optional per-task compute-load block (nil = unit
+	// loads).
+	loads []byte
 }
 
 // ParseTasks validates the structural invariants of a task-graph body
-// (counts fit the body exactly, xadj is a monotone 0→m row index) and
-// returns the view. Semantic limits (task-count cap) belong to the
-// caller.
+// (counts fit the body exactly — with or without the trailing loads
+// block — and xadj is a monotone 0→m row index) and returns the view.
+// Semantic limits (task-count cap) belong to the caller.
 func ParseTasks(body []byte) (TasksCSR, error) {
 	r := NewReader(body)
 	var t TasksCSR
@@ -194,14 +234,30 @@ func ParseTasks(body []byte) (TasksCSR, error) {
 		return t, r.err
 	}
 	need := 4*(n+1) + 4*m + 8*m
-	if n < 0 || m < 0 || need != int64(r.Remaining()) {
-		r.fail("tasks: n=%d m=%d needs %d body bytes, have %d", n, m, need, r.Remaining())
+	rem := int64(r.Remaining())
+	hasLoads := false
+	switch {
+	case n < 0 || m < 0:
+		r.fail("tasks: negative counts n=%d m=%d", n, m)
+		return t, r.err
+	case rem == need:
+	case rem == need+1+8*n:
+		hasLoads = true
+	default:
+		r.fail("tasks: n=%d m=%d needs %d body bytes, have %d", n, m, need, rem)
 		return t, r.err
 	}
 	t.N, t.M = int(n), int(m)
 	t.xadj = r.take(4 * (t.N + 1))
 	t.adj = r.take(4 * t.M)
 	t.ew = r.take(8 * t.M)
+	if hasLoads {
+		if tag := r.U8(); tag != TasksLoadsPerTask {
+			r.fail("tasks: unknown trailing block %d", tag)
+			return t, r.err
+		}
+		t.loads = r.take(8 * t.N)
+	}
 	if err := r.finish("tasks"); err != nil {
 		return t, err
 	}
@@ -240,4 +296,13 @@ func (t TasksCSR) Adj(j int) int32 {
 // EW returns the weight of edge slot j (0 ≤ j < M).
 func (t TasksCSR) EW(j int) int64 {
 	return int64(binary.LittleEndian.Uint64(t.ew[8*j:]))
+}
+
+// HasLoads reports whether the body carried a per-task loads block.
+func (t TasksCSR) HasLoads() bool { return t.loads != nil }
+
+// Load returns the compute load of task i (0 ≤ i < N); call only when
+// HasLoads.
+func (t TasksCSR) Load(i int) int64 {
+	return int64(binary.LittleEndian.Uint64(t.loads[8*i:]))
 }

@@ -23,8 +23,8 @@ const SimSecondsMetric = "sim_seconds"
 //
 // Metric names are the lowercase wire names of the MapMetrics fields
 // ("th", "wh", "mmc", "mc", "amc", "ac", "icv", "icm", "mnrv",
-// "mnrm", "used_links") plus "sim_seconds"; resolution is
-// case-insensitive.
+// "mnrm", "used_links", "makespan", "load_imbalance") plus
+// "sim_seconds"; resolution is case-insensitive.
 type Objective struct {
 	Minimize string          `json:"minimize,omitempty"`
 	Terms    []ObjectiveTerm `json:"terms,omitempty"`

@@ -16,6 +16,7 @@ func goldenResult() *MapResult {
 		Metrics: MapMetrics{
 			TH: 10, WH: 100, MMC: 5, MC: 2.5, AMC: 1.5, AC: 0.5,
 			ICV: 300, ICM: 40, MNRV: 70, MNRM: 8, UsedLinks: 12,
+			Makespan: 900, LoadImbalance: 1.25,
 		},
 		SimSeconds: 0.25,
 		SimRan:     true,
@@ -43,6 +44,7 @@ func TestObjectiveScoreGolden(t *testing.T) {
 	golden := map[string]float64{
 		"th": 10, "wh": 100, "mmc": 5, "mc": 2.5, "amc": 1.5, "ac": 0.5,
 		"icv": 300, "icm": 40, "mnrv": 70, "mnrm": 8, "used_links": 12,
+		"makespan": 900, "load_imbalance": 1.25,
 		"sim_seconds": 0.25,
 	}
 	names := ObjectiveMetricNames()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hetero"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/parallel"
@@ -100,6 +101,7 @@ func (d AllocationDelta) Apply(topo Topology, prev *Allocation) (*Allocation, er
 		}
 		next.Nodes = append(next.Nodes, m)
 		next.ProcsPerNode = append(next.ProcsPerNode, procs[i])
+		next.Speeds = append(next.Speeds, prev.Speed(i))
 	}
 	for _, nc := range d.Add {
 		if err := touch(nc.Node); err != nil {
@@ -116,10 +118,15 @@ func (d AllocationDelta) Apply(topo Topology, prev *Allocation) (*Allocation, er
 		}
 		next.Nodes = append(next.Nodes, nc.Node)
 		next.ProcsPerNode = append(next.ProcsPerNode, nc.Procs)
+		next.Speeds = append(next.Speeds, 1)
 	}
 	if next.NumNodes() == 0 {
 		return nil, fmt.Errorf("topomap: delta empties the allocation")
 	}
+	// Surviving nodes keep their speed factors; added nodes default to
+	// unit speed. A fully homogeneous result canonicalizes back to the
+	// nil vector so fingerprints and wire bytes stay in the legacy form.
+	next.CanonicalizeSpeeds()
 	return next, nil
 }
 
@@ -406,6 +413,16 @@ func (e *Engine) warmRemap(ctx context.Context, tg *TaskGraph, prev *MapResult, 
 		sp.Add("repair_moves", int64(moves))
 		sp.End()
 	}
+	// Mirror runSolve: after the delta the load distribution can be
+	// badly skewed (a fast node removed, its tasks migrated wholesale),
+	// so the warm path re-balances toward the makespan before the fence
+	// scores it.
+	if spec.Solve.Balance || !e.unitSpeeds {
+		sp = ex.StartSpan("balance")
+		moves := hetero.RepairLoad(tg.G, coarse, plan.GroupOf, nodeOf, e.speedOfNode, e.capOfNode)
+		sp.Add("balance_moves", int64(moves))
+		sp.End()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -420,6 +437,9 @@ func (e *Engine) warmRemap(ctx context.Context, tg *TaskGraph, prev *MapResult, 
 	sp = ex.StartSpan("metrics")
 	sp.SetWorkers(poolWorkers)
 	res.Metrics = metrics.ComputePar(tg.G, e.view, pl, ex.Par)
+	if !e.unitSpeeds {
+		res.Metrics.Makespan, res.Metrics.LoadImbalance = hetero.Summary(tg.G, plan.GroupOf, nodeOf, e.speedOfNode)
+	}
 	sp.End()
 	if spec.Solve.Sim != nil {
 		sp = ex.StartSpan("sim")

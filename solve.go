@@ -53,6 +53,13 @@ type Solve struct {
 	// an untraced solve are byte-identical; disabled (the default) it
 	// costs nothing.
 	Trace bool `json:"trace,omitempty"`
+	// Balance runs the makespan-aware load-repair stage after mapping:
+	// the costliest tasks migrate off the bottleneck node (per-task
+	// loads over per-node speeds) onto the cheapest feasible node. The
+	// stage runs automatically whenever the allocation declares
+	// non-unit speeds; Balance opts in for loads-only jobs, where
+	// per-task costs exist but every node runs at unit speed.
+	Balance bool `json:"balance,omitempty"`
 }
 
 // SimSpec configures the post-solve communication-only simulation of
@@ -140,6 +147,13 @@ func WithParallelism(n int) RequestOption {
 // not.
 func WithTrace() RequestOption {
 	return func(s *Solve) { s.Trace = true }
+}
+
+// WithBalance runs the makespan-aware load-repair stage after mapping
+// (see Solve.Balance) — the opt-in for loads-only jobs; allocations
+// with non-unit speeds get the stage automatically.
+func WithBalance() RequestOption {
+	return func(s *Solve) { s.Balance = true }
 }
 
 // WithTimeout bounds the solve's wall-clock; sub-millisecond values

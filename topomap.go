@@ -248,6 +248,13 @@ func BuildTaskGraph(m *Matrix, part []int32, k int) (*TaskGraph, error) {
 	return taskgraph.Build(m, part, k)
 }
 
+// MLPipe generates a stage-parallel inference-pipeline task graph
+// with skewed per-task compute loads — the heterogeneous-processor
+// benchmark workload (see taskgraph.MLPipe).
+func MLPipe(stages, width int, seed int64) (*TaskGraph, error) {
+	return taskgraph.MLPipe(stages, width, seed)
+}
+
 // Mapper names a mapping algorithm of the evaluation (§IV-B).
 type Mapper string
 
@@ -295,6 +302,13 @@ const (
 	// loads of an adaptively routed torus (Blue Gene style), instead
 	// of the exact loads of static routing.
 	UMCA Mapper = "UMCA"
+	// HET is the hetero-aware greedy construction: supertask groups in
+	// descending load order each take the unassigned node minimizing
+	// the group's compute finish time (load over node speed), breaking
+	// ties toward communication locality. Pair it with per-task loads,
+	// per-node speeds and the "makespan" objective; on homogeneous
+	// inputs it degrades to a plain locality greedy.
+	HET Mapper = "HET"
 )
 
 // Mappers returns the mappers evaluated in Figure 2, in order.

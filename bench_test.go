@@ -21,6 +21,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fattree"
 	"repro/internal/gen"
+	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/metrics"
@@ -848,6 +849,93 @@ func BenchmarkHeteroSolve(b *testing.B) {
 			makespan, _ = hetero.Summary(tg.G, res.GroupOf, res.NodeOf, dense)
 		}
 		b.ReportMetric(makespan, "makespan")
+	})
+}
+
+// BenchmarkGeomSolve measures the geometric pipeline against the
+// paper's mapper on the geometric pair's native workload: a 16^3
+// halo-exchange stencil (4096 tasks, coordinates = grid positions)
+// over 256 sparse nodes of an 8x8x8 Hopper torus. GEOM runs the
+// multi-jagged bisection + Hilbert node order, SFCM the pure
+// SFC-to-SFC placement, UML the library's multi-level construction —
+// geometry is cheap sorting, so GEOM's construction must come in well
+// under UML's while each records the hop-byte quality it buys.
+func BenchmarkGeomSolve(b *testing.B) {
+	tg, err := taskgraph.Stencil(16, 16, 16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := torus.NewHopper3D(8, 8, 8)
+	a, err := alloc.Generate(topo, 256, alloc.Config{Mode: alloc.Sparse, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mp := range []topomap.Mapper{topomap.GEOM, topomap.SFCM, topomap.UML, topomap.DEF} {
+		b.Run("solve/"+string(mp), func(b *testing.B) {
+			eng, err := topomap.NewEngine(topo, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wh int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(topomap.Request{Mapper: mp, Tasks: tg, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wh = res.Metrics.WH
+			}
+			b.ReportMetric(float64(wh), "hop-bytes")
+		})
+	}
+
+	// Construction-stage sub-benches: the end-to-end solves above share
+	// the coarsening cost, so the mapper-stage difference — where
+	// geometry's cheap sorting replaces UML's recursive multi-level
+	// construction — is measured on the precomputed coarse inputs.
+	eng, err := topomap.NewEngine(topo, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := eng.Run(topomap.Request{Mapper: topomap.GEOM, Tasks: tg, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coarse, group := warm.Coarse, warm.GroupOf
+	dim := tg.Dim
+	cent := make([]float64, coarse.N()*dim)
+	wsum := make([]float64, coarse.N())
+	for v := 0; v < tg.K; v++ {
+		g := int(group[v])
+		w := float64(tg.G.VertexWeight(v))
+		wsum[g] += w
+		for d := 0; d < dim; d++ {
+			cent[g*dim+d] += w * tg.Coords[v*dim+d]
+		}
+	}
+	for g := range wsum {
+		for d := 0; d < dim; d++ {
+			cent[g*dim+d] /= wsum[g]
+		}
+	}
+	b.Run("construct/GEOM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := geom.MapGEOM(cent, dim, coarse.VW, topo, a.Nodes, geom.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("construct/SFCM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := geom.MapSFCM(cent, dim, topo, a.Nodes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("construct/UML", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MapUML(coarse, topo, a.Nodes, core.MultilevelOptions{})
+		}
 	})
 }
 

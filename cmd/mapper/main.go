@@ -17,9 +17,11 @@
 //	mapper -matrix cagelike -procs 256 -portfolio all -objective mc -torus 8x8x8
 //	mapper -graph app.tgraph -portfolio UWH,UMC,UMMC -objective mc:0.7,wh:0.3
 //	mapper -graph app.tgraph -algo UWH -remap '{"remove":[12],"add":[{"node":40,"procs":16}]}'
+//	mapper -graph stencil.tgraph -coords stencil.xyz -algo GEOM -torus 8x8x8
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -69,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	viz := fs.Bool("viz", false, "render the congestion histogram, hottest links and torus slice maps")
 	binaryWire := fs.Bool("binary", false, "solve through an in-process mapd over the /v2 binary frame protocol instead of driving the engine directly — same mapping, same output (incompatible with -portfolio and -viz)")
 	loadsSpec := fs.String("loads", "", "per-task compute loads as comma-separated value[xCount] terms, e.g. 8x16,1x48 (total = task count); overrides loads carried by -graph or -matrix")
+	coordsFile := fs.String("coords", "", "per-task coordinate file (task x y [z] lines, one per task) attaching 2D/3D geometry to the graph; overrides coordinates carried by -graph; the geometric mappers (GEOM, SFCM) require coordinates")
 	speedsSpec := fs.String("speeds", "", "per-node speed factors as comma-separated value[xCount] terms, e.g. 4x4,1x12 (a single value broadcasts; total = allocation nodes)")
 	balance := fs.Bool("balance", false, "run the makespan-aware load-repair stage after mapping (automatic when -speeds is non-unit)")
 	if err := fs.Parse(args); err != nil {
@@ -192,6 +195,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			tg.G.VW = nil
 		}
 	}
+	if *coordsFile != "" {
+		f, err := os.Open(*coordsFile)
+		if err != nil {
+			return fail(err)
+		}
+		dim, coords, err := parseCoords(f, tg.G.N())
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if err := tg.SetCoords(dim, coords); err != nil {
+			return fail(err)
+		}
+	}
 
 	var a *topomap.Allocation
 	if *allocFile != "" {
@@ -265,7 +282,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// "all" normally expands inside RunPortfolio; expand here so
 			// the trace request reaches every candidate (the winner's
 			// timeline is the one printed).
-			candidates = eng.CompatibleMappers()
+			candidates = eng.CompatibleMappersFor(tg)
 		}
 		var solves []topomap.Solve
 		for _, mp := range candidates {
@@ -462,6 +479,12 @@ func taskSpec(tg *topomap.TaskGraph) service.TaskGraphSpec {
 	if tg.G.VW != nil {
 		spec.Loads = append([]int64(nil), tg.G.VW...)
 	}
+	if tg.HasCoords() {
+		spec.Coords = make([][]float64, tg.G.N())
+		for v := 0; v < tg.G.N(); v++ {
+			spec.Coords[v] = append([]float64(nil), tg.Coord(v)...)
+		}
+	}
 	return spec
 }
 
@@ -623,6 +646,60 @@ func parseLoads(s string) ([]int64, error) {
 		out[i] = l
 	}
 	return out, nil
+}
+
+// parseCoords reads a -coords file: one "task x y [z]" line per task,
+// every task exactly once, the first line fixing the dimensionality.
+// Returns the dim and the task-major flattened coordinate vector.
+func parseCoords(r io.Reader, n int) (int, []float64, error) {
+	sc := bufio.NewScanner(r)
+	dim := 0
+	var coords []float64
+	seen := make([]bool, n)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 && len(fields) != 4 {
+			return 0, nil, fmt.Errorf("-coords line %d: want 'task x y [z]', got %d fields", line, len(fields))
+		}
+		if dim == 0 {
+			dim = len(fields) - 1
+			coords = make([]float64, n*dim)
+		} else if len(fields)-1 != dim {
+			return 0, nil, fmt.Errorf("-coords line %d: %dD point in a %dD file", line, len(fields)-1, dim)
+		}
+		t, err := strconv.Atoi(fields[0])
+		if err != nil || t < 0 || t >= n {
+			return 0, nil, fmt.Errorf("-coords line %d: bad task id %q (graph has %d tasks)", line, fields[0], n)
+		}
+		if seen[t] {
+			return 0, nil, fmt.Errorf("-coords line %d: task %d listed twice", line, t)
+		}
+		seen[t] = true
+		for d := 0; d < dim; d++ {
+			c, err := strconv.ParseFloat(fields[d+1], 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("-coords line %d: bad coordinate %q", line, fields[d+1])
+			}
+			coords[t*dim+d] = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	if dim == 0 {
+		return 0, nil, fmt.Errorf("-coords: no coordinate lines")
+	}
+	for t, ok := range seen {
+		if !ok {
+			return 0, nil, fmt.Errorf("-coords: task %d has no coordinates", t)
+		}
+	}
+	return dim, coords, nil
 }
 
 // parseSpeeds expands a -speeds run list into the per-node speed

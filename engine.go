@@ -203,6 +203,9 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 			return nil, fmt.Errorf("topomap: mapper %s needs a topology with minimal-route enumeration", s.Mapper)
 		}
 	}
+	if caps.NeedsCoords && !tg.HasCoords() {
+		return nil, fmt.Errorf("topomap: mapper %s needs per-task coordinates on the task graph", s.Mapper)
+	}
 	workers := s.Workers
 	if workers == 0 {
 		workers = defaultWorkers
@@ -239,6 +242,9 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 	in := registry.Input{Coarse: coarse, Topo: e.view, Alloc: e.alloc, Seed: s.Seed, Exec: ex}
 	if caps.NeedsMessageGraph {
 		in.Msg = taskgraph.CoarseMessageGraphArena(e.arena, tg, group, e.alloc.NumNodes())
+	}
+	if caps.NeedsCoords {
+		in.Coords, in.Dim = groupCentroids(tg, group, e.alloc.NumNodes())
 	}
 	sp.Add("coarse_vertices", int64(coarse.N()))
 	sp.Add("coarse_edges", int64(coarse.M()))
@@ -321,6 +327,34 @@ func (e *Engine) runSolve(ctx context.Context, tg *TaskGraph, s Solve, defaultWo
 		return nil, err
 	}
 	return res, nil
+}
+
+// groupCentroids reduces the task coordinates to one point per
+// supertask group: the load-weighted mean of the member tasks'
+// coordinates (unit weights when the graph carries no loads). The
+// geometric mappers place these centroids instead of raw tasks, so
+// they see the same coarse problem every other mapper does.
+func groupCentroids(tg *TaskGraph, group []int32, numGroups int) ([]float64, int) {
+	dim := tg.Dim
+	cent := make([]float64, numGroups*dim)
+	wsum := make([]float64, numGroups)
+	for v := 0; v < tg.K; v++ {
+		g := int(group[v])
+		w := float64(tg.G.VertexWeight(v))
+		wsum[g] += w
+		c := tg.Coord(v)
+		for d := 0; d < dim; d++ {
+			cent[g*dim+d] += w * c[d]
+		}
+	}
+	for g := 0; g < numGroups; g++ {
+		if wsum[g] > 0 {
+			for d := 0; d < dim; d++ {
+				cent[g*dim+d] /= wsum[g]
+			}
+		}
+	}
+	return cent, dim
 }
 
 // RunBatch runs every request on a worker pool sized to the host

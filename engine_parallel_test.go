@@ -29,6 +29,10 @@ func rankfileBytes(t *testing.T, res *MapResult, a *Allocation) string {
 // rankfile (and placement, and metrics) at workers = 1, 2 and 8.
 func TestEngineParallelDeterminism(t *testing.T) {
 	tg, topo, a := engineFixture(t, 128)
+	// The coordinate-requiring mappers (GEOM, SFCM) sweep too, on the
+	// same fixture with synthetic coordinates attached — their
+	// bisection forks on the same worker pool as everyone else's.
+	tgc := withTestCoords(t, tg)
 	eng, err := NewEngine(topo, a)
 	if err != nil {
 		t.Fatal(err)
@@ -37,14 +41,18 @@ func TestEngineParallelDeterminism(t *testing.T) {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue // registered by other tests in this binary
 		}
-		base, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 3,
+		tasks := tg
+		if MapperCapsOf(mp).NeedsCoords {
+			tasks = tgc
+		}
+		base, err := eng.Run(Request{Mapper: mp, Tasks: tasks, Seed: 3,
 			Options: []RequestOption{WithParallelism(1)}})
 		if err != nil {
 			t.Fatalf("%s: serial: %v", mp, err)
 		}
 		baseRF := rankfileBytes(t, base, a)
 		for _, workers := range []int{2, 8} {
-			got, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 3,
+			got, err := eng.Run(Request{Mapper: mp, Tasks: tasks, Seed: 3,
 				Options: []RequestOption{WithParallelism(workers)}})
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", mp, workers, err)

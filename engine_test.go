@@ -43,6 +43,7 @@ func engineFixture(t *testing.T, procs int) (*TaskGraph, *Torus, *Allocation) {
 // torus.
 func TestEngineGoldenEquivalence(t *testing.T) {
 	tg, topo, a := engineFixture(t, 128)
+	tgc := withTestCoords(t, tg)
 	eng, err := NewEngine(topo, a)
 	if err != nil {
 		t.Fatal(err)
@@ -51,11 +52,15 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue // registered by other tests in this binary
 		}
-		legacy, err := RunMapping(mp, tg, topo, a, 1)
+		tasks := tg
+		if MapperCapsOf(mp).NeedsCoords {
+			tasks = tgc
+		}
+		legacy, err := RunMapping(mp, tasks, topo, a, 1)
 		if err != nil {
 			t.Fatalf("%s: legacy: %v", mp, err)
 		}
-		got, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1})
+		got, err := eng.Run(Request{Mapper: mp, Tasks: tasks, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: engine: %v", mp, err)
 		}
@@ -75,6 +80,7 @@ func TestEngineGoldenEquivalence(t *testing.T) {
 // dragonfly — the §III "various topologies" claim as an API property.
 func TestEngineTopologyGeneric(t *testing.T) {
 	tg, _, _ := engineFixture(t, 64)
+	tgc := withTestCoords(t, tg)
 	ft, err := NewFatTree(8, 10e9, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +110,14 @@ func TestEngineTopologyGeneric(t *testing.T) {
 			if strings.HasPrefix(string(mp), "TEST-") {
 				continue // registered by other tests in this binary
 			}
-			res, err := eng.Run(Request{Mapper: mp, Tasks: tg, Seed: 1})
+			// The geometric mappers run here too: fat trees and
+			// dragonflies expose no coordinate grid, so their node order
+			// falls back to allocation order — still a valid placement.
+			tasks := tg
+			if MapperCapsOf(mp).NeedsCoords {
+				tasks = tgc
+			}
+			res, err := eng.Run(Request{Mapper: mp, Tasks: tasks, Seed: 1})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", tc.name, mp, err)
 			}

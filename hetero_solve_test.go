@@ -52,6 +52,9 @@ func TestSolveHomogeneousDegeneracy(t *testing.T) {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue
 		}
+		if MapperCapsOf(mp).NeedsCoords {
+			continue // coordinate-free fixture; see TestSolveCoordinateDegeneracy
+		}
 		want, err := engBase.Run(Request{Mapper: mp, Tasks: base, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: baseline: %v", mp, err)
@@ -163,6 +166,9 @@ func TestSolveHeteroBeatsBlindMakespan(t *testing.T) {
 	for _, mp := range RegisteredMappers() {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue
+		}
+		if MapperCapsOf(mp).NeedsCoords {
+			continue // the mlpipe workload carries no coordinates
 		}
 		res, err := engBlind.Run(Request{Mapper: mp, Tasks: withLoads(tg, nil), Seed: 1})
 		if err != nil {

@@ -5,15 +5,17 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/torus"
 )
 
-// The twelve built-in mappers: the seven of the paper's figures (DEF,
+// The built-in mappers: the seven of the paper's figures (DEF,
 // the TMAP/SMAP baselines, the four UMPA variants), then the
-// extension variants the paper sketches but does not plot, and the
-// hetero-aware greedy construction HET. All are
+// extension variants the paper sketches but does not plot, the
+// hetero-aware greedy construction HET, and the geometric pair
+// GEOM/SFCM (coordinate-requiring, declared via Caps). All are
 // topology-generic — the WH family runs on anything implementing
 // torus.Topology (§III: the algorithms "can be applied to various
 // topologies"), the baselines degrade their geometric node split to
@@ -57,6 +59,16 @@ func init() {
 	}))
 	MustRegister(NewFunc("HET", Caps{}, func(in Input) ([]int32, error) {
 		return hetero.Map(in.Coarse, in.Topo, in.Alloc), nil
+	}))
+	MustRegister(NewFunc("GEOM", Caps{NeedsCoords: true}, func(in Input) ([]int32, error) {
+		opt := geom.Options{Seed: in.Seed}
+		if in.Exec != nil {
+			opt.Par, opt.Arena, opt.Trace = in.Exec.Par, in.Exec.Arena, in.Exec.Trace
+		}
+		return geom.MapGEOM(in.Coords, in.Dim, in.Coarse.VW, in.Topo, in.Alloc.Nodes, opt)
+	}))
+	MustRegister(NewFunc("SFCM", Caps{NeedsCoords: true}, func(in Input) ([]int32, error) {
+		return geom.MapSFCM(in.Coords, in.Dim, in.Topo, in.Alloc.Nodes)
 	}))
 }
 

@@ -35,6 +35,13 @@ type Input struct {
 	Alloc *alloc.Allocation
 	// Seed drives any randomized choice the mapper makes.
 	Seed int64
+	// Coords are per-group geometric centroids (group-major flattened,
+	// Dim values per group, load-weighted means of the member tasks'
+	// coordinates); populated only when the spec declares NeedsCoords.
+	Coords []float64
+	// Dim is the coordinate dimensionality of Coords (2 or 3; 0 when
+	// absent).
+	Dim int
 	// Exec is the solve's execution context: the bounded worker pool
 	// for intra-request parallelism, the scratch arena, and the
 	// cooperative cancellation signal. May be nil (serial, fresh
@@ -57,6 +64,11 @@ type Caps struct {
 	// SMP-style DEF placement) instead of partitioning the task
 	// graph, and skips the heterogeneous capacity repair.
 	BlockGrouping bool `json:"block_grouping"`
+	// NeedsCoords requires per-task geometric coordinates on the task
+	// graph (geometric/SFC mappers); the engine rejects requests whose
+	// graph carries none, and coordinate-free portfolios filter these
+	// mappers out.
+	NeedsCoords bool `json:"needs_coords"`
 }
 
 // MapperSpec is one registered mapping algorithm.

@@ -59,6 +59,7 @@ func mapReq(spec service.TaskGraphSpec, mapper string) service.MapRequest {
 // fingerprint (so a remap chain can hop protocols).
 func TestBinaryMapEquivalence(t *testing.T) {
 	spec, _ := testTasks(64)
+	specC, _ := testTasksCoords(64)
 	_, cj := protoClient(service.Config{}, client.ProtoJSON)
 	_, cb := protoClient(service.Config{}, client.ProtoBinary)
 
@@ -66,11 +67,15 @@ func TestBinaryMapEquivalence(t *testing.T) {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue // registered by other tests in this binary
 		}
-		jr, err := cj.Map(context.Background(), mapReq(spec, string(mp)))
+		taskSpec := spec
+		if topomap.MapperCapsOf(mp).NeedsCoords {
+			taskSpec = specC
+		}
+		jr, err := cj.Map(context.Background(), mapReq(taskSpec, string(mp)))
 		if err != nil {
 			t.Fatalf("%s: json: %v", mp, err)
 		}
-		br, err := cb.Map(context.Background(), mapReq(spec, string(mp)))
+		br, err := cb.Map(context.Background(), mapReq(taskSpec, string(mp)))
 		if err != nil {
 			t.Fatalf("%s: binary: %v", mp, err)
 		}

@@ -166,9 +166,10 @@ func AppendTasksSection(w *wirebin.Writer, ts TaskGraphSpec) error {
 	if err != nil {
 		return err
 	}
-	// Build canonicalized unit loads to a nil VW, so homogeneous graphs
-	// keep the legacy (loads-free) body bytes.
-	wirebin.AppendTasksCSR(w, tg.G.Xadj, tg.G.Adj, tg.G.EW, tg.G.VW)
+	// Build canonicalized unit loads to a nil VW and absent coordinates
+	// to a nil slice, so homogeneous coordinate-free graphs keep the
+	// legacy body bytes.
+	wirebin.AppendTasksCSR(w, tg.G.Xadj, tg.G.Adj, tg.G.EW, tg.G.VW, tg.Coords, tg.Dim)
 	return nil
 }
 
@@ -230,5 +231,20 @@ func taskGraphFromCSR(t wirebin.TasksCSR) (*topomap.TaskGraph, error) {
 			loads = nil
 		}
 	}
-	return &topomap.TaskGraph{G: graph.FromTriples(t.N, tri[:cnt], loads), K: t.N}, nil
+	tg := &topomap.TaskGraph{G: graph.FromTriples(t.N, tri[:cnt], loads), K: t.N}
+	if t.HasCoords() {
+		dim := t.CoordDim()
+		coords := make([]float64, t.N*dim)
+		for i := 0; i < t.N; i++ {
+			for d := 0; d < dim; d++ {
+				coords[i*dim+d] = t.Coord(i, d)
+			}
+		}
+		// SetCoords re-validates dim and finiteness — the structural
+		// decoder accepts any f64 bits, the semantic boundary does not.
+		if err := tg.SetCoords(dim, coords); err != nil {
+			return nil, fmt.Errorf("tasks: %w", err)
+		}
+	}
+	return tg, nil
 }

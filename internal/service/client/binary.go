@@ -129,6 +129,13 @@ func tasksMemoKey(ts service.TaskGraphSpec) string {
 	for _, l := range ts.Loads {
 		h = h.U64(uint64(l))
 	}
+	h = h.U64(uint64(len(ts.Coords)))
+	for _, row := range ts.Coords {
+		h = h.U64(uint64(len(row)))
+		for _, c := range row {
+			h = h.U64(math.Float64bits(c))
+		}
+	}
 	return "g|" + strconv.FormatUint(uint64(h), 16)
 }
 

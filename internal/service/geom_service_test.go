@@ -1,0 +1,171 @@
+package service_test
+
+// Geometric-mapper wire tests: task coordinates must ride both
+// protocols — a /v2 binary GEOM/SFCM map + remap chain agreeing
+// byte-for-byte with the /v1 JSON envelope — the capability gate must
+// answer coordinate-free requests with a 400 before any solve, and
+// coordinates must stay invisible to coordinate-free mappers at the
+// placement level.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	topomap "repro"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// TestGeomMapV1V2Equivalence drives a coordinate-carrying map +
+// remap chain — GEOM solving, a node removed, GEOM re-solving against
+// the cached coordinate-carrying graph — over both the /v2 binary
+// frames and the /v1 JSON envelope; the two protocols must return
+// identical responses, fingerprints included.
+func TestGeomMapV1V2Equivalence(t *testing.T) {
+	spec, _ := testTasksCoords(64)
+	_, cj := protoClient(service.Config{}, client.ProtoJSON)
+	_, cb := protoClient(service.Config{}, client.ProtoBinary)
+
+	for _, mp := range []topomap.Mapper{topomap.GEOM, topomap.SFCM} {
+		run := func(c *client.Client, label string) *service.RemapResponse {
+			t.Helper()
+			mapped, err := c.Map(context.Background(), service.MapRequest{
+				Topology:   torusSpec(),
+				Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+				Tasks:      spec,
+				Mapper:     string(mp),
+				Seed:       1,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: map: %v", mp, label, err)
+			}
+			rr, err := c.Remap(context.Background(), service.RemapRequest{
+				Fingerprint: mapped.Fingerprint,
+				Delta:       topomap.AllocationDelta{Remove: []int32{mapped.AllocNodes[3]}},
+				Solve:       topomap.Solve{Mapper: mp, Seed: 1},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: remap: %v", mp, label, err)
+			}
+			return rr
+		}
+		jr := run(cj, "json")
+		br := run(cb, "binary")
+		if jr.Fingerprint == "" || br.Fingerprint != jr.Fingerprint {
+			t.Fatalf("%s: remap fingerprint diverged: json %q, binary %q", mp, jr.Fingerprint, br.Fingerprint)
+		}
+		scrubMap(&jr.MapResponse)
+		scrubMap(&br.MapResponse)
+		if !reflect.DeepEqual(jr, br) {
+			t.Fatalf("%s: remap responses diverged:\n json   %+v\n binary %+v", mp, jr, br)
+		}
+	}
+}
+
+// TestGeomNeedsCoordsWireError: a GEOM request whose spec carries no
+// coordinates costs a 400 mentioning coordinates, on both protocols,
+// before any solve.
+func TestGeomNeedsCoordsWireError(t *testing.T) {
+	spec, _ := testTasks(64)
+	for _, proto := range []struct {
+		name string
+		p    client.Protocol
+	}{{"json", client.ProtoJSON}, {"binary", client.ProtoBinary}} {
+		_, c := protoClient(service.Config{}, proto.p)
+		_, err := c.Map(context.Background(), service.MapRequest{
+			Topology:   torusSpec(),
+			Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+			Tasks:      spec,
+			Mapper:     "GEOM",
+			Seed:       1,
+		})
+		if err == nil {
+			t.Fatalf("%s: GEOM mapped a coordinate-free spec", proto.name)
+		}
+		if !strings.Contains(err.Error(), "coordinates") {
+			t.Fatalf("%s: error %q does not mention coordinates", proto.name, err)
+		}
+		if !strings.Contains(err.Error(), "400") {
+			t.Fatalf("%s: want a 400, got %q", proto.name, err)
+		}
+	}
+}
+
+// TestCoordsInvisibleToCoordinateFreeMappers: attaching coordinates
+// to a spec must not move a single task under a coordinate-free
+// mapper — same placement, same metrics, same rankfile — though the
+// result fingerprint legitimately differs (coordinates are part of
+// the task-graph identity a remap chain resumes from).
+func TestCoordsInvisibleToCoordinateFreeMappers(t *testing.T) {
+	spec, _ := testTasks(64)
+	specC, _ := testTasksCoords(64)
+	c := newClient(t, service.Config{})
+	req := func(s service.TaskGraphSpec) service.MapRequest {
+		return service.MapRequest{
+			Topology:   torusSpec(),
+			Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+			Tasks:      s,
+			Mapper:     "UWH",
+			Seed:       3,
+		}
+	}
+	bare, err := c.Map(context.Background(), req(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withC, err := c.Map(context.Background(), req(specC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withC.NodeOf, bare.NodeOf) || !reflect.DeepEqual(withC.GroupOf, bare.GroupOf) {
+		t.Fatal("coordinates moved tasks under a coordinate-free mapper")
+	}
+	if withC.Metrics != bare.Metrics {
+		t.Fatal("coordinates changed metrics under a coordinate-free mapper")
+	}
+	if withC.Fingerprint == bare.Fingerprint {
+		t.Fatal("fingerprint ignored the coordinates — a remap chain would resume from the wrong graph")
+	}
+}
+
+// TestGeomPortfolioV1: a portfolio over a coordinate-carrying spec
+// auto-expands to include GEOM and SFCM; an explicit GEOM candidate
+// on a coordinate-free spec costs a 400.
+func TestGeomPortfolioV1(t *testing.T) {
+	specC, _ := testTasksCoords(64)
+	c := newClient(t, service.Config{})
+	resp, err := c.Portfolio(context.Background(), service.PortfolioRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+		Tasks:      specC,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := map[topomap.Mapper]bool{}
+	for _, entry := range resp.Leaderboard {
+		ran[entry.Solve.Mapper] = true
+	}
+	for _, mp := range []topomap.Mapper{topomap.GEOM, topomap.SFCM} {
+		if !ran[mp] {
+			t.Fatalf("auto expansion on a coordinate-carrying spec left out %s", mp)
+		}
+	}
+
+	spec, _ := testTasks(64)
+	_, err = c.Portfolio(context.Background(), service.PortfolioRequest{
+		Topology:   torusSpec(),
+		Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
+		Tasks:      spec,
+		Candidates: []topomap.Solve{{Mapper: topomap.GEOM, Seed: 1}},
+	})
+	if err == nil {
+		t.Fatal("portfolio accepted a GEOM candidate on a coordinate-free spec")
+	}
+	if !strings.Contains(err.Error(), "coordinates") || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("error %q should be a 400 mentioning coordinates", err)
+	}
+}

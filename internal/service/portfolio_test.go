@@ -201,9 +201,23 @@ func TestPortfolioAutoExpansion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Leaderboard) < len(topomap.RegisteredMappers()) {
-		t.Fatalf("auto expansion ran %d candidates, registry has %d mappers",
-			len(resp.Leaderboard), len(topomap.RegisteredMappers()))
+	// Coordinate-requiring mappers (GEOM, SFCM) are excluded: the spec
+	// carries no coords, so the expansion must leave them out rather
+	// than fail the whole portfolio.
+	want := 0
+	for _, mp := range topomap.RegisteredMappers() {
+		if !topomap.MapperCapsOf(mp).NeedsCoords {
+			want++
+		}
+	}
+	if len(resp.Leaderboard) < want {
+		t.Fatalf("auto expansion ran %d candidates, registry has %d coordinate-free mappers",
+			len(resp.Leaderboard), want)
+	}
+	for _, entry := range resp.Leaderboard {
+		if topomap.MapperCapsOf(entry.Solve.Mapper).NeedsCoords {
+			t.Fatalf("auto expansion included %s on a coordinate-free task graph", entry.Solve.Mapper)
+		}
 	}
 	for _, entry := range resp.Leaderboard {
 		if entry.Solve.Seed != 2 {

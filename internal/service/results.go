@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -269,10 +270,11 @@ func resultFingerprint(eng *topomap.Engine, tg *topomap.TaskGraph, res *topomap.
 }
 
 // hashTaskGraph folds the task graph's structure — coarsening factor,
-// adjacency, edge volumes and (when heterogeneous) per-task loads —
-// into h, alloc-free. Unit loads are canonically nil (TaskGraphSpec
-// and the binary decoder both canonicalize), so pre-heterogeneity
-// hashes are unchanged.
+// adjacency, edge volumes, (when heterogeneous) per-task loads and
+// (when geometric) per-task coordinates — into h, alloc-free. Unit
+// loads are canonically nil (TaskGraphSpec and the binary decoder
+// both canonicalize) and absent coordinates are nil, so
+// pre-heterogeneity, coordinate-free hashes are unchanged.
 func hashTaskGraph(h wirebin.Hash64, tg *topomap.TaskGraph) wirebin.Hash64 {
 	h = h.U64(uint64(tg.K))
 	h = h.U64(uint64(tg.G.N()))
@@ -288,6 +290,13 @@ func hashTaskGraph(h wirebin.Hash64, tg *topomap.TaskGraph) wirebin.Hash64 {
 		h = h.U64(^uint64(0)) // domain separator: loads follow
 		for _, l := range tg.G.VW {
 			h = h.U64(uint64(l))
+		}
+	}
+	if tg.HasCoords() {
+		h = h.U64(^uint64(1)) // domain separator: coordinates follow
+		h = h.U64(uint64(tg.Dim))
+		for _, c := range tg.Coords {
+			h = h.U64(math.Float64bits(c))
 		}
 	}
 	return h

@@ -36,6 +36,26 @@ func testTasks(n int) (service.TaskGraphSpec, *topomap.TaskGraph) {
 	return spec, tg
 }
 
+// testTasksCoords is testTasks with a deterministic square grid of 2D
+// coordinates attached — the coordinate-carrying variant the
+// geometric mappers (GEOM, SFCM) need.
+func testTasksCoords(n int) (service.TaskGraphSpec, *topomap.TaskGraph) {
+	spec, _ := testTasks(n)
+	side := 1
+	for side*side < n {
+		side++
+	}
+	spec.Coords = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		spec.Coords[i] = []float64{float64(i % side), float64(i / side)}
+	}
+	tg, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
+	return spec, tg
+}
+
 // torusSpec is the shared test network: a 6x6x6 torus with default
 // bandwidths.
 func torusSpec() service.TopologySpec {
@@ -81,6 +101,7 @@ func TestTopologySpecKeyMatchesFingerprint(t *testing.T) {
 // mapper — same GroupOf, NodeOf and metrics.
 func TestMapEquivalence(t *testing.T) {
 	spec, tg := testTasks(64)
+	specC, tgC := testTasksCoords(64)
 	c := newClient(t, service.Config{})
 
 	topo := topomap.NewTorus([]int{6, 6, 6}, []float64{9.38e9, 4.68e9, 9.38e9})
@@ -96,14 +117,18 @@ func TestMapEquivalence(t *testing.T) {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue // registered by other tests in this binary
 		}
-		direct, err := eng.Run(topomap.Request{Mapper: mp, Tasks: tg, Seed: 7})
+		taskSpec, tasks := spec, tg
+		if topomap.MapperCapsOf(mp).NeedsCoords {
+			taskSpec, tasks = specC, tgC
+		}
+		direct, err := eng.Run(topomap.Request{Mapper: mp, Tasks: tasks, Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: direct: %v", mp, err)
 		}
 		resp, err := c.Map(context.Background(), service.MapRequest{
 			Topology:   torusSpec(),
 			Allocation: service.AllocationSpec{SparseNodes: 8, Seed: 1},
-			Tasks:      spec,
+			Tasks:      taskSpec,
 			Mapper:     string(mp),
 			Seed:       7,
 		})

@@ -24,13 +24,16 @@ import (
 
 // TaskGraphSpec is the wire form of a task graph: n tasks, a directed
 // weighted edge list (the same "src dst volume" triples the CLI's
-// -graph files carry), and optionally one compute load per task for
-// heterogeneous-processor jobs. An absent Loads field — or an all-ones
-// one, which canonicalizes to absent — means unit loads.
+// -graph files carry), optionally one compute load per task for
+// heterogeneous-processor jobs, and optionally one 2D/3D coordinate
+// row per task for the geometric mappers. An absent Loads field — or
+// an all-ones one, which canonicalizes to absent — means unit loads;
+// an absent Coords field means a coordinate-free graph.
 type TaskGraphSpec struct {
-	N     int        `json:"n"`
-	Edges [][3]int64 `json:"edges"`
-	Loads []int64    `json:"loads,omitempty"`
+	N      int         `json:"n"`
+	Edges  [][3]int64  `json:"edges"`
+	Loads  []int64     `json:"loads,omitempty"`
+	Coords [][]float64 `json:"coords,omitempty"`
 }
 
 // maxTasks bounds wire task graphs: n is a bare integer whose cost
@@ -81,7 +84,29 @@ func (t TaskGraphSpec) Build() (*topomap.TaskGraph, error) {
 			g.VW = append([]int64(nil), t.Loads...)
 		}
 	}
-	return &topomap.TaskGraph{G: g, K: t.N}, nil
+	tg := &topomap.TaskGraph{G: g, K: t.N}
+	if t.Coords != nil {
+		if len(t.Coords) != t.N {
+			return nil, fmt.Errorf("tasks: %d coordinate rows for %d tasks", len(t.Coords), t.N)
+		}
+		dim := len(t.Coords[0])
+		if dim != 2 && dim != 3 {
+			return nil, fmt.Errorf("tasks: coordinate rows have %d values, want 2 or 3", dim)
+		}
+		flat := make([]float64, 0, t.N*dim)
+		for i, row := range t.Coords {
+			if len(row) != dim {
+				return nil, fmt.Errorf("tasks: coordinate row %d has %d values, row 0 has %d", i, len(row), dim)
+			}
+			flat = append(flat, row...)
+		}
+		// SetCoords validates finiteness; there is no unit-coordinate
+		// degeneracy to canonicalize — coordinates are present or not.
+		if err := tg.SetCoords(dim, flat); err != nil {
+			return nil, fmt.Errorf("tasks: %w", err)
+		}
+	}
+	return tg, nil
 }
 
 // MapRequest is one mapping job: network, allocation, task graph,

@@ -58,6 +58,24 @@ func absDiff(a, b uint32) uint32 {
 	return b - a
 }
 
+// TestHilbertRoundTripProperty extends the exhaustive small-cube
+// sweep to random points at the 10-bit resolution the geometric
+// mappers quantize to: XYZ2D followed by D2XYZ must reproduce the
+// point exactly.
+func TestHilbertRoundTripProperty(t *testing.T) {
+	const b = 10
+	prop := func(x, y, z uint16) bool {
+		mask := uint32(1)<<b - 1
+		xx, yy, zz := uint32(x)&mask, uint32(y)&mask, uint32(z)&mask
+		d := HilbertXYZ2D(b, xx, yy, zz)
+		gx, gy, gz := HilbertD2XYZ(b, d)
+		return gx == xx && gy == yy && gz == zz
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMortonRoundTripProperty(t *testing.T) {
 	prop := func(x, y, z uint16) bool {
 		xx, yy, zz := uint32(x)&0x3ff, uint32(y)&0x3ff, uint32(z)&0x3ff
@@ -72,7 +90,14 @@ func TestMortonRoundTripProperty(t *testing.T) {
 
 func TestBoxOrderCoversEveryPointOnce(t *testing.T) {
 	for _, order := range []Order{OrderHilbert, OrderMorton, OrderRowMajor} {
-		for _, dims := range [][3]int{{4, 4, 4}, {5, 3, 7}, {1, 1, 1}, {16, 12, 16}} {
+		for _, dims := range [][3]int{
+			{4, 4, 4}, {5, 3, 7}, {1, 1, 1}, {16, 12, 16},
+			// Adversarial shapes: degenerate lines and planes, prime
+			// extents, and heavy aspect ratios — the curve is generated
+			// over the enclosing power-of-two cube and filtered, so these
+			// stress the filter, not just the curve.
+			{1, 1, 13}, {1, 17, 1}, {31, 1, 1}, {1, 5, 9}, {2, 1, 64}, {3, 3, 1}, {7, 11, 13},
+		} {
 			pts := BoxOrder(order, dims[0], dims[1], dims[2])
 			n := dims[0] * dims[1] * dims[2]
 			if len(pts) != n {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -13,7 +14,8 @@ import (
 // Encode serializes the task graph in the plain text edge-list
 // format "src dst volume" (one directed edge per line, 0-based ids),
 // preceded by a comment header. Compute loads are emitted as
-// "# load <task> <nnz>" lines when present.
+// "# load <task> <nnz>" lines and task coordinates as
+// "# coord <task> <x> <y> [z]" lines when present.
 func (t *TaskGraph) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# task graph: %d tasks, %d directed edges\n", t.K, t.G.M()); err != nil {
@@ -22,6 +24,21 @@ func (t *TaskGraph) Encode(w io.Writer) error {
 	if t.G.VW != nil {
 		for v, load := range t.G.VW {
 			if _, err := fmt.Fprintf(bw, "# load %d %d\n", v, load); err != nil {
+				return err
+			}
+		}
+	}
+	if t.HasCoords() {
+		for v := 0; v < t.K; v++ {
+			if _, err := fmt.Fprintf(bw, "# coord %d", v); err != nil {
+				return err
+			}
+			for _, c := range t.Coord(v) {
+				if _, err := fmt.Fprintf(bw, " %s", strconv.FormatFloat(c, 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(bw); err != nil {
 				return err
 			}
 		}
@@ -39,11 +56,16 @@ func (t *TaskGraph) Encode(w io.Writer) error {
 // Read parses the text edge-list format of Encode: whitespace-
 // separated "src dst [volume]" lines (volume defaults to 1), with
 // "#"-prefixed comments; "# load <task> <nnz>" comments restore
-// compute loads. The number of tasks is one plus the largest id seen.
+// compute loads and "# coord <task> <x> <y> [z]" comments restore
+// task coordinates (the first coord line fixes the dimensionality;
+// tasks without one sit at the origin). The number of tasks is one
+// plus the largest id seen.
 func Read(r io.Reader) (*TaskGraph, error) {
 	var us, vs []int32
 	var ws []int64
 	loads := map[int]int64{}
+	coords := map[int][]float64{}
+	coordDim := 0
 	maxID := -1
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -61,6 +83,26 @@ func Read(r io.Reader) (*TaskGraph, error) {
 				load, err2 := strconv.ParseInt(fields[3], 10, 64)
 				if err1 == nil && err2 == nil {
 					loads[id] = load
+					if id > maxID {
+						maxID = id
+					}
+				}
+			}
+			if (len(fields) == 5 || len(fields) == 6) && fields[1] == "coord" {
+				id, err := strconv.Atoi(fields[2])
+				dim := len(fields) - 3
+				vec := make([]float64, 0, dim)
+				for _, f := range fields[3:] {
+					c, cerr := strconv.ParseFloat(f, 64)
+					if cerr != nil || math.IsNaN(c) || math.IsInf(c, 0) {
+						err = fmt.Errorf("bad coord")
+						break
+					}
+					vec = append(vec, c)
+				}
+				if err == nil && id >= 0 && (coordDim == 0 || coordDim == dim) {
+					coordDim = dim
+					coords[id] = vec
 					if id > maxID {
 						maxID = id
 					}
@@ -121,5 +163,15 @@ func Read(r io.Reader) (*TaskGraph, error) {
 		}
 	}
 	g := graph.FromEdges(n, us, vs, ws, vw)
-	return &TaskGraph{G: g, K: n}, nil
+	tg := &TaskGraph{G: g, K: n}
+	if len(coords) > 0 {
+		flat := make([]float64, n*coordDim)
+		for id, vec := range coords {
+			copy(flat[id*coordDim:], vec)
+		}
+		if err := tg.SetCoords(coordDim, flat); err != nil {
+			return nil, err
+		}
+	}
+	return tg, nil
 }

@@ -1,0 +1,81 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Stencil generates the halo-exchange task graph of an nx×ny(×nz)
+// structured grid — one task per cell, a directed edge of volume
+// `vol` to each face neighbor (5-point in 2D, 7-point in 3D) — with
+// per-task coordinates set to the cell's grid position. nz == 1
+// produces a 2D problem (Dim 2); nz > 1 a 3D one (Dim 3). This is the
+// geometric mappers' native workload: the coordinates carry exactly
+// the locality the graph edges encode.
+//
+// The generator is fully deterministic in its arguments: tasks are
+// laid out in x-fastest order (t = x + nx*(y + ny*z)) and edges are
+// emitted in task order.
+func Stencil(nx, ny, nz int, vol int64) (*TaskGraph, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("taskgraph: stencil needs positive dimensions, got %dx%dx%d", nx, ny, nz)
+	}
+	if vol < 1 {
+		return nil, fmt.Errorf("taskgraph: stencil volume must be positive, got %d", vol)
+	}
+	n := nx * ny * nz
+	id := func(x, y, z int) int32 { return int32(x + nx*(y+ny*z)) }
+
+	var us, vs []int32
+	var ws []int64
+	arc := func(u, v int32) {
+		us = append(us, u)
+		vs = append(vs, v)
+		ws = append(ws, vol)
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				t := id(x, y, z)
+				if x+1 < nx {
+					arc(t, id(x+1, y, z))
+					arc(id(x+1, y, z), t)
+				}
+				if y+1 < ny {
+					arc(t, id(x, y+1, z))
+					arc(id(x, y+1, z), t)
+				}
+				if z+1 < nz {
+					arc(t, id(x, y, z+1))
+					arc(id(x, y, z+1), t)
+				}
+			}
+		}
+	}
+
+	dim := 3
+	if nz == 1 {
+		dim = 2
+	}
+	coords := make([]float64, n*dim)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				off := int(id(x, y, z)) * dim
+				coords[off] = float64(x)
+				coords[off+1] = float64(y)
+				if dim == 3 {
+					coords[off+2] = float64(z)
+				}
+			}
+		}
+	}
+
+	g := graph.FromEdges(n, us, vs, ws, nil)
+	tg := &TaskGraph{G: g, K: n}
+	if err := tg.SetCoords(dim, coords); err != nil {
+		return nil, err
+	}
+	return tg, nil
+}

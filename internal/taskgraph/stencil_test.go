@@ -1,0 +1,159 @@
+package taskgraph
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Stencil and coordinate tests: the generator's shape and geometry,
+// the SetCoords validation surface, and the text-format round trip of
+// "# coord" lines.
+
+// TestStencilShape: task count, degree structure and coordinates of
+// small 2D and 3D grids.
+func TestStencilShape(t *testing.T) {
+	tg, err := Stencil(4, 3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.K != 12 || tg.Dim != 2 {
+		t.Fatalf("4x3 stencil: K=%d Dim=%d, want 12/2", tg.K, tg.Dim)
+	}
+	// Interior/edge/corner degrees of a 4x3 grid: 2 at corners, 3 on
+	// edges, 4 inside. Directed edge count = 2*(nx-1)*ny + 2*nx*(ny-1).
+	if want := int64(2*3*3 + 2*4*2); int64(tg.G.M()) != want {
+		t.Fatalf("4x3 stencil: %d directed edges, want %d", tg.G.M(), want)
+	}
+	// Task ids are x-fastest: task 5 is (x=1, y=1).
+	if c := tg.Coord(5); c[0] != 1 || c[1] != 1 {
+		t.Fatalf("task 5 at %v, want (1,1)", c)
+	}
+	for v := 0; v < tg.K; v++ {
+		for _, w := range tg.G.Weights(v) {
+			if w != 5 {
+				t.Fatalf("task %d carries edge volume %d, want 5", v, w)
+			}
+		}
+	}
+
+	tg3, err := Stencil(3, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg3.K != 27 || tg3.Dim != 3 {
+		t.Fatalf("3x3x3 stencil: K=%d Dim=%d, want 27/3", tg3.K, tg3.Dim)
+	}
+	// The center cell (1,1,1) = task 13 has all six face neighbors.
+	if deg := len(tg3.G.Neighbors(13)); deg != 6 {
+		t.Fatalf("center cell degree %d, want 6", deg)
+	}
+	if c := tg3.Coord(13); c[0] != 1 || c[1] != 1 || c[2] != 1 {
+		t.Fatalf("center cell at %v, want (1,1,1)", c)
+	}
+
+	if _, err := Stencil(0, 3, 3, 1); err == nil {
+		t.Fatal("zero-extent stencil accepted")
+	}
+	if _, err := Stencil(3, 3, 3, 0); err == nil {
+		t.Fatal("zero-volume stencil accepted")
+	}
+}
+
+// TestSetCoordsValidation walks the coordinate installation surface:
+// bad dims, length mismatches, non-finite values, and the canonical
+// nil strip.
+func TestSetCoordsValidation(t *testing.T) {
+	tg, err := Stencil(2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.SetCoords(1, make([]float64, 4)); err == nil {
+		t.Fatal("dim 1 accepted")
+	}
+	if err := tg.SetCoords(4, make([]float64, 16)); err == nil {
+		t.Fatal("dim 4 accepted")
+	}
+	if err := tg.SetCoords(2, make([]float64, 7)); err == nil {
+		t.Fatal("short coordinate slice accepted")
+	}
+	if err := tg.SetCoords(2, []float64{0, 1, 2, 3, 4, 5, 6, math.NaN()}); err == nil {
+		t.Fatal("NaN coordinate accepted")
+	}
+	if err := tg.SetCoords(2, []float64{0, 1, 2, 3, 4, 5, 6, math.Inf(1)}); err == nil {
+		t.Fatal("infinite coordinate accepted")
+	}
+	if err := tg.SetCoords(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tg.HasCoords() || tg.Dim != 0 || tg.Coords != nil {
+		t.Fatal("nil strip did not restore the canonical absent spelling")
+	}
+}
+
+// TestCoordsIORoundTrip: "# coord" lines survive Encode/Read exactly,
+// in 2D and 3D, and a coordinate-free graph emits none.
+func TestCoordsIORoundTrip(t *testing.T) {
+	for _, dims := range [][3]int{{4, 3, 1}, {3, 2, 2}} {
+		tg, err := Stencil(dims[0], dims[1], dims[2], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tg.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Dim != tg.Dim || !reflect.DeepEqual(back.Coords, tg.Coords) {
+			t.Fatalf("%v: coordinates diverged after round trip", dims)
+		}
+	}
+
+	plain := &TaskGraph{G: graph.FromEdges(3, []int32{0, 1}, []int32{1, 2}, []int64{4, 4}, nil), K: 3}
+	var buf bytes.Buffer
+	if err := plain.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# coord") {
+		t.Fatal("coordinate-free graph emitted coord lines")
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HasCoords() {
+		t.Fatal("coordinate-free graph grew coordinates on the round trip")
+	}
+}
+
+// TestCoordsReadTolerance: malformed coord comments are skipped (they
+// are comments), mixed dimensionality keeps the first, and tasks
+// without a coord line sit at the origin.
+func TestCoordsReadTolerance(t *testing.T) {
+	in := `# coord 0 1.5 2.5
+# coord 1 3 4 5
+# coord bad x y
+0 1 10
+1 2 10
+`
+	tg, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Dim != 2 {
+		t.Fatalf("Dim = %d, want 2 (first coord line wins)", tg.Dim)
+	}
+	if c := tg.Coord(0); c[0] != 1.5 || c[1] != 2.5 {
+		t.Fatalf("task 0 at %v", c)
+	}
+	if c := tg.Coord(2); c[0] != 0 || c[1] != 0 {
+		t.Fatalf("unlisted task 2 at %v, want origin", c)
+	}
+}

@@ -9,6 +9,7 @@ package taskgraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/arena"
@@ -23,9 +24,48 @@ import (
 // TaskGraph is a directed MPI task graph: vertex t sends w(t,u) units
 // of data to vertex u (x-vector entries for SpMV workloads). G.VW
 // holds per-task computation loads (nonzeros owned).
+//
+// Coords optionally carries per-task geometric coordinates (task-major
+// flattened, Dim values per task, Dim ∈ {2,3}) for the geometric
+// mappers. Absent coordinates are the canonical spelling: Coords nil,
+// Dim 0 — the pre-coordinate code paths exactly.
 type TaskGraph struct {
-	G *graph.Graph
-	K int // number of tasks
+	G      *graph.Graph
+	K      int       // number of tasks
+	Coords []float64 // per-task coordinates, K*Dim long (nil = none)
+	Dim    int       // coordinate dimensionality, 2 or 3 (0 = none)
+}
+
+// HasCoords reports whether the graph carries task coordinates.
+func (t *TaskGraph) HasCoords() bool { return t.Dim > 0 && len(t.Coords) > 0 }
+
+// SetCoords installs per-task coordinates (task-major flattened, dim
+// values per task) after validating dimensionality, length and
+// finiteness. A nil slice strips coordinates back to the canonical
+// absent spelling.
+func (t *TaskGraph) SetCoords(dim int, coords []float64) error {
+	if coords == nil {
+		t.Coords, t.Dim = nil, 0
+		return nil
+	}
+	if dim != 2 && dim != 3 {
+		return fmt.Errorf("taskgraph: coordinate dim %d, want 2 or 3", dim)
+	}
+	if len(coords) != t.K*dim {
+		return fmt.Errorf("taskgraph: %d coordinate values for %d tasks at dim %d (want %d)", len(coords), t.K, dim, t.K*dim)
+	}
+	for i, c := range coords {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("taskgraph: coordinate %d of task %d is not finite", i%dim, i/dim)
+		}
+	}
+	t.Coords, t.Dim = coords, dim
+	return nil
+}
+
+// Coord returns task v's coordinate vector (a view into Coords).
+func (t *TaskGraph) Coord(v int) []float64 {
+	return t.Coords[v*t.Dim : (v+1)*t.Dim]
 }
 
 // Metrics are the partition communication metrics of §IV-A, in unit

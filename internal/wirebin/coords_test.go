@@ -1,0 +1,119 @@
+package wirebin
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Deterministic unit tests of the coordinates trailing block —
+// the fuzz suite covers the adversarial space; these pin the exact
+// canonical spellings.
+
+func encTasks(loads []int64, coords []float64, dim int) []byte {
+	w := GetWriter()
+	defer PutWriter(w)
+	AppendTasksCSR(w, []int32{0, 1, 2, 3}, []int32{1, 2, 0}, []int64{10, 20, 30}, loads, coords, dim)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// TestTasksCoordsRoundTrip: the coordinates block survives the
+// parse in 2D and 3D, alone and stacked after a loads block, and a
+// canonical re-encode of the parsed view is byte-identical.
+func TestTasksCoordsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		loads  []int64
+		coords []float64
+		dim    int
+	}{
+		{"2d", nil, []float64{0, 0, 1.5, 0, 0.25, 2}, 2},
+		{"3d", nil, []float64{0, 0, 0, 1, 0, 0, 0, 1, 2.5}, 3},
+		{"loads+3d", []int64{7, 8, 9}, []float64{0, 0, 0, 1, 0, 0, 0, 1, 2.5}, 3},
+	}
+	for _, tc := range cases {
+		body := encTasks(tc.loads, tc.coords, tc.dim)
+		v, err := ParseTasks(body)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !v.HasCoords() || v.CoordDim() != tc.dim {
+			t.Fatalf("%s: HasCoords=%v dim=%d, want dim %d", tc.name, v.HasCoords(), v.CoordDim(), tc.dim)
+		}
+		for i := 0; i < v.N; i++ {
+			for d := 0; d < tc.dim; d++ {
+				if got := v.Coord(i, d); got != tc.coords[i*tc.dim+d] {
+					t.Fatalf("%s: coord[%d][%d] = %g, want %g", tc.name, i, d, got, tc.coords[i*tc.dim+d])
+				}
+			}
+		}
+		// Canonical re-encode from the parsed view: byte-identical.
+		var loads []int64
+		if v.HasLoads() {
+			loads = make([]int64, v.N)
+			for i := range loads {
+				loads[i] = v.Load(i)
+			}
+		}
+		coords := make([]float64, v.N*tc.dim)
+		for i := 0; i < v.N; i++ {
+			for d := 0; d < tc.dim; d++ {
+				coords[i*tc.dim+d] = v.Coord(i, d)
+			}
+		}
+		if again := encTasks(loads, coords, tc.dim); !bytes.Equal(again, body) {
+			t.Fatalf("%s: re-encode diverged from the original body", tc.name)
+		}
+	}
+}
+
+// TestTasksCoordsCanonicalAbsence pins the degeneracy at the byte
+// level: a nil coordinate slice emits zero trailing bytes, so
+// coordinate-free bodies are byte-identical to pre-coordinate ones
+// and keep their intern fingerprints.
+func TestTasksCoordsCanonicalAbsence(t *testing.T) {
+	bare := encTasks(nil, nil, 0)
+	withC := encTasks(nil, []float64{0, 0, 1, 0, 0, 1}, 2)
+	if !bytes.HasPrefix(withC, bare) {
+		t.Fatal("coordinates block is not a pure suffix of the coordinate-free body")
+	}
+	if want := len(bare) + 1 + 1 + 8*3*2; len(withC) != want {
+		t.Fatalf("coordinate body is %d bytes, want %d (tag + dim + 6 f64)", len(withC), want)
+	}
+	v, err := ParseTasks(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.HasCoords() || v.CoordDim() != 0 {
+		t.Fatal("coordinate-free body parsed with coordinates")
+	}
+}
+
+// TestTasksCoordsRejects: malformed coordinate tails — bad dim,
+// truncation, duplicate and out-of-order tags — all fail the parse.
+func TestTasksCoordsRejects(t *testing.T) {
+	good := encTasks(nil, []float64{0, 0, 1, 0, 0, 1}, 2)
+	base := encTasks(nil, nil, 0)
+	loadsFirst := encTasks([]int64{1, 2, 3}, nil, 0)
+
+	badDim := append(append([]byte(nil), base...), TasksCoords, 4)
+	badDim = append(badDim, make([]byte, 8*4*3)...)
+
+	dup := append(append([]byte(nil), good...), good[len(base):]...)
+
+	// Coords tag before loads tag: descending order.
+	outOfOrder := append(append([]byte(nil), good...), loadsFirst[len(base):]...)
+
+	cases := map[string][]byte{
+		"dim 4":                badDim,
+		"dim 0":                append(append([]byte(nil), base...), TasksCoords, 0),
+		"truncated coords":     good[:len(good)-4],
+		"tag only":             append(append([]byte(nil), base...), TasksCoords),
+		"duplicate coords tag": dup,
+		"loads after coords":   outOfOrder,
+	}
+	for name, body := range cases {
+		if _, err := ParseTasks(body); err == nil {
+			t.Errorf("%s: ParseTasks accepted a malformed coordinate tail", name)
+		}
+	}
+}

@@ -53,7 +53,7 @@ func seedFrames() [][]byte {
 	tasksBody := func() []byte {
 		w := GetWriter()
 		defer PutWriter(w)
-		AppendTasksCSR(w, []int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512})
+		AppendTasksCSR(w, []int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}, []float64{0, 0, 1, 0, 0, 1}, 2)
 		return append([]byte(nil), w.Bytes()...)
 	}()
 
@@ -192,29 +192,45 @@ func boundMapResp(t *testing.T, m *MapResp, payload int) {
 // FuzzParseTasks hammers the zero-copy CSR validator: a body that
 // parses must be fully walkable through the accessors — every row
 // monotone, every edge slot reachable, every load readable when the
-// optional loads block is present — because the hot path indexes them
-// without bounds checks afterwards. Whatever parses must also
-// re-encode byte-identically from the decoded view, so the legacy and
-// loads-extended forms stay canonical on the wire.
+// optional loads block is present, every coordinate readable when the
+// coordinates block is — because the hot path indexes them without
+// bounds checks afterwards. Whatever parses must also re-encode
+// byte-identically from the decoded view, so the legacy, loads- and
+// coordinate-extended forms stay canonical on the wire.
 func FuzzParseTasks(f *testing.F) {
-	valid := func(xadj, adj []int32, ew, loads []int64) []byte {
+	valid := func(xadj, adj []int32, ew, loads []int64, coords []float64, dim int) []byte {
 		w := GetWriter()
 		defer PutWriter(w)
-		AppendTasksCSR(w, xadj, adj, ew, loads)
+		AppendTasksCSR(w, xadj, adj, ew, loads, coords, dim)
 		return append([]byte(nil), w.Bytes()...)
 	}
-	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, nil))
-	f.Add(valid([]int32{0, 0}, nil, nil, nil))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, nil, nil, 0))
+	f.Add(valid([]int32{0, 0}, nil, nil, nil, nil, 0))
 	// Loads-extended bodies: skewed, all-unit, and single-task.
-	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}))
-	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{1, 1, 1}))
-	f.Add(valid([]int32{0, 0}, nil, nil, []int64{7}))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}, nil, 0))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{1, 1, 1}, nil, 0))
+	f.Add(valid([]int32{0, 0}, nil, nil, []int64{7}, nil, 0))
+	// Coordinate-extended bodies: 2D, 3D, and loads + coords combined.
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, nil, []float64{0, 0, 1, 0, 0.5, 1}, 2))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, nil, []float64{0, 0, 0, 1, 0, 0, 0, 1, 0}, 3))
+	f.Add(valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}, []float64{0, 0, 1, 0, 0, 1}, 2))
+	f.Add(valid([]int32{0, 0}, nil, nil, nil, []float64{3.25, -7}, 2))
 	// A truncated loads block and a corrupted trailing tag byte.
-	full := valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512})
+	full := valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}, nil, 0)
 	f.Add(full[:len(full)-3])
 	bad := append([]byte(nil), full...)
 	bad[len(bad)-25] = 0x7F
 	f.Add(bad)
+	// A truncated coords block, a bad dim byte, and out-of-order tags
+	// (coords before loads) — all must be rejected, never panic.
+	both := valid([]int32{0, 1, 2, 2}, []int32{1, 2}, []int64{10, 3}, []int64{64, 2, 512}, []float64{0, 0, 1, 0, 0, 1}, 2)
+	f.Add(both[:len(both)-5])
+	badDim := append([]byte(nil), both...)
+	badDim[len(badDim)-49] = 9
+	f.Add(badDim)
+	swapped := valid([]int32{0, 0}, nil, nil, nil, []float64{1, 2}, 2)
+	swapped = append(swapped, TasksLoadsPerTask, 0, 0, 0, 0, 0, 0, 0, 1)
+	f.Add(swapped)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -243,10 +259,13 @@ func FuzzParseTasks(f *testing.F) {
 		if view.HasLoads() && 8*view.N > len(body) {
 			t.Fatalf("n=%d loads decoded out of a %d-byte body", view.N, len(body))
 		}
+		if view.HasCoords() && 8*view.N*view.CoordDim() > len(body) {
+			t.Fatalf("n=%d dim=%d coords decoded out of a %d-byte body", view.N, view.CoordDim(), len(body))
+		}
 		// Round-trip: rebuild the CSR arrays through the accessors and
 		// re-encode. Any accepted body is canonical, so the bytes must
 		// match exactly — including the presence, order, and values of
-		// the optional loads block.
+		// the optional loads and coordinates blocks.
 		xadj := make([]int32, view.N+1)
 		for i := range xadj {
 			xadj[i] = int32(view.Xadj(i))
@@ -263,11 +282,21 @@ func FuzzParseTasks(f *testing.F) {
 				loads[i] = view.Load(i)
 			}
 		}
+		var coords []float64
+		dim := view.CoordDim()
+		if view.HasCoords() {
+			coords = make([]float64, view.N*dim)
+			for i := 0; i < view.N; i++ {
+				for d := 0; d < dim; d++ {
+					coords[i*dim+d] = view.Coord(i, d)
+				}
+			}
+		}
 		w := GetWriter()
 		defer PutWriter(w)
-		AppendTasksCSR(w, xadj, adj, ew, loads)
+		AppendTasksCSR(w, xadj, adj, ew, loads, coords, dim)
 		if !bytes.Equal(w.Bytes(), body) {
-			t.Fatalf("re-encode diverged: %d bytes in, %d out (loads=%v)", len(body), w.Len(), view.HasLoads())
+			t.Fatalf("re-encode diverged: %d bytes in, %d out (loads=%v coords=%v)", len(body), w.Len(), view.HasLoads(), view.HasCoords())
 		}
 	})
 }

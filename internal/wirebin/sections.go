@@ -5,7 +5,10 @@ package wirebin
 // client can fingerprint the exact bytes it would send and switch to
 // a 16-byte reference once the server has seen them.
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math"
+)
 
 // Topology family kinds.
 const (
@@ -179,14 +182,25 @@ func DecodeAllocation(body []byte) (*Allocation, error) {
 // and keep their intern fingerprints.
 const TasksLoadsPerTask byte = 1
 
+// TasksCoords tags the optional trailing coordinates block of a
+// task-graph body: a dimensionality byte (2 or 3) followed by
+// dim × f64 per task, in task order. Coordinate-free graphs omit the
+// block — pre-coordinate bodies stay byte-identical and keep their
+// intern fingerprints. Trailing blocks appear in ascending tag order
+// (loads before coords), at most once each, which keeps every
+// accepted body canonical.
+const TasksCoords byte = 2
+
 // AppendTasksCSR encodes a task graph body from its CSR arrays
-// verbatim: n, m, xadj (n+1 × u32), adj (m × i32), ew (m × i64), and
-// — when loads is non-nil — a tag byte plus one u64 load per task.
-// Encode from a canonical graph (graph.FromEdges / FromTriples
-// output: adjacency sorted, self loops dropped, parallel edges
-// merged, unit loads as a nil vector) so the body fingerprints
+// verbatim: n, m, xadj (n+1 × u32), adj (m × i32), ew (m × i64),
+// then — when present — the tagged trailing blocks in ascending tag
+// order: loads (tag byte + one u64 per task) and coordinates (tag
+// byte + dim byte + n×dim f64). Encode from a canonical graph
+// (graph.FromEdges / FromTriples output: adjacency sorted, self loops
+// dropped, parallel edges merged, unit loads as a nil vector, absent
+// coordinates as a nil slice) so the body fingerprints
 // deterministically.
-func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64, loads []int64) {
+func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64, loads []int64, coords []float64, dim int) {
 	n := len(xadj) - 1
 	w.U32(uint32(n))
 	w.U32(uint32(len(adj)))
@@ -205,6 +219,13 @@ func AppendTasksCSR(w *Writer, xadj, adj []int32, ew []int64, loads []int64) {
 			w.U64(uint64(v))
 		}
 	}
+	if coords != nil {
+		w.U8(TasksCoords)
+		w.U8(byte(dim))
+		for _, c := range coords {
+			w.F64(c)
+		}
+	}
 }
 
 // TasksCSR is a zero-copy view over a task-graph section body: the
@@ -219,12 +240,17 @@ type TasksCSR struct {
 	// loads is the optional per-task compute-load block (nil = unit
 	// loads).
 	loads []byte
+	// coords is the optional per-task coordinate block (nil = no
+	// coordinates); dim is its dimensionality (2 or 3, 0 when absent).
+	coords []byte
+	dim    int
 }
 
 // ParseTasks validates the structural invariants of a task-graph body
-// (counts fit the body exactly — with or without the trailing loads
-// block — and xadj is a monotone 0→m row index) and returns the view.
-// Semantic limits (task-count cap) belong to the caller.
+// (counts fit the body exactly — with any combination of the tagged
+// trailing blocks, in ascending tag order — and xadj is a monotone
+// 0→m row index) and returns the view. Semantic limits (task-count
+// cap) belong to the caller.
 func ParseTasks(body []byte) (TasksCSR, error) {
 	r := NewReader(body)
 	var t TasksCSR
@@ -235,15 +261,11 @@ func ParseTasks(body []byte) (TasksCSR, error) {
 	}
 	need := 4*(n+1) + 4*m + 8*m
 	rem := int64(r.Remaining())
-	hasLoads := false
-	switch {
-	case n < 0 || m < 0:
+	if n < 0 || m < 0 {
 		r.fail("tasks: negative counts n=%d m=%d", n, m)
 		return t, r.err
-	case rem == need:
-	case rem == need+1+8*n:
-		hasLoads = true
-	default:
+	}
+	if rem < need {
 		r.fail("tasks: n=%d m=%d needs %d body bytes, have %d", n, m, need, rem)
 		return t, r.err
 	}
@@ -251,12 +273,31 @@ func ParseTasks(body []byte) (TasksCSR, error) {
 	t.xadj = r.take(4 * (t.N + 1))
 	t.adj = r.take(4 * t.M)
 	t.ew = r.take(8 * t.M)
-	if hasLoads {
-		if tag := r.U8(); tag != TasksLoadsPerTask {
-			r.fail("tasks: unknown trailing block %d", tag)
-			return t, r.err
+	// Tagged trailing blocks, ascending tag order, each at most once —
+	// the only spellings accepted are the canonical ones AppendTasksCSR
+	// emits, so an accepted body re-encodes byte-identically.
+	lastTag := byte(0)
+	for r.err == nil && r.Remaining() > 0 {
+		tag := r.U8()
+		if tag <= lastTag {
+			r.fail("tasks: trailing block %d out of order after %d", tag, lastTag)
+			break
 		}
-		t.loads = r.take(8 * t.N)
+		lastTag = tag
+		switch tag {
+		case TasksLoadsPerTask:
+			t.loads = r.take(8 * t.N)
+		case TasksCoords:
+			dim := int(r.U8())
+			if r.err == nil && dim != 2 && dim != 3 {
+				r.fail("tasks: coordinate dim %d, want 2 or 3", dim)
+				break
+			}
+			t.coords = r.take(8 * dim * t.N)
+			t.dim = dim
+		default:
+			r.fail("tasks: unknown trailing block %d", tag)
+		}
 	}
 	if err := r.finish("tasks"); err != nil {
 		return t, err
@@ -305,4 +346,17 @@ func (t TasksCSR) HasLoads() bool { return t.loads != nil }
 // HasLoads.
 func (t TasksCSR) Load(i int) int64 {
 	return int64(binary.LittleEndian.Uint64(t.loads[8*i:]))
+}
+
+// HasCoords reports whether the body carried a coordinates block.
+func (t TasksCSR) HasCoords() bool { return t.coords != nil }
+
+// CoordDim returns the coordinate dimensionality (2 or 3; 0 when the
+// body carried no coordinates).
+func (t TasksCSR) CoordDim() int { return t.dim }
+
+// Coord returns coordinate d of task i (0 ≤ i < N, 0 ≤ d < CoordDim);
+// call only when HasCoords.
+func (t TasksCSR) Coord(i, d int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(t.coords[8*(i*t.dim+d):]))
 }

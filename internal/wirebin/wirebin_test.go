@@ -216,7 +216,7 @@ func TestTasksCSRRoundTrip(t *testing.T) {
 	ew := []int64{10, 20, 30}
 	w := GetWriter()
 	defer PutWriter(w)
-	AppendTasksCSR(w, xadj, adj, ew, nil)
+	AppendTasksCSR(w, xadj, adj, ew, nil, nil, 0)
 	v, err := ParseTasks(w.Bytes())
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +240,7 @@ func TestTasksCSRRejectsBadShapes(t *testing.T) {
 	enc := func(xadj, adj []int32, ew []int64) []byte {
 		w := GetWriter()
 		defer PutWriter(w)
-		AppendTasksCSR(w, xadj, adj, ew, nil)
+		AppendTasksCSR(w, xadj, adj, ew, nil, nil, 0)
 		return append([]byte(nil), w.Bytes()...)
 	}
 	cases := map[string][]byte{

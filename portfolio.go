@@ -77,15 +77,32 @@ type PortfolioResult struct {
 }
 
 // CompatibleMappers returns the registered mappers the engine's
-// topology can dispatch, in registration order — the candidate set a
-// PortfolioRequest with no explicit Candidates expands to. Mappers
-// requiring multipath route enumeration are filtered out on
-// topologies that cannot provide it.
+// topology can dispatch on any task graph, in registration order.
+// Mappers requiring multipath route enumeration are filtered out on
+// topologies that cannot provide it, and mappers requiring per-task
+// coordinates are always filtered out — the engine alone cannot
+// promise a coordinate-carrying graph; see CompatibleMappersFor.
 func (e *Engine) CompatibleMappers() []Mapper {
+	return e.compatibleMappers(false)
+}
+
+// CompatibleMappersFor is CompatibleMappers specialized to one task
+// graph — the candidate set a PortfolioRequest with no explicit
+// Candidates expands to. When tasks carries per-task coordinates the
+// geometric mappers join the set; coordinate-free graphs keep the
+// CompatibleMappers set exactly.
+func (e *Engine) CompatibleMappersFor(tasks *TaskGraph) []Mapper {
+	return e.compatibleMappers(tasks != nil && tasks.HasCoords())
+}
+
+func (e *Engine) compatibleMappers(hasCoords bool) []Mapper {
 	_, multipath := torus.MultipathOf(e.view)
 	var out []Mapper
 	for _, info := range registry.List() {
 		if info.Caps.NeedsMultipath && !multipath {
+			continue
+		}
+		if info.Caps.NeedsCoords && !hasCoords {
 			continue
 		}
 		out = append(out, Mapper(info.Name))
@@ -100,9 +117,10 @@ func (e *Engine) CompatibleMappers() []Mapper {
 // without their own; a sim-scoring objective required to have one
 // everywhere.
 func (e *Engine) portfolioCandidates(req PortfolioRequest) ([]Solve, error) {
+	hasCoords := req.Tasks != nil && req.Tasks.HasCoords()
 	cands := append([]Solve(nil), req.Candidates...)
 	if len(cands) == 0 {
-		for _, mp := range e.CompatibleMappers() {
+		for _, mp := range e.CompatibleMappersFor(req.Tasks) {
 			cands = append(cands, Solve{Mapper: mp, Seed: req.Seed})
 		}
 		if len(cands) == 0 {
@@ -123,6 +141,9 @@ func (e *Engine) portfolioCandidates(req PortfolioRequest) ([]Solve, error) {
 		}
 		if spec.Caps().NeedsMultipath && !multipath {
 			return nil, fmt.Errorf("topomap: portfolio candidate %d: mapper %s needs a topology with minimal-route enumeration", i, c.Mapper)
+		}
+		if spec.Caps().NeedsCoords && !hasCoords {
+			return nil, fmt.Errorf("topomap: portfolio candidate %d: mapper %s needs per-task coordinates on the task graph", i, c.Mapper)
 		}
 		if c.TimeoutMS < 0 {
 			return nil, fmt.Errorf("topomap: portfolio candidate %d (%s): negative timeout_ms %d", i, c.Mapper, c.TimeoutMS)

@@ -88,12 +88,17 @@ func TestRunSolveMatchesRequestPath(t *testing.T) {
 		{"sim", []RequestOption{WithSimParams(4096, SimParams{Seed: 1})}},
 		{"all", []RequestOption{WithRefinement(), WithFineRefine(), WithParallelism(2), WithSimParams(4096, SimParams{Seed: 1})}},
 	}
+	tgc := withTestCoords(t, tg)
 	for _, mp := range RegisteredMappers() {
 		if strings.HasPrefix(string(mp), "TEST-") {
 			continue // registered by other tests in this binary
 		}
+		tasks := tg
+		if MapperCapsOf(mp).NeedsCoords {
+			tasks = tgc
+		}
 		for _, v := range variants {
-			req := Request{Mapper: mp, Tasks: tg, Seed: 3, Options: v.opts}
+			req := Request{Mapper: mp, Tasks: tasks, Seed: 3, Options: v.opts}
 			legacy, err := eng.Run(req)
 			if err != nil {
 				t.Fatalf("%s/%s: request path: %v", mp, v.name, err)
@@ -108,7 +113,7 @@ func TestRunSolveMatchesRequestPath(t *testing.T) {
 			if err := json.Unmarshal(buf, &s); err != nil {
 				t.Fatal(err)
 			}
-			got, err := eng.RunSolve(context.Background(), tg, s)
+			got, err := eng.RunSolve(context.Background(), tasks, s)
 			if err != nil {
 				t.Fatalf("%s/%s: solve path: %v", mp, v.name, err)
 			}

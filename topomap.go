@@ -223,6 +223,15 @@ func FromEdges(n int, us, vs []int32, ws []int64) *Graph {
 	return graph.FromEdges(n, us, vs, ws, nil)
 }
 
+// StencilTaskGraph generates the halo-exchange task graph of an
+// nx×ny×nz structured grid: one task per cell, face-neighbor exchanges
+// of volume vol (5-point in 2D when nz == 1, 7-point in 3D), and
+// per-task grid coordinates attached — the canonical
+// coordinate-carrying workload for the geometric mappers.
+func StencilTaskGraph(nx, ny, nz int, vol int64) (*TaskGraph, error) {
+	return taskgraph.Stencil(nx, ny, nz, vol)
+}
+
 // ReadTaskGraph parses a task graph from the text edge-list format
 // ("src dst volume" lines; see TaskGraph.Encode).
 func ReadTaskGraph(r io.Reader) (*TaskGraph, error) { return taskgraph.Read(r) }
@@ -309,6 +318,17 @@ const (
 	// per-node speeds and the "makespan" objective; on homogeneous
 	// inputs it degrades to a plain locality greedy.
 	HET Mapper = "HET"
+	// GEOM is the geometric mapper: multi-jagged recursive coordinate
+	// bisection of the supertask centroids (one weight-balanced cut
+	// along the longest extent per level) married to a Hilbert-curve
+	// order of the allocated nodes. Requires per-task coordinates on
+	// the task graph (TaskGraph.SetCoords).
+	GEOM Mapper = "GEOM"
+	// SFCM is the pure space-filling-curve mapper: supertask centroids
+	// in Hilbert order onto allocated nodes in Hilbert order — the
+	// SFC-to-SFC placement geometric frameworks default to. Requires
+	// per-task coordinates on the task graph.
+	SFCM Mapper = "SFCM"
 )
 
 // Mappers returns the mappers evaluated in Figure 2, in order.
@@ -341,9 +361,19 @@ type MapperSpec = registry.MapperSpec
 type MapperInput = registry.Input
 
 // MapperCaps declares what the Engine must prepare for a mapper:
-// a message-count coarse graph, multipath route enumeration, or
-// SMP-style block grouping.
+// a message-count coarse graph, multipath route enumeration,
+// SMP-style block grouping, or per-task coordinates on the task
+// graph.
 type MapperCaps = registry.Caps
+
+// MapperCapsOf returns the declared capability requirements of a
+// registered mapper; unknown names report no requirements.
+func MapperCapsOf(name Mapper) MapperCaps {
+	if s, ok := registry.Lookup(string(name)); ok {
+		return s.Caps()
+	}
+	return MapperCaps{}
+}
 
 // NewMapper wraps a function as a MapperSpec for RegisterMapper.
 func NewMapper(name string, caps MapperCaps, fn func(MapperInput) ([]int32, error)) MapperSpec {
